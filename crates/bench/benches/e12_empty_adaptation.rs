@@ -1,0 +1,55 @@
+//! E12 — Lemma 1 at runtime: cost and correctness of the empty-relation
+//! adaptation (Example 2.2 with `papers = []`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::{Database, StrategyLevel};
+use pascalr_bench::{quick_criterion, run, scaled_db};
+use pascalr_workload::query_by_id;
+
+fn with_empty_papers(scale: u32) -> Database {
+    let mut db = scaled_db(scale);
+    db.catalog_mut().relation_mut("papers").unwrap().clear();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+    let populated = scaled_db(2);
+    let empty_papers = with_empty_papers(2);
+
+    println!("\n=== E12: empty-relation adaptation (papers = []) ===");
+    let full = run(&populated, query, StrategyLevel::S4CollectionQuantifiers);
+    let adapted = run(&empty_papers, query, StrategyLevel::S4CollectionQuantifiers);
+    let professors = empty_papers
+        .query_with(
+            "profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]",
+            StrategyLevel::S2OneStep,
+        )
+        .unwrap();
+    println!(
+        "populated: {} rows; papers=[]: {} rows (must equal the {} professors); fallback = {:?}",
+        full.result.cardinality(),
+        adapted.result.cardinality(),
+        professors.result.cardinality(),
+        adapted.report.fallback
+    );
+    assert_eq!(
+        adapted.result.cardinality(),
+        professors.result.cardinality()
+    );
+
+    let mut group = c.benchmark_group("e12_empty_adaptation");
+    for (name, db) in [("populated", &populated), ("papers_empty", &empty_papers)] {
+        group.bench_with_input(BenchmarkId::new("example_2_1_s4", name), db, |b, db| {
+            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E2 — Figure 2: construction of the auxiliary structures (single lists,
+//! indexes, indirect joins) for Example 2.2, and how their sizes scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{print_header, print_row, print_structures, quick_criterion, run, sample_db, scaled_db};
+use pascalr_workload::query_by_id;
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+
+    // Paper-style report on the Figure 1 instance.
+    let db = sample_db();
+    let outcome = run(&db, query, StrategyLevel::S2OneStep);
+    print_header(
+        "E2 / Figure 2: auxiliary structures of Example 2.2",
+        "single lists and indirect joins replace full records by references",
+    );
+    print_row(&outcome);
+    println!("  single lists / indirect joins / value lists (sample database):");
+    print_structures(&outcome, "sl_");
+    print_structures(&outcome, "ij_");
+    print_structures(&outcome, "cand_");
+
+    // Structure sizes as the database grows (Strategy 4 keeps the
+    // combination phase out of the picture so the collection structures are
+    // what is measured, even at larger scales).
+    for scale in [1u32, 4, 16] {
+        let db = scaled_db(scale);
+        let outcome = run(&db, query, StrategyLevel::S4CollectionQuantifiers);
+        let total = outcome.report.metrics.total_structure_size();
+        println!("  scale {scale:>2}: total intermediate structure entries = {total}");
+    }
+
+    let mut group = c.benchmark_group("e2_figure2_structures");
+    let paper_db = sample_db();
+    group.bench_with_input(
+        BenchmarkId::new("collection_phase_s2", "paper"),
+        &paper_db,
+        |b, db| b.iter(|| run(db, query, StrategyLevel::S2OneStep)),
+    );
+    for scale in [1u32, 8] {
+        let db = scaled_db(scale);
+        group.bench_with_input(
+            BenchmarkId::new("collection_phase_s4", scale),
+            &db,
+            |b, db| b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

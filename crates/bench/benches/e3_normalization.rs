@@ -1,0 +1,40 @@
+//! E3 — Examples 2.1 → 2.2: standardization (prenex normal form + DNF
+//! matrix) and the Lemma 1 empty-relation adaptation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pascalr_bench::{quick_criterion, sample_db};
+use pascalr_calculus::{adapt_selection_for_empty, standardize};
+use pascalr_workload::query_by_id;
+use std::collections::BTreeSet;
+
+fn bench(c: &mut Criterion) {
+    let db = sample_db();
+    let sel = db.parse(query_by_id("ex2.1").unwrap().text).unwrap();
+
+    let std_sel = standardize(&sel);
+    println!("\n=== E3: standard form of Example 2.1 (Example 2.2) ===");
+    println!(
+        "prefix length = {}, conjunctions = {}, join terms = {}",
+        std_sel.form.prefix.len(),
+        std_sel.form.conjunction_count(),
+        std_sel.form.term_count()
+    );
+    println!("assumed non-empty: {:?}", std_sel.form.assumed_nonempty);
+    let empty: BTreeSet<String> = ["papers".to_string()].into_iter().collect();
+    let adapted = adapt_selection_for_empty(&sel, &empty);
+    println!("adapted for papers = []: {}", adapted.formula);
+
+    let mut group = c.benchmark_group("e3_normalization");
+    group.bench_function("standardize_example_2_1", |b| b.iter(|| standardize(&sel)));
+    group.bench_function("adapt_for_empty_papers", |b| {
+        b.iter(|| adapt_selection_for_empty(&sel, &empty))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

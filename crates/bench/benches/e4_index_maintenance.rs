@@ -1,0 +1,50 @@
+//! E4 — Example 3.1: building and maintaining the primary index `enrindex`
+//! on the employees relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr_bench::{quick_criterion, scaled_db};
+use pascalr_relation::HashIndex;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E4 / Example 3.1: primary index construction ===");
+    for scale in [1u32, 4, 16] {
+        let db = scaled_db(scale);
+        let employees = db.catalog().relation("employees").unwrap();
+        let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
+        println!(
+            "  scale {scale:>2}: {} elements -> {} index entries, {} distinct keys",
+            employees.cardinality(),
+            idx.entry_count(),
+            idx.distinct_values()
+        );
+    }
+
+    let mut group = c.benchmark_group("e4_index_maintenance");
+    for scale in [1u32, 8] {
+        let db = scaled_db(scale);
+        group.bench_with_input(BenchmarkId::new("build_enrindex", scale), &db, |b, db| {
+            let employees = db.catalog().relation("employees").unwrap();
+            b.iter(|| HashIndex::build_full("enrindex", employees, &["enr"]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("probe_enrindex", scale), &db, |b, db| {
+            let employees = db.catalog().relation("employees").unwrap();
+            let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
+            let n = employees.cardinality() as i64;
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in 1..=n {
+                    hits += idx.probe_value(&pascalr_relation::Value::int(k)).len();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

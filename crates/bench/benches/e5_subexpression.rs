@@ -1,0 +1,46 @@
+//! E5 — Examples 3.2 / 4.1 / 4.2: evaluation of the subexpression
+//! `(c.clevel <= sophomore) AND (c.cnr = t.tcnr)` — naive vs one-step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{print_header, print_row, quick_criterion, run, scaled_db};
+use pascalr_workload::query_by_id;
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex3.2").unwrap().text;
+
+    let db = scaled_db(2);
+    print_header(
+        "E5 / Example 3.2: sophomore-course x timetable subexpression",
+        "one-step evaluation (S2) restricts the indirect join by the monadic term",
+    );
+    for level in [
+        StrategyLevel::S0Baseline,
+        StrategyLevel::S1Parallel,
+        StrategyLevel::S2OneStep,
+    ] {
+        let outcome = run(&db, query, level);
+        print_row(&outcome);
+    }
+
+    let mut group = c.benchmark_group("e5_subexpression");
+    for level in [
+        StrategyLevel::S0Baseline,
+        StrategyLevel::S1Parallel,
+        StrategyLevel::S2OneStep,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("example_3_2", level.short_name()),
+            &level,
+            |b, &level| b.iter(|| run(&db, query, level)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

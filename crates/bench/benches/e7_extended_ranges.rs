@@ -1,0 +1,69 @@
+//! E7 — Examples 4.4/4.5 (Strategy 3): extended range expressions, including
+//! the conjunction-only vs disjunctive-restriction ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{print_header, print_row, quick_criterion, run, scaled_db};
+use pascalr_calculus::{extend_ranges, standardize, ExtendOptions};
+use pascalr_workload::query_by_id;
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+    let db = scaled_db(1);
+
+    print_header(
+        "E7 / Examples 4.4-4.5: extended range expressions",
+        "one conjunction fewer, smaller candidate sets, estatus tested once per element",
+    );
+    for level in [StrategyLevel::S2OneStep, StrategyLevel::S3ExtendedRanges] {
+        let outcome = run(&db, query, level);
+        print_row(&outcome);
+        println!(
+            "    conjunctions in matrix: {}",
+            outcome.plan.prepared.form.conjunction_count()
+        );
+    }
+
+    // Ablation: conjunction-only (paper's current system) vs disjunctive
+    // restrictions (paper's expected CNF extension), on the transformation
+    // itself.
+    let sel = db.parse(query).unwrap();
+    let std_sel = standardize(&sel);
+    let (basic, basic_report) = extend_ranges(&std_sel, ExtendOptions::default());
+    let (cnf, cnf_report) = extend_ranges(
+        &std_sel,
+        ExtendOptions {
+            allow_disjunctive: true,
+        },
+    );
+    println!(
+        "  ablation: conjunction-only hoists={} (matrix {}), disjunctive hoists={} (matrix {})",
+        basic_report.hoists.len(),
+        basic.form.conjunction_count(),
+        cnf_report.hoists.len(),
+        cnf.form.conjunction_count()
+    );
+
+    let mut group = c.benchmark_group("e7_extended_ranges");
+    // Wall-time measurement on the paper-sized instance (the S2 combination
+    // phase is the deliberately expensive comparison point).
+    let paper_db = pascalr_bench::sample_db();
+    for level in [StrategyLevel::S2OneStep, StrategyLevel::S3ExtendedRanges] {
+        group.bench_with_input(
+            BenchmarkId::new("example_2_1", level.short_name()),
+            &level,
+            |b, &level| b.iter(|| run(&paper_db, query, level)),
+        );
+    }
+    group.bench_function("transform_only", |b| {
+        b.iter(|| extend_ranges(&std_sel, ExtendOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

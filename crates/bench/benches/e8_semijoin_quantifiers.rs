@@ -1,0 +1,65 @@
+//! E8 — Examples 4.6/4.7 (Strategy 4): quantifier evaluation in the
+//! collection phase (cset / tset / pset value lists) versus division and
+//! projection in the combination phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{print_header, print_row, print_structures, quick_criterion, run, scaled_db};
+use pascalr_storage::Phase;
+use pascalr_workload::query_by_id;
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+    let db = scaled_db(2);
+
+    print_header(
+        "E8 / Examples 4.6-4.7: collection-phase quantifier evaluation",
+        "value lists avoid building large reference relations just to reduce them again",
+    );
+    for level in [StrategyLevel::S3ExtendedRanges, StrategyLevel::S4CollectionQuantifiers] {
+        let outcome = run(&db, query, level);
+        print_row(&outcome);
+        let comb = outcome.report.metrics.phase(Phase::Combination);
+        println!(
+            "    combination-phase intermediates = {}, comparisons = {}",
+            comb.intermediate_tuples, comb.comparisons
+        );
+        if level == StrategyLevel::S4CollectionQuantifiers {
+            println!("    value lists (cset/tset/pset):");
+            print_structures(&outcome, "sl_e_via_");
+            print_structures(&outcome, "sl_t_via_");
+        }
+    }
+
+    let mut group = c.benchmark_group("e8_semijoin_quantifiers");
+    for level in [
+        StrategyLevel::S3ExtendedRanges,
+        StrategyLevel::S4CollectionQuantifiers,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("example_2_1", level.short_name()),
+            &level,
+            |b, &level| b.iter(|| run(&db, query, level)),
+        );
+    }
+    // The universal-over-restricted-range query q12 isolates the ALL case.
+    let q12 = query_by_id("q12").unwrap().text;
+    for level in [
+        StrategyLevel::S2OneStep,
+        StrategyLevel::S4CollectionQuantifiers,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("q12_universal", level.short_name()),
+            &level,
+            |b, &level| b.iter(|| run(&db, q12, level)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E9 — Section 4.4 special cases: value-list reductions (`<`/`<=` keep only
+//! the maximum/minimum; `=` with ALL and `<>` with SOME keep at most one
+//! value).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{quick_criterion, run, scaled_db};
+use pascalr_workload::query_by_id;
+
+fn bench(c: &mut Criterion) {
+    let db = scaled_db(4);
+
+    println!("\n=== E9 / Section 4.4: value-list reductions ===");
+    println!("paper claim: for <,<=,>,>= only one value must be stored; for =/ALL and <>/SOME at most one");
+    println!(
+        "{:<6} {:<34} {:>14} {:>12}",
+        "query", "reduction", "values stored", "rows"
+    );
+    for id in ["q05", "q06", "q07", "q08"] {
+        let spec = query_by_id(id).unwrap();
+        let outcome = run(&db, spec.text, StrategyLevel::S4CollectionQuantifiers);
+        let step = &outcome.plan.semijoin_steps[0];
+        let stored = outcome.report.metrics.structure_size(&step.produces);
+        println!(
+            "{:<6} {:<34} {:>14} {:>12}",
+            id,
+            format!("{:?}", step.reduction),
+            stored,
+            outcome.result.cardinality()
+        );
+    }
+
+    let mut group = c.benchmark_group("e9_valuelist_reductions");
+    for id in ["q05", "q06", "q07", "q08"] {
+        let spec = query_by_id(id).unwrap();
+        // Ablation: the same query without Strategy 4 (quantifier evaluated
+        // by projection/division over the full reference relation).
+        group.bench_with_input(BenchmarkId::new("reduced_s4", id), &spec, |b, spec| {
+            b.iter(|| run(&db, spec.text, StrategyLevel::S4CollectionQuantifiers))
+        });
+        group.bench_with_input(BenchmarkId::new("full_s2", id), &spec, |b, spec| {
+            b.iter(|| run(&db, spec.text, StrategyLevel::S2OneStep))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target reproduces one experiment of `DESIGN.md` /
+//! `EXPERIMENTS.md`: it prints the paper-style comparison rows once (the
+//! quantities the paper argues about — relation scans, intermediate
+//! structure sizes, comparisons) and then lets Criterion measure wall time.
+
+use criterion::Criterion;
+use pascalr::{Database, QueryOutcome, StrategyLevel};
+use pascalr_workload::{figure1_sample_database, generate, UniversityConfig};
+
+/// The Figure 1 department instance (tiny, exactly the paper's scale).
+pub fn sample_db() -> Database {
+    Database::from_catalog(figure1_sample_database().expect("static sample database"))
+}
+
+/// A generated university database at the given scale factor.
+pub fn scaled_db(scale: u32) -> Database {
+    Database::from_catalog(generate(&UniversityConfig::at_scale(scale)).expect("generator"))
+}
+
+/// A generated database with custom selectivities.
+pub fn custom_db(config: &UniversityConfig) -> Database {
+    Database::from_catalog(generate(config).expect("generator"))
+}
+
+/// Runs one query at one strategy level.
+pub fn run(db: &Database, query: &str, level: StrategyLevel) -> QueryOutcome {
+    db.query_with(query, level).expect("workload query executes")
+}
+
+/// Criterion configured for short, low-variance runs: the interesting output
+/// of these experiments is the *shape* of the access metrics, not
+/// high-precision timing.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args()
+}
+
+/// Prints the standard comparison header.
+pub fn print_header(experiment: &str, claim: &str) {
+    println!("\n=== {experiment} ===");
+    println!("paper claim: {claim}");
+    println!(
+        "{:<6} {:>6} {:>8} {:>10} {:>10} {:>14} {:>14}",
+        "level", "rows", "scans", "max/rel", "tuples", "intermediate", "comparisons"
+    );
+}
+
+/// Prints one comparison row from an outcome.
+pub fn print_row(outcome: &QueryOutcome) {
+    let t = outcome.report.metrics.total();
+    println!(
+        "{:<6} {:>6} {:>8} {:>10} {:>10} {:>14} {:>14}",
+        outcome.report.strategy.short_name(),
+        outcome.result.cardinality(),
+        t.relation_scans,
+        outcome.report.metrics.max_scans_per_relation(),
+        t.tuples_read,
+        t.intermediate_tuples,
+        t.comparisons,
+    );
+}
+
+/// Prints the recorded sizes of named intermediate structures.
+pub fn print_structures(outcome: &QueryOutcome, prefix_filter: &str) {
+    for (name, size) in &outcome.report.metrics.structure_sizes {
+        if name.starts_with(prefix_filter) {
+            println!("    {name:<24} {size:>8}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_runnable_databases() {
+        let db = sample_db();
+        let outcome = run(
+            &db,
+            pascalr_workload::query_by_id("q01").unwrap().text,
+            StrategyLevel::S2OneStep,
+        );
+        assert!(outcome.result.cardinality() > 0);
+        print_header("smoke", "none");
+        print_row(&outcome);
+        print_structures(&outcome, "sl_");
+        let scaled = scaled_db(1);
+        assert_eq!(
+            scaled
+                .catalog()
+                .relation("employees")
+                .unwrap()
+                .cardinality(),
+            24
+        );
+    }
+}

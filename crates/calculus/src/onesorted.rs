@@ -1,0 +1,465 @@
+//! Conversion into the one-sorted calculus (A. Schmidt, 1938).
+//!
+//! Section 2 of the paper cites A. Schmidt's result that an expression of a
+//! many-sorted calculus can be converted into an equivalent one of a
+//! one-sorted calculus by introducing *range expressions* (membership atoms)
+//! as another type of atomic formula and rewriting
+//!
+//! ```text
+//! SOME rec IN rel (WFF)   ~>   SOME rec ((rec IN rel) AND WFF)
+//! ALL  rec IN rel (WFF)   ~>   ALL  rec (NOT (rec IN rel) OR WFF)
+//! ```
+//!
+//! The proof of Lemma 1 is "by transformation into one-sorted formulae"; this
+//! module makes the transformation executable: the one-sorted formula is
+//! evaluated with unsorted quantifiers ranging over the *universe* (the union
+//! of all relation elements of the database), and equivalence with the
+//! many-sorted original is then checked by model enumeration in the test
+//! suites.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pascalr_relation::{RelationSchema, Tuple};
+#[cfg(test)]
+use pascalr_relation::Relation;
+
+use crate::ast::{Formula, Quantifier, RangeExpr, Term, VarName};
+use crate::error::CalculusError;
+use crate::semantics::{eval_term, Binding, Env, RelationProvider};
+
+/// A formula of the one-sorted calculus: like [`Formula`], but quantifiers
+/// are *unsorted* (they range over the universe) and range coupling is
+/// expressed by explicit membership atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OneSorted {
+    /// An ordinary join term.
+    Term(Term),
+    /// The membership atom `var IN rel` (with the range's restriction, if
+    /// the range was extended).
+    Membership {
+        /// The variable tested for membership.
+        var: VarName,
+        /// The range expression it is tested against.
+        range: RangeExpr,
+    },
+    /// Negation.
+    Not(Box<OneSorted>),
+    /// Conjunction.
+    And(Vec<OneSorted>),
+    /// Disjunction.
+    Or(Vec<OneSorted>),
+    /// An unsorted quantifier ranging over the whole universe.
+    Quant {
+        /// The quantifier.
+        q: Quantifier,
+        /// The bound variable.
+        var: VarName,
+        /// The body.
+        body: Box<OneSorted>,
+    },
+}
+
+impl fmt::Display for OneSorted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OneSorted::Term(t) => write!(f, "{t}"),
+            OneSorted::Membership { var, range } => {
+                write!(f, "({var} IN {})", range.display_for(var))
+            }
+            OneSorted::Not(inner) => write!(f, "NOT ({inner})"),
+            OneSorted::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            OneSorted::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            OneSorted::Quant { q, var, body } => write!(f, "{q} {var} ({body})"),
+        }
+    }
+}
+
+/// Converts a many-sorted formula into the equivalent one-sorted formula by
+/// A. Schmidt's substitution.
+pub fn to_one_sorted(formula: &Formula) -> OneSorted {
+    match formula {
+        Formula::Term(t) => OneSorted::Term(t.clone()),
+        Formula::Not(inner) => OneSorted::Not(Box::new(to_one_sorted(inner))),
+        Formula::And(parts) => OneSorted::And(parts.iter().map(to_one_sorted).collect()),
+        Formula::Or(parts) => OneSorted::Or(parts.iter().map(to_one_sorted).collect()),
+        Formula::Quant {
+            q,
+            var,
+            range,
+            body,
+        } => {
+            let membership = OneSorted::Membership {
+                var: var.clone(),
+                range: range.clone(),
+            };
+            let body = to_one_sorted(body);
+            let combined = match q {
+                Quantifier::Some => OneSorted::And(vec![membership, body]),
+                Quantifier::All => {
+                    OneSorted::Or(vec![OneSorted::Not(Box::new(membership)), body])
+                }
+            };
+            OneSorted::Quant {
+                q: *q,
+                var: var.clone(),
+                body: Box::new(combined),
+            }
+        }
+    }
+}
+
+/// The universe of a database: every element of every relation, tagged with
+/// the schema it came from (one-sorted quantifiers range over this set).
+#[derive(Debug, Clone)]
+pub struct Universe {
+    elements: Vec<(Arc<RelationSchema>, Tuple)>,
+    relation_names: Vec<String>,
+}
+
+impl Universe {
+    /// Builds the universe of the named relations.
+    pub fn build(
+        provider: &dyn RelationProvider,
+        relation_names: &[&str],
+    ) -> Result<Self, CalculusError> {
+        let mut elements = Vec::new();
+        let mut names = Vec::new();
+        for name in relation_names {
+            let rel = provider
+                .relation(name)
+                .ok_or_else(|| CalculusError::UnknownRelation {
+                    relation: (*name).to_string(),
+                })?;
+            names.push((*name).to_string());
+            for t in rel.tuples() {
+                elements.push((rel.schema().clone(), t.clone()));
+            }
+        }
+        Ok(Universe {
+            elements,
+            relation_names: names,
+        })
+    }
+
+    /// Number of elements in the universe.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The relations contributing to the universe.
+    pub fn relation_names(&self) -> &[String] {
+        &self.relation_names
+    }
+}
+
+/// Membership test `binding ∈ range`: the binding must come from the range's
+/// base relation (schema identity) and satisfy its restriction, if any.
+fn member_of(
+    binding: &Binding,
+    var: &str,
+    range: &RangeExpr,
+    provider: &dyn RelationProvider,
+    relation_of_schema: &dyn Fn(&Arc<RelationSchema>) -> Option<String>,
+) -> Result<bool, CalculusError> {
+    let Some(binding_rel) = relation_of_schema(&binding.schema) else {
+        return Ok(false);
+    };
+    if binding_rel != range.relation.as_ref() {
+        return Ok(false);
+    }
+    // The element must (still) be in the relation.
+    let rel = provider
+        .relation(&range.relation)
+        .ok_or_else(|| CalculusError::UnknownRelation {
+            relation: range.relation.to_string(),
+        })?;
+    if !rel.contains(&binding.tuple) {
+        return Ok(false);
+    }
+    match &range.restriction {
+        None => Ok(true),
+        Some(restriction) => {
+            let mut env = Env::new();
+            env.insert(var.to_string(), binding.clone());
+            eval_one_sorted_formula_like(restriction, provider, &env)
+        }
+    }
+}
+
+/// Evaluates a (many-sorted) restriction formula; restrictions only mention
+/// the bound variable, so the plain semantics suffices.
+fn eval_one_sorted_formula_like(
+    restriction: &Formula,
+    provider: &dyn RelationProvider,
+    env: &Env,
+) -> Result<bool, CalculusError> {
+    crate::semantics::eval_formula(restriction, provider, env)
+}
+
+/// Evaluates a one-sorted formula: unsorted quantifiers range over the given
+/// universe; membership atoms test whether the bound element belongs to the
+/// range relation (and satisfies its restriction).
+pub fn eval_one_sorted(
+    formula: &OneSorted,
+    provider: &dyn RelationProvider,
+    universe: &Universe,
+    env: &Env,
+) -> Result<bool, CalculusError> {
+    // Map a schema back to its relation name by pointer-independent name
+    // comparison (schemas carry the relation name).
+    let relation_of_schema =
+        |schema: &Arc<RelationSchema>| -> Option<String> { Some(schema.name.to_string()) };
+
+    match formula {
+        OneSorted::Term(t) => eval_term(t, env),
+        OneSorted::Membership { var, range } => {
+            let binding = env
+                .get(var.as_ref())
+                .ok_or_else(|| CalculusError::UnknownVariable {
+                    variable: var.to_string(),
+                })?;
+            member_of(binding, var, range, provider, &relation_of_schema)
+        }
+        OneSorted::Not(inner) => Ok(!eval_one_sorted(inner, provider, universe, env)?),
+        OneSorted::And(parts) => {
+            for p in parts {
+                if !eval_one_sorted(p, provider, universe, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        OneSorted::Or(parts) => {
+            for p in parts {
+                if eval_one_sorted(p, provider, universe, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        OneSorted::Quant { q, var, body } => {
+            for (schema, tuple) in &universe.elements {
+                let mut inner = env.clone();
+                inner.insert(
+                    var.to_string(),
+                    Binding {
+                        schema: schema.clone(),
+                        tuple: tuple.clone(),
+                    },
+                );
+                let holds = eval_one_sorted(body, provider, universe, &inner)
+                    // Join terms over elements of the "wrong" sort are type
+                    // errors in the many-sorted calculus; in the one-sorted
+                    // reading they are simply unsatisfied (the membership
+                    // atom guards them), so treat them as false.
+                    .unwrap_or(false);
+                match q {
+                    Quantifier::Some => {
+                        if holds {
+                            return Ok(true);
+                        }
+                    }
+                    Quantifier::All => {
+                        if !holds {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Ok(matches!(q, Quantifier::All))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operand;
+    use crate::semantics::eval_formula;
+    use pascalr_relation::{Attribute, CompareOp, Value, ValueType};
+    use std::collections::BTreeMap;
+
+    fn rel(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        let schema = RelationSchema::all_key(
+            name.to_string(),
+            attrs
+                .iter()
+                .map(|a| Attribute::new(a.to_string(), ValueType::int()))
+                .collect(),
+        );
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.insert(Tuple::new(row.iter().map(|&v| Value::int(v)).collect()))
+                .unwrap();
+        }
+        r
+    }
+
+    fn db(paper_rows: &[&[i64]]) -> BTreeMap<String, Relation> {
+        let mut db = BTreeMap::new();
+        db.insert(
+            "employees".to_string(),
+            rel("employees", &["enr", "estatus"], &[&[1, 3], &[2, 1], &[3, 3]]),
+        );
+        db.insert(
+            "papers".to_string(),
+            rel("papers", &["penr", "pyear"], paper_rows),
+        );
+        db.insert(
+            "timetable".to_string(),
+            rel("timetable", &["tenr", "tcnr"], &[&[1, 10], &[3, 11]]),
+        );
+        db
+    }
+
+    fn cmp_vc(var: &str, attr: &str, op: CompareOp, c: i64) -> Formula {
+        Formula::compare(Operand::comp(var, attr), op, Operand::constant(c))
+    }
+    fn cmp_vv(v1: &str, a1: &str, op: CompareOp, v2: &str, a2: &str) -> Formula {
+        Formula::compare(Operand::comp(v1, a1), op, Operand::comp(v2, a2))
+    }
+
+    fn formulas_under_test() -> Vec<Formula> {
+        vec![
+            // SOME p IN papers (p.pyear = 1977)
+            Formula::some(
+                "p",
+                RangeExpr::relation("papers"),
+                cmp_vc("p", "pyear", CompareOp::Eq, 1977),
+            ),
+            // ALL p IN papers (p.pyear <> 1977 OR p.penr <> e.enr) with e free
+            Formula::all(
+                "p",
+                RangeExpr::relation("papers"),
+                Formula::or(vec![
+                    cmp_vc("p", "pyear", CompareOp::Ne, 1977),
+                    cmp_vv("p", "penr", CompareOp::Ne, "e", "enr"),
+                ]),
+            ),
+            // Nested: ALL p SOME t (t.tenr = p.penr)
+            Formula::all(
+                "p",
+                RangeExpr::relation("papers"),
+                Formula::some(
+                    "t",
+                    RangeExpr::relation("timetable"),
+                    cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr"),
+                ),
+            ),
+            // Restricted range
+            Formula::some(
+                "p",
+                RangeExpr::restricted("papers", cmp_vc("p", "pyear", CompareOp::Eq, 1977)),
+                cmp_vv("p", "penr", CompareOp::Eq, "e", "enr"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn conversion_introduces_membership_atoms() {
+        let f = Formula::some(
+            "p",
+            RangeExpr::relation("papers"),
+            cmp_vc("p", "pyear", CompareOp::Eq, 1977),
+        );
+        let os = to_one_sorted(&f);
+        let text = os.to_string();
+        assert!(text.contains("SOME p ("), "{text}");
+        assert!(text.contains("(p IN papers)"), "{text}");
+        assert!(text.contains("AND"), "{text}");
+
+        let f = Formula::all(
+            "p",
+            RangeExpr::relation("papers"),
+            cmp_vc("p", "pyear", CompareOp::Ne, 1977),
+        );
+        let text = to_one_sorted(&f).to_string();
+        assert!(text.contains("NOT ((p IN papers))"), "{text}");
+        assert!(text.contains("OR"), "{text}");
+    }
+
+    #[test]
+    fn universe_collects_all_elements() {
+        let database = db(&[&[1, 1977], &[3, 1975]]);
+        let u = Universe::build(&database, &["employees", "papers", "timetable"]).unwrap();
+        assert_eq!(u.len(), 3 + 2 + 2);
+        assert!(!u.is_empty());
+        assert_eq!(u.relation_names().len(), 3);
+        assert!(Universe::build(&database, &["missing"]).is_err());
+    }
+
+    #[test]
+    fn one_sorted_evaluation_agrees_with_many_sorted() {
+        for paper_rows in [&[][..], &[&[1i64, 1977][..], &[3, 1975]][..]] {
+            let database = db(paper_rows);
+            let universe =
+                Universe::build(&database, &["employees", "papers", "timetable"]).unwrap();
+            let employees = database.get("employees").unwrap().clone();
+            for f in formulas_under_test() {
+                let os = to_one_sorted(&f);
+                for t in employees.tuples() {
+                    let mut env = Env::new();
+                    env.insert(
+                        "e".to_string(),
+                        Binding {
+                            schema: employees.schema().clone(),
+                            tuple: t.clone(),
+                        },
+                    );
+                    let many = eval_formula(&f, &database, &env).unwrap();
+                    let one = eval_one_sorted(&os, &database, &universe, &env).unwrap();
+                    assert_eq!(
+                        many, one,
+                        "one-sorted disagrees for {f} with papers={paper_rows:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn membership_atom_requires_correct_sort() {
+        // Binding an employees element to the variable and asking whether it
+        // is IN papers must be false, not an error.
+        let database = db(&[&[1, 1977]]);
+        let employees = database.get("employees").unwrap();
+        let mut env = Env::new();
+        env.insert(
+            "p".to_string(),
+            Binding {
+                schema: employees.schema().clone(),
+                tuple: employees.tuples().next().unwrap().clone(),
+            },
+        );
+        let atom = OneSorted::Membership {
+            var: VarName::from("p"),
+            range: RangeExpr::relation("papers"),
+        };
+        let universe = Universe::build(&database, &["employees", "papers"]).unwrap();
+        assert!(!eval_one_sorted(&atom, &database, &universe, &env).unwrap());
+    }
+}

@@ -1,0 +1,561 @@
+//! Reference (brute-force) semantics of selection expressions.
+//!
+//! This module gives the *defining* semantics of the calculus: quantifiers
+//! are evaluated by literally iterating over their range relations, and a
+//! selection is evaluated by enumerating all combinations of free-variable
+//! bindings.  It is deliberately naive — exponential in the number of
+//! variables — because its only jobs are (a) to serve as the correctness
+//! oracle every optimized evaluation strategy is tested against, and (b) to
+//! make the equivalences of Section 2 (Lemma 1, standard form, extended
+//! ranges) checkable by model enumeration.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pascalr_relation::{Relation, RelationSchema, Tuple, Value};
+
+use crate::ast::{Formula, Operand, RangeExpr, Selection, Term};
+use crate::error::CalculusError;
+
+/// Source of database relations for formula evaluation.
+///
+/// Implemented for plain maps so tests can use ad-hoc databases, and by the
+/// workload/facade crates for full catalogs.
+pub trait RelationProvider {
+    /// Looks up a relation by name.
+    fn relation(&self, name: &str) -> Option<&Relation>;
+}
+
+impl RelationProvider for BTreeMap<String, Relation> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.get(name)
+    }
+}
+
+impl RelationProvider for std::collections::HashMap<String, Relation> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.get(name)
+    }
+}
+
+impl<T: RelationProvider + ?Sized> RelationProvider for &T {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        (**self).relation(name)
+    }
+}
+
+/// A variable binding: the schema of the relation the variable ranges over
+/// plus the element it is currently bound to.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Schema of the range relation (needed to resolve component names).
+    pub schema: Arc<RelationSchema>,
+    /// The bound element.
+    pub tuple: Tuple,
+}
+
+/// An evaluation environment: variable name → binding.
+pub type Env = BTreeMap<String, Binding>;
+
+/// Resolves an operand to a value under an environment.
+pub fn eval_operand<'a>(op: &'a Operand, env: &'a Env) -> Result<&'a Value, CalculusError> {
+    match op {
+        Operand::Const(v) => Ok(v),
+        Operand::Component(c) => {
+            let binding = env
+                .get(c.var.as_ref())
+                .ok_or_else(|| CalculusError::UnknownVariable {
+                    variable: c.var.to_string(),
+                })?;
+            let idx = binding.schema.attr_index(&c.attr).ok_or_else(|| {
+                CalculusError::UnknownComponent {
+                    variable: c.var.to_string(),
+                    attribute: c.attr.to_string(),
+                }
+            })?;
+            Ok(binding.tuple.get(idx))
+        }
+    }
+}
+
+/// Evaluates an atomic formula under an environment.
+pub fn eval_term(term: &Term, env: &Env) -> Result<bool, CalculusError> {
+    match term {
+        Term::Bool(b) => Ok(*b),
+        Term::Compare { left, op, right } => {
+            let l = eval_operand(left, env)?;
+            let r = eval_operand(right, env)?;
+            Ok(op.eval(l, r)?)
+        }
+    }
+}
+
+/// Enumerates the elements of a range expression (applying its restriction,
+/// if any) as bindings for `var`.
+pub fn eval_range(
+    range: &RangeExpr,
+    var: &str,
+    provider: &dyn RelationProvider,
+    env: &Env,
+) -> Result<Vec<Binding>, CalculusError> {
+    let rel = provider
+        .relation(&range.relation)
+        .ok_or_else(|| CalculusError::UnknownRelation {
+            relation: range.relation.to_string(),
+        })?;
+    let schema = rel.schema().clone();
+    let mut out = Vec::new();
+    for t in rel.tuples() {
+        let binding = Binding {
+            schema: schema.clone(),
+            tuple: t.clone(),
+        };
+        let keep = match &range.restriction {
+            None => true,
+            Some(restriction) => {
+                let mut inner = env.clone();
+                inner.insert(var.to_string(), binding.clone());
+                eval_formula(restriction, provider, &inner)?
+            }
+        };
+        if keep {
+            out.push(binding);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a formula under an environment by the defining semantics.
+pub fn eval_formula(
+    formula: &Formula,
+    provider: &dyn RelationProvider,
+    env: &Env,
+) -> Result<bool, CalculusError> {
+    match formula {
+        Formula::Term(t) => eval_term(t, env),
+        Formula::Not(inner) => Ok(!eval_formula(inner, provider, env)?),
+        Formula::And(parts) => {
+            for p in parts {
+                if !eval_formula(p, provider, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(parts) => {
+            for p in parts {
+                if eval_formula(p, provider, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Quant {
+            q,
+            var,
+            range,
+            body,
+        } => {
+            let bindings = eval_range(range, var, provider, env)?;
+            match q {
+                crate::ast::Quantifier::Some => {
+                    for b in bindings {
+                        let mut inner = env.clone();
+                        inner.insert(var.to_string(), b);
+                        if eval_formula(body, provider, &inner)? {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+                crate::ast::Quantifier::All => {
+                    for b in bindings {
+                        let mut inner = env.clone();
+                        inner.insert(var.to_string(), b);
+                        if !eval_formula(body, provider, &inner)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+/// Builds the result schema of a selection: one component per entry of the
+/// component selection, typed from the source relation schemas.
+pub fn result_schema(
+    selection: &Selection,
+    provider: &dyn RelationProvider,
+) -> Result<Arc<RelationSchema>, CalculusError> {
+    use pascalr_relation::Attribute;
+    let mut attrs = Vec::with_capacity(selection.components.len());
+    for comp in &selection.components {
+        let decl = selection.free_decl(&comp.var).ok_or_else(|| {
+            CalculusError::UnknownVariable {
+                variable: comp.var.to_string(),
+            }
+        })?;
+        let rel = provider.relation(&decl.range.relation).ok_or_else(|| {
+            CalculusError::UnknownRelation {
+                relation: decl.range.relation.to_string(),
+            }
+        })?;
+        let idx = rel.schema().attr_index(&comp.attr).ok_or_else(|| {
+            CalculusError::UnknownComponent {
+                variable: comp.var.to_string(),
+                attribute: comp.attr.to_string(),
+            }
+        })?;
+        let src = rel.schema().attribute(idx);
+        // Disambiguate duplicate output names with the variable name.
+        let name_taken = attrs
+            .iter()
+            .any(|a: &Attribute| a.name.as_ref() == comp.attr.as_ref());
+        let out_name = if name_taken {
+            format!("{}_{}", comp.var, comp.attr)
+        } else {
+            comp.attr.to_string()
+        };
+        attrs.push(Attribute::new(out_name, src.ty.clone()));
+    }
+    Ok(RelationSchema::all_key(selection.target.clone(), attrs))
+}
+
+/// Evaluates a whole selection by brute force, producing the result
+/// relation.  This is the oracle against which the planner/executor
+/// pipeline is validated.
+pub fn eval_selection(
+    selection: &Selection,
+    provider: &dyn RelationProvider,
+) -> Result<Relation, CalculusError> {
+    let schema = result_schema(selection, provider)?;
+    let mut out = Relation::new(schema);
+
+    // Pre-compute component indices for the projection.
+    let mut comp_indices = Vec::with_capacity(selection.components.len());
+    for comp in &selection.components {
+        let decl = selection
+            .free_decl(&comp.var)
+            .expect("checked by result_schema");
+        let rel = provider
+            .relation(&decl.range.relation)
+            .expect("checked by result_schema");
+        let idx = rel
+            .schema()
+            .attr_index(&comp.attr)
+            .expect("checked by result_schema");
+        comp_indices.push((comp.var.to_string(), idx));
+    }
+
+    // Enumerate the cartesian product of the free ranges.
+    fn recurse(
+        selection: &Selection,
+        provider: &dyn RelationProvider,
+        env: &mut Env,
+        depth: usize,
+        comp_indices: &[(String, usize)],
+        out: &mut Relation,
+    ) -> Result<(), CalculusError> {
+        if depth == selection.free.len() {
+            if eval_formula(&selection.formula, provider, env)? {
+                let values: Vec<Value> = comp_indices
+                    .iter()
+                    .map(|(var, idx)| env[var].tuple.get(*idx).clone())
+                    .collect();
+                let _ = out.insert(Tuple::new(values));
+            }
+            return Ok(());
+        }
+        let decl = &selection.free[depth];
+        let bindings = eval_range(&decl.range, &decl.var, provider, env)?;
+        for b in bindings {
+            env.insert(decl.var.to_string(), b);
+            recurse(selection, provider, env, depth + 1, comp_indices, out)?;
+        }
+        env.remove(decl.var.as_ref());
+        Ok(())
+    }
+
+    let mut env = Env::new();
+    recurse(selection, provider, &mut env, 0, &comp_indices, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ComponentRef, Quantifier, RangeDecl};
+    use pascalr_relation::{Attribute, CompareOp, ValueType};
+
+    fn rel(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        let schema = RelationSchema::all_key(
+            name.to_string(),
+            attrs
+                .iter()
+                .map(|a| Attribute::new(a.to_string(), ValueType::int()))
+                .collect(),
+        );
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.insert(Tuple::new(row.iter().map(|&v| Value::int(v)).collect()))
+                .unwrap();
+        }
+        r
+    }
+
+    fn tiny_db() -> BTreeMap<String, Relation> {
+        let mut db = BTreeMap::new();
+        // employees(enr, estatus): estatus 3 = professor
+        db.insert(
+            "employees".to_string(),
+            rel("employees", &["enr", "estatus"], &[&[1, 3], &[2, 1], &[3, 3]]),
+        );
+        // papers(penr, pyear)
+        db.insert(
+            "papers".to_string(),
+            rel("papers", &["penr", "pyear"], &[&[1, 1977], &[3, 1975]]),
+        );
+        // timetable(tenr, tcnr)
+        db.insert(
+            "timetable".to_string(),
+            rel("timetable", &["tenr", "tcnr"], &[&[1, 10], &[3, 11], &[3, 12]]),
+        );
+        // courses(cnr, clevel): clevel <= 1 is "sophomore or lower"
+        db.insert(
+            "courses".to_string(),
+            rel("courses", &["cnr", "clevel"], &[&[10, 0], &[11, 3], &[12, 1]]),
+        );
+        db
+    }
+
+    fn some(var: &str, rel_name: &str, body: Formula) -> Formula {
+        Formula::some(var, RangeExpr::relation(rel_name), body)
+    }
+    fn all(var: &str, rel_name: &str, body: Formula) -> Formula {
+        Formula::all(var, RangeExpr::relation(rel_name), body)
+    }
+    fn cmp_vc(var: &str, attr: &str, op: CompareOp, c: i64) -> Formula {
+        Formula::compare(Operand::comp(var, attr), op, Operand::constant(c))
+    }
+    fn cmp_vv(v1: &str, a1: &str, op: CompareOp, v2: &str, a2: &str) -> Formula {
+        Formula::compare(Operand::comp(v1, a1), op, Operand::comp(v2, a2))
+    }
+
+    #[test]
+    fn term_evaluation_against_bindings() {
+        let db = tiny_db();
+        let employees = db.get("employees").unwrap();
+        let mut env = Env::new();
+        env.insert(
+            "e".to_string(),
+            Binding {
+                schema: employees.schema().clone(),
+                tuple: employees.tuples().next().unwrap().clone(),
+            },
+        );
+        let t = Term::cmp(
+            Operand::comp("e", "estatus"),
+            CompareOp::Eq,
+            Operand::constant(3i64),
+        );
+        assert!(eval_term(&t, &env).unwrap());
+        let missing_var = Term::cmp(
+            Operand::comp("x", "estatus"),
+            CompareOp::Eq,
+            Operand::constant(3i64),
+        );
+        assert!(matches!(
+            eval_term(&missing_var, &env),
+            Err(CalculusError::UnknownVariable { .. })
+        ));
+        let missing_attr = Term::cmp(
+            Operand::comp("e", "salary"),
+            CompareOp::Eq,
+            Operand::constant(3i64),
+        );
+        assert!(matches!(
+            eval_term(&missing_attr, &env),
+            Err(CalculusError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn existential_and_universal_quantification() {
+        let db = tiny_db();
+        let env = Env::new();
+        // SOME t IN timetable (t.tcnr = 11) — true
+        let f = some("t", "timetable", cmp_vc("t", "tcnr", CompareOp::Eq, 11));
+        assert!(eval_formula(&f, &db, &env).unwrap());
+        // SOME t IN timetable (t.tcnr = 99) — false
+        let f = some("t", "timetable", cmp_vc("t", "tcnr", CompareOp::Eq, 99));
+        assert!(!eval_formula(&f, &db, &env).unwrap());
+        // ALL p IN papers (p.pyear >= 1975) — true
+        let f = all("p", "papers", cmp_vc("p", "pyear", CompareOp::Ge, 1975));
+        assert!(eval_formula(&f, &db, &env).unwrap());
+        // ALL p IN papers (p.pyear = 1977) — false
+        let f = all("p", "papers", cmp_vc("p", "pyear", CompareOp::Eq, 1977));
+        assert!(!eval_formula(&f, &db, &env).unwrap());
+    }
+
+    #[test]
+    fn quantification_over_empty_ranges() {
+        let mut db = tiny_db();
+        db.insert("papers".to_string(), rel("papers", &["penr", "pyear"], &[]));
+        let env = Env::new();
+        // SOME over empty range is false, ALL over empty range is true.
+        let f = some("p", "papers", Formula::truth());
+        assert!(!eval_formula(&f, &db, &env).unwrap());
+        let f = all("p", "papers", Formula::falsity());
+        assert!(eval_formula(&f, &db, &env).unwrap());
+    }
+
+    #[test]
+    fn restricted_ranges_filter_bindings() {
+        let db = tiny_db();
+        let env = Env::new();
+        // SOME c IN [EACH c IN courses: c.clevel <= 1] (c.cnr = 11) — false,
+        // because course 11 has clevel 3.
+        let range = RangeExpr::restricted("courses", cmp_vc("c", "clevel", CompareOp::Le, 1));
+        let f = Formula::some("c", range.clone(), cmp_vc("c", "cnr", CompareOp::Eq, 11));
+        assert!(!eval_formula(&f, &db, &env).unwrap());
+        // ... but course 12 (clevel 1) is in the restricted range.
+        let f = Formula::some("c", range, cmp_vc("c", "cnr", CompareOp::Eq, 12));
+        assert!(eval_formula(&f, &db, &env).unwrap());
+    }
+
+    #[test]
+    fn nested_quantifiers_follow_prefix_order() {
+        let db = tiny_db();
+        let env = Env::new();
+        // ALL p IN papers SOME t IN timetable (t.tenr = p.penr): papers have
+        // penr 1 and 3, timetable has tenr 1 and 3 — true.
+        let f = all(
+            "p",
+            "papers",
+            some("t", "timetable", cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr")),
+        );
+        assert!(eval_formula(&f, &db, &env).unwrap());
+        // SOME t IN timetable ALL p IN papers (t.tenr = p.penr): no single
+        // timetable entry matches both papers — false (order matters).
+        let f = some(
+            "t",
+            "timetable",
+            all("p", "papers", cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr")),
+        );
+        assert!(!eval_formula(&f, &db, &env).unwrap());
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let db = tiny_db();
+        let env = Env::new();
+        let f = some("x", "nosuch", Formula::truth());
+        assert!(matches!(
+            eval_formula(&f, &db, &env),
+            Err(CalculusError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn selection_evaluation_projects_components() {
+        let db = tiny_db();
+        // Names (enr) of professors who currently teach some course:
+        // employees 1 and 3 are professors; both appear in timetable.
+        let sel = Selection::new(
+            "profs_teaching",
+            vec![ComponentRef::new("e", "enr")],
+            vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
+            Formula::and(vec![
+                cmp_vc("e", "estatus", CompareOp::Eq, 3),
+                some("t", "timetable", cmp_vv("t", "tenr", CompareOp::Eq, "e", "enr")),
+            ]),
+        );
+        let result = eval_selection(&sel, &db).unwrap();
+        assert_eq!(result.cardinality(), 2);
+        let got: std::collections::BTreeSet<i64> = result
+            .tuples()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(got, [1i64, 3].into_iter().collect());
+        assert_eq!(result.schema().attributes[0].name.as_ref(), "enr");
+    }
+
+    #[test]
+    fn selection_with_two_free_variables() {
+        let db = tiny_db();
+        // Pairs (e.enr, c.cnr) such that e teaches c.
+        let sel = Selection::new(
+            "teaches",
+            vec![ComponentRef::new("e", "enr"), ComponentRef::new("c", "cnr")],
+            vec![
+                RangeDecl::new("e", RangeExpr::relation("employees")),
+                RangeDecl::new("c", RangeExpr::relation("courses")),
+            ],
+            some(
+                "t",
+                "timetable",
+                Formula::and(vec![
+                    cmp_vv("t", "tenr", CompareOp::Eq, "e", "enr"),
+                    cmp_vv("t", "tcnr", CompareOp::Eq, "c", "cnr"),
+                ]),
+            ),
+        );
+        let result = eval_selection(&sel, &db).unwrap();
+        assert_eq!(result.cardinality(), 3);
+        assert_eq!(result.schema().arity(), 2);
+    }
+
+    #[test]
+    fn result_schema_errors_on_bad_component_selection() {
+        let db = tiny_db();
+        let sel = Selection::new(
+            "bad",
+            vec![ComponentRef::new("z", "enr")],
+            vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
+            Formula::truth(),
+        );
+        assert!(matches!(
+            eval_selection(&sel, &db),
+            Err(CalculusError::UnknownVariable { .. })
+        ));
+        let sel = Selection::new(
+            "bad",
+            vec![ComponentRef::new("e", "salary")],
+            vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
+            Formula::truth(),
+        );
+        assert!(matches!(
+            eval_selection(&sel, &db),
+            Err(CalculusError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_component_names_are_disambiguated() {
+        let db = tiny_db();
+        let sel = Selection::new(
+            "pairs",
+            vec![
+                ComponentRef::new("a", "enr"),
+                ComponentRef::new("b", "enr"),
+            ],
+            vec![
+                RangeDecl::new("a", RangeExpr::relation("employees")),
+                RangeDecl::new("b", RangeExpr::relation("employees")),
+            ],
+            cmp_vv("a", "enr", CompareOp::Lt, "b", "enr"),
+        );
+        let result = eval_selection(&sel, &db).unwrap();
+        assert_eq!(result.schema().attributes[0].name.as_ref(), "enr");
+        assert_eq!(result.schema().attributes[1].name.as_ref(), "b_enr");
+        assert_eq!(result.cardinality(), 3); // (1,2) (1,3) (2,3)
+    }
+
+    #[test]
+    fn quantifier_dual_roundtrip() {
+        assert_eq!(Quantifier::Some.dual(), Quantifier::All);
+        assert_eq!(Quantifier::All.dual().dual(), Quantifier::All);
+    }
+}

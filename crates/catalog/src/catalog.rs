@@ -1,0 +1,391 @@
+//! The database catalog: declared types, relation variables, permanent
+//! indexes and statistics.
+//!
+//! A [`Catalog`] is the runtime representation of a PASCAL/R `DATABASE`
+//! declaration (Figure 1): it owns the relation variables, hands out stable
+//! [`RelId`]s so that element references can be dereferenced across
+//! relations, and records which permanent indexes exist (Section 3.2: "The
+//! first step can be omitted, if permanent indexes exist.").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pascalr_relation::{
+    ElemRef, HashIndex, Key, RelId, Relation, RelationError, RelationSchema, Tuple, Value,
+};
+use pascalr_storage::PageModel;
+
+use crate::error::CatalogError;
+use crate::stats::RelationStats;
+use crate::types::TypeRegistry;
+
+/// Declaration of a permanent index kept by the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDecl {
+    /// Index name, e.g. `enrindex`.
+    pub name: String,
+    /// Indexed relation name.
+    pub relation: String,
+    /// Indexed component names.
+    pub attributes: Vec<String>,
+}
+
+/// The database catalog.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    types: TypeRegistry,
+    relations: Vec<Relation>,
+    by_name: BTreeMap<String, RelId>,
+    indexes: Vec<IndexDecl>,
+    page_model: PageModel,
+}
+
+impl Catalog {
+    /// Creates an empty catalog with the default page model.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates an empty catalog with a specific page model.
+    pub fn with_page_model(page_model: PageModel) -> Self {
+        Catalog {
+            page_model,
+            ..Default::default()
+        }
+    }
+
+    /// The page model used for simulated I/O accounting.
+    pub fn page_model(&self) -> PageModel {
+        self.page_model
+    }
+
+    /// Mutable access to the type registry (TYPE section).
+    pub fn types_mut(&mut self) -> &mut TypeRegistry {
+        &mut self.types
+    }
+
+    /// The type registry (TYPE section).
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// Declares a relation variable (VAR section) and returns its id.
+    pub fn declare_relation(&mut self, schema: Arc<RelationSchema>) -> Result<RelId, CatalogError> {
+        let name = schema.name.to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(CatalogError::DuplicateRelation { name });
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(Relation::with_id(schema, id));
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolves a relation name to its id.
+    pub fn relation_id(&self, name: &str) -> Result<RelId, CatalogError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CatalogError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// The relation with the given id.
+    pub fn relation_by_id(&self, id: RelId) -> Option<&Relation> {
+        self.relations.get(id.0 as usize)
+    }
+
+    /// The relation with the given name.
+    pub fn relation(&self, name: &str) -> Result<&Relation, CatalogError> {
+        let id = self.relation_id(name)?;
+        Ok(&self.relations[id.0 as usize])
+    }
+
+    /// Mutable access to the relation with the given name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, CatalogError> {
+        let id = self.relation_id(name)?;
+        Ok(&mut self.relations[id.0 as usize])
+    }
+
+    /// Names of all declared relations, in declaration order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.iter().map(|r| r.name()).collect()
+    }
+
+    /// Number of declared relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Inserts an element into a named relation (`rel :+ [tuple]`).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), CatalogError> {
+        self.relation_mut(relation)?.insert(tuple)?;
+        Ok(())
+    }
+
+    /// Inserts many elements into a named relation.
+    pub fn insert_all(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, CatalogError> {
+        Ok(self.relation_mut(relation)?.insert_all(tuples)?)
+    }
+
+    /// Dereferences an element reference against whichever relation it
+    /// belongs to (the `@` postfix operator of Section 3.1).
+    pub fn deref(&self, elem_ref: ElemRef) -> Result<&Tuple, RelationError> {
+        let rel = self
+            .relation_by_id(elem_ref.rel)
+            .ok_or_else(|| RelationError::DanglingReference {
+                detail: format!("reference {elem_ref} does not name a catalog relation"),
+            })?;
+        rel.deref(elem_ref)
+    }
+
+    /// Reads one component of a referenced element.
+    pub fn deref_component(&self, elem_ref: ElemRef, attr: &str) -> Result<&Value, RelationError> {
+        let rel = self
+            .relation_by_id(elem_ref.rel)
+            .ok_or_else(|| RelationError::DanglingReference {
+                detail: format!("reference {elem_ref} does not name a catalog relation"),
+            })?;
+        rel.component(elem_ref, attr)
+    }
+
+    /// The selected variable `rel[keyval]`, looked up by name and key.
+    pub fn selected(&self, relation: &str, key: &Key) -> Result<Option<&Tuple>, CatalogError> {
+        Ok(self.relation(relation)?.select_by_key(key))
+    }
+
+    /// Declares a permanent index (Example 3.1's `enrindex`, or the
+    /// `ind_t_cnr` style indexes of Figure 2 when kept permanently).
+    pub fn declare_index(
+        &mut self,
+        name: &str,
+        relation: &str,
+        attributes: &[&str],
+    ) -> Result<(), CatalogError> {
+        let rel = self.relation(relation)?;
+        for a in attributes {
+            if rel.schema().attr_index(a).is_none() {
+                return Err(CatalogError::InvalidIndex {
+                    detail: format!("relation {relation} has no component {a}"),
+                });
+            }
+        }
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(CatalogError::InvalidIndex {
+                detail: format!("index {name} is already declared"),
+            });
+        }
+        self.indexes.push(IndexDecl {
+            name: name.to_string(),
+            relation: relation.to_string(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// All permanent index declarations.
+    pub fn indexes(&self) -> &[IndexDecl] {
+        &self.indexes
+    }
+
+    /// Whether a permanent index exists on exactly `relation(attributes)`.
+    pub fn has_index_on(&self, relation: &str, attributes: &[&str]) -> bool {
+        self.indexes.iter().any(|i| {
+            i.relation == relation
+                && i.attributes.len() == attributes.len()
+                && i.attributes.iter().zip(attributes).all(|(a, b)| a == b)
+        })
+    }
+
+    /// Builds the physical hash index for a permanent index declaration.
+    pub fn build_index(&self, name: &str) -> Result<HashIndex, CatalogError> {
+        let decl = self
+            .indexes
+            .iter()
+            .find(|i| i.name == name)
+            .ok_or_else(|| CatalogError::InvalidIndex {
+                detail: format!("no permanent index named {name}"),
+            })?;
+        let rel = self.relation(&decl.relation)?;
+        let attrs: Vec<&str> = decl.attributes.iter().map(String::as_str).collect();
+        Ok(HashIndex::build_full(decl.name.clone(), rel, &attrs)?)
+    }
+
+    /// Computes statistics for one relation.
+    pub fn stats(&self, relation: &str) -> Result<RelationStats, CatalogError> {
+        Ok(RelationStats::compute(self.relation(relation)?))
+    }
+
+    /// Computes statistics for every relation.
+    pub fn all_stats(&self) -> BTreeMap<String, RelationStats> {
+        self.relations
+            .iter()
+            .map(|r| (r.name().to_string(), RelationStats::compute(r)))
+            .collect()
+    }
+
+    /// Number of pages the named relation occupies under the page model.
+    pub fn pages_of(&self, relation: &str) -> Result<u64, CatalogError> {
+        let rel = self.relation(relation)?;
+        Ok(self.page_model.pages_for(rel.cardinality() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_relation::{Attribute, ValueType};
+
+    fn catalog_with_employees() -> Catalog {
+        let mut cat = Catalog::new();
+        let status = cat
+            .types_mut()
+            .declare_enum(
+                "statustype",
+                &["student", "technician", "assistant", "professor"],
+            )
+            .unwrap();
+        cat.types_mut().declare_subrange("enumbertype", 1, 99).unwrap();
+        cat.types_mut().declare_string("nametype", 10).unwrap();
+        let schema = RelationSchema::new(
+            "employees",
+            vec![
+                Attribute::new("enr", cat.types().resolve("enumbertype").unwrap()),
+                Attribute::new("ename", cat.types().resolve("nametype").unwrap()),
+                Attribute::new("estatus", ValueType::Enum(status.clone())),
+            ],
+            &["enr"],
+        )
+        .unwrap();
+        cat.declare_relation(schema).unwrap();
+        cat.insert(
+            "employees",
+            Tuple::new(vec![
+                Value::int(10),
+                Value::str("Abel"),
+                status.value("professor").unwrap(),
+            ]),
+        )
+        .unwrap();
+        cat.insert(
+            "employees",
+            Tuple::new(vec![
+                Value::int(20),
+                Value::str("Highman"),
+                status.value("technician").unwrap(),
+            ]),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn declare_and_lookup_relations() {
+        let cat = catalog_with_employees();
+        assert_eq!(cat.relation_count(), 1);
+        assert_eq!(cat.relation_names(), vec!["employees"]);
+        assert!(cat.relation("employees").is_ok());
+        assert!(cat.relation("papers").is_err());
+        let id = cat.relation_id("employees").unwrap();
+        assert!(cat.relation_by_id(id).is_some());
+        assert!(cat.relation_by_id(RelId(42)).is_none());
+    }
+
+    #[test]
+    fn duplicate_relation_names_rejected() {
+        let mut cat = catalog_with_employees();
+        let schema = RelationSchema::all_key(
+            "employees",
+            vec![Attribute::new("x", ValueType::int())],
+        );
+        assert!(cat.declare_relation(schema).is_err());
+    }
+
+    #[test]
+    fn cross_relation_dereference() {
+        let cat = catalog_with_employees();
+        let rel = cat.relation("employees").unwrap();
+        let r = rel.ref_by_key(&Key::single(20i64)).unwrap();
+        assert_eq!(cat.deref(r).unwrap().get(1), &Value::str("Highman"));
+        assert_eq!(
+            cat.deref_component(r, "ename").unwrap(),
+            &Value::str("Highman")
+        );
+        let bogus = ElemRef::new(RelId(9), pascalr_relation::RowId(0));
+        assert!(cat.deref(bogus).is_err());
+    }
+
+    #[test]
+    fn selected_variable_by_name() {
+        let cat = catalog_with_employees();
+        let t = cat
+            .selected("employees", &Key::single(10i64))
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.get(1), &Value::str("Abel"));
+        assert!(cat
+            .selected("employees", &Key::single(77i64))
+            .unwrap()
+            .is_none());
+        assert!(cat.selected("missing", &Key::single(1i64)).is_err());
+    }
+
+    #[test]
+    fn permanent_index_declaration_and_build() {
+        let mut cat = catalog_with_employees();
+        cat.declare_index("enrindex", "employees", &["enr"]).unwrap();
+        assert!(cat.has_index_on("employees", &["enr"]));
+        assert!(!cat.has_index_on("employees", &["ename"]));
+        assert!(cat.declare_index("enrindex", "employees", &["enr"]).is_err());
+        assert!(cat.declare_index("bad", "employees", &["zzz"]).is_err());
+        assert!(cat.declare_index("bad", "missing", &["enr"]).is_err());
+
+        let idx = cat.build_index("enrindex").unwrap();
+        assert_eq!(idx.entry_count(), 2);
+        assert!(cat.build_index("nosuch").is_err());
+        assert_eq!(cat.indexes().len(), 1);
+    }
+
+    #[test]
+    fn stats_and_pages() {
+        let cat = catalog_with_employees();
+        let stats = cat.stats("employees").unwrap();
+        assert_eq!(stats.cardinality, 2);
+        assert_eq!(stats.column("enr").unwrap().distinct, 2);
+        let all = cat.all_stats();
+        assert!(all.contains_key("employees"));
+        assert_eq!(cat.pages_of("employees").unwrap(), 1);
+        assert!(cat.pages_of("missing").is_err());
+    }
+
+    #[test]
+    fn insert_all_counts_new_elements() {
+        let mut cat = catalog_with_employees();
+        let status = cat.types().enum_type("statustype").unwrap().clone();
+        let added = cat
+            .insert_all(
+                "employees",
+                vec![
+                    Tuple::new(vec![
+                        Value::int(30),
+                        Value::str("Newman"),
+                        status.value("assistant").unwrap(),
+                    ]),
+                    // duplicate of an existing element: no-op
+                    Tuple::new(vec![
+                        Value::int(10),
+                        Value::str("Abel"),
+                        status.value("professor").unwrap(),
+                    ]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(cat.relation("employees").unwrap().cardinality(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! `pascalr-catalog`: the database catalog of the PASCAL/R reproduction —
+//! named component types (TYPE section), relation variables (VAR section),
+//! permanent indexes, statistics, and cross-relation dereferencing of
+//! element references.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod error;
+pub mod stats;
+pub mod types;
+
+pub use catalog::{Catalog, IndexDecl};
+pub use error::CatalogError;
+pub use stats::{ColumnStats, RelationStats};
+pub use types::TypeRegistry;

@@ -1,0 +1,230 @@
+//! Relation statistics and selectivity estimation.
+//!
+//! The paper's Strategy 3 is motivated by "the cardinality of range
+//! relations has a very strong impact on the time and storage consumption of
+//! query evaluation".  The planner therefore needs (cheap) cardinality and
+//! selectivity estimates to decide scan orders and whether a Strategy 4
+//! rewrite pays off.  The statistics here are simple equal-frequency
+//! estimates computed from a single pass over a relation.
+
+use std::collections::{BTreeMap, HashSet};
+
+use pascalr_relation::{CompareOp, Relation, Value};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for a single component of a relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Component name.
+    pub name: String,
+    /// Number of distinct values observed.
+    pub distinct: u64,
+    /// Minimum value (as display string, for reporting only).
+    pub min_display: Option<String>,
+    /// Maximum value (as display string, for reporting only).
+    pub max_display: Option<String>,
+    /// Minimum value if the component is an integer.
+    pub min_int: Option<i64>,
+    /// Maximum value if the component is an integer.
+    pub max_int: Option<i64>,
+}
+
+/// Statistics for a whole relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationStats {
+    /// Relation name.
+    pub relation: String,
+    /// Number of elements.
+    pub cardinality: u64,
+    /// Per-component statistics, keyed by component name.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+impl RelationStats {
+    /// Computes statistics from a relation in one pass.
+    pub fn compute(rel: &Relation) -> Self {
+        let arity = rel.schema().arity();
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); arity];
+        let mut mins: Vec<Option<Value>> = vec![None; arity];
+        let mut maxs: Vec<Option<Value>> = vec![None; arity];
+        for t in rel.tuples() {
+            for i in 0..arity {
+                let v = t.get(i);
+                distinct[i].insert(v.clone());
+                match &mins[i] {
+                    None => mins[i] = Some(v.clone()),
+                    Some(m) => {
+                        if v.try_compare(m).map(|o| o.is_lt()).unwrap_or(false) {
+                            mins[i] = Some(v.clone());
+                        }
+                    }
+                }
+                match &maxs[i] {
+                    None => maxs[i] = Some(v.clone()),
+                    Some(m) => {
+                        if v.try_compare(m).map(|o| o.is_gt()).unwrap_or(false) {
+                            maxs[i] = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let mut columns = BTreeMap::new();
+        for (i, attr) in rel.schema().attributes.iter().enumerate() {
+            columns.insert(
+                attr.name.to_string(),
+                ColumnStats {
+                    name: attr.name.to_string(),
+                    distinct: distinct[i].len() as u64,
+                    min_display: mins[i].as_ref().map(|v| v.to_string()),
+                    max_display: maxs[i].as_ref().map(|v| v.to_string()),
+                    min_int: mins[i].as_ref().and_then(|v| v.as_int()),
+                    max_int: maxs[i].as_ref().and_then(|v| v.as_int()),
+                },
+            );
+        }
+        RelationStats {
+            relation: rel.name().to_string(),
+            cardinality: rel.cardinality() as u64,
+            columns,
+        }
+    }
+
+    /// Statistics of a component, if known.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+
+    /// Estimates the selectivity (fraction of elements retained) of the
+    /// monadic join term `attr OP constant`.
+    ///
+    /// Uses a uniform-distribution assumption over the observed
+    /// `[min, max]` range for integer components and `1/distinct` for
+    /// equality elsewhere; the estimates only need to be good enough for
+    /// ordering decisions.
+    pub fn estimate_selectivity(&self, attr: &str, op: CompareOp, constant: &Value) -> f64 {
+        let Some(col) = self.columns.get(attr) else {
+            return 0.5;
+        };
+        if self.cardinality == 0 {
+            return 0.0;
+        }
+        let eq_fraction = if col.distinct == 0 {
+            0.0
+        } else {
+            1.0 / col.distinct as f64
+        };
+        match op {
+            CompareOp::Eq => eq_fraction,
+            CompareOp::Ne => 1.0 - eq_fraction,
+            CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
+                match (col.min_int, col.max_int, constant.as_int()) {
+                    (Some(min), Some(max), Some(c)) if max > min => {
+                        let span = (max - min) as f64;
+                        let below = ((c - min) as f64 / span).clamp(0.0, 1.0);
+                        match op {
+                            CompareOp::Lt => below,
+                            CompareOp::Le => (below + eq_fraction).min(1.0),
+                            CompareOp::Gt => 1.0 - below,
+                            CompareOp::Ge => (1.0 - below + eq_fraction).min(1.0),
+                            _ => unreachable!(),
+                        }
+                    }
+                    _ => 0.33,
+                }
+            }
+        }
+    }
+
+    /// Estimated number of elements retained by `attr OP constant`.
+    pub fn estimate_filtered_cardinality(
+        &self,
+        attr: &str,
+        op: CompareOp,
+        constant: &Value,
+    ) -> f64 {
+        self.cardinality as f64 * self.estimate_selectivity(attr, op, constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_relation::{Attribute, RelationSchema, Tuple, ValueType};
+
+    fn numbers(n: i64) -> Relation {
+        let schema = RelationSchema::all_key(
+            "nums",
+            vec![
+                Attribute::new("id", ValueType::int()),
+                Attribute::new("grp", ValueType::int()),
+            ],
+        );
+        let mut r = Relation::new(schema);
+        for i in 1..=n {
+            r.insert(Tuple::new(vec![Value::int(i), Value::int(i % 10)]))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn compute_counts_distinct_min_max() {
+        let r = numbers(100);
+        let s = RelationStats::compute(&r);
+        assert_eq!(s.cardinality, 100);
+        let id = s.column("id").unwrap();
+        assert_eq!(id.distinct, 100);
+        assert_eq!(id.min_int, Some(1));
+        assert_eq!(id.max_int, Some(100));
+        let grp = s.column("grp").unwrap();
+        assert_eq!(grp.distinct, 10);
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let r = numbers(0);
+        let s = RelationStats::compute(&r);
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.column("id").unwrap().distinct, 0);
+        assert_eq!(
+            s.estimate_selectivity("id", CompareOp::Eq, &Value::int(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn equality_selectivity_uses_distinct_count() {
+        let r = numbers(100);
+        let s = RelationStats::compute(&r);
+        let sel = s.estimate_selectivity("grp", CompareOp::Eq, &Value::int(3));
+        assert!((sel - 0.1).abs() < 1e-9);
+        let sel_ne = s.estimate_selectivity("grp", CompareOp::Ne, &Value::int(3));
+        assert!((sel_ne - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let r = numbers(100);
+        let s = RelationStats::compute(&r);
+        let sel = s.estimate_selectivity("id", CompareOp::Le, &Value::int(50));
+        assert!(sel > 0.4 && sel < 0.6, "sel={sel}");
+        let sel_hi = s.estimate_selectivity("id", CompareOp::Gt, &Value::int(90));
+        assert!(sel_hi < 0.2, "sel_hi={sel_hi}");
+        let est = s.estimate_filtered_cardinality("id", CompareOp::Le, &Value::int(50));
+        assert!(est > 40.0 && est < 60.0);
+    }
+
+    #[test]
+    fn unknown_column_and_non_integer_constants_fall_back() {
+        let r = numbers(10);
+        let s = RelationStats::compute(&r);
+        assert_eq!(
+            s.estimate_selectivity("missing", CompareOp::Eq, &Value::int(1)),
+            0.5
+        );
+        let sel = s.estimate_selectivity("id", CompareOp::Lt, &Value::str("x"));
+        assert!((sel - 0.33).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,218 @@
+//! The TYPE section of a PASCAL/R database declaration.
+//!
+//! Figure 1 of the paper declares named component types such as
+//!
+//! ```text
+//! TYPE statustype  = (student, technician, assistant, professor);
+//!      nametype    = PACKED ARRAY [1..10] OF char;
+//!      yeartype    = 1900..1999;
+//!      enumbertype = 1..99;
+//! ```
+//!
+//! [`TypeRegistry`] stores these named types so that relation declarations
+//! (and the parser) can refer to them by name.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pascalr_relation::{EnumType, ValueType};
+
+use crate::error::CatalogError;
+
+/// A registry of named component types.
+#[derive(Debug, Clone, Default)]
+pub struct TypeRegistry {
+    named: BTreeMap<String, ValueType>,
+    enums: BTreeMap<String, Arc<EnumType>>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an enumeration type, e.g.
+    /// `statustype = (student, technician, assistant, professor)`.
+    pub fn declare_enum(
+        &mut self,
+        name: &str,
+        labels: &[&str],
+    ) -> Result<Arc<EnumType>, CatalogError> {
+        if self.named.contains_key(name) {
+            return Err(CatalogError::DuplicateType {
+                name: name.to_string(),
+            });
+        }
+        let ty = EnumType::new(name.to_string(), labels.iter().map(|s| s.to_string()));
+        self.enums.insert(name.to_string(), Arc::clone(&ty));
+        self.named
+            .insert(name.to_string(), ValueType::Enum(Arc::clone(&ty)));
+        Ok(ty)
+    }
+
+    /// Declares a subrange type, e.g. `enumbertype = 1..99`.
+    pub fn declare_subrange(&mut self, name: &str, min: i64, max: i64) -> Result<(), CatalogError> {
+        self.declare_alias(name, ValueType::subrange(min, max))
+    }
+
+    /// Declares a packed-array-of-char type, e.g.
+    /// `nametype = PACKED ARRAY [1..10] OF char`.
+    pub fn declare_string(&mut self, name: &str, max_len: usize) -> Result<(), CatalogError> {
+        self.declare_alias(name, ValueType::string(max_len))
+    }
+
+    /// Declares an arbitrary alias.
+    pub fn declare_alias(&mut self, name: &str, ty: ValueType) -> Result<(), CatalogError> {
+        if self.named.contains_key(name) {
+            return Err(CatalogError::DuplicateType {
+                name: name.to_string(),
+            });
+        }
+        self.named.insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    /// Resolves a type by name.  Falls back to the built-in names
+    /// `integer`, `boolean` and `char`.
+    pub fn resolve(&self, name: &str) -> Result<ValueType, CatalogError> {
+        if let Some(ty) = self.named.get(name) {
+            return Ok(ty.clone());
+        }
+        match name {
+            "integer" => Ok(ValueType::int()),
+            "boolean" => Ok(ValueType::Bool),
+            "char" => Ok(ValueType::string(1)),
+            _ => Err(CatalogError::UnknownType {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Looks up a declared enumeration type by name.
+    pub fn enum_type(&self, name: &str) -> Option<&Arc<EnumType>> {
+        self.enums.get(name)
+    }
+
+    /// Finds the enumeration type that declares `label`, if exactly one does.
+    ///
+    /// PASCAL enumeration literals (`professor`, `sophomore`) are globally
+    /// scoped identifiers; this helper lets the parser resolve them without
+    /// further type context.
+    pub fn enum_for_label(&self, label: &str) -> Option<(&Arc<EnumType>, u32)> {
+        let mut found = None;
+        for ty in self.enums.values() {
+            if let Some(ord) = ty.ordinal_of(label) {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some((ty, ord));
+            }
+        }
+        found
+    }
+
+    /// Iterates over all declared named types.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ValueType)> + '_ {
+        self.named.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of declared named types.
+    pub fn len(&self) -> usize {
+        self.named.len()
+    }
+
+    /// Whether no types have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.named.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_types() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        reg.declare_enum(
+            "statustype",
+            &["student", "technician", "assistant", "professor"],
+        )
+        .unwrap();
+        reg.declare_string("nametype", 10).unwrap();
+        reg.declare_string("titletype", 40).unwrap();
+        reg.declare_subrange("yeartype", 1900, 1999).unwrap();
+        reg.declare_enum(
+            "daytype",
+            &["monday", "tuesday", "wednesday", "thursday", "friday"],
+        )
+        .unwrap();
+        reg.declare_enum("leveltype", &["freshman", "sophomore", "junior", "senior"])
+            .unwrap();
+        reg.declare_subrange("enumbertype", 1, 99).unwrap();
+        reg.declare_subrange("cnumbertype", 1, 99).unwrap();
+        reg
+    }
+
+    #[test]
+    fn figure1_types_register_and_resolve() {
+        let reg = figure1_types();
+        assert_eq!(reg.len(), 8);
+        assert!(!reg.is_empty());
+        assert_eq!(
+            reg.resolve("enumbertype").unwrap(),
+            ValueType::subrange(1, 99)
+        );
+        assert_eq!(reg.resolve("nametype").unwrap(), ValueType::string(10));
+        assert!(matches!(
+            reg.resolve("statustype").unwrap(),
+            ValueType::Enum(_)
+        ));
+        assert!(reg.resolve("unknowntype").is_err());
+    }
+
+    #[test]
+    fn builtin_types_always_resolve() {
+        let reg = TypeRegistry::new();
+        assert_eq!(reg.resolve("integer").unwrap(), ValueType::int());
+        assert_eq!(reg.resolve("boolean").unwrap(), ValueType::Bool);
+        assert_eq!(reg.resolve("char").unwrap(), ValueType::string(1));
+    }
+
+    #[test]
+    fn duplicate_declarations_are_rejected() {
+        let mut reg = figure1_types();
+        assert!(reg.declare_subrange("yeartype", 0, 1).is_err());
+        assert!(reg.declare_enum("statustype", &["x"]).is_err());
+        assert!(reg.declare_string("nametype", 3).is_err());
+    }
+
+    #[test]
+    fn enum_labels_resolve_globally_when_unambiguous() {
+        let reg = figure1_types();
+        let (ty, ord) = reg.enum_for_label("professor").unwrap();
+        assert_eq!(ty.name.as_ref(), "statustype");
+        assert_eq!(ord, 3);
+        let (ty, ord) = reg.enum_for_label("sophomore").unwrap();
+        assert_eq!(ty.name.as_ref(), "leveltype");
+        assert_eq!(ord, 1);
+        assert!(reg.enum_for_label("nosuchlabel").is_none());
+    }
+
+    #[test]
+    fn ambiguous_labels_are_not_resolved() {
+        let mut reg = TypeRegistry::new();
+        reg.declare_enum("a", &["red", "green"]).unwrap();
+        reg.declare_enum("b", &["green", "blue"]).unwrap();
+        assert!(reg.enum_for_label("green").is_none());
+        assert!(reg.enum_for_label("red").is_some());
+    }
+
+    #[test]
+    fn enum_type_lookup() {
+        let reg = figure1_types();
+        assert!(reg.enum_type("statustype").is_some());
+        assert!(reg.enum_type("yeartype").is_none());
+        assert_eq!(reg.iter().count(), 8);
+    }
+}

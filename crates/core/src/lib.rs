@@ -1,0 +1,396 @@
+//! `pascalr` — a reproduction of *"Query Processing Strategies in the
+//! PASCAL/R Relational Database Management System"* (Jarke & Schmidt,
+//! ACM SIGMOD 1982) as a Rust library.
+//!
+//! The crate offers a single entry point, [`Database`]: declare a PASCAL/R
+//! database (Figure 1 style), load elements, and evaluate selection
+//! expressions with existential and universal quantifiers at any of the five
+//! strategy levels the paper discusses (naive baseline, parallel evaluation,
+//! one-step nested subexpressions, extended range expressions,
+//! collection-phase quantifier evaluation).  Every query execution returns
+//! both the result relation and an [`ExecutionReport`] with the access
+//! metrics the paper's cost arguments are stated in (relation scans, tuples
+//! read, intermediate structure sizes, comparisons).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use pascalr_calculus::Selection;
+use pascalr_catalog::{Catalog, CatalogError};
+use pascalr_exec::{plan_and_execute, ExecError, Fallback};
+use pascalr_parser::{parse_database, parse_selection, ParseError};
+use pascalr_planner::{plan, PlanOptions, QueryPlan};
+use pascalr_storage::{Metrics, MetricsSnapshot};
+
+pub use pascalr_calculus as calculus;
+pub use pascalr_catalog as catalog;
+pub use pascalr_exec as exec;
+pub use pascalr_parser as parser;
+pub use pascalr_planner as planner;
+pub use pascalr_relation as relation;
+pub use pascalr_storage as storage;
+
+pub use pascalr_calculus::{ComponentRef, Formula, Quantifier, RangeDecl, RangeExpr};
+pub use pascalr_planner::StrategyLevel;
+pub use pascalr_relation::{
+    CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value, ValueType,
+};
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum PascalRError {
+    /// Parse error in declarations or a selection statement.
+    Parse(ParseError),
+    /// Catalog error (unknown relation, duplicate declaration, ...).
+    Catalog(CatalogError),
+    /// Execution error.
+    Exec(ExecError),
+}
+
+impl fmt::Display for PascalRError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PascalRError::Parse(e) => write!(f, "{e}"),
+            PascalRError::Catalog(e) => write!(f, "{e}"),
+            PascalRError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PascalRError {}
+
+impl From<ParseError> for PascalRError {
+    fn from(e: ParseError) -> Self {
+        PascalRError::Parse(e)
+    }
+}
+impl From<CatalogError> for PascalRError {
+    fn from(e: CatalogError) -> Self {
+        PascalRError::Catalog(e)
+    }
+}
+impl From<ExecError> for PascalRError {
+    fn from(e: ExecError) -> Self {
+        PascalRError::Exec(e)
+    }
+}
+
+/// Per-query execution report: strategy, metrics, timing and fallbacks.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The strategy level the query was executed at.
+    pub strategy: StrategyLevel,
+    /// Snapshot of the access metrics accumulated by this query.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock execution time (planning + execution).
+    pub elapsed: Duration,
+    /// Description of the runtime fallback, if one was taken (empty range
+    /// relation or empty extended range).
+    pub fallback: Option<String>,
+}
+
+impl ExecutionReport {
+    /// Renders the report as a short human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "strategy {} in {:?}{}\n",
+            self.strategy.short_name(),
+            self.elapsed,
+            match &self.fallback {
+                Some(f) => format!(" (fallback: {f})"),
+                None => String::new(),
+            }
+        );
+        out.push_str(&self.metrics.render());
+        out
+    }
+}
+
+/// The outcome of a query: the result relation, the plan that produced it
+/// and the execution report.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The result relation, named after the selection's target.
+    pub result: Relation,
+    /// The plan that was executed.
+    pub plan: QueryPlan,
+    /// Metrics and timing.
+    pub report: ExecutionReport,
+}
+
+/// A PASCAL/R database: catalog plus query machinery.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    default_strategy: StrategyLevel,
+    plan_options: PlanOptions,
+}
+
+impl Database {
+    /// Creates an empty database (no types, no relations).
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            default_strategy: StrategyLevel::S4CollectionQuantifiers,
+            plan_options: PlanOptions::default(),
+        }
+    }
+
+    /// Creates a database from PASCAL/R declarations (TYPE and VAR sections,
+    /// Figure 1 style).
+    pub fn from_declarations(text: &str) -> Result<Self, PascalRError> {
+        Ok(Database {
+            catalog: parse_database(text)?,
+            default_strategy: StrategyLevel::S4CollectionQuantifiers,
+            plan_options: PlanOptions::default(),
+        })
+    }
+
+    /// Wraps an existing catalog (e.g. one produced by
+    /// `pascalr-workload`'s generator).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            catalog,
+            default_strategy: StrategyLevel::S4CollectionQuantifiers,
+            plan_options: PlanOptions::default(),
+        }
+    }
+
+    /// The default strategy level used by [`Database::query`].
+    pub fn default_strategy(&self) -> StrategyLevel {
+        self.default_strategy
+    }
+
+    /// Changes the default strategy level.
+    pub fn set_default_strategy(&mut self, strategy: StrategyLevel) {
+        self.default_strategy = strategy;
+    }
+
+    /// Changes the planning options (ablation switches).
+    pub fn set_plan_options(&mut self, options: PlanOptions) {
+        self.plan_options = options;
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (declaring additional relations,
+    /// permanent indexes, ...).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Inserts one element (`rel :+ [tuple]`).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
+        self.catalog.insert(relation, tuple)?;
+        Ok(())
+    }
+
+    /// Inserts one element given as a plain value list.
+    pub fn insert_values(
+        &mut self,
+        relation: &str,
+        values: Vec<Value>,
+    ) -> Result<(), PascalRError> {
+        self.insert(relation, Tuple::new(values))
+    }
+
+    /// Inserts many elements; returns how many were new.
+    pub fn insert_all(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, PascalRError> {
+        Ok(self.catalog.insert_all(relation, tuples)?)
+    }
+
+    /// Builds an enumeration value (e.g. `professor`) from a declared
+    /// enumeration type.
+    pub fn enum_value(&self, type_name: &str, label: &str) -> Result<Value, PascalRError> {
+        let ty = self
+            .catalog
+            .types()
+            .enum_type(type_name)
+            .ok_or_else(|| CatalogError::UnknownType {
+                name: type_name.to_string(),
+            })?;
+        ty.value(label)
+            .map_err(|e| PascalRError::Catalog(CatalogError::Relation(e)))
+    }
+
+    /// Parses a selection statement against this database's catalog.
+    pub fn parse(&self, text: &str) -> Result<Selection, PascalRError> {
+        Ok(parse_selection(text, &self.catalog)?)
+    }
+
+    /// Evaluates a selection statement (text) at the default strategy level.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, PascalRError> {
+        self.query_with(text, self.default_strategy)
+    }
+
+    /// Evaluates a selection statement (text) at an explicit strategy level.
+    pub fn query_with(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+    ) -> Result<QueryOutcome, PascalRError> {
+        let selection = self.parse(text)?;
+        self.query_selection(&selection, strategy)
+    }
+
+    /// Evaluates an already-parsed selection at an explicit strategy level.
+    pub fn query_selection(
+        &self,
+        selection: &Selection,
+        strategy: StrategyLevel,
+    ) -> Result<QueryOutcome, PascalRError> {
+        let metrics = Metrics::new();
+        let start = Instant::now();
+        let (query_plan, exec_result) = plan_and_execute(
+            selection,
+            &self.catalog,
+            strategy,
+            self.plan_options,
+            &metrics,
+        )?;
+        let elapsed = start.elapsed();
+        let fallback = exec_result.fallback.as_ref().map(|f| match f {
+            Fallback::AdaptedForEmptyRelations(rels) => {
+                format!("adapted for empty relation(s): {}", rels.join(", "))
+            }
+            Fallback::ExtendedRangeEmpty(var) => {
+                format!("extended range of {var} was empty; re-planned at S2")
+            }
+        });
+        Ok(QueryOutcome {
+            result: exec_result.relation,
+            plan: query_plan,
+            report: ExecutionReport {
+                strategy,
+                metrics: metrics.snapshot(),
+                elapsed,
+                fallback,
+            },
+        })
+    }
+
+    /// Produces the plan (without executing it) for a selection statement.
+    pub fn explain(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+    ) -> Result<String, PascalRError> {
+        let selection = self.parse(text)?;
+        let p = plan(&selection, &self.catalog, strategy, self.plan_options);
+        Ok(p.explain())
+    }
+
+    /// Runs the same query at every strategy level and returns the outcomes
+    /// in level order — the comparison the paper's Section 4 is about.
+    pub fn compare_strategies(&self, text: &str) -> Result<Vec<QueryOutcome>, PascalRError> {
+        let selection = self.parse(text)?;
+        StrategyLevel::ALL
+            .iter()
+            .map(|&level| self.query_selection(&selection, level))
+            .collect()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_parser::paper::{EXAMPLE_2_1_QUERY, FIGURE_1_DECLARATIONS};
+
+    fn sample_db() -> Database {
+        Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap())
+    }
+
+    #[test]
+    fn declarations_and_inserts_round_trip() {
+        let mut db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
+        assert_eq!(db.catalog().relation_count(), 4);
+        let prof = db.enum_value("statustype", "professor").unwrap();
+        db.insert_values(
+            "employees",
+            vec![Value::int(7), Value::str("Turing"), prof],
+        )
+        .unwrap();
+        assert_eq!(db.catalog().relation("employees").unwrap().cardinality(), 1);
+        assert!(db.enum_value("statustype", "dean").is_err());
+        assert!(db.enum_value("nosuchtype", "x").is_err());
+    }
+
+    #[test]
+    fn query_and_report() {
+        let db = sample_db();
+        let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(outcome.result.cardinality(), 3);
+        assert_eq!(
+            outcome.report.strategy,
+            StrategyLevel::S4CollectionQuantifiers
+        );
+        assert!(outcome.report.metrics.total().relation_scans > 0);
+        assert!(outcome.report.render().contains("S4"));
+        assert!(outcome.plan.explain().contains("scan order"));
+    }
+
+    #[test]
+    fn compare_strategies_returns_identical_results() {
+        let db = sample_db();
+        let outcomes = db.compare_strategies(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        for pair in outcomes.windows(2) {
+            assert!(pair[0].result.set_eq(&pair[1].result));
+        }
+        // Scans decrease from the baseline to the parallel strategies.
+        assert!(
+            outcomes[0].report.metrics.total().relation_scans
+                > outcomes[1].report.metrics.total().relation_scans
+        );
+    }
+
+    #[test]
+    fn explain_and_default_strategy_switch() {
+        let mut db = sample_db();
+        let text = db
+            .explain(EXAMPLE_2_1_QUERY, StrategyLevel::S3ExtendedRanges)
+            .unwrap();
+        assert!(text.contains("extended ranges"));
+        db.set_default_strategy(StrategyLevel::S0Baseline);
+        assert_eq!(db.default_strategy(), StrategyLevel::S0Baseline);
+        let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(outcome.report.strategy, StrategyLevel::S0Baseline);
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let db = sample_db();
+        assert!(db.query("not a query").is_err());
+        assert!(Database::from_declarations("garbage garbage").is_err());
+    }
+
+    #[test]
+    fn fallback_is_reported_in_the_outcome() {
+        let mut db = sample_db();
+        db.catalog_mut().relation_mut("papers").unwrap().clear();
+        let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(outcome.result.cardinality(), 3);
+        assert!(outcome
+            .report
+            .fallback
+            .as_ref()
+            .unwrap()
+            .contains("papers"));
+    }
+}

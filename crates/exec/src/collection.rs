@@ -1,0 +1,782 @@
+//! The collection phase (Section 3.3, step 1; Sections 4.1/4.2/4.4).
+//!
+//! The collection phase "evaluates range expressions and single join terms.
+//! The results are single lists and indirect joins for all monadic and
+//! dyadic join terms in the selection expression.  This phase performs data
+//! compression (records to references) and data reduction (testing join
+//! terms)."
+//!
+//! Depending on the strategy level the same logical structures are produced
+//! with very different amounts of work, which the [`Metrics`] handle
+//! records:
+//!
+//! * `S0` — every join term evaluation scans its relation(s) separately;
+//! * `S1`+ — each relation is scanned once (parallel evaluation);
+//! * `S2`+ — within a conjunction, monadic terms restrict indirect joins;
+//! * `S3`+ — extended range expressions shrink the candidate sets;
+//! * `S4` — value lists evaluate quantifiers during collection.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use pascalr_calculus::{
+    eval_formula, Binding, Env, Quantifier, RangeExpr, RelationProvider, Term, VarName,
+};
+use pascalr_catalog::Catalog;
+use pascalr_planner::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
+use pascalr_relation::{ElemRef, Relation, RelationSchema, Tuple, Value};
+use pascalr_storage::{Metrics, Phase};
+
+use crate::error::ExecError;
+
+/// Adapter exposing the catalog to the calculus semantics (for range
+/// restriction evaluation).
+pub struct ExecProvider<'a>(pub &'a Catalog);
+
+impl RelationProvider for ExecProvider<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.0.relation(name).ok()
+    }
+}
+
+/// Per-variable binding information resolved against the catalog.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// The variable name.
+    pub var: VarName,
+    /// The base relation it ranges over.
+    pub relation: Arc<str>,
+    /// The schema of that relation.
+    pub schema: Arc<RelationSchema>,
+    /// The (possibly extended) range expression.
+    pub range: RangeExpr,
+}
+
+/// An indirect join: the pairs of references satisfying one dyadic join term
+/// within one conjunction.
+#[derive(Debug, Clone)]
+pub struct IndirectJoin {
+    /// The dyadic term.
+    pub term: Term,
+    /// The variable of the left column.
+    pub left_var: VarName,
+    /// The variable of the right column.
+    pub right_var: VarName,
+    /// Satisfying reference pairs.
+    pub pairs: Vec<(ElemRef, ElemRef)>,
+    /// Pairs grouped by left reference (probe structure).
+    pub by_left: HashMap<ElemRef, Vec<ElemRef>>,
+    /// Pairs grouped by right reference (probe structure).
+    pub by_right: HashMap<ElemRef, Vec<ElemRef>>,
+}
+
+/// The structures built for one conjunction of the matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ConjStructures {
+    /// Single lists: per variable, the candidate references satisfying the
+    /// conjunction's monadic terms over that variable (and any derived
+    /// predicates assigned to it).
+    pub single_lists: BTreeMap<String, Vec<ElemRef>>,
+    /// Indirect joins for the conjunction's dyadic terms.
+    pub indirect_joins: Vec<IndirectJoin>,
+}
+
+/// A derived predicate produced by a Strategy 4 value-list step: a test on
+/// elements of the target variable.
+#[derive(Debug, Clone)]
+pub struct DerivedCheck {
+    /// The variable whose elements are tested.
+    pub target_var: VarName,
+    /// The quantifier of the evaluated variable.
+    pub quantifier: Quantifier,
+    /// The comparisons `target.attr OP bound.attr`.
+    pub links: Vec<DyadicLink>,
+    /// The (possibly reduced) value list: one row per retained element of the
+    /// bound variable's range, projected onto the linked components.
+    pub values: Vec<Box<[Value]>>,
+    /// If the predicate collapsed to a constant (e.g. `SOME`/`<>` with two
+    /// distinct values, or an empty value list).
+    pub constant: Option<bool>,
+    /// Number of values actually stored (for the E9 report).
+    pub stored_values: usize,
+}
+
+impl DerivedCheck {
+    /// Tests an element of the target variable.
+    pub fn satisfied(
+        &self,
+        tuple: &Tuple,
+        schema: &RelationSchema,
+        metrics: &Metrics,
+    ) -> Result<bool, ExecError> {
+        if let Some(c) = self.constant {
+            return Ok(c);
+        }
+        let mut target_vals = Vec::with_capacity(self.links.len());
+        for link in &self.links {
+            let idx = schema.attr_index(&link.target_attr).ok_or_else(|| {
+                ExecError::UnknownComponent {
+                    variable: self.target_var.to_string(),
+                    attribute: link.target_attr.to_string(),
+                }
+            })?;
+            target_vals.push(tuple.get(idx));
+        }
+        let mut comparisons = 0u64;
+        let result = match self.quantifier {
+            Quantifier::Some => self.values.iter().any(|row| {
+                comparisons += self.links.len() as u64;
+                self.row_matches(&target_vals, row)
+            }),
+            Quantifier::All => self.values.iter().all(|row| {
+                comparisons += self.links.len() as u64;
+                self.row_matches(&target_vals, row)
+            }),
+        };
+        metrics.record_comparisons(Phase::Collection, comparisons);
+        Ok(result)
+    }
+
+    fn row_matches(&self, target_vals: &[&Value], row: &[Value]) -> bool {
+        self.links.iter().enumerate().all(|(i, link)| {
+            link.op
+                .eval(target_vals[i], &row[i])
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Everything the collection phase hands to the combination phase.
+#[derive(Debug, Clone)]
+pub struct CollectionOutput {
+    /// Binding information for every combination-phase variable.
+    pub var_info: BTreeMap<String, VarInfo>,
+    /// Candidate references per combination-phase variable (range elements
+    /// after applying the range restriction).
+    pub candidates: BTreeMap<String, Vec<ElemRef>>,
+    /// Structures per conjunction of the matrix.
+    pub per_conjunction: Vec<ConjStructures>,
+    /// Derived checks, indexed like the plan's semijoin steps.
+    pub derived: Vec<DerivedCheck>,
+}
+
+fn resolve_var(
+    var: &VarName,
+    range: &RangeExpr,
+    catalog: &Catalog,
+) -> Result<VarInfo, ExecError> {
+    let rel = catalog
+        .relation(&range.relation)
+        .map_err(|_| ExecError::UnknownRelation {
+            relation: range.relation.to_string(),
+        })?;
+    Ok(VarInfo {
+        var: var.clone(),
+        relation: Arc::from(rel.name()),
+        schema: rel.schema().clone(),
+        range: range.clone(),
+    })
+}
+
+/// Evaluates a range expression into candidate references, recording the
+/// restriction comparisons.
+fn range_candidates(
+    info: &VarInfo,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<Vec<ElemRef>, ExecError> {
+    let rel = catalog.relation(&info.relation)?;
+    let provider = ExecProvider(catalog);
+    let mut out = Vec::new();
+    for (r, t) in rel.iter() {
+        let keep = match &info.range.restriction {
+            None => true,
+            Some(restriction) => {
+                metrics.record_comparisons(Phase::Collection, 1);
+                let mut env = Env::new();
+                env.insert(
+                    info.var.to_string(),
+                    Binding {
+                        schema: info.schema.clone(),
+                        tuple: t.clone(),
+                    },
+                );
+                eval_formula(restriction, &provider, &env)?
+            }
+        };
+        if keep {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Public wrapper around the range-candidate computation, used by the
+/// executor's runtime assumption checks (is an extended range empty?).
+pub fn range_candidates_public(
+    info: &VarInfo,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<Vec<ElemRef>, ExecError> {
+    range_candidates(info, catalog, metrics)
+}
+
+/// Evaluates a monadic term for a single element.
+fn monadic_holds(
+    term: &Term,
+    var: &str,
+    tuple: &Tuple,
+    schema: &RelationSchema,
+    catalog: &Catalog,
+) -> Result<bool, ExecError> {
+    if let Some((attr, op, constant)) = term.as_monadic_constant(var) {
+        let idx = schema
+            .attr_index(&attr)
+            .ok_or_else(|| ExecError::UnknownComponent {
+                variable: var.to_string(),
+                attribute: attr.to_string(),
+            })?;
+        return Ok(op.eval(tuple.get(idx), &constant)?);
+    }
+    // General case (e.g. a comparison between two components of the same
+    // variable): evaluate through the calculus semantics.
+    let mut env = Env::new();
+    env.insert(
+        var.to_string(),
+        Binding {
+            schema: Arc::new(schema.clone()),
+            tuple: tuple.clone(),
+        },
+    );
+    let provider = ExecProvider(catalog);
+    Ok(eval_formula(
+        &pascalr_calculus::Formula::Term(term.clone()),
+        &provider,
+        &env,
+    )?)
+}
+
+/// Accounts for the relation scans the strategy performs.
+fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Result<(), ExecError> {
+    let page_model = catalog.page_model();
+    let scan = |relation: &str| -> Result<(), ExecError> {
+        let rel = catalog.relation(relation)?;
+        let tuples = rel.cardinality() as u64;
+        metrics.record_scan(
+            Phase::Collection,
+            relation,
+            tuples,
+            page_model.pages_for(tuples),
+        );
+        Ok(())
+    };
+
+    if plan.strategy.parallel_scans() {
+        // One scan per relation in the plan's scan order.
+        for r in &plan.scan_order {
+            scan(r)?;
+        }
+    } else {
+        // Baseline: every join-term evaluation reads its relation(s); every
+        // dyadic term additionally builds an index on one side.
+        let relation_of_var = |var: &str| -> Option<Arc<str>> {
+            plan.prepared
+                .range_of(var)
+                .map(|r| Arc::from(r.relation.as_ref()))
+        };
+        for conj in &plan.prepared.form.matrix {
+            for term in &conj.terms {
+                let vars: Vec<_> = term.vars().into_iter().collect();
+                for v in &vars {
+                    if let Some(rel) = relation_of_var(v) {
+                        scan(&rel)?;
+                    }
+                }
+                if vars.len() == 2 {
+                    metrics.record_index_build(Phase::Collection);
+                }
+            }
+            // Free/quantified variables whose range is read to produce
+            // candidate references even without join terms.
+        }
+        // Ranges of variables that appear in no term still have to be read
+        // once to produce their candidate lists.
+        for var in plan.prepared.all_vars() {
+            let mentioned = plan
+                .prepared
+                .form
+                .matrix
+                .iter()
+                .any(|c| c.mentions(&var));
+            if !mentioned {
+                if let Some(r) = plan.prepared.range_of(&var) {
+                    scan(&r.relation)?;
+                }
+            }
+        }
+    }
+    if plan.strategy.parallel_scans() {
+        // Index builds: one per dyadic term of the matrix.
+        let dyadic_terms: usize = plan
+            .prepared
+            .form
+            .matrix
+            .iter()
+            .map(|c| c.terms.iter().filter(|t| t.is_dyadic()).count())
+            .sum();
+        for _ in 0..dyadic_terms {
+            metrics.record_index_build(Phase::Collection);
+        }
+    }
+    Ok(())
+}
+
+/// Builds the value list of one Strategy 4 step and reduces it.
+fn build_derived_check(
+    step: &SemijoinStep,
+    earlier: &[DerivedCheck],
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<DerivedCheck, ExecError> {
+    let info = resolve_var(&step.bound_var, &step.range, catalog)?;
+    let candidates = range_candidates(&info, catalog, metrics)?;
+    let rel = catalog.relation(&info.relation)?;
+
+    // Project the retained elements onto the linked bound components.
+    let mut bound_indices = Vec::with_capacity(step.links.len());
+    for link in &step.links {
+        let idx = info
+            .schema
+            .attr_index(&link.bound_attr)
+            .ok_or_else(|| ExecError::UnknownComponent {
+                variable: step.bound_var.to_string(),
+                attribute: link.bound_attr.to_string(),
+            })?;
+        bound_indices.push(idx);
+    }
+
+    let mut values: Vec<Box<[Value]>> = Vec::new();
+    'outer: for r in candidates {
+        let tuple = rel.deref(r)?;
+        for m in &step.monadic_filters {
+            metrics.record_comparisons(Phase::Collection, 1);
+            if !monadic_holds(m, &step.bound_var, tuple, &info.schema, catalog)? {
+                continue 'outer;
+            }
+        }
+        for &consumed in &step.consumes {
+            let check = &earlier[consumed];
+            if !check.satisfied(tuple, &info.schema, metrics)? {
+                continue 'outer;
+            }
+        }
+        values.push(bound_indices.iter().map(|&i| tuple.get(i).clone()).collect());
+    }
+
+    // Apply the Section 4.4 reductions.
+    let (values, constant) = match step.reduction {
+        ValueListMode::Full => {
+            let constant = if values.is_empty() {
+                Some(matches!(step.quantifier, Quantifier::All))
+            } else {
+                None
+            };
+            (values, constant)
+        }
+        ValueListMode::MaxOnly | ValueListMode::MinOnly => {
+            if values.is_empty() {
+                (values, Some(matches!(step.quantifier, Quantifier::All)))
+            } else {
+                let want_max = matches!(step.reduction, ValueListMode::MaxOnly);
+                let mut best = values[0].clone();
+                for row in &values[1..] {
+                    metrics.record_comparisons(Phase::Collection, 1);
+                    let ord = row[0].try_compare(&best[0])?;
+                    let better = if want_max { ord.is_gt() } else { ord.is_lt() };
+                    if better {
+                        best = row.clone();
+                    }
+                }
+                (vec![best], None)
+            }
+        }
+        ValueListMode::AtMostOne => {
+            if values.is_empty() {
+                (values, Some(matches!(step.quantifier, Quantifier::All)))
+            } else {
+                let first = values[0].clone();
+                let all_same = values.iter().all(|row| row[0] == first[0]);
+                match (step.quantifier, all_same) {
+                    // ALL with '=': equal to two different values is impossible.
+                    (Quantifier::All, false) => (Vec::new(), Some(false)),
+                    (Quantifier::All, true) => (vec![first], None),
+                    // SOME with '<>': with two distinct values, any target
+                    // value differs from at least one of them.
+                    (Quantifier::Some, false) => (Vec::new(), Some(true)),
+                    (Quantifier::Some, true) => (vec![first], None),
+                }
+            }
+        }
+    };
+
+    let stored = values.len();
+    metrics.record_intermediate(Phase::Collection, stored as u64);
+    metrics.record_structure_size(&step.produces, stored as u64);
+
+    Ok(DerivedCheck {
+        target_var: step.target_var.clone(),
+        quantifier: step.quantifier,
+        links: step.links.clone(),
+        values,
+        constant,
+        stored_values: stored,
+    })
+}
+
+/// Runs the collection phase for a plan.
+pub fn run_collection(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<CollectionOutput, ExecError> {
+    record_scans(plan, catalog, metrics)?;
+
+    // Resolve combination-phase variables and their candidates.
+    let mut var_info = BTreeMap::new();
+    let mut candidates = BTreeMap::new();
+    for var in plan.prepared.all_vars() {
+        let range = plan
+            .prepared
+            .range_of(&var)
+            .ok_or_else(|| ExecError::PlanInvariant {
+                detail: format!("variable {var} has no range"),
+            })?
+            .clone();
+        let info = resolve_var(&var, &range, catalog)?;
+        let cands = range_candidates(&info, catalog, metrics)?;
+        metrics.record_intermediate(Phase::Collection, cands.len() as u64);
+        metrics.record_structure_size(&format!("cand_{var}"), cands.len() as u64);
+        candidates.insert(var.to_string(), cands);
+        var_info.insert(var.to_string(), info);
+    }
+
+    // Strategy 4 value lists (must run before the per-conjunction single
+    // lists so their derived predicates can restrict them).
+    let mut derived: Vec<DerivedCheck> = Vec::new();
+    for step in &plan.semijoin_steps {
+        let check = build_derived_check(step, &derived, catalog, metrics)?;
+        derived.push(check);
+    }
+
+    // Per-conjunction single lists and indirect joins.
+    let mut per_conjunction = Vec::with_capacity(plan.prepared.form.matrix.len());
+    for (ci, conj) in plan.prepared.form.matrix.iter().enumerate() {
+        let mut structures = ConjStructures::default();
+
+        // Variables involved in this conjunction (through terms or derived
+        // predicates).
+        let mut involved: Vec<String> = conj.vars().iter().map(|v| v.to_string()).collect();
+        for &s in &plan.derived_predicates[ci] {
+            let tv = derived[s].target_var.to_string();
+            if !involved.contains(&tv) && var_info.contains_key(&tv) {
+                involved.push(tv);
+            }
+        }
+
+        // Single lists.
+        for var in &involved {
+            let Some(info) = var_info.get(var) else {
+                continue;
+            };
+            let rel = catalog.relation(&info.relation)?;
+            let monadic: Vec<&Term> = conj.monadic_terms_over(var);
+            let checks: Vec<&DerivedCheck> = plan.derived_predicates[ci]
+                .iter()
+                .map(|&s| &derived[s])
+                .filter(|c| c.target_var.as_ref() == var.as_str())
+                .collect();
+            let mut list = Vec::new();
+            for &r in &candidates[var] {
+                let tuple = rel.deref(r)?;
+                let mut keep = true;
+                for m in &monadic {
+                    metrics.record_comparisons(Phase::Collection, 1);
+                    if !monadic_holds(m, var, tuple, &info.schema, catalog)? {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    for c in &checks {
+                        if !c.satisfied(tuple, &info.schema, metrics)? {
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+                if keep {
+                    list.push(r);
+                }
+            }
+            metrics.record_intermediate(Phase::Collection, list.len() as u64);
+            metrics.record_structure_size(&format!("sl_{var}_c{}", ci + 1), list.len() as u64);
+            structures.single_lists.insert(var.clone(), list);
+        }
+
+        // Indirect joins for dyadic terms.
+        for term in conj.terms.iter().filter(|t| t.is_dyadic()) {
+            let vars: Vec<VarName> = term.vars().into_iter().collect();
+            let (left_var, right_var) = (vars[0].clone(), vars[1].clone());
+            let (Some(left_info), Some(right_info)) = (
+                var_info.get(left_var.as_ref()),
+                var_info.get(right_var.as_ref()),
+            ) else {
+                // One side is handled by a semijoin step; no indirect join
+                // needs to be materialized.
+                continue;
+            };
+            let left_rel = catalog.relation(&left_info.relation)?;
+            let right_rel = catalog.relation(&right_info.relation)?;
+
+            // Strategy 2: the one-step evaluation restricts the indirect
+            // join by the conjunction's monadic terms (single lists);
+            // otherwise the full candidate sets are paired.
+            let left_refs: &[ElemRef] = if plan.strategy.one_step_nested() {
+                structures
+                    .single_lists
+                    .get(left_var.as_ref())
+                    .map(Vec::as_slice)
+                    .unwrap_or_else(|| candidates[left_var.as_ref()].as_slice())
+            } else {
+                candidates[left_var.as_ref()].as_slice()
+            };
+            let right_refs: &[ElemRef] = if plan.strategy.one_step_nested() {
+                structures
+                    .single_lists
+                    .get(right_var.as_ref())
+                    .map(Vec::as_slice)
+                    .unwrap_or_else(|| candidates[right_var.as_ref()].as_slice())
+            } else {
+                candidates[right_var.as_ref()].as_slice()
+            };
+
+            let (left_attr, op, _, right_attr) = term
+                .as_dyadic_over(&left_var)
+                .ok_or_else(|| ExecError::PlanInvariant {
+                    detail: format!("term {term} is not dyadic over {left_var}"),
+                })?;
+            let left_idx = left_info.schema.attr_index(&left_attr).ok_or_else(|| {
+                ExecError::UnknownComponent {
+                    variable: left_var.to_string(),
+                    attribute: left_attr.to_string(),
+                }
+            })?;
+            let right_idx = right_info.schema.attr_index(&right_attr).ok_or_else(|| {
+                ExecError::UnknownComponent {
+                    variable: right_var.to_string(),
+                    attribute: right_attr.to_string(),
+                }
+            })?;
+
+            let mut pairs = Vec::new();
+            if op == pascalr_relation::CompareOp::Eq {
+                // Hash join: index the right side by value, probe from the
+                // left (this is the paper's index + test scheme).
+                let mut index: HashMap<&Value, Vec<ElemRef>> = HashMap::new();
+                for &r in right_refs {
+                    let t = right_rel.deref(r)?;
+                    index.entry(t.get(right_idx)).or_default().push(r);
+                }
+                for &l in left_refs {
+                    let lt = left_rel.deref(l)?;
+                    metrics.record_index_probes(Phase::Collection, 1);
+                    if let Some(matches) = index.get(lt.get(left_idx)) {
+                        for &r in matches {
+                            pairs.push((l, r));
+                        }
+                    }
+                }
+            } else {
+                for &l in left_refs {
+                    let lt = left_rel.deref(l)?;
+                    let lv = lt.get(left_idx);
+                    for &r in right_refs {
+                        let rt = right_rel.deref(r)?;
+                        metrics.record_comparisons(Phase::Collection, 1);
+                        if op.eval(lv, rt.get(right_idx))? {
+                            pairs.push((l, r));
+                        }
+                    }
+                }
+            }
+
+            let mut by_left: HashMap<ElemRef, Vec<ElemRef>> = HashMap::new();
+            let mut by_right: HashMap<ElemRef, Vec<ElemRef>> = HashMap::new();
+            for &(l, r) in &pairs {
+                by_left.entry(l).or_default().push(r);
+                by_right.entry(r).or_default().push(l);
+            }
+            metrics.record_intermediate(Phase::Collection, pairs.len() as u64);
+            metrics.record_structure_size(
+                &format!("ij_{}_{}_c{}", left_var, right_var, ci + 1),
+                pairs.len() as u64,
+            );
+            structures.indirect_joins.push(IndirectJoin {
+                term: term.clone(),
+                left_var,
+                right_var,
+                pairs,
+                by_left,
+                by_right,
+            });
+        }
+
+        per_conjunction.push(structures);
+    }
+
+    Ok(CollectionOutput {
+        var_info,
+        candidates,
+        per_conjunction,
+        derived,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_planner::{plan, PlanOptions, StrategyLevel};
+    use pascalr_workload::{figure1_sample_database, query_by_id};
+
+    fn collect(query: &str, level: StrategyLevel) -> (QueryPlan, CollectionOutput, Metrics) {
+        let cat = figure1_sample_database().unwrap();
+        let sel = query_by_id(query).unwrap().parse(&cat).unwrap();
+        let p = plan(&sel, &cat, level, PlanOptions::default());
+        let metrics = Metrics::new();
+        let out = run_collection(&p, &cat, &metrics).unwrap();
+        (p, out, metrics)
+    }
+
+    #[test]
+    fn baseline_scans_once_per_term_occurrence() {
+        let (_, _, metrics) = collect("ex2.1", StrategyLevel::S0Baseline);
+        let snap = metrics.snapshot();
+        // Example 2.2 has 3 conjunctions with 8 term occurrences in total;
+        // each monadic term scans 1 relation, each dyadic term scans 2.
+        assert!(snap.max_scans_per_relation() > 1);
+        assert!(snap.total().relation_scans >= 8);
+    }
+
+    #[test]
+    fn parallel_scans_read_each_relation_once() {
+        let (_, _, metrics) = collect("ex2.1", StrategyLevel::S1Parallel);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.max_scans_per_relation(), 1);
+        assert_eq!(snap.total().relation_scans, 4);
+    }
+
+    #[test]
+    fn one_step_restricts_indirect_joins() {
+        let (_, s1, _) = collect("ex2.1", StrategyLevel::S1Parallel);
+        let (_, s2, _) = collect("ex2.1", StrategyLevel::S2OneStep);
+        let total_ij = |out: &CollectionOutput| -> usize {
+            out.per_conjunction
+                .iter()
+                .flat_map(|c| c.indirect_joins.iter())
+                .map(|ij| ij.pairs.len())
+                .sum()
+        };
+        assert!(
+            total_ij(&s2) <= total_ij(&s1),
+            "one-step evaluation must not enlarge indirect joins"
+        );
+        assert!(total_ij(&s2) < total_ij(&s1), "and for Example 2.2 it strictly shrinks them");
+    }
+
+    #[test]
+    fn extended_ranges_shrink_candidate_sets() {
+        let (_, s2, _) = collect("ex2.1", StrategyLevel::S2OneStep);
+        let (_, s3, _) = collect("ex2.1", StrategyLevel::S3ExtendedRanges);
+        // employees: only professors remain in the candidate set at S3.
+        assert_eq!(s2.candidates["e"].len(), 6);
+        assert_eq!(s3.candidates["e"].len(), 3);
+        // papers: only the 1977 papers remain.
+        assert!(s3.candidates["p"].len() < s2.candidates["p"].len());
+    }
+
+    #[test]
+    fn strategy4_builds_value_lists_and_derived_predicates() {
+        let (p, out, metrics) = collect("ex2.1", StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(p.semijoin_steps.len(), 3);
+        assert_eq!(out.derived.len(), 3);
+        // The pset value list contains the professors' 1977 papers (3 of
+        // them on the sample database).
+        let pset = &out.derived[2];
+        assert_eq!(pset.quantifier, Quantifier::All);
+        assert_eq!(pset.stored_values, 3);
+        // Structure sizes are recorded under the plan's names.
+        let snap = metrics.snapshot();
+        assert!(snap.structure_size(&p.semijoin_steps[0].produces) > 0);
+    }
+
+    #[test]
+    fn value_list_reductions_store_single_values() {
+        // q05: SOME q (p.pyear < q.pyear) — only the maximum year is stored.
+        let (p, out, _) = collect("q05", StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(p.semijoin_steps.len(), 1);
+        assert_eq!(out.derived[0].stored_values, 1);
+        assert_eq!(out.derived[0].values[0][0], Value::int(1977));
+
+        // q06: ALL q (p.pyear <= q.pyear) — only the minimum year is stored.
+        let (_, out, _) = collect("q06", StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(out.derived[0].stored_values, 1);
+        assert_eq!(out.derived[0].values[0][0], Value::int(1975));
+
+        // q07: ALL t (e.enr = t.tenr) with several distinct tenr values —
+        // the predicate collapses to constant false.
+        let (_, out, _) = collect("q07", StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(out.derived[0].constant, Some(false));
+        assert_eq!(out.derived[0].stored_values, 0);
+
+        // q08: SOME t (e.enr <> t.tenr) with several distinct values —
+        // constant true.
+        let (_, out, _) = collect("q08", StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(out.derived[0].constant, Some(true));
+    }
+
+    #[test]
+    fn single_lists_and_indirect_joins_follow_figure_2() {
+        let (_, out, metrics) = collect("ex2.1", StrategyLevel::S2OneStep);
+        // The conjunction with courses/timetable terms has an sl for c
+        // (sophomore-level courses: 2 on the sample db) and indirect joins.
+        let snap = metrics.snapshot();
+        let sl_sizes: Vec<u64> = snap
+            .structure_sizes
+            .iter()
+            .filter(|(k, _)| k.starts_with("sl_c"))
+            .map(|(_, &v)| v)
+            .collect();
+        assert!(sl_sizes.contains(&2), "sl_csoph should hold 2 references: {sl_sizes:?}");
+        assert!(out
+            .per_conjunction
+            .iter()
+            .any(|c| !c.indirect_joins.is_empty()));
+    }
+
+    #[test]
+    fn unknown_relation_in_plan_is_reported() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = pascalr_calculus::Selection::new(
+            "q",
+            vec![pascalr_calculus::ComponentRef::new("x", "enr")],
+            vec![pascalr_calculus::RangeDecl::new(
+                "x",
+                pascalr_calculus::RangeExpr::relation("nosuch"),
+            )],
+            pascalr_calculus::Formula::truth(),
+        );
+        let p = plan(&sel, &cat, StrategyLevel::S1Parallel, PlanOptions::default());
+        let metrics = Metrics::new();
+        assert!(run_collection(&p, &cat, &metrics).is_err());
+    }
+}

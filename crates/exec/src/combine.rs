@@ -1,0 +1,382 @@
+//! The combination phase (Section 3.3, step 2).
+//!
+//! "The combination phase manipulates only reference relations; it evaluates
+//! logical operators and quantifiers in three steps: each conjunction is
+//! combined into n-tuples of references …; the full disjunctive form is
+//! evaluated by a union operation …; quantifiers are evaluated from right to
+//! left, using projection for existential quantification and division for
+//! universal quantification."
+
+use std::collections::HashMap;
+
+use pascalr_calculus::{Quantifier, Term, VarName};
+use pascalr_catalog::Catalog;
+use pascalr_planner::QueryPlan;
+use pascalr_relation::{CompareOp, ElemRef, Value};
+use pascalr_storage::{Metrics, Phase};
+
+use crate::collection::CollectionOutput;
+use crate::error::ExecError;
+use crate::refrel::RefRel;
+
+/// Reads the value of `var.attr` for a referenced element.
+fn component_value<'a>(
+    collection: &CollectionOutput,
+    catalog: &'a Catalog,
+    var: &str,
+    attr: &str,
+    elem: ElemRef,
+) -> Result<&'a Value, ExecError> {
+    let info = collection
+        .var_info
+        .get(var)
+        .ok_or_else(|| ExecError::PlanInvariant {
+            detail: format!("no binding information for variable {var}"),
+        })?;
+    let rel = catalog.relation(&info.relation)?;
+    let idx = info
+        .schema
+        .attr_index(attr)
+        .ok_or_else(|| ExecError::UnknownComponent {
+            variable: var.to_string(),
+            attribute: attr.to_string(),
+        })?;
+    Ok(rel.deref(elem)?.get(idx))
+}
+
+/// Evaluates a dyadic term for a pair of bound references.
+fn dyadic_holds(
+    term: &Term,
+    collection: &CollectionOutput,
+    catalog: &Catalog,
+    left_var: &str,
+    left: ElemRef,
+    right_var: &str,
+    right: ElemRef,
+    metrics: &Metrics,
+) -> Result<bool, ExecError> {
+    let (left_attr, op, other_var, right_attr) =
+        term.as_dyadic_over(left_var)
+            .ok_or_else(|| ExecError::PlanInvariant {
+                detail: format!("term {term} is not dyadic over {left_var}"),
+            })?;
+    debug_assert_eq!(other_var.as_ref(), right_var);
+    let lv = component_value(collection, catalog, left_var, &left_attr, left)?;
+    let rv = component_value(collection, catalog, right_var, &right_attr, right)?;
+    metrics.record_comparisons(Phase::Combination, 1);
+    Ok(op.eval(lv, rv)?)
+}
+
+/// Builds the reference relation of one conjunction over its support
+/// variables, then expands it over the remaining combination variables.
+fn conjunction_refrel(
+    plan: &QueryPlan,
+    ci: usize,
+    all_vars: &[VarName],
+    collection: &CollectionOutput,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<RefRel, ExecError> {
+    let conj = &plan.prepared.form.matrix[ci];
+    let structures = &collection.per_conjunction[ci];
+
+    // Support variables: every variable with a single list in this
+    // conjunction (single lists already incorporate monadic terms and
+    // derived predicates).
+    let mut support: Vec<VarName> = all_vars
+        .iter()
+        .filter(|v| structures.single_lists.contains_key(v.as_ref()))
+        .cloned()
+        .collect();
+
+    // Order support variables so that each one after the first connects to an
+    // earlier one through a dyadic term whenever possible (keeps partial
+    // results joined instead of multiplied).
+    let connected = |a: &VarName, b: &VarName| -> bool {
+        conj.terms
+            .iter()
+            .filter(|t| t.is_dyadic())
+            .any(|t| t.mentions(a) && t.mentions(b))
+    };
+    let mut ordered: Vec<VarName> = Vec::with_capacity(support.len());
+    if !support.is_empty() {
+        // Start with the variable involved in the most dyadic terms.
+        support.sort_by_key(|v| {
+            std::cmp::Reverse(conj.dyadic_terms_over(v).len())
+        });
+        ordered.push(support.remove(0));
+        while !support.is_empty() {
+            let next = support
+                .iter()
+                .position(|v| ordered.iter().any(|o| connected(o, v)))
+                .unwrap_or(0);
+            ordered.push(support.remove(next));
+        }
+    }
+
+    // Assemble the conjunction's reference relation.
+    let mut current = {
+        let mut base = RefRel::new(Vec::new());
+        base.push(Vec::new());
+        base
+    };
+    for var in &ordered {
+        let candidates = structures
+            .single_lists
+            .get(var.as_ref())
+            .cloned()
+            .unwrap_or_default();
+        // Dyadic terms linking `var` to variables already in `current`.
+        let relevant_terms: Vec<&Term> = conj
+            .terms
+            .iter()
+            .filter(|t| t.is_dyadic())
+            .filter(|t| {
+                t.mentions(var)
+                    && t.vars()
+                        .iter()
+                        .any(|v| v.as_ref() != var.as_ref() && current.col(v).is_some())
+            })
+            .collect();
+
+        if relevant_terms.is_empty() {
+            current = current.product_with(var.clone(), &candidates);
+        } else {
+            // Prefer probing an equality indirect join if one exists.
+            let eq_join = structures.indirect_joins.iter().find(|ij| {
+                let other = if ij.left_var.as_ref() == var.as_ref() {
+                    &ij.right_var
+                } else if ij.right_var.as_ref() == var.as_ref() {
+                    &ij.left_var
+                } else {
+                    return false;
+                };
+                current.col(other).is_some()
+                    && matches!(
+                        ij.term,
+                        Term::Compare {
+                            op: CompareOp::Eq,
+                            ..
+                        }
+                    )
+            });
+
+            let mut vars = current.vars().to_vec();
+            vars.push(var.clone());
+            let mut next = RefRel::new(vars);
+
+            for row in current.rows() {
+                // Candidate references for `var` given this row.
+                let row_candidates: Vec<ElemRef> = if let Some(ij) = eq_join {
+                    let (other_var, map, flip) = if ij.left_var.as_ref() == var.as_ref() {
+                        (&ij.right_var, &ij.by_right, true)
+                    } else {
+                        (&ij.left_var, &ij.by_left, false)
+                    };
+                    let _ = flip;
+                    let other_col = current
+                        .col(other_var)
+                        .expect("eq_join selection guarantees presence");
+                    metrics.record_index_probes(Phase::Combination, 1);
+                    map.get(&row[other_col]).cloned().unwrap_or_default()
+                } else {
+                    candidates.clone()
+                };
+
+                'cand: for cand in row_candidates {
+                    // The candidate must still be in the single list (probing
+                    // the indirect join may return references filtered out
+                    // by other monadic terms at Strategy 0/1).
+                    if !candidates.contains(&cand) {
+                        continue;
+                    }
+                    for term in &relevant_terms {
+                        let others: Vec<VarName> = term
+                            .vars()
+                            .into_iter()
+                            .filter(|v| v.as_ref() != var.as_ref())
+                            .collect();
+                        let other = &others[0];
+                        let Some(other_col) = current.col(other) else {
+                            continue;
+                        };
+                        if !dyadic_holds(
+                            term,
+                            collection,
+                            catalog,
+                            var,
+                            cand,
+                            other,
+                            row[other_col],
+                            metrics,
+                        )? {
+                            continue 'cand;
+                        }
+                    }
+                    let mut new_row = row.to_vec();
+                    new_row.push(cand);
+                    next.push(new_row);
+                }
+            }
+            current = next;
+        }
+        metrics.record_intermediate(Phase::Combination, current.len() as u64);
+    }
+
+    // Expand over the combination variables the conjunction does not
+    // mention: they pair with every candidate of their range ("n-tuples of
+    // references where n is the number of variables in the selection
+    // expression").
+    for var in all_vars {
+        if current.col(var).is_some() {
+            continue;
+        }
+        let candidates = &collection.candidates[var.as_ref()];
+        current = current.product_with(var.clone(), candidates);
+        metrics.record_intermediate(Phase::Combination, current.len() as u64);
+    }
+
+    Ok(current)
+}
+
+/// Runs the combination phase: per-conjunction assembly, union, and
+/// right-to-left quantifier evaluation.  Returns the reference relation over
+/// the free variables.
+pub fn run_combination(
+    plan: &QueryPlan,
+    collection: &CollectionOutput,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<RefRel, ExecError> {
+    let free_vars: Vec<VarName> = plan.prepared.free.iter().map(|d| d.var.clone()).collect();
+    let prefix_vars: Vec<VarName> = plan
+        .prepared
+        .form
+        .prefix
+        .iter()
+        .map(|p| p.var.clone())
+        .collect();
+    let mut all_vars = free_vars.clone();
+    all_vars.extend(prefix_vars.iter().cloned());
+
+    // Union of the conjunction results.
+    let mut total = RefRel::new(all_vars.clone());
+    if plan.prepared.form.matrix.is_empty() {
+        // Matrix is `false`: no tuple qualifies.
+    } else {
+        for ci in 0..plan.prepared.form.matrix.len() {
+            let conj_rel =
+                conjunction_refrel(plan, ci, &all_vars, collection, catalog, metrics)?;
+            metrics.record_structure_size(
+                &format!("refrel_c{}", ci + 1),
+                conj_rel.len() as u64,
+            );
+            total.union_in(&conj_rel);
+        }
+    }
+    metrics.record_structure_size("refrel_union", total.len() as u64);
+    metrics.record_intermediate(Phase::Combination, total.len() as u64);
+
+    // Quantifier evaluation from right to left: projection for SOME,
+    // division for ALL.
+    let mut remaining: Vec<VarName> = all_vars.clone();
+    for entry in plan.prepared.form.prefix.iter().rev() {
+        remaining.retain(|v| v.as_ref() != entry.var.as_ref());
+        match entry.q {
+            Quantifier::Some => {
+                total = total.project(&remaining);
+            }
+            Quantifier::All => {
+                let divisor = &collection.candidates[entry.var.as_ref()];
+                let (quotient, checks) = total.divide_by(&entry.var, divisor);
+                metrics.record_comparisons(Phase::Combination, checks);
+                total = quotient;
+            }
+        }
+        metrics.record_intermediate(Phase::Combination, total.len() as u64);
+    }
+
+    // What remains are the free variables.
+    debug_assert_eq!(total.vars().len(), free_vars.len());
+    Ok(total)
+}
+
+/// Maps each free variable to its distinct qualified references (useful for
+/// reporting and tests).
+pub fn qualified_refs_per_free_var(result: &RefRel) -> HashMap<String, Vec<ElemRef>> {
+    result
+        .vars()
+        .iter()
+        .map(|v| (v.to_string(), result.column_refs(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::run_collection;
+    use pascalr_planner::{plan, PlanOptions, StrategyLevel};
+    use pascalr_workload::{figure1_sample_database, query_by_id};
+
+    fn combine(query: &str, level: StrategyLevel) -> (RefRel, Metrics) {
+        let cat = figure1_sample_database().unwrap();
+        let sel = query_by_id(query).unwrap().parse(&cat).unwrap();
+        let p = plan(&sel, &cat, level, PlanOptions::default());
+        let metrics = Metrics::new();
+        let out = run_collection(&p, &cat, &metrics).unwrap();
+        let result = run_combination(&p, &out, &cat, &metrics).unwrap();
+        (result, metrics)
+    }
+
+    #[test]
+    fn example_2_1_qualifies_the_three_professors_at_every_level() {
+        for level in StrategyLevel::ALL {
+            let (result, _) = combine("ex2.1", level);
+            assert_eq!(result.vars().len(), 1, "free variables only");
+            assert_eq!(
+                result.len(),
+                3,
+                "Abel, Baker and Cohen qualify at {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn combination_intermediates_shrink_with_higher_strategies() {
+        let (_, m0) = combine("ex2.1", StrategyLevel::S0Baseline);
+        let (_, m4) = combine("ex2.1", StrategyLevel::S4CollectionQuantifiers);
+        let c0 = m0.snapshot().phase(Phase::Combination).intermediate_tuples;
+        let c4 = m4.snapshot().phase(Phase::Combination).intermediate_tuples;
+        assert!(
+            c4 < c0,
+            "S4 must materialize fewer combination tuples ({c4} vs {c0})"
+        );
+    }
+
+    #[test]
+    fn union_size_is_recorded() {
+        let (_, metrics) = combine("ex2.1", StrategyLevel::S1Parallel);
+        let snap = metrics.snapshot();
+        assert!(snap.structure_size("refrel_union") > 0);
+        assert!(snap.structure_size("refrel_c1") > 0);
+    }
+
+    #[test]
+    fn universal_queries_divide_correctly() {
+        // q03: employees all of whose papers are from 1977.  On the sample
+        // database: Baker (paper from 1976 → no), Abel (1975 and 1977 → no),
+        // Cohen (1977 only → yes), Ivers (1977 only → yes), plus Highman and
+        // Jones who have no papers at all (vacuously yes).
+        let (result, _) = combine("q03", StrategyLevel::S2OneStep);
+        assert_eq!(result.len(), 4);
+    }
+
+    #[test]
+    fn two_free_variable_query_produces_pairs() {
+        let (result, _) = combine("q11", StrategyLevel::S3ExtendedRanges);
+        assert_eq!(result.vars().len(), 2);
+        // Professor/course pairs taught: Abel→50, Abel→52, Baker→52,
+        // Cohen→53, Cohen→51.
+        assert_eq!(result.len(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Errors raised by the executor.
+
+use std::fmt;
+
+use pascalr_calculus::CalculusError;
+use pascalr_catalog::CatalogError;
+use pascalr_relation::RelationError;
+
+/// Errors raised while executing a query plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A variable's range named a relation that is not in the catalog.
+    UnknownRelation {
+        /// The relation name.
+        relation: String,
+    },
+    /// A component reference could not be resolved against its variable's
+    /// range relation.
+    UnknownComponent {
+        /// The variable.
+        variable: String,
+        /// The component.
+        attribute: String,
+    },
+    /// A plan invariant was violated (internal error).
+    PlanInvariant {
+        /// Description.
+        detail: String,
+    },
+    /// Error from the calculus layer (oracle, adaptation, result schema).
+    Calculus(CalculusError),
+    /// Error from the catalog layer.
+    Catalog(CatalogError),
+    /// Error from the relation layer.
+    Relation(RelationError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownRelation { relation } => {
+                write!(f, "range relation {relation} is not declared in the catalog")
+            }
+            ExecError::UnknownComponent {
+                variable,
+                attribute,
+            } => write!(
+                f,
+                "variable {variable} has no component {attribute} in its range relation"
+            ),
+            ExecError::PlanInvariant { detail } => write!(f, "plan invariant violated: {detail}"),
+            ExecError::Calculus(e) => write!(f, "{e}"),
+            ExecError::Catalog(e) => write!(f, "{e}"),
+            ExecError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<CalculusError> for ExecError {
+    fn from(e: CalculusError) -> Self {
+        ExecError::Calculus(e)
+    }
+}
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        ExecError::Catalog(e)
+    }
+}
+impl From<RelationError> for ExecError {
+    fn from(e: RelationError) -> Self {
+        ExecError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExecError = CalculusError::UnknownVariable {
+            variable: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains('x'));
+        let e: ExecError = CatalogError::UnknownRelation {
+            name: "papers".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("papers"));
+        let e: ExecError = RelationError::InvalidOperation {
+            detail: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("bad"));
+        let e = ExecError::PlanInvariant {
+            detail: "oops".into(),
+        };
+        assert!(e.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Plan execution: runtime assumption checks, the three phases, and the
+//! construction of the result relation.
+
+use std::collections::BTreeSet;
+
+use pascalr_calculus::{adapt_selection_for_empty, Selection};
+use pascalr_catalog::Catalog;
+use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
+use pascalr_relation::{Relation, Tuple, Value};
+use pascalr_storage::{Metrics, Phase};
+
+use crate::collection::{run_collection, ExecProvider};
+use crate::combine::run_combination;
+use crate::error::ExecError;
+use crate::refrel::RefRel;
+
+/// The outcome of executing a plan.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// The result relation (named after the selection's target).
+    pub relation: Relation,
+    /// If a runtime assumption of the plan failed (empty range relation or
+    /// empty extended range), the fallback that was taken.
+    pub fallback: Option<Fallback>,
+}
+
+/// Which fallback was taken when a runtime assumption failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fallback {
+    /// One or more base range relations were empty: the original selection
+    /// was adapted (Lemma 1) and re-planned.
+    AdaptedForEmptyRelations(Vec<String>),
+    /// An extended range produced by Strategy 3 was empty: the query was
+    /// re-planned at Strategy 2 (which does not rely on that assumption).
+    ExtendedRangeEmpty(String),
+}
+
+/// The construction phase (Section 3.3, step 3): dereference the qualified
+/// references and project onto the component selection.
+fn run_construction(
+    plan: &QueryPlan,
+    qualified: &RefRel,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<Relation, ExecError> {
+    // The result schema is derived from the prepared selection (same
+    // components; free ranges may be extended but point at the same base
+    // relations).
+    let prepared_selection = plan.prepared.to_selection();
+    let schema =
+        pascalr_calculus::semantics::result_schema(&prepared_selection, &ExecProvider(catalog))?;
+    let mut result = Relation::new(schema);
+
+    // Pre-resolve the projection columns.
+    let mut projections = Vec::with_capacity(plan.prepared.components.len());
+    for comp in &plan.prepared.components {
+        let col = qualified
+            .col(&comp.var)
+            .ok_or_else(|| ExecError::PlanInvariant {
+                detail: format!(
+                    "component selection references {} which is not a free variable",
+                    comp.var
+                ),
+            })?;
+        let range = plan
+            .prepared
+            .range_of(&comp.var)
+            .ok_or_else(|| ExecError::PlanInvariant {
+                detail: format!("no range for {}", comp.var),
+            })?;
+        let rel = catalog.relation(&range.relation)?;
+        let attr_idx =
+            rel.schema()
+                .attr_index(&comp.attr)
+                .ok_or_else(|| ExecError::UnknownComponent {
+                    variable: comp.var.to_string(),
+                    attribute: comp.attr.to_string(),
+                })?;
+        projections.push((col, range.relation.to_string(), attr_idx));
+    }
+
+    for row in qualified.rows() {
+        let mut values: Vec<Value> = Vec::with_capacity(projections.len());
+        for (col, rel_name, attr_idx) in &projections {
+            let rel = catalog.relation(rel_name)?;
+            let tuple = rel.deref(row[*col])?;
+            metrics.record_dereferences(Phase::Construction, 1);
+            values.push(tuple.get(*attr_idx).clone());
+        }
+        let _ = result.insert(Tuple::new(values));
+    }
+    metrics.record_structure_size("result", result.cardinality() as u64);
+    Ok(result)
+}
+
+/// Referenced relations of a plan that are empty in the catalog.
+fn empty_referenced_relations(selection: &Selection, catalog: &Catalog) -> Vec<String> {
+    let mut rels: BTreeSet<String> = selection
+        .relations()
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    rels.retain(|r| catalog.relation(r).map(|rel| rel.is_empty()).unwrap_or(false));
+    rels.into_iter().collect()
+}
+
+/// Checks whether any extended range the plan relies on (distributive hoists
+/// of Strategy 3, or the ranges of existential Strategy 4 steps) is empty at
+/// runtime.  Returns the offending variable, if any.
+fn violated_extended_range(
+    query_plan: &QueryPlan,
+    catalog: &Catalog,
+) -> Result<Option<String>, ExecError> {
+    let metrics = Metrics::new(); // throwaway: assumption checking is not charged
+    let check_range = |var: &str,
+                           range: &pascalr_calculus::RangeExpr|
+     -> Result<bool, ExecError> {
+        let info = crate::collection::VarInfo {
+            var: pascalr_calculus::VarName::from(var),
+            relation: std::sync::Arc::from(range.relation.as_ref()),
+            schema: catalog.relation(&range.relation)?.schema().clone(),
+            range: range.clone(),
+        };
+        let candidates = crate::collection::range_candidates_public(&info, catalog, &metrics)?;
+        Ok(candidates.is_empty())
+    };
+
+    if let Some(report) = &query_plan.extend_report {
+        for assumption in &report.assumptions {
+            if check_range(&assumption.var, &assumption.range)? {
+                return Ok(Some(assumption.var.to_string()));
+            }
+        }
+    }
+    for step in &query_plan.semijoin_steps {
+        if step.quantifier == pascalr_calculus::Quantifier::Some
+            && check_range(&step.bound_var, &step.range)?
+        {
+            return Ok(Some(step.bound_var.to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// Executes a plan against a catalog, recording metrics, and applying the
+/// runtime adaptations of Section 2 when an assumption of the standard form
+/// fails.
+pub fn execute(
+    query_plan: &QueryPlan,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<ExecutionResult, ExecError> {
+    // Runtime check 1: empty base range relations (Lemma 1 adaptation).
+    let empties = empty_referenced_relations(&query_plan.original, catalog);
+    if !empties.is_empty() {
+        let empty_set: BTreeSet<String> = empties.iter().cloned().collect();
+        let adapted = adapt_selection_for_empty(&query_plan.original, &empty_set);
+        let adapted_plan = plan(
+            &adapted,
+            catalog,
+            query_plan.strategy,
+            PlanOptions::default(),
+        );
+        // The adapted selection no longer quantifies over the empty
+        // relations, so this recursion terminates after one step.
+        let inner = execute_prepared(&adapted_plan, catalog, metrics)?;
+        return Ok(ExecutionResult {
+            relation: inner.relation,
+            fallback: Some(Fallback::AdaptedForEmptyRelations(empties)),
+        });
+    }
+
+    // Runtime check 2: empty extended ranges invalidate the Strategy 3/4
+    // shortcuts; fall back to a Strategy 2 plan of the same selection.
+    if query_plan.strategy.extended_ranges() {
+        if let Some(var) = violated_extended_range(query_plan, catalog)? {
+            let fallback_plan = plan(
+                &query_plan.original,
+                catalog,
+                StrategyLevel::S2OneStep,
+                PlanOptions::default(),
+            );
+            let inner = execute_prepared(&fallback_plan, catalog, metrics)?;
+            return Ok(ExecutionResult {
+                relation: inner.relation,
+                fallback: Some(Fallback::ExtendedRangeEmpty(var)),
+            });
+        }
+    }
+
+    execute_prepared(query_plan, catalog, metrics)
+}
+
+/// Executes a plan whose runtime assumptions have already been validated.
+fn execute_prepared(
+    query_plan: &QueryPlan,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<ExecutionResult, ExecError> {
+    let collection = run_collection(query_plan, catalog, metrics)?;
+    let qualified = run_combination(query_plan, &collection, catalog, metrics)?;
+    let relation = run_construction(query_plan, &qualified, catalog, metrics)?;
+    Ok(ExecutionResult {
+        relation,
+        fallback: None,
+    })
+}
+
+/// Convenience: plan and execute a selection in one call.
+pub fn plan_and_execute(
+    selection: &Selection,
+    catalog: &Catalog,
+    strategy: StrategyLevel,
+    options: PlanOptions,
+    metrics: &Metrics,
+) -> Result<(QueryPlan, ExecutionResult), ExecError> {
+    let p = plan(selection, catalog, strategy, options);
+    let r = execute(&p, catalog, metrics)?;
+    Ok((p, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_planner::StrategyLevel;
+    use pascalr_workload::{
+        all_queries, clear_relation, figure1_sample_database, generate, oracle_eval,
+        UniversityConfig,
+    };
+
+    /// The central correctness property of the reproduction: every strategy
+    /// level produces exactly the oracle's result for every workload query.
+    #[test]
+    fn all_strategies_agree_with_the_oracle_on_the_sample_database() {
+        let cat = figure1_sample_database().unwrap();
+        for q in all_queries() {
+            let sel = q.parse(&cat).unwrap();
+            let expected = oracle_eval(&sel, &cat).unwrap();
+            for level in StrategyLevel::ALL {
+                let metrics = Metrics::new();
+                let (_, result) =
+                    plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics)
+                        .unwrap_or_else(|e| panic!("query {} at {level}: {e}", q.id));
+                assert!(
+                    expected.set_eq(&result.relation),
+                    "query {} at {level}: expected {} rows, got {}\nexpected: {}\ngot: {}",
+                    q.id,
+                    expected.cardinality(),
+                    result.relation.cardinality(),
+                    expected,
+                    result.relation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_with_the_oracle_on_a_generated_database() {
+        let cat = generate(&UniversityConfig::at_scale(1)).unwrap();
+        for q in all_queries() {
+            let sel = q.parse(&cat).unwrap();
+            let expected = oracle_eval(&sel, &cat).unwrap();
+            for level in [
+                StrategyLevel::S0Baseline,
+                StrategyLevel::S2OneStep,
+                StrategyLevel::S4CollectionQuantifiers,
+            ] {
+                let metrics = Metrics::new();
+                let (_, result) =
+                    plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics)
+                        .unwrap_or_else(|e| panic!("query {} at {level}: {e}", q.id));
+                assert!(
+                    expected.set_eq(&result.relation),
+                    "query {} at {level} disagrees with the oracle",
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_papers_triggers_the_lemma1_adaptation() {
+        // Example 2.2's caveat: with papers = [] the standard form would
+        // return all employees; the adaptation must keep only professors.
+        let mut cat = figure1_sample_database().unwrap();
+        clear_relation(&mut cat, "papers").unwrap();
+        let sel = pascalr_workload::query_by_id("ex2.1")
+            .unwrap()
+            .parse(&cat)
+            .unwrap();
+        let expected = oracle_eval(&sel, &cat).unwrap();
+        assert_eq!(expected.cardinality(), 3, "the three professors qualify");
+        for level in StrategyLevel::ALL {
+            let metrics = Metrics::new();
+            let (_, result) =
+                plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics).unwrap();
+            assert!(expected.set_eq(&result.relation), "level {level}");
+            assert!(
+                matches!(
+                    result.fallback,
+                    Some(Fallback::AdaptedForEmptyRelations(_))
+                ),
+                "level {level} must report the adaptation"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_extended_range_falls_back_without_changing_the_result() {
+        // Remove every sophomore-or-lower course: the extended range of c is
+        // empty; Strategy 3/4 must fall back and still match the oracle.
+        let mut cat = figure1_sample_database().unwrap();
+        {
+            let level_ty = cat.types().enum_type("leveltype").unwrap().clone();
+            let courses = cat.relation_mut("courses").unwrap();
+            courses.clear();
+            courses
+                .insert(Tuple::new(vec![
+                    Value::int(60),
+                    level_ty.value("senior").unwrap(),
+                    Value::str("Advanced"),
+                ]))
+                .unwrap();
+        }
+        let sel = pascalr_workload::query_by_id("ex2.1")
+            .unwrap()
+            .parse(&cat)
+            .unwrap();
+        let expected = oracle_eval(&sel, &cat).unwrap();
+        for level in [
+            StrategyLevel::S3ExtendedRanges,
+            StrategyLevel::S4CollectionQuantifiers,
+        ] {
+            let metrics = Metrics::new();
+            let (_, result) =
+                plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics).unwrap();
+            assert!(expected.set_eq(&result.relation), "level {level}");
+            assert!(matches!(
+                result.fallback,
+                Some(Fallback::ExtendedRangeEmpty(_))
+            ));
+        }
+        // Levels that never relied on the assumption do not fall back.
+        let metrics = Metrics::new();
+        let (_, result) = plan_and_execute(
+            &sel,
+            &cat,
+            StrategyLevel::S2OneStep,
+            PlanOptions::default(),
+            &metrics,
+        )
+        .unwrap();
+        assert!(result.fallback.is_none());
+        assert!(expected.set_eq(&result.relation));
+    }
+
+    #[test]
+    fn empty_free_range_produces_an_empty_typed_result() {
+        let mut cat = figure1_sample_database().unwrap();
+        clear_relation(&mut cat, "employees").unwrap();
+        let sel = pascalr_workload::query_by_id("ex2.1")
+            .unwrap()
+            .parse(&cat)
+            .unwrap();
+        let metrics = Metrics::new();
+        let (_, result) = plan_and_execute(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(result.relation.cardinality(), 0);
+        assert_eq!(result.relation.schema().arity(), 1);
+    }
+
+    #[test]
+    fn metrics_show_the_expected_strategy_shape() {
+        // Relation scans: S0 > S1 (= number of relations); combination
+        // intermediates: S4 < S0.
+        let cat = figure1_sample_database().unwrap();
+        let sel = pascalr_workload::query_by_id("ex2.1")
+            .unwrap()
+            .parse(&cat)
+            .unwrap();
+        let mut scans = Vec::new();
+        let mut inter = Vec::new();
+        for level in StrategyLevel::ALL {
+            let metrics = Metrics::new();
+            plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics).unwrap();
+            let snap = metrics.snapshot();
+            scans.push(snap.total().relation_scans);
+            inter.push(snap.total().intermediate_tuples);
+        }
+        assert!(scans[0] > scans[1], "S0 scans more often than S1: {scans:?}");
+        assert_eq!(scans[1], 4, "S1 reads each of the four relations once");
+        assert!(
+            inter[4] < inter[0],
+            "S4 materializes fewer intermediate tuples than S0: {inter:?}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! `pascalr-exec`: the three-phase query executor of the PASCAL/R
+//! reproduction — collection phase (single lists, indexes, indirect joins,
+//! value lists), combination phase (reference-relation joins, union,
+//! projection for `SOME`, division for `ALL`) and construction phase
+//! (dereferencing + component projection) — together with the runtime
+//! adaptation for empty range relations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collection;
+pub mod combine;
+pub mod error;
+pub mod executor;
+pub mod refrel;
+
+pub use collection::{CollectionOutput, ConjStructures, DerivedCheck, IndirectJoin, VarInfo};
+pub use error::ExecError;
+pub use executor::{execute, plan_and_execute, ExecutionResult, Fallback};
+pub use refrel::RefRel;

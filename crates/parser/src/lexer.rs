@@ -1,0 +1,464 @@
+//! Lexer for the PASCAL/R-style surface syntax used by declarations
+//! (Figure 1) and selection statements (Examples 2.1–4.7).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal in single quotes.
+    Str(String),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEq,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `=`
+    Equal,
+    /// `<>`
+    NotEqual,
+    /// `@`
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Assign => write!(f, ":="),
+            Token::Colon => write!(f, ":"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Less => write!(f, "<"),
+            Token::LessEq => write!(f, "<="),
+            Token::Greater => write!(f, ">"),
+            Token::GreaterEq => write!(f, ">="),
+            Token::Equal => write!(f, "="),
+            Token::NotEqual => write!(f, "<>"),
+            Token::At => write!(f, "@"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the error.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes PASCAL/R source text.
+///
+/// Comments are written `(* ... *)` or `{ ... }`; identifiers may contain
+/// underscores (the paper itself writes `ind_t_cnr`, `sl_csoph`, ...).
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            tokens.push(Spanned {
+                token: $tok,
+                line,
+                col,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '{' => {
+                // Brace comment.
+                let (start_line, start_col) = (line, col);
+                i += 1;
+                col += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated comment".to_string(),
+                            line: start_line,
+                            col: start_col,
+                        });
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+            '(' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                // (* ... *) comment.
+                let (start_line, start_col) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated comment".to_string(),
+                            line: start_line,
+                            col: start_col,
+                        });
+                    }
+                    if chars[i] == '*' && chars[i + 1] == ')' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (start_line, start_col) = (line, col);
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".to_string(),
+                            line: start_line,
+                            col: start_col,
+                        });
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    col += 1;
+                    if c == '\'' {
+                        // Doubled quote is an escaped quote.
+                        if i < chars.len() && chars[i] == '\'' {
+                            s.push('\'');
+                            i += 1;
+                            col += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(c);
+                }
+                push!(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal '{text}' out of range"),
+                    line,
+                    col,
+                })?;
+                push!(Token::Int(value));
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push!(Token::Ident(text));
+                col += i - start;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::Assign);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '+' {
+                    // The insert operator `:+` is tokenized as Assign-like
+                    // punctuation the declaration parser does not need;
+                    // reuse Colon + a plus is not required by any grammar we
+                    // accept, so report it clearly.
+                    return Err(LexError {
+                        message: "the insert operator ':+' is not part of the query syntax; \
+                                  use the library API to insert elements"
+                            .to_string(),
+                        line,
+                        col,
+                    });
+                } else {
+                    push!(Token::Colon);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            ';' => {
+                push!(Token::Semicolon);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Token::Comma);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                if i + 1 < chars.len() && chars[i + 1] == '.' {
+                    push!(Token::DotDot);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Dot);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '(' => {
+                push!(Token::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Token::RParen);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push!(Token::LBracket);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Token::RBracket);
+                i += 1;
+                col += 1;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::LessEq);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    push!(Token::NotEqual);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Less);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    push!(Token::GreaterEq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Greater);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                push!(Token::Equal);
+                i += 1;
+                col += 1;
+            }
+            '@' => {
+                push!(Token::At);
+                i += 1;
+                col += 1;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn simple_symbols_and_identifiers() {
+        let t = toks("enames := [<e.ename> OF EACH e IN employees: true]");
+        assert_eq!(t[0], Token::Ident("enames".into()));
+        assert_eq!(t[1], Token::Assign);
+        assert_eq!(t[2], Token::LBracket);
+        assert_eq!(t[3], Token::Less);
+        assert_eq!(t[4], Token::Ident("e".into()));
+        assert_eq!(t[5], Token::Dot);
+        assert!(t.contains(&Token::Colon));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = toks("a = b <> c < d <= e > f >= g");
+        assert!(t.contains(&Token::Equal));
+        assert!(t.contains(&Token::NotEqual));
+        assert!(t.contains(&Token::Less));
+        assert!(t.contains(&Token::LessEq));
+        assert!(t.contains(&Token::Greater));
+        assert!(t.contains(&Token::GreaterEq));
+    }
+
+    #[test]
+    fn integers_subranges_and_strings() {
+        let t = toks("1900..1999 'Highman' 08000900");
+        assert_eq!(t[0], Token::Int(1900));
+        assert_eq!(t[1], Token::DotDot);
+        assert_eq!(t[2], Token::Int(1999));
+        assert_eq!(t[3], Token::Str("Highman".into()));
+        assert_eq!(t[4], Token::Int(8000900));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let t = toks("'O''Hara'");
+        assert_eq!(t[0], Token::Str("O'Hara".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("(* single lists *) VAR { brace comment } x");
+        assert_eq!(t[0], Token::Ident("VAR".into()));
+        assert_eq!(t[1], Token::Ident("x".into()));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("(* never closed").is_err());
+        assert!(tokenize("{ never closed").is_err());
+        assert!(tokenize("x # y").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = toks("Some ALL each");
+        assert!(t[0].is_keyword("SOME"));
+        assert!(t[1].is_keyword("all"));
+        assert!(t[2].is_keyword("EACH"));
+        assert!(!t[2].is_keyword("IN"));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].col, 3);
+    }
+
+    #[test]
+    fn insert_operator_is_rejected_with_guidance() {
+        let err = tokenize("employees :+ [<20>]").unwrap_err();
+        assert!(err.to_string().contains(":+"));
+    }
+}

@@ -1,0 +1,14 @@
+//! `pascalr-parser`: lexer and recursive-descent parser for the PASCAL/R
+//! surface syntax — database declarations (Figure 1 of the paper) and
+//! selection statements (Examples 2.1–4.7) — lowering into the
+//! `pascalr-calculus` AST and the `pascalr-catalog` catalog.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod paper;
+pub mod parser;
+
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_database, parse_formula, parse_selection, ParseError};

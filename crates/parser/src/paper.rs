@@ -1,0 +1,133 @@
+//! The paper's verbatim declarations and queries as reusable constants.
+//!
+//! These are shared by the workload generator, the examples, the integration
+//! tests and the benchmark harness so that every consumer reproduces exactly
+//! the schema of Figure 1 and the queries of Examples 2.1, 4.5 and 4.7.
+
+/// Figure 1: declaration of the sample database (TYPE and VAR sections).
+pub const FIGURE_1_DECLARATIONS: &str = r#"
+TYPE statustype  = (student, technician, assistant, professor);
+     nametype    = PACKED ARRAY [1..10] OF char;
+     titletype   = PACKED ARRAY [1..40] OF char;
+     roomtype    = PACKED ARRAY [1..5] OF char;
+     yeartype    = 1900..1999;
+     timetype    = 08000900..18002000;
+     daytype     = (monday, tuesday, wednesday, thursday, friday);
+     leveltype   = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD
+        enr     : enumbertype;
+        ename   : nametype;
+        estatus : statustype
+      END;
+
+    papers : RELATION <ptitle, penr> OF
+      RECORD
+        penr   : enumbertype;
+        pyear  : yeartype;
+        ptitle : titletype
+      END;
+
+    courses : RELATION <cnr> OF
+      RECORD
+        cnr    : cnumbertype;
+        clevel : leveltype;
+        ctitle : titletype
+      END;
+
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD
+        tenr  : enumbertype;
+        tcnr  : cnumbertype;
+        tday  : daytype;
+        ttime : timetype;
+        troom : roomtype
+      END;
+"#;
+
+/// Example 2.1: "the names of the employees of status professor who did not
+/// publish any papers in 1977 or who currently offer courses at a level of
+/// sophomore or lower".
+pub const EXAMPLE_2_1_QUERY: &str = r#"
+enames := [<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers
+     ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND
+     SOME t IN timetable
+       ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+"#;
+
+/// Example 4.5: the same query after Strategy 3 (extended range
+/// expressions), "provided all range relations are non-empty".
+pub const EXAMPLE_4_5_QUERY: &str = r#"
+enames := [<e.ename> OF
+  EACH e IN [EACH e IN employees: e.estatus = professor]:
+  ALL p IN [EACH p IN papers: p.pyear = 1977]
+  SOME c IN [EACH c IN courses: c.clevel <= sophomore]
+  SOME t IN timetable
+    ((p.penr <> e.enr)
+     OR
+     (t.tenr = e.enr) AND (t.tcnr = c.cnr))]
+"#;
+
+/// Example 4.7: the query of Example 4.5 with the quantifier sequence of `t`
+/// and `c` changed, prepared for Strategy 4 (collection-phase quantifier
+/// evaluation).
+pub const EXAMPLE_4_7_QUERY: &str = r#"
+enames := [<e.ename> OF
+  EACH e IN [EACH e IN employees: e.estatus = professor]:
+  ALL p IN [EACH p IN papers: p.pyear = 1977]
+    ((p.penr <> e.enr)
+     OR
+     SOME t IN timetable
+       ((t.tenr = e.enr) AND
+        SOME c IN [EACH c IN courses: c.clevel <= sophomore]
+          (c.cnr = t.tcnr)))]
+"#;
+
+/// The sub-expression used by Examples 3.2 / 4.1 / 4.2:
+/// `(c.clevel <= sophomore) AND (c.cnr = t.tcnr)` wrapped into a selection
+/// over course/timetable pairs so it can be evaluated stand-alone.
+pub const EXAMPLE_3_2_SUBEXPRESSION: &str = r#"
+refrel := [<c.cnr, t.tenr> OF EACH c IN courses, EACH t IN timetable:
+  (c.clevel <= sophomore) AND (c.cnr = t.tcnr)]
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_database, parse_selection};
+
+    #[test]
+    fn all_paper_constants_parse() {
+        let cat = parse_database(FIGURE_1_DECLARATIONS).unwrap();
+        for (name, text) in [
+            ("2.1", EXAMPLE_2_1_QUERY),
+            ("4.5", EXAMPLE_4_5_QUERY),
+            ("4.7", EXAMPLE_4_7_QUERY),
+            ("3.2", EXAMPLE_3_2_SUBEXPRESSION),
+        ] {
+            parse_selection(text, &cat)
+                .unwrap_or_else(|e| panic!("example {name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn example_4_7_nests_quantifiers_in_the_matrix() {
+        let cat = parse_database(FIGURE_1_DECLARATIONS).unwrap();
+        let sel = parse_selection(EXAMPLE_4_7_QUERY, &cat).unwrap();
+        // The outermost quantifier is ALL p; SOME t / SOME c are nested
+        // inside the matrix (that is the point of Example 4.7).
+        let text = sel.formula.to_string();
+        assert!(text.starts_with("ALL p IN"), "{text}");
+        assert!(text.contains("SOME t IN timetable"), "{text}");
+        assert!(text.contains("SOME c IN [EACH c IN courses"), "{text}");
+    }
+}

@@ -1,0 +1,823 @@
+//! Recursive-descent parser for PASCAL/R database declarations (Figure 1)
+//! and selection statements (Examples 2.1–4.7).
+
+use std::fmt;
+
+use pascalr_calculus::{ComponentRef, Formula, Operand, RangeDecl, RangeExpr, Selection};
+use pascalr_catalog::{Catalog, CatalogError};
+use pascalr_relation::{Attribute, CompareOp, RelationSchema, Value};
+
+use crate::lexer::{tokenize, LexError, Spanned, Token};
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the error.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    catalog: Option<&'a Catalog>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &str, catalog: Option<&'a Catalog>) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            catalog,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        (s.line, s.col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        if self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{expected}', found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek().is_keyword(kw) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword '{kw}', found '{}'", self.peek())))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        self.peek().is_keyword(kw)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match *self.peek() {
+            Token::Int(i) => {
+                self.advance();
+                Ok(i)
+            }
+            ref other => Err(self.error(format!("expected integer, found '{other}'"))),
+        }
+    }
+
+    // ----- declarations (Figure 1) --------------------------------------
+
+    fn parse_database(&mut self) -> Result<Catalog, ParseError> {
+        let mut catalog = Catalog::new();
+        loop {
+            if self.peek() == &Token::Eof {
+                break;
+            }
+            if self.at_keyword("TYPE") {
+                self.advance();
+                self.parse_type_section(&mut catalog)?;
+            } else if self.at_keyword("VAR") {
+                self.advance();
+                self.parse_var_section(&mut catalog)?;
+            } else {
+                return Err(self.error(format!(
+                    "expected TYPE or VAR section, found '{}'",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(catalog)
+    }
+
+    fn parse_type_section(&mut self, catalog: &mut Catalog) -> Result<(), ParseError> {
+        // A sequence of `name = type ;` until the next section keyword.
+        loop {
+            match self.peek() {
+                Token::Ident(s)
+                    if !s.eq_ignore_ascii_case("VAR")
+                        && !s.eq_ignore_ascii_case("TYPE")
+                        && matches!(self.peek_at(1), Token::Equal) => {}
+                _ => break,
+            }
+            let name = self.expect_ident()?;
+            self.expect(&Token::Equal)?;
+            self.parse_type_rhs(catalog, &name)?;
+            self.expect(&Token::Semicolon)?;
+        }
+        Ok(())
+    }
+
+    fn catalog_err(&self, e: CatalogError) -> ParseError {
+        self.error(e.to_string())
+    }
+
+    fn parse_type_rhs(&mut self, catalog: &mut Catalog, name: &str) -> Result<(), ParseError> {
+        match self.peek().clone() {
+            Token::LParen => {
+                // Enumeration: (a, b, c)
+                self.advance();
+                let mut labels = Vec::new();
+                loop {
+                    labels.push(self.expect_ident()?);
+                    if self.peek() == &Token::Comma {
+                        self.advance();
+                        continue;
+                    }
+                    break;
+                }
+                self.expect(&Token::RParen)?;
+                let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                catalog
+                    .types_mut()
+                    .declare_enum(name, &label_refs)
+                    .map_err(|e| self.catalog_err(e))?;
+                Ok(())
+            }
+            Token::Int(min) => {
+                // Subrange: lo..hi
+                self.advance();
+                self.expect(&Token::DotDot)?;
+                let max = self.expect_int()?;
+                catalog
+                    .types_mut()
+                    .declare_subrange(name, min, max)
+                    .map_err(|e| self.catalog_err(e))?;
+                Ok(())
+            }
+            Token::Ident(s) if s.eq_ignore_ascii_case("PACKED") => {
+                // PACKED ARRAY [1..N] OF char
+                self.advance();
+                self.expect_keyword("ARRAY")?;
+                self.expect(&Token::LBracket)?;
+                let lo = self.expect_int()?;
+                self.expect(&Token::DotDot)?;
+                let hi = self.expect_int()?;
+                self.expect(&Token::RBracket)?;
+                self.expect_keyword("OF")?;
+                self.expect_keyword("CHAR")?;
+                let len = (hi - lo + 1).max(0) as usize;
+                catalog
+                    .types_mut()
+                    .declare_string(name, len)
+                    .map_err(|e| self.catalog_err(e))?;
+                Ok(())
+            }
+            Token::Ident(_) => {
+                // Alias of a previously declared or built-in type.
+                let alias_of = self.expect_ident()?;
+                let ty = catalog
+                    .types()
+                    .resolve(&alias_of)
+                    .map_err(|e| self.catalog_err(e))?;
+                catalog
+                    .types_mut()
+                    .declare_alias(name, ty)
+                    .map_err(|e| self.catalog_err(e))?;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected a type definition, found '{other}'"))),
+        }
+    }
+
+    fn parse_var_section(&mut self, catalog: &mut Catalog) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Token::Ident(s)
+                    if !s.eq_ignore_ascii_case("VAR")
+                        && !s.eq_ignore_ascii_case("TYPE")
+                        && matches!(self.peek_at(1), Token::Colon) => {}
+                _ => break,
+            }
+            let rel_name = self.expect_ident()?;
+            self.expect(&Token::Colon)?;
+            self.expect_keyword("RELATION")?;
+            self.expect(&Token::Less)?;
+            let mut key = Vec::new();
+            loop {
+                key.push(self.expect_ident()?);
+                if self.peek() == &Token::Comma {
+                    self.advance();
+                    continue;
+                }
+                break;
+            }
+            self.expect(&Token::Greater)?;
+            self.expect_keyword("OF")?;
+            self.expect_keyword("RECORD")?;
+            let mut attributes = Vec::new();
+            loop {
+                if self.at_keyword("END") {
+                    break;
+                }
+                let field = self.expect_ident()?;
+                self.expect(&Token::Colon)?;
+                let type_name = self.expect_ident()?;
+                let ty = catalog
+                    .types()
+                    .resolve(&type_name)
+                    .map_err(|e| self.catalog_err(e))?;
+                attributes.push(Attribute::new(field, ty));
+                if self.peek() == &Token::Semicolon {
+                    self.advance();
+                }
+            }
+            self.expect_keyword("END")?;
+            self.expect(&Token::Semicolon)?;
+            let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
+            let schema = RelationSchema::new(rel_name, attributes, &key_refs)
+                .map_err(|e| self.error(e.to_string()))?;
+            catalog
+                .declare_relation(schema)
+                .map_err(|e| self.catalog_err(e))?;
+        }
+        Ok(())
+    }
+
+    // ----- selection statements ------------------------------------------
+
+    fn parse_selection(&mut self) -> Result<Selection, ParseError> {
+        let target = self.expect_ident()?;
+        self.expect(&Token::Assign)?;
+        self.expect(&Token::LBracket)?;
+        self.expect(&Token::Less)?;
+        let mut components = Vec::new();
+        loop {
+            let var = self.expect_ident()?;
+            self.expect(&Token::Dot)?;
+            let attr = self.expect_ident()?;
+            components.push(ComponentRef::new(var, attr));
+            if self.peek() == &Token::Comma {
+                self.advance();
+                continue;
+            }
+            break;
+        }
+        self.expect(&Token::Greater)?;
+        self.expect_keyword("OF")?;
+        let mut free = Vec::new();
+        loop {
+            self.expect_keyword("EACH")?;
+            let var = self.expect_ident()?;
+            self.expect_keyword("IN")?;
+            let range = self.parse_range_expr(&var)?;
+            free.push(RangeDecl::new(var, range));
+            if self.peek() == &Token::Comma {
+                self.advance();
+                continue;
+            }
+            break;
+        }
+        self.expect(&Token::Colon)?;
+        let formula = self.parse_formula()?;
+        self.expect(&Token::RBracket)?;
+        // Optional trailing semicolon.
+        if self.peek() == &Token::Semicolon {
+            self.advance();
+        }
+        Ok(Selection::new(target, components, free, formula))
+    }
+
+    /// `range := ident | '[' EACH v IN range ':' formula ']'`
+    fn parse_range_expr(&mut self, outer_var: &str) -> Result<RangeExpr, ParseError> {
+        if self.peek() == &Token::LBracket {
+            self.advance();
+            self.expect_keyword("EACH")?;
+            let inner_var = self.expect_ident()?;
+            self.expect_keyword("IN")?;
+            let inner = self.parse_range_expr(&inner_var)?;
+            self.expect(&Token::Colon)?;
+            let mut restriction = self.parse_formula()?;
+            self.expect(&Token::RBracket)?;
+            // The restriction is written in terms of the inner variable; the
+            // enclosing query refers to the outer variable.  Rename if they
+            // differ (the paper writes both styles).
+            if inner_var != outer_var {
+                restriction = restriction.rename_var(&inner_var, outer_var);
+            }
+            let base = match inner.restriction {
+                None => RangeExpr::restricted(inner.relation, restriction),
+                Some(existing) => {
+                    let existing = if inner_var != outer_var {
+                        existing.rename_var(&inner_var, outer_var)
+                    } else {
+                        *existing
+                    };
+                    RangeExpr::restricted(
+                        inner.relation,
+                        Formula::and(vec![existing, restriction]),
+                    )
+                }
+            };
+            Ok(base)
+        } else {
+            let rel = self.expect_ident()?;
+            Ok(RangeExpr::relation(rel))
+        }
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.at_keyword("OR") {
+            self.advance();
+            parts.push(self.parse_and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_not()?];
+        while self.at_keyword("AND") {
+            self.advance();
+            parts.push(self.parse_not()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn parse_not(&mut self) -> Result<Formula, ParseError> {
+        if self.at_keyword("NOT") {
+            self.advance();
+            let inner = self.parse_not()?;
+            return Ok(Formula::not(inner));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Formula, ParseError> {
+        if self.at_keyword("SOME") || self.at_keyword("ALL") {
+            let is_some = self.at_keyword("SOME");
+            self.advance();
+            let var = self.expect_ident()?;
+            self.expect_keyword("IN")?;
+            let range = self.parse_range_expr(&var)?;
+            let body = self.parse_not()?;
+            return Ok(if is_some {
+                Formula::some(var, range, body)
+            } else {
+                Formula::all(var, range, body)
+            });
+        }
+        if self.at_keyword("TRUE") {
+            self.advance();
+            return Ok(Formula::truth());
+        }
+        if self.at_keyword("FALSE") {
+            self.advance();
+            return Ok(Formula::falsity());
+        }
+        if self.peek() == &Token::LParen {
+            self.advance();
+            let inner = self.parse_formula()?;
+            // Either a parenthesized formula or the left operand of a
+            // comparison that happened to be parenthesized; the former is the
+            // only grammar we need because comparisons never produce bare
+            // parenthesized operands.
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        // Otherwise it must be a comparison.
+        let left = self.parse_operand()?;
+        let op = self.parse_compare_op()?;
+        let right = self.parse_operand()?;
+        Ok(Formula::compare(left, op, right))
+    }
+
+    fn parse_compare_op(&mut self) -> Result<CompareOp, ParseError> {
+        let op = match self.peek() {
+            Token::Equal => CompareOp::Eq,
+            Token::NotEqual => CompareOp::Ne,
+            Token::Less => CompareOp::Lt,
+            Token::LessEq => CompareOp::Le,
+            Token::Greater => CompareOp::Gt,
+            Token::GreaterEq => CompareOp::Ge,
+            other => {
+                return Err(self.error(format!("expected comparison operator, found '{other}'")))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.advance();
+                Ok(Operand::Const(Value::int(i)))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Operand::Const(Value::str(s)))
+            }
+            Token::Ident(name) => {
+                if self.peek_at(1) == &Token::Dot {
+                    // var.attr
+                    self.advance();
+                    self.advance();
+                    let attr = self.expect_ident()?;
+                    Ok(Operand::comp(name, attr))
+                } else {
+                    // A bare identifier: an enumeration label (e.g.
+                    // `professor`, `sophomore`) resolved through the catalog.
+                    self.advance();
+                    let Some(catalog) = self.catalog else {
+                        return Err(self.error(format!(
+                            "cannot resolve enumeration label '{name}' without a catalog"
+                        )));
+                    };
+                    match catalog.types().enum_for_label(&name) {
+                        Some((ty, _)) => {
+                            let value = ty
+                                .value(&name)
+                                .map_err(|e| self.error(e.to_string()))?;
+                            Ok(Operand::Const(value))
+                        }
+                        None => Err(self.error(format!(
+                            "'{name}' is not a component access and not a known enumeration label"
+                        ))),
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected an operand, found '{other}'"))),
+        }
+    }
+}
+
+/// Parses a PASCAL/R database declaration (TYPE and VAR sections, Figure 1)
+/// into a fresh [`Catalog`].
+pub fn parse_database(input: &str) -> Result<Catalog, ParseError> {
+    let mut p = Parser::new(input, None)?;
+    let catalog = p.parse_database()?;
+    if p.peek() != &Token::Eof {
+        return Err(p.error(format!("unexpected trailing input '{}'", p.peek())));
+    }
+    Ok(catalog)
+}
+
+/// Parses a selection statement (`target := [<...> OF EACH ...: formula]`)
+/// against an existing catalog (needed to resolve enumeration labels such as
+/// `professor`).
+pub fn parse_selection(input: &str, catalog: &Catalog) -> Result<Selection, ParseError> {
+    let mut p = Parser::new(input, Some(catalog))?;
+    let sel = p.parse_selection()?;
+    if p.peek() != &Token::Eof {
+        return Err(p.error(format!("unexpected trailing input '{}'", p.peek())));
+    }
+    Ok(sel)
+}
+
+/// Parses a bare formula (selection expression) against a catalog; useful for
+/// tests and interactive exploration.
+pub fn parse_formula(input: &str, catalog: &Catalog) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(input, Some(catalog))?;
+    let f = p.parse_formula()?;
+    if p.peek() != &Token::Eof {
+        return Err(p.error(format!("unexpected trailing input '{}'", p.peek())));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_calculus::Quantifier;
+
+    /// The verbatim Figure 1 declaration (modulo OCR artefacts).
+    pub(crate) const FIGURE_1: &str = r#"
+TYPE statustype  = (student, technician, assistant, professor);
+     nametype    = PACKED ARRAY [1..10] OF char;
+     titletype   = PACKED ARRAY [1..40] OF char;
+     roomtype    = PACKED ARRAY [1..5] OF char;
+     yeartype    = 1900..1999;
+     timetype    = 08000900..18002000;
+     daytype     = (monday, tuesday, wednesday, thursday, friday);
+     leveltype   = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD
+        enr     : enumbertype;
+        ename   : nametype;
+        estatus : statustype
+      END;
+
+    papers : RELATION <ptitle, penr> OF
+      RECORD
+        penr   : enumbertype;
+        pyear  : yeartype;
+        ptitle : titletype
+      END;
+
+    courses : RELATION <cnr> OF
+      RECORD
+        cnr    : cnumbertype;
+        clevel : leveltype;
+        ctitle : titletype
+      END;
+
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD
+        tenr  : enumbertype;
+        tcnr  : cnumbertype;
+        tday  : daytype;
+        ttime : timetype;
+        troom : roomtype
+      END;
+"#;
+
+    pub(crate) const EXAMPLE_2_1: &str = r#"
+enames := [<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers
+     ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND
+     SOME t IN timetable
+       ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+"#;
+
+    fn catalog() -> Catalog {
+        parse_database(FIGURE_1).unwrap()
+    }
+
+    #[test]
+    fn figure_1_declarations_parse() {
+        let cat = catalog();
+        assert_eq!(cat.relation_count(), 4);
+        assert_eq!(
+            cat.relation_names(),
+            vec!["employees", "papers", "courses", "timetable"]
+        );
+        let employees = cat.relation("employees").unwrap();
+        assert_eq!(employees.schema().arity(), 3);
+        assert_eq!(employees.schema().key_names(), vec!["enr"]);
+        let timetable = cat.relation("timetable").unwrap();
+        assert_eq!(timetable.schema().arity(), 5);
+        assert_eq!(
+            timetable.schema().key_names(),
+            vec!["tenr", "tcnr", "tday"]
+        );
+        let papers = cat.relation("papers").unwrap();
+        assert_eq!(papers.schema().key_names(), vec!["ptitle", "penr"]);
+        // Types resolved correctly.
+        assert_eq!(cat.types().len(), 10);
+        assert!(cat.types().enum_type("statustype").is_some());
+        assert!(cat.types().enum_type("leveltype").is_some());
+    }
+
+    #[test]
+    fn example_2_1_parses_into_the_expected_shape() {
+        let cat = catalog();
+        let sel = parse_selection(EXAMPLE_2_1, &cat).unwrap();
+        assert_eq!(sel.target, "enames");
+        assert_eq!(sel.components.len(), 1);
+        assert_eq!(sel.components[0].var.as_ref(), "e");
+        assert_eq!(sel.components[0].attr.as_ref(), "ename");
+        assert_eq!(sel.free.len(), 1);
+        assert_eq!(sel.free[0].range.relation.as_ref(), "employees");
+        // Formula structure: AND of professor test and an OR.
+        match &sel.formula {
+            Formula::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::Or(_)));
+            }
+            other => panic!("expected AND at top level, got {other}"),
+        }
+        // Enumeration labels resolved to their types.
+        let text = sel.formula.to_string();
+        assert!(text.contains("professor"), "{text}");
+        assert!(text.contains("sophomore"), "{text}");
+        // Quantifiers present.
+        assert!(text.contains("ALL p IN papers"));
+        assert!(text.contains("SOME c IN courses"));
+        assert!(text.contains("SOME t IN timetable"));
+    }
+
+    #[test]
+    fn example_4_5_with_extended_ranges_parses() {
+        let cat = catalog();
+        let text = r#"
+enames := [<e.ename> OF
+  EACH e IN [EACH e IN employees: e.estatus = professor]:
+  ALL p IN [EACH p IN papers: p.pyear = 1977]
+  SOME c IN [EACH c IN courses: c.clevel <= sophomore]
+  SOME t IN timetable
+    ((p.penr <> e.enr)
+     OR
+     (t.tenr = e.enr) AND (t.tcnr = c.cnr))]
+"#;
+        let sel = parse_selection(text, &cat).unwrap();
+        assert!(sel.free[0].range.is_restricted());
+        // Quantifier chain: ALL p, SOME c, SOME t.
+        let mut q = Vec::new();
+        let mut f = &sel.formula;
+        while let Formula::Quant {
+            q: quant,
+            var,
+            range,
+            body,
+        } = f
+        {
+            q.push((*quant, var.to_string(), range.is_restricted()));
+            f = body;
+        }
+        assert_eq!(
+            q,
+            vec![
+                (Quantifier::All, "p".to_string(), true),
+                (Quantifier::Some, "c".to_string(), true),
+                (Quantifier::Some, "t".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn inner_range_variable_is_renamed_to_outer() {
+        let cat = catalog();
+        let text = r#"
+q := [<e.ename> OF EACH e IN [EACH x IN employees: x.estatus = professor]: true]
+"#;
+        let sel = parse_selection(text, &cat).unwrap();
+        let range = &sel.free[0].range;
+        assert!(range.is_restricted());
+        let display = range.display_for("e");
+        assert!(display.contains("e.estatus"), "{display}");
+        assert!(!display.contains("x.estatus"), "{display}");
+    }
+
+    #[test]
+    fn operator_precedence_not_over_and_over_or() {
+        let cat = catalog();
+        let f = parse_formula(
+            "NOT e.estatus = professor AND e.enr = 1 OR e.enr = 2",
+            &cat,
+        )
+        .unwrap();
+        // Parses as ((NOT (estatus=prof)) AND enr=1) OR enr=2
+        match f {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                match &parts[0] {
+                    Formula::And(inner) => {
+                        assert!(matches!(inner[0], Formula::Not(_)));
+                    }
+                    other => panic!("expected AND, got {other}"),
+                }
+            }
+            other => panic!("expected OR, got {other}"),
+        }
+    }
+
+    #[test]
+    fn string_and_integer_constants() {
+        let cat = catalog();
+        let f = parse_formula("e.ename = 'Highman' AND e.enr >= 20", &cat).unwrap();
+        let text = f.to_string();
+        assert!(text.contains("'Highman'"));
+        assert!(text.contains(">= 20"));
+    }
+
+    #[test]
+    fn unknown_enum_label_is_an_error() {
+        let cat = catalog();
+        let err = parse_formula("e.estatus = provost", &cat).unwrap_err();
+        assert!(err.to_string().contains("provost"));
+    }
+
+    #[test]
+    fn missing_catalog_labels_are_reported() {
+        let empty = Catalog::new();
+        let err = parse_formula("e.estatus = professor", &empty).unwrap_err();
+        assert!(err.to_string().contains("professor"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let cat = catalog();
+        let err = parse_selection("enames := [<e.ename> OF EACH e IN: true]", &cat).unwrap_err();
+        assert!(err.line >= 1);
+        assert!(!err.message.is_empty());
+
+        let err = parse_database("TYPE x = ; VAR").unwrap_err();
+        assert!(err.to_string().contains("type definition"));
+
+        let err = parse_database("VAR r : RELATION <k> OF RECORD k : nosuchtype END;").unwrap_err();
+        assert!(err.to_string().contains("nosuchtype"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let cat = catalog();
+        assert!(parse_formula("e.enr = 1 garbage garbage", &cat).is_err());
+        assert!(parse_database(&format!("{FIGURE_1} 42")).is_err());
+    }
+
+    #[test]
+    fn type_alias_declarations_resolve() {
+        let cat = parse_database(
+            "TYPE id = 1..10; otherid = id; VAR r : RELATION <k> OF RECORD k : otherid END;",
+        )
+        .unwrap();
+        let r = cat.relation("r").unwrap();
+        assert_eq!(
+            r.schema().attribute(0).ty,
+            pascalr_relation::ValueType::subrange(1, 10)
+        );
+    }
+
+    #[test]
+    fn duplicate_relation_declaration_is_an_error() {
+        let text = "VAR r : RELATION <k> OF RECORD k : integer END; r : RELATION <k> OF RECORD k : integer END;";
+        assert!(parse_database(text).is_err());
+    }
+
+    #[test]
+    fn quantifier_body_without_parentheses_chains() {
+        let cat = catalog();
+        // Standard-form style: quantifier prefix followed by a parenthesized
+        // matrix (Example 2.2).
+        let f = parse_formula(
+            "ALL p IN papers SOME c IN courses SOME t IN timetable \
+             ((e.estatus = professor) AND (p.pyear <> 1977) OR (t.tenr = e.enr))",
+            &cat,
+        )
+        .unwrap();
+        let mut count = 0;
+        let mut cur = &f;
+        while let Formula::Quant { body, .. } = cur {
+            count += 1;
+            cur = body;
+        }
+        assert_eq!(count, 3);
+    }
+}

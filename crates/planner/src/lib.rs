@@ -1,0 +1,15 @@
+//! `pascalr-planner`: query plans and the four PASCAL/R optimization
+//! strategies (parallel evaluation, one-step nested subexpressions, extended
+//! range expressions, collection-phase quantifier evaluation) on top of the
+//! naive Palermo-style baseline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod plan;
+pub mod planner;
+pub mod strategy;
+
+pub use plan::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
+pub use planner::{plan, PlanOptions};
+pub use strategy::StrategyLevel;

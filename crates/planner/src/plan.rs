@@ -1,0 +1,242 @@
+//! Query plan representation.
+//!
+//! A [`QueryPlan`] is the output of the planner: the (possibly transformed)
+//! standardized selection, the collection-phase quantifier steps of
+//! Strategy 4, the relation scan order for the parallel collection phase of
+//! Strategy 1, and bookkeeping for the runtime assumptions that may require
+//! falling back to an adapted plan (empty range relations, empty extended
+//! ranges).
+
+use std::fmt;
+use std::sync::Arc;
+
+use pascalr_calculus::{
+    ExtendReport, Quantifier, RangeExpr, RelName, Selection, StandardizedSelection, Term, VarName,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::StrategyLevel;
+
+/// How the value list of a collection-phase quantifier step is reduced
+/// (Section 4.4's special cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueListMode {
+    /// The full value list is kept.
+    Full,
+    /// Only the maximum value is kept (`<`/`<=` joined with `SOME`, or
+    /// `>`/`>=` joined with `ALL`).
+    MaxOnly,
+    /// Only the minimum value is kept (`<`/`<=` joined with `ALL`, or
+    /// `>`/`>=` joined with `SOME`).
+    MinOnly,
+    /// At most one value needs to be kept (`=` with `ALL`, `<>` with
+    /// `SOME`).
+    AtMostOne,
+}
+
+impl ValueListMode {
+    /// Human-readable label used in explain output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueListMode::Full => "full value list",
+            ValueListMode::MaxOnly => "maximum value only",
+            ValueListMode::MinOnly => "minimum value only",
+            ValueListMode::AtMostOne => "at most one value",
+        }
+    }
+}
+
+/// A dyadic link between the target variable and the bound (quantified)
+/// variable of a semijoin step: `target.target_attr OP bound.bound_attr`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DyadicLink {
+    /// Component of the target (outer) variable.
+    pub target_attr: Arc<str>,
+    /// Comparison operator, oriented from the target's side.
+    pub op: pascalr_relation::CompareOp,
+    /// Component of the bound (quantified) variable.
+    pub bound_attr: Arc<str>,
+}
+
+impl fmt::Display for DyadicLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target.{} {} bound.{}", self.target_attr, self.op, self.bound_attr)
+    }
+}
+
+/// A Strategy 4 step: evaluate the quantifier of `bound_var` during the
+/// collection phase using a value list, producing a derived predicate on
+/// `target_var` (the paper's `cset`/`tset`/`pset` constructions of
+/// Example 4.7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemijoinStep {
+    /// The quantifier being evaluated early.
+    pub quantifier: Quantifier,
+    /// The quantified variable removed from the prefix.
+    pub bound_var: VarName,
+    /// Its range (possibly an extended range).
+    pub range: RangeExpr,
+    /// Monadic terms over the bound variable taken from the conjunction;
+    /// they filter the value list.
+    pub monadic_filters: Vec<Term>,
+    /// The dyadic links connecting the bound variable to the target
+    /// variable.
+    pub links: Vec<DyadicLink>,
+    /// The single other variable the bound variable is connected to.
+    pub target_var: VarName,
+    /// Index of the conjunction the terms were taken from.
+    pub conjunction: usize,
+    /// Indices (into the plan's step list) of earlier steps whose derived
+    /// predicate targets `bound_var` in the same conjunction; they filter the
+    /// value list (the paper's `tset` is built using `cset`).
+    pub consumes: Vec<usize>,
+    /// The value-list reduction that applies.
+    pub reduction: ValueListMode,
+    /// Display name of the produced structure, e.g. `vl_c` / `sl_t_via_c`.
+    pub produces: String,
+}
+
+impl fmt::Display for SemijoinStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} IN {} -> predicate on {} ({}; conjunction #{})",
+            self.quantifier,
+            self.bound_var,
+            self.range.display_for(&self.bound_var),
+            self.target_var,
+            self.reduction.label(),
+            self.conjunction + 1
+        )
+    }
+}
+
+/// The complete plan for one selection at one strategy level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The strategy level the plan was built for.
+    pub strategy: StrategyLevel,
+    /// The original selection as written by the user.
+    pub original: Selection,
+    /// The standardized (and, at S3+, range-extended; at S4, semijoin-
+    /// reduced) selection the executor evaluates.
+    pub prepared: StandardizedSelection,
+    /// Report of the Strategy 3 transformation, if it ran.
+    pub extend_report: Option<ExtendReport>,
+    /// Strategy 4 steps, in execution order.
+    pub semijoin_steps: Vec<SemijoinStep>,
+    /// For every conjunction of the prepared matrix, the indices of
+    /// semijoin steps whose derived predicate must be applied in that
+    /// conjunction during the combination phase.
+    pub derived_predicates: Vec<Vec<usize>>,
+    /// Base relations in the order the parallel collection phase scans them
+    /// (Strategy 1+).  For the baseline this is informational only.
+    pub scan_order: Vec<RelName>,
+    /// Prefix variables that were dropped because they occur in no
+    /// conjunction (valid under the standard form's non-emptiness
+    /// assumption).
+    pub dropped_vars: Vec<VarName>,
+    /// Free-form notes accumulated during planning (shown by `explain`).
+    pub notes: Vec<String>,
+}
+
+impl QueryPlan {
+    /// Names of the intermediate structures the plan will build, in the
+    /// paper's naming convention (`sl_*`, `ind_*`, `ij_*`, `vl_*`).
+    pub fn structure_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for (ci, conj) in self.prepared.form.matrix.iter().enumerate() {
+            for t in &conj.terms {
+                let tvars: Vec<_> = t.vars().into_iter().collect();
+                match tvars.len() {
+                    1 => names.push(format!("sl_{}_c{}", tvars[0], ci + 1)),
+                    2 => {
+                        names.push(format!("ij_{}_{}_c{}", tvars[0], tvars[1], ci + 1));
+                        names.push(format!("ind_{}", tvars[1]));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for step in &self.semijoin_steps {
+            names.push(step.produces.clone());
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Renders a human-readable explanation of the plan (the `EXPLAIN`
+    /// output of the reproduction).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("strategy: {}\n", self.strategy));
+        out.push_str("prepared selection:\n");
+        out.push_str(&format!("{}\n", self.prepared));
+        if let Some(report) = &self.extend_report {
+            if report.changed() {
+                out.push_str(&format!(
+                    "extended ranges: {} hoist(s), {} conjunction(s) removed, {} runtime assumption(s)\n",
+                    report.hoists.len(),
+                    report.removed_conjunctions,
+                    report.assumptions.len()
+                ));
+            }
+        }
+        if !self.semijoin_steps.is_empty() {
+            out.push_str("collection-phase quantifier steps:\n");
+            for (i, s) in self.semijoin_steps.iter().enumerate() {
+                out.push_str(&format!("  [{}] {}\n", i + 1, s));
+            }
+        }
+        if !self.dropped_vars.is_empty() {
+            let names: Vec<&str> = self.dropped_vars.iter().map(|v| v.as_ref()).collect();
+            out.push_str(&format!(
+                "dropped quantified variables with no join terms: {}\n",
+                names.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "scan order: {}\n",
+            self.scan_order
+                .iter()
+                .map(|r| r.as_ref())
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        ));
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// The variables still evaluated in the combination phase (free
+    /// variables plus the remaining quantifier prefix).
+    pub fn combination_vars(&self) -> Vec<VarName> {
+        self.prepared.all_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_relation::CompareOp;
+
+    #[test]
+    fn value_list_mode_labels() {
+        assert!(ValueListMode::Full.label().contains("full"));
+        assert!(ValueListMode::MaxOnly.label().contains("maximum"));
+        assert!(ValueListMode::MinOnly.label().contains("minimum"));
+        assert!(ValueListMode::AtMostOne.label().contains("one"));
+    }
+
+    #[test]
+    fn dyadic_link_display() {
+        let link = DyadicLink {
+            target_attr: Arc::from("enr"),
+            op: CompareOp::Ne,
+            bound_attr: Arc::from("penr"),
+        };
+        assert_eq!(link.to_string(), "target.enr <> bound.penr");
+    }
+}

@@ -1,0 +1,575 @@
+//! The planner: turns a selection plus a strategy level into a
+//! [`QueryPlan`].
+//!
+//! Planning is a pipeline of the paper's transformations:
+//!
+//! 1. standardize (Section 2);
+//! 2. at S3+, extend range expressions (Section 4.3);
+//! 3. drop quantified variables that occur in no join term (their ranges are
+//!    assumed non-empty by the standard form);
+//! 4. at S4, repeatedly peel the innermost quantified variable that occurs in
+//!    exactly one conjunction and is linked to exactly one other variable,
+//!    turning it into a collection-phase value-list step (Section 4.4);
+//! 5. choose a relation scan order for the parallel collection phase
+//!    (Strategy 1) — smaller relations first, so their indexes exist by the
+//!    time larger relations are scanned and probed against them.
+
+use pascalr_calculus::{
+    extend_ranges, sink_variable, standardize, ExtendOptions, Quantifier, Selection,
+    StandardizedSelection,
+};
+use pascalr_catalog::Catalog;
+use pascalr_relation::CompareOp;
+
+use crate::plan::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
+use crate::strategy::StrategyLevel;
+
+/// Options controlling planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanOptions {
+    /// Allow disjunctive restrictions in extended ranges (the paper's
+    /// "conjunctive normal form" future-work mode; ablated in E7).
+    pub disjunctive_range_extensions: bool,
+    /// Disable the cardinality-based scan ordering (ablation for E6): scan
+    /// relations in declaration order instead.
+    pub declaration_scan_order: bool,
+}
+
+/// Chooses the value-list reduction for a single-link step.
+fn reduction_for(q: Quantifier, links: &[DyadicLink]) -> ValueListMode {
+    if links.len() != 1 {
+        return ValueListMode::Full;
+    }
+    let op = links[0].op;
+    match (op, q) {
+        // target < SOME bound  ⇔ target < max(bound); target < ALL bound ⇔ < min.
+        (CompareOp::Lt | CompareOp::Le, Quantifier::Some) => ValueListMode::MaxOnly,
+        (CompareOp::Lt | CompareOp::Le, Quantifier::All) => ValueListMode::MinOnly,
+        (CompareOp::Gt | CompareOp::Ge, Quantifier::Some) => ValueListMode::MinOnly,
+        (CompareOp::Gt | CompareOp::Ge, Quantifier::All) => ValueListMode::MaxOnly,
+        (CompareOp::Eq, Quantifier::All) => ValueListMode::AtMostOne,
+        (CompareOp::Ne, Quantifier::Some) => ValueListMode::AtMostOne,
+        _ => ValueListMode::Full,
+    }
+}
+
+/// Derives the Strategy 4 semijoin steps, mutating `prepared` (prefix entries
+/// removed, conjunction terms consumed) and returning the steps plus the
+/// per-conjunction derived-predicate assignment.
+fn derive_semijoin_steps(
+    prepared: &mut StandardizedSelection,
+    notes: &mut Vec<String>,
+) -> (Vec<SemijoinStep>, Vec<Vec<usize>>) {
+    let mut steps: Vec<SemijoinStep> = Vec::new();
+    let mut derived: Vec<Vec<usize>> = vec![Vec::new(); prepared.form.matrix.len()];
+
+    loop {
+        if prepared.form.prefix.is_empty() {
+            break;
+        }
+        let mut applied = false;
+
+        // Examine candidates from innermost to outermost.
+        let order: Vec<usize> = (0..prepared.form.prefix.len()).rev().collect();
+        for idx in order {
+            let entry = prepared.form.prefix[idx].clone();
+            let var = entry.var.clone();
+
+            // Conjunctions involving the variable, either through join terms
+            // or through a pending derived predicate.
+            let mut involved: Vec<usize> = prepared.form.conjunctions_mentioning(&var);
+            for (ci, preds) in derived.iter().enumerate() {
+                if preds
+                    .iter()
+                    .any(|&s| steps[s].target_var.as_ref() == var.as_ref())
+                    && !involved.contains(&ci)
+                {
+                    involved.push(ci);
+                }
+            }
+            involved.sort_unstable();
+
+            if involved.is_empty() {
+                // The variable occurs nowhere: under the non-emptiness
+                // assumption its quantifier is vacuous and it can be dropped.
+                prepared.form.prefix.remove(idx);
+                notes.push(format!(
+                    "dropped quantified variable {var}: it occurs in no join term"
+                ));
+                applied = true;
+                break;
+            }
+            if involved.len() != 1 {
+                // For ALL this split is not permitted (Lemma 1); for SOME it
+                // would require duplicating the variable per conjunction —
+                // the current planner keeps the quantifier in the
+                // combination phase instead.
+                continue;
+            }
+            let ci = involved[0];
+
+            // The variable must be movable to the innermost position.
+            let Ok((sunk, pos)) = sink_variable(prepared, &var) else {
+                continue;
+            };
+            if pos + 1 != sunk.form.prefix.len() {
+                continue;
+            }
+
+            // All dyadic terms over the variable in this conjunction must
+            // link it to exactly one other variable.
+            let conj = &sunk.form.matrix[ci];
+            let dyadics: Vec<_> = conj
+                .dyadic_terms_over(&var)
+                .into_iter()
+                .cloned()
+                .collect();
+            if dyadics.is_empty() {
+                continue;
+            }
+            let mut links = Vec::new();
+            let mut target: Option<pascalr_calculus::VarName> = None;
+            let mut consistent = true;
+            for t in &dyadics {
+                let Some((bound_attr, op, other, other_attr)) = t.as_dyadic_over(&var) else {
+                    consistent = false;
+                    break;
+                };
+                match &target {
+                    None => target = Some(other.clone()),
+                    Some(existing) if existing.as_ref() == other.as_ref() => {}
+                    Some(_) => {
+                        consistent = false;
+                        break;
+                    }
+                }
+                // Orient the link from the target's perspective:
+                // bound.bound_attr OP target.other_attr  ⇔
+                // target.other_attr OP.flip() bound.bound_attr.
+                links.push(DyadicLink {
+                    target_attr: other_attr,
+                    op: op.flip(),
+                    bound_attr,
+                });
+            }
+            let Some(target_var) = target else {
+                continue;
+            };
+            if !consistent {
+                continue;
+            }
+
+            // Adopt the sunk prefix order, then peel the variable.
+            *prepared = sunk;
+            let innermost = prepared
+                .form
+                .prefix
+                .pop()
+                .expect("prefix checked non-empty");
+            debug_assert_eq!(innermost.var.as_ref(), var.as_ref());
+
+            // Monadic filters over the variable in this conjunction move into
+            // the value-list construction; all terms over the variable leave
+            // the matrix.
+            let monadic_filters: Vec<_> = prepared.form.matrix[ci]
+                .monadic_terms_over(&var)
+                .into_iter()
+                .cloned()
+                .collect();
+            prepared.form.matrix[ci]
+                .terms
+                .retain(|t| !t.mentions(&var));
+
+            // Earlier derived predicates targeting this variable in the same
+            // conjunction are consumed by the value-list construction.
+            let consumes: Vec<usize> = derived[ci]
+                .iter()
+                .copied()
+                .filter(|&s| steps[s].target_var.as_ref() == var.as_ref())
+                .collect();
+            derived[ci].retain(|s| !consumes.contains(s));
+
+            let reduction = reduction_for(innermost.q, &links);
+            let step = SemijoinStep {
+                quantifier: innermost.q,
+                bound_var: var.clone(),
+                range: innermost.range.clone(),
+                monadic_filters,
+                links,
+                target_var: target_var.clone(),
+                conjunction: ci,
+                consumes,
+                reduction,
+                produces: format!("sl_{}_via_{}", target_var, var),
+            };
+            notes.push(format!(
+                "strategy 4: {} {} evaluated in the collection phase ({})",
+                step.quantifier,
+                var,
+                step.reduction.label()
+            ));
+            let step_idx = steps.len();
+            steps.push(step);
+            derived[ci].push(step_idx);
+            applied = true;
+            break;
+        }
+
+        if !applied {
+            break;
+        }
+    }
+
+    (steps, derived)
+}
+
+/// Drops prefix variables that occur in no conjunction (vacuous under the
+/// standard form's non-emptiness assumption).
+fn drop_vacuous_prefix_vars(
+    prepared: &mut StandardizedSelection,
+) -> Vec<pascalr_calculus::VarName> {
+    let mut dropped = Vec::new();
+    prepared.form.prefix.retain(|entry| {
+        let occurs = prepared
+            .form
+            .matrix
+            .iter()
+            .any(|c| c.mentions(&entry.var));
+        if !occurs {
+            dropped.push(entry.var.clone());
+        }
+        occurs
+    });
+    dropped
+}
+
+/// Chooses the scan order of the base relations for the parallel collection
+/// phase: ascending estimated cardinality, so that indexes on small relations
+/// exist before large relations are scanned and probed against them.
+fn choose_scan_order(
+    prepared: &StandardizedSelection,
+    steps: &[SemijoinStep],
+    catalog: &Catalog,
+    declaration_order: bool,
+) -> Vec<pascalr_calculus::RelName> {
+    let mut relations: Vec<pascalr_calculus::RelName> = Vec::new();
+    let mut push = |name: &pascalr_calculus::RelName| {
+        if !relations.iter().any(|r| r.as_ref() == name.as_ref()) {
+            relations.push(name.clone());
+        }
+    };
+    for d in &prepared.free {
+        push(&d.range.relation);
+    }
+    for p in &prepared.form.prefix {
+        push(&p.range.relation);
+    }
+    for s in steps {
+        push(&s.range.relation);
+    }
+    if declaration_order {
+        return relations;
+    }
+    relations.sort_by_key(|r| {
+        catalog
+            .relation(r)
+            .map(|rel| rel.cardinality())
+            .unwrap_or(usize::MAX)
+    });
+    relations
+}
+
+/// Builds the query plan for a selection at a strategy level.
+pub fn plan(
+    selection: &Selection,
+    catalog: &Catalog,
+    strategy: StrategyLevel,
+    options: PlanOptions,
+) -> QueryPlan {
+    let mut notes = Vec::new();
+    let mut prepared = standardize(selection);
+
+    let extend_report = if strategy.extended_ranges() {
+        let (extended, report) = extend_ranges(
+            &prepared,
+            ExtendOptions {
+                allow_disjunctive: options.disjunctive_range_extensions,
+            },
+        );
+        prepared = extended;
+        if report.changed() {
+            notes.push(format!(
+                "strategy 3: {} monadic hoist(s), {} conjunction(s) removed",
+                report.hoists.len(),
+                report.removed_conjunctions
+            ));
+        }
+        Some(report)
+    } else {
+        None
+    };
+
+    let dropped_vars = drop_vacuous_prefix_vars(&mut prepared);
+
+    let (semijoin_steps, derived_predicates) = if strategy.collection_quantifiers() {
+        derive_semijoin_steps(&mut prepared, &mut notes)
+    } else {
+        (Vec::new(), vec![Vec::new(); prepared.form.matrix.len()])
+    };
+
+    let scan_order = choose_scan_order(
+        &prepared,
+        &semijoin_steps,
+        catalog,
+        options.declaration_scan_order,
+    );
+
+    QueryPlan {
+        strategy,
+        original: selection.clone(),
+        prepared,
+        extend_report,
+        semijoin_steps,
+        derived_predicates,
+        scan_order,
+        dropped_vars,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+    use pascalr_parser::parse_selection;
+    use pascalr_workload::figure1_sample_database;
+
+    fn example_plan(strategy: StrategyLevel) -> QueryPlan {
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        plan(&sel, &cat, strategy, PlanOptions::default())
+    }
+
+    #[test]
+    fn baseline_plan_keeps_the_full_prefix_and_matrix() {
+        let p = example_plan(StrategyLevel::S0Baseline);
+        assert_eq!(p.prepared.form.prefix.len(), 3);
+        assert_eq!(p.prepared.form.conjunction_count(), 3);
+        assert!(p.semijoin_steps.is_empty());
+        assert!(p.extend_report.is_none());
+        assert_eq!(p.scan_order.len(), 4);
+        assert!(!p.explain().is_empty());
+    }
+
+    #[test]
+    fn s3_plan_extends_ranges_and_removes_a_conjunction() {
+        let p = example_plan(StrategyLevel::S3ExtendedRanges);
+        assert_eq!(p.prepared.form.conjunction_count(), 2);
+        let report = p.extend_report.as_ref().unwrap();
+        assert!(report.changed());
+        assert_eq!(report.removed_conjunctions, 1);
+        assert!(p.prepared.range_of("e").unwrap().is_restricted());
+        assert!(p.prepared.range_of("p").unwrap().is_restricted());
+        assert!(p.prepared.range_of("c").unwrap().is_restricted());
+        assert!(p.semijoin_steps.is_empty());
+    }
+
+    #[test]
+    fn s4_plan_matches_example_4_7_structure() {
+        // After Strategy 3 + Strategy 4 the whole quantifier prefix is
+        // evaluated in the collection phase: cset (c), tset (t), pset (p),
+        // exactly as in Example 4.7.
+        let p = example_plan(StrategyLevel::S4CollectionQuantifiers);
+        assert!(p.prepared.form.prefix.is_empty(), "{}", p.explain());
+        assert_eq!(p.semijoin_steps.len(), 3);
+        let order: Vec<&str> = p
+            .semijoin_steps
+            .iter()
+            .map(|s| s.bound_var.as_ref())
+            .collect();
+        assert_eq!(order, vec!["c", "t", "p"]);
+        // c and t produce predicates targeting t and e respectively; p
+        // targets e.
+        assert_eq!(p.semijoin_steps[0].target_var.as_ref(), "t");
+        assert_eq!(p.semijoin_steps[1].target_var.as_ref(), "e");
+        assert_eq!(p.semijoin_steps[2].target_var.as_ref(), "e");
+        // The t-step consumes the c-step's derived predicate.
+        assert_eq!(p.semijoin_steps[1].consumes, vec![0]);
+        // Equality links keep the full value list; the ALL/<> pset is also a
+        // full list (the special cases do not apply).
+        assert_eq!(p.semijoin_steps[0].reduction, ValueListMode::Full);
+        assert_eq!(p.semijoin_steps[2].reduction, ValueListMode::Full);
+        // Every conjunction's remaining work is a derived predicate on the
+        // free variable e.
+        for preds in &p.derived_predicates {
+            assert!(!preds.is_empty());
+            for &s in preds {
+                assert_eq!(p.semijoin_steps[s].target_var.as_ref(), "e");
+            }
+        }
+        // All matrix terms were consumed by the steps.
+        assert_eq!(p.prepared.form.term_count(), 0);
+    }
+
+    #[test]
+    fn s4_reductions_for_comparison_special_cases() {
+        let cat = figure1_sample_database().unwrap();
+        // SOME q (p.pyear < q.pyear): keep only the maximum of q.pyear.
+        let sel = parse_selection(
+            "notnewest := [<p.ptitle> OF EACH p IN papers: SOME q IN papers (p.pyear < q.pyear)]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert_eq!(pl.semijoin_steps.len(), 1);
+        assert_eq!(pl.semijoin_steps[0].reduction, ValueListMode::MaxOnly);
+
+        // ALL q (p.pyear <= q.pyear): keep only the minimum.
+        let sel = parse_selection(
+            "oldest := [<p.ptitle> OF EACH p IN papers: ALL q IN papers (p.pyear <= q.pyear)]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert_eq!(pl.semijoin_steps[0].reduction, ValueListMode::MinOnly);
+
+        // ALL t (e.enr = t.tenr): at most one value.
+        let sel = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: ALL t IN timetable (e.enr = t.tenr)]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert_eq!(pl.semijoin_steps[0].reduction, ValueListMode::AtMostOne);
+
+        // SOME t (e.enr <> t.tenr): at most one value.
+        let sel = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: SOME t IN timetable (e.enr <> t.tenr)]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert_eq!(pl.semijoin_steps[0].reduction, ValueListMode::AtMostOne);
+    }
+
+    #[test]
+    fn scan_order_prefers_small_relations_first() {
+        let p = example_plan(StrategyLevel::S1Parallel);
+        // Sample database cardinalities: courses 4 < papers 5 < employees 6 = timetable 6.
+        let order: Vec<&str> = p.scan_order.iter().map(|r| r.as_ref()).collect();
+        assert_eq!(order[0], "courses");
+        assert_eq!(order[1], "papers");
+        assert_eq!(order.len(), 4);
+
+        // Ablation: declaration order instead.
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let p2 = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S1Parallel,
+            PlanOptions {
+                declaration_scan_order: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p2.scan_order[0].as_ref(), "employees");
+    }
+
+    #[test]
+    fn vacuous_quantifiers_are_dropped() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME t IN timetable (e.estatus = professor)]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(&sel, &cat, StrategyLevel::S2OneStep, PlanOptions::default());
+        assert!(pl.prepared.form.prefix.is_empty());
+        assert_eq!(pl.dropped_vars.len(), 1);
+        assert_eq!(pl.dropped_vars[0].as_ref(), "t");
+    }
+
+    #[test]
+    fn explain_mentions_strategies_and_structures() {
+        let p = example_plan(StrategyLevel::S4CollectionQuantifiers);
+        let text = p.explain();
+        assert!(text.contains("S4"));
+        assert!(text.contains("collection-phase quantifier steps"));
+        assert!(text.contains("scan order"));
+        let names = p.structure_names();
+        assert!(names.iter().any(|n| n.starts_with("sl_")));
+    }
+
+    #[test]
+    fn s4_does_not_apply_to_multi_target_variables() {
+        let cat = figure1_sample_database().unwrap();
+        // t is linked to both e and c in the same conjunction: the innermost
+        // variable cannot be peeled first, but c can, after which t becomes
+        // eligible; verify the planner handles the chain and terminates.
+        let sel = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME t IN timetable SOME c IN courses \
+                 ((t.tenr = e.enr) AND (t.tcnr = c.cnr) AND (c.clevel <= sophomore))]",
+            &cat,
+        )
+        .unwrap();
+        let pl = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert_eq!(pl.semijoin_steps.len(), 2);
+        assert_eq!(pl.semijoin_steps[0].bound_var.as_ref(), "c");
+        assert_eq!(pl.semijoin_steps[1].bound_var.as_ref(), "t");
+        assert!(pl.prepared.form.prefix.is_empty());
+        // The sophomore test was hoisted into c's range by Strategy 3 (which
+        // S4 includes), so it constrains the value list via the range rather
+        // than via a monadic filter.
+        assert!(pl.semijoin_steps[0].range.is_restricted());
+        assert!(pl.semijoin_steps[0].monadic_filters.is_empty());
+    }
+
+    #[test]
+    fn plans_exist_for_every_workload_query_and_level() {
+        let cat = figure1_sample_database().unwrap();
+        for q in pascalr_workload::all_queries() {
+            let sel = q.parse(&cat).unwrap();
+            for level in StrategyLevel::ALL {
+                let p = plan(&sel, &cat, level, PlanOptions::default());
+                assert!(
+                    !p.scan_order.is_empty(),
+                    "query {} at {level} produced an empty scan order",
+                    q.id
+                );
+                // derived predicate table always matches the matrix length
+                assert_eq!(
+                    p.derived_predicates.len(),
+                    p.prepared.form.matrix.len().max(p.derived_predicates.len())
+                );
+            }
+        }
+    }
+}

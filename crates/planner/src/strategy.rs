@@ -1,0 +1,124 @@
+//! Strategy levels: cumulative application of the paper's four optimization
+//! strategies on top of the naive Palermo-style baseline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How much of Section 4's optimization repertoire the planner applies.
+///
+/// Levels are *cumulative*: `S2OneStep` includes parallel evaluation,
+/// `S4CollectionQuantifiers` includes everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StrategyLevel {
+    /// Naive baseline (Palermo-style, Section 3.3 taken literally): every
+    /// monadic and dyadic join term is evaluated by its own scan of the
+    /// relation(s) involved; conjunctions are combined in the combination
+    /// phase.
+    S0Baseline,
+    /// Strategy 1 — parallel evaluation of subexpressions: all join-term work
+    /// on a relation happens during a single scan of that relation
+    /// (Section 4.1, Example 4.3).
+    S1Parallel,
+    /// Strategy 2 — one-step evaluation of nested subexpressions: within a
+    /// conjunction, monadic terms restrict the indirect joins of dyadic
+    /// terms over the same variable (Section 4.2, Example 4.2).
+    S2OneStep,
+    /// Strategy 3 — extended range expressions (Section 4.3, Examples
+    /// 4.4/4.5).
+    S3ExtendedRanges,
+    /// Strategy 4 — quantifier evaluation in the collection phase via value
+    /// lists (generalized semi-joins, Section 4.4, Examples 4.6/4.7).
+    S4CollectionQuantifiers,
+}
+
+impl StrategyLevel {
+    /// All levels in increasing order of sophistication.
+    pub const ALL: [StrategyLevel; 5] = [
+        StrategyLevel::S0Baseline,
+        StrategyLevel::S1Parallel,
+        StrategyLevel::S2OneStep,
+        StrategyLevel::S3ExtendedRanges,
+        StrategyLevel::S4CollectionQuantifiers,
+    ];
+
+    /// Whether per-relation (parallel) scanning is enabled (Strategy 1+).
+    pub fn parallel_scans(self) -> bool {
+        self >= StrategyLevel::S1Parallel
+    }
+
+    /// Whether monadic terms restrict indirect joins (Strategy 2+).
+    pub fn one_step_nested(self) -> bool {
+        self >= StrategyLevel::S2OneStep
+    }
+
+    /// Whether range expressions are extended (Strategy 3+).
+    pub fn extended_ranges(self) -> bool {
+        self >= StrategyLevel::S3ExtendedRanges
+    }
+
+    /// Whether quantifiers are evaluated in the collection phase where
+    /// possible (Strategy 4).
+    pub fn collection_quantifiers(self) -> bool {
+        self >= StrategyLevel::S4CollectionQuantifiers
+    }
+
+    /// Short name used in reports (`S0` … `S4`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            StrategyLevel::S0Baseline => "S0",
+            StrategyLevel::S1Parallel => "S1",
+            StrategyLevel::S2OneStep => "S2",
+            StrategyLevel::S3ExtendedRanges => "S3",
+            StrategyLevel::S4CollectionQuantifiers => "S4",
+        }
+    }
+
+    /// Descriptive name.
+    pub fn description(self) -> &'static str {
+        match self {
+            StrategyLevel::S0Baseline => "naive baseline (one scan per join term)",
+            StrategyLevel::S1Parallel => "parallel evaluation (one scan per relation)",
+            StrategyLevel::S2OneStep => "one-step nested subexpressions",
+            StrategyLevel::S3ExtendedRanges => "extended range expressions",
+            StrategyLevel::S4CollectionQuantifiers => "collection-phase quantifier evaluation",
+        }
+    }
+}
+
+impl fmt::Display for StrategyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.short_name(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        assert!(!StrategyLevel::S0Baseline.parallel_scans());
+        assert!(StrategyLevel::S1Parallel.parallel_scans());
+        assert!(!StrategyLevel::S1Parallel.one_step_nested());
+        assert!(StrategyLevel::S2OneStep.one_step_nested());
+        assert!(StrategyLevel::S2OneStep.parallel_scans());
+        assert!(!StrategyLevel::S2OneStep.extended_ranges());
+        assert!(StrategyLevel::S3ExtendedRanges.extended_ranges());
+        assert!(!StrategyLevel::S3ExtendedRanges.collection_quantifiers());
+        assert!(StrategyLevel::S4CollectionQuantifiers.collection_quantifiers());
+        assert!(StrategyLevel::S4CollectionQuantifiers.extended_ranges());
+    }
+
+    #[test]
+    fn ordering_and_names() {
+        let mut sorted = StrategyLevel::ALL;
+        sorted.sort();
+        assert_eq!(sorted, StrategyLevel::ALL);
+        for (i, s) in StrategyLevel::ALL.iter().enumerate() {
+            assert_eq!(s.short_name(), format!("S{i}"));
+            assert!(!s.description().is_empty());
+            assert!(s.to_string().contains(s.short_name()));
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! Relational algebra operations.
+//!
+//! The combination phase of the paper (Section 3.3) "manipulates only
+//! reference relations; it evaluates logical operators and quantifiers" using
+//! the relational algebra operations *join* (and Cartesian product) for
+//! conjunctions, *union* for the disjunctive form, *projection* for
+//! existential quantification, and *division* for universal quantification.
+//! These operations — plus selection, difference, intersection, semijoin and
+//! antijoin used by tests, the oracle and Strategy 4 — are implemented here
+//! for arbitrary relations, not only reference relations, so they also serve
+//! the brute-force oracle in `pascalr-workload`.
+//!
+//! All operations produce *detached* result relations (set semantics, key =
+//! all components) and never mutate their inputs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Key, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::{CompareOp, Value};
+
+/// Builds the result schema of a binary operation by concatenating attribute
+/// lists, disambiguating duplicate names with the source relation name.
+fn concat_schema(name: &str, left: &Relation, right: &Relation) -> Arc<RelationSchema> {
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(left.schema().arity() + right.schema().arity());
+    for a in &left.schema().attributes {
+        attrs.push(a.clone());
+    }
+    for a in &right.schema().attributes {
+        let clash = attrs.iter().any(|x| x.name == a.name);
+        if clash {
+            attrs.push(Attribute::new(
+                format!("{}_{}", right.name(), a.name),
+                a.ty.clone(),
+            ));
+        } else {
+            attrs.push(a.clone());
+        }
+    }
+    RelationSchema::all_key(name.to_string(), attrs)
+}
+
+/// σ — selection by an arbitrary predicate over the element.
+pub fn select(
+    rel: &Relation,
+    name: &str,
+    mut pred: impl FnMut(&Tuple) -> bool,
+) -> Relation {
+    let schema = RelationSchema::all_key(name.to_string(), rel.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in rel.tuples() {
+        if pred(t) {
+            // Selection over a set stays a set; duplicate-by-key cannot occur
+            // because we keep all components as key.
+            let _ = out.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// σ — selection by a single comparison `attr OP constant` (a monadic join
+/// term in the paper's terminology).
+pub fn select_compare(
+    rel: &Relation,
+    name: &str,
+    attr: &str,
+    op: CompareOp,
+    constant: &Value,
+) -> Result<Relation, RelationError> {
+    let idx = rel.schema().require_attr(attr)?;
+    let mut err = None;
+    let out = select(rel, name, |t| match op.eval(t.get(idx), constant) {
+        Ok(b) => b,
+        Err(e) => {
+            err = Some(e);
+            false
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// π — projection onto named components (set semantics: duplicates removed).
+pub fn project(rel: &Relation, name: &str, attrs: &[&str]) -> Result<Relation, RelationError> {
+    let mut indices = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        indices.push(rel.schema().require_attr(a)?);
+    }
+    project_indices(rel, name, &indices)
+}
+
+/// π — projection onto component positions.
+pub fn project_indices(
+    rel: &Relation,
+    name: &str,
+    indices: &[usize],
+) -> Result<Relation, RelationError> {
+    for &i in indices {
+        if i >= rel.schema().arity() {
+            return Err(RelationError::InvalidOperation {
+                detail: format!(
+                    "projection index {i} out of range for {} (arity {})",
+                    rel.name(),
+                    rel.schema().arity()
+                ),
+            });
+        }
+    }
+    let schema = rel.schema().project(indices, name.to_string());
+    let mut out = Relation::new(schema);
+    for t in rel.tuples() {
+        let _ = out.insert(t.project(indices));
+    }
+    Ok(out)
+}
+
+/// × — Cartesian product.
+pub fn product(left: &Relation, right: &Relation, name: &str) -> Relation {
+    let schema = concat_schema(name, left, right);
+    let mut out = Relation::new(schema);
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            let _ = out.insert(lt.concat(rt));
+        }
+    }
+    out
+}
+
+/// ⋈ — equi-join on pairs of component names `(left_attr, right_attr)`.
+///
+/// Implemented as a hash join: the smaller input is built into a hash table
+/// keyed on its join components, the larger input probes it.
+pub fn equi_join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(&str, &str)],
+    name: &str,
+) -> Result<Relation, RelationError> {
+    let mut lcols = Vec::with_capacity(on.len());
+    let mut rcols = Vec::with_capacity(on.len());
+    for (l, r) in on {
+        lcols.push(left.schema().require_attr(l)?);
+        rcols.push(right.schema().require_attr(r)?);
+    }
+    let schema = concat_schema(name, left, right);
+    let mut out = Relation::new(schema);
+
+    // Build on the smaller side.
+    if left.cardinality() <= right.cardinality() {
+        let mut table: HashMap<Key, Vec<&Tuple>> = HashMap::new();
+        for t in left.tuples() {
+            let k = Key::new(lcols.iter().map(|&c| t.get(c).clone()).collect());
+            table.entry(k).or_default().push(t);
+        }
+        for rt in right.tuples() {
+            let k = Key::new(rcols.iter().map(|&c| rt.get(c).clone()).collect());
+            if let Some(matches) = table.get(&k) {
+                for lt in matches {
+                    let _ = out.insert(lt.concat(rt));
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<Key, Vec<&Tuple>> = HashMap::new();
+        for t in right.tuples() {
+            let k = Key::new(rcols.iter().map(|&c| t.get(c).clone()).collect());
+            table.entry(k).or_default().push(t);
+        }
+        for lt in left.tuples() {
+            let k = Key::new(lcols.iter().map(|&c| lt.get(c).clone()).collect());
+            if let Some(matches) = table.get(&k) {
+                for rt in matches {
+                    let _ = out.insert(lt.concat(rt));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// θ-join: join on an arbitrary comparison between one component of each
+/// side.  Used for non-equality dyadic join terms such as `p.penr <> e.enr`.
+pub fn theta_join(
+    left: &Relation,
+    right: &Relation,
+    left_attr: &str,
+    op: CompareOp,
+    right_attr: &str,
+    name: &str,
+) -> Result<Relation, RelationError> {
+    let lc = left.schema().require_attr(left_attr)?;
+    let rc = right.schema().require_attr(right_attr)?;
+    let schema = concat_schema(name, left, right);
+    let mut out = Relation::new(schema);
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            if op.eval(lt.get(lc), rt.get(rc))? {
+                let _ = out.insert(lt.concat(rt));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — union of union-compatible relations.
+pub fn union(left: &Relation, right: &Relation, name: &str) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible {
+            detail: format!("union of {} and {}", left.name(), right.name()),
+        });
+    }
+    let schema = RelationSchema::all_key(name.to_string(), left.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in left.tuples().chain(right.tuples()) {
+        let _ = out.insert(t.clone());
+    }
+    Ok(out)
+}
+
+/// ∪ — union of an arbitrary number of union-compatible relations (the
+/// paper's "union operation on all these sets of n-tuples").
+pub fn union_all<'a>(
+    relations: impl IntoIterator<Item = &'a Relation>,
+    name: &str,
+) -> Result<Relation, RelationError> {
+    let mut iter = relations.into_iter();
+    let first = iter.next().ok_or_else(|| RelationError::InvalidOperation {
+        detail: "union of zero relations".to_string(),
+    })?;
+    let mut acc = union(first, first, name)?; // copy with set semantics
+    for rel in iter {
+        acc = union(&acc, rel, name)?;
+    }
+    Ok(acc)
+}
+
+/// − — set difference of union-compatible relations.
+pub fn difference(
+    left: &Relation,
+    right: &Relation,
+    name: &str,
+) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible {
+            detail: format!("difference of {} and {}", left.name(), right.name()),
+        });
+    }
+    let right_set: HashSet<&Tuple> = right.tuples().collect();
+    let schema = RelationSchema::all_key(name.to_string(), left.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in left.tuples() {
+        if !right_set.contains(t) {
+            let _ = out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// ∩ — intersection of union-compatible relations.
+pub fn intersection(
+    left: &Relation,
+    right: &Relation,
+    name: &str,
+) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible {
+            detail: format!("intersection of {} and {}", left.name(), right.name()),
+        });
+    }
+    let right_set: HashSet<&Tuple> = right.tuples().collect();
+    let schema = RelationSchema::all_key(name.to_string(), left.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in left.tuples() {
+        if right_set.contains(t) {
+            let _ = out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// ⋉ — semijoin: elements of `left` that join with at least one element of
+/// `right` on the given equi-join components.  This is the operation the
+/// paper relates Strategy 4 to ("semi-join techniques ... interpreted from a
+/// general first-order predicate calculus point of view").
+pub fn semijoin(
+    left: &Relation,
+    right: &Relation,
+    on: &[(&str, &str)],
+    name: &str,
+) -> Result<Relation, RelationError> {
+    let mut lcols = Vec::with_capacity(on.len());
+    let mut rcols = Vec::with_capacity(on.len());
+    for (l, r) in on {
+        lcols.push(left.schema().require_attr(l)?);
+        rcols.push(right.schema().require_attr(r)?);
+    }
+    let mut table: HashSet<Key> = HashSet::new();
+    for t in right.tuples() {
+        table.insert(Key::new(rcols.iter().map(|&c| t.get(c).clone()).collect()));
+    }
+    let schema = RelationSchema::all_key(name.to_string(), left.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in left.tuples() {
+        let k = Key::new(lcols.iter().map(|&c| t.get(c).clone()).collect());
+        if table.contains(&k) {
+            let _ = out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// ▷ — antijoin: elements of `left` that join with *no* element of `right`.
+pub fn antijoin(
+    left: &Relation,
+    right: &Relation,
+    on: &[(&str, &str)],
+    name: &str,
+) -> Result<Relation, RelationError> {
+    let mut lcols = Vec::with_capacity(on.len());
+    let mut rcols = Vec::with_capacity(on.len());
+    for (l, r) in on {
+        lcols.push(left.schema().require_attr(l)?);
+        rcols.push(right.schema().require_attr(r)?);
+    }
+    let mut table: HashSet<Key> = HashSet::new();
+    for t in right.tuples() {
+        table.insert(Key::new(rcols.iter().map(|&c| t.get(c).clone()).collect()));
+    }
+    let schema = RelationSchema::all_key(name.to_string(), left.schema().attributes.clone());
+    let mut out = Relation::new(schema);
+    for t in left.tuples() {
+        let k = Key::new(lcols.iter().map(|&c| t.get(c).clone()).collect());
+        if !table.contains(&k) {
+            let _ = out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// ÷ — relational division, the algebraic counterpart of universal
+/// quantification (Codd; used in the paper's combination phase for `ALL`).
+///
+/// `dividend` has components split into *kept* components (named by
+/// `keep_attrs`) and *divided* components (named by `div_attrs`);
+/// `divisor` supplies the set of required values via `divisor_attrs`
+/// (pairwise type-compatible with `div_attrs`).  The result contains the
+/// kept-component combinations that co-occur with **every** element of the
+/// divisor.
+///
+/// If the divisor is empty, every kept-component combination of the dividend
+/// qualifies (and if the dividend is also empty, the result is empty) — the
+/// adaptation for genuinely empty ranges is handled before division by the
+/// standard-form adaptation of Lemma 1.
+pub fn divide(
+    dividend: &Relation,
+    keep_attrs: &[&str],
+    div_attrs: &[&str],
+    divisor: &Relation,
+    divisor_attrs: &[&str],
+    name: &str,
+) -> Result<Relation, RelationError> {
+    if div_attrs.len() != divisor_attrs.len() {
+        return Err(RelationError::InvalidOperation {
+            detail: "division: divided and divisor component lists differ in length".to_string(),
+        });
+    }
+    let mut keep_cols = Vec::with_capacity(keep_attrs.len());
+    for a in keep_attrs {
+        keep_cols.push(dividend.schema().require_attr(a)?);
+    }
+    let mut div_cols = Vec::with_capacity(div_attrs.len());
+    for a in div_attrs {
+        div_cols.push(dividend.schema().require_attr(a)?);
+    }
+    let mut divisor_cols = Vec::with_capacity(divisor_attrs.len());
+    for a in divisor_attrs {
+        divisor_cols.push(divisor.schema().require_attr(a)?);
+    }
+
+    // Required set of divided values.
+    let mut required: HashSet<Key> = HashSet::new();
+    for t in divisor.tuples() {
+        required.insert(Key::new(
+            divisor_cols.iter().map(|&c| t.get(c).clone()).collect(),
+        ));
+    }
+
+    // Group the dividend by kept components, collecting the divided values
+    // seen for each group.
+    let mut groups: HashMap<Key, HashSet<Key>> = HashMap::new();
+    for t in dividend.tuples() {
+        let kept = Key::new(keep_cols.iter().map(|&c| t.get(c).clone()).collect());
+        let divided = Key::new(div_cols.iter().map(|&c| t.get(c).clone()).collect());
+        groups.entry(kept).or_default().insert(divided);
+    }
+
+    let schema = dividend.schema().project(&keep_cols, name.to_string());
+    let mut out = Relation::new(schema);
+    for (kept, seen) in groups {
+        if required.iter().all(|r| seen.contains(r)) {
+            let _ = out.insert(Tuple::new(kept.0.into_vec()));
+        }
+    }
+    Ok(out)
+}
+
+/// Renames a relation (schema name only; component names are preserved).
+pub fn rename(rel: &Relation, name: &str) -> Relation {
+    let schema = Arc::new(RelationSchema {
+        name: Arc::from(name),
+        attributes: rel.schema().attributes.clone(),
+        key: rel.schema().key.clone(),
+    });
+    let mut out = Relation::new(schema);
+    for t in rel.tuples() {
+        let _ = out.insert(t.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use crate::value::ValueType;
+
+    fn rel(name: &str, attrs: &[&str], rows: &[&[i64]]) -> Relation {
+        let schema = RelationSchema::all_key(
+            name.to_string(),
+            attrs
+                .iter()
+                .map(|a| Attribute::new(a.to_string(), ValueType::int()))
+                .collect(),
+        );
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.insert(Tuple::new(row.iter().map(|&v| Value::int(v)).collect()))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn select_by_predicate_and_comparison() {
+        let r = rel("r", &["a", "b"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let s = select(&r, "s", |t| t.get(0).as_int().unwrap() >= 2);
+        assert_eq!(s.cardinality(), 2);
+        let s2 = select_compare(&r, "s2", "b", CompareOp::Le, &Value::int(20)).unwrap();
+        assert_eq!(s2.cardinality(), 2);
+        assert!(select_compare(&r, "bad", "z", CompareOp::Eq, &Value::int(1)).is_err());
+        assert!(select_compare(&r, "bad", "b", CompareOp::Eq, &Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn projection_removes_duplicates() {
+        let r = rel("r", &["a", "b"], &[&[1, 10], &[1, 20], &[2, 10]]);
+        let p = project(&r, "p", &["a"]).unwrap();
+        assert_eq!(p.cardinality(), 2);
+        assert!(project(&r, "p", &["nosuch"]).is_err());
+        let pi = project_indices(&r, "pi", &[1]).unwrap();
+        assert_eq!(pi.cardinality(), 2);
+        assert!(project_indices(&r, "pi", &[7]).is_err());
+    }
+
+    #[test]
+    fn product_has_cross_cardinality() {
+        let a = rel("a", &["x"], &[&[1], &[2]]);
+        let b = rel("b", &["y"], &[&[10], &[20], &[30]]);
+        let p = product(&a, &b, "axb");
+        assert_eq!(p.cardinality(), 6);
+        assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn product_disambiguates_clashing_names() {
+        let a = rel("a", &["x"], &[&[1]]);
+        let b = rel("b", &["x"], &[&[2]]);
+        let p = product(&a, &b, "axb");
+        assert_eq!(p.schema().attributes[0].name.as_ref(), "x");
+        assert_eq!(p.schema().attributes[1].name.as_ref(), "b_x");
+    }
+
+    #[test]
+    fn equi_join_matches_on_components() {
+        let c = rel("courses", &["cnr", "clevel"], &[&[10, 1], &[11, 3], &[12, 2]]);
+        let t = rel(
+            "timetable",
+            &["tenr", "tcnr"],
+            &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]],
+        );
+        let j = equi_join(&c, &t, &[("cnr", "tcnr")], "ct").unwrap();
+        assert_eq!(j.cardinality(), 4);
+        assert_eq!(j.schema().arity(), 4);
+        // Join in the other direction (build side swaps) gives the same count.
+        let j2 = equi_join(&t, &c, &[("tcnr", "cnr")], "tc").unwrap();
+        assert_eq!(j2.cardinality(), 4);
+        assert!(equi_join(&c, &t, &[("nosuch", "tcnr")], "x").is_err());
+    }
+
+    #[test]
+    fn theta_join_supports_inequality() {
+        let a = rel("a", &["x"], &[&[1], &[2], &[3]]);
+        let b = rel("b", &["y"], &[&[2]]);
+        let j = theta_join(&a, &b, "x", CompareOp::Ne, "y", "j").unwrap();
+        assert_eq!(j.cardinality(), 2);
+        let j2 = theta_join(&a, &b, "x", CompareOp::Lt, "y", "j2").unwrap();
+        assert_eq!(j2.cardinality(), 1);
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a = rel("a", &["x"], &[&[1], &[2], &[3]]);
+        let b = rel("b", &["x"], &[&[3], &[4]]);
+        assert_eq!(union(&a, &b, "u").unwrap().cardinality(), 4);
+        assert_eq!(difference(&a, &b, "d").unwrap().cardinality(), 2);
+        assert_eq!(intersection(&a, &b, "i").unwrap().cardinality(), 1);
+        let c = rel("c", &["x", "y"], &[&[1, 2]]);
+        assert!(union(&a, &c, "u").is_err());
+        assert!(difference(&a, &c, "d").is_err());
+        assert!(intersection(&a, &c, "i").is_err());
+    }
+
+    #[test]
+    fn union_all_folds_many_relations() {
+        let a = rel("a", &["x"], &[&[1]]);
+        let b = rel("b", &["x"], &[&[2]]);
+        let c = rel("c", &["x"], &[&[1], &[3]]);
+        let u = union_all([&a, &b, &c], "u").unwrap();
+        assert_eq!(u.cardinality(), 3);
+        assert!(union_all(std::iter::empty::<&Relation>(), "u").is_err());
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition_the_left() {
+        let e = rel("e", &["enr"], &[&[1], &[2], &[3]]);
+        let t = rel("t", &["tenr"], &[&[1], &[1], &[3]]);
+        let sj = semijoin(&e, &t, &[("enr", "tenr")], "sj").unwrap();
+        let aj = antijoin(&e, &t, &[("enr", "tenr")], "aj").unwrap();
+        assert_eq!(sj.cardinality(), 2);
+        assert_eq!(aj.cardinality(), 1);
+        assert_eq!(sj.cardinality() + aj.cardinality(), e.cardinality());
+        assert!(semijoin(&e, &t, &[("bad", "tenr")], "x").is_err());
+        assert!(antijoin(&e, &t, &[("enr", "bad")], "x").is_err());
+    }
+
+    #[test]
+    fn division_requires_all_divisor_values() {
+        // enrolled(student, course) ÷ required(course)
+        let enrolled = rel(
+            "enrolled",
+            &["s", "c"],
+            &[&[1, 10], &[1, 11], &[2, 10], &[3, 10], &[3, 11], &[3, 12]],
+        );
+        let required = rel("required", &["c"], &[&[10], &[11]]);
+        let d = divide(&enrolled, &["s"], &["c"], &required, &["c"], "d").unwrap();
+        let students: HashSet<i64> = d.tuples().map(|t| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(students, HashSet::from([1, 3]));
+    }
+
+    #[test]
+    fn division_by_empty_divisor_keeps_all_groups() {
+        let enrolled = rel("enrolled", &["s", "c"], &[&[1, 10], &[2, 11]]);
+        let empty = rel("required", &["c"], &[]);
+        let d = divide(&enrolled, &["s"], &["c"], &empty, &["c"], "d").unwrap();
+        assert_eq!(d.cardinality(), 2);
+        // Empty dividend stays empty regardless of divisor.
+        let no_rows = rel("enrolled", &["s", "c"], &[]);
+        let d2 = divide(&no_rows, &["s"], &["c"], &empty, &["c"], "d2").unwrap();
+        assert_eq!(d2.cardinality(), 0);
+    }
+
+    #[test]
+    fn division_errors_on_mismatched_component_lists() {
+        let enrolled = rel("enrolled", &["s", "c"], &[&[1, 10]]);
+        let required = rel("required", &["c"], &[&[10]]);
+        assert!(divide(&enrolled, &["s"], &["c"], &required, &[], "d").is_err());
+        assert!(divide(&enrolled, &["s"], &["z"], &required, &["c"], "d").is_err());
+        assert!(divide(&enrolled, &["z"], &["c"], &required, &["c"], "d").is_err());
+        assert!(divide(&enrolled, &["s"], &["c"], &required, &["z"], "d").is_err());
+    }
+
+    #[test]
+    fn rename_keeps_contents() {
+        let a = rel("a", &["x"], &[&[1], &[2]]);
+        let b = rename(&a, "b");
+        assert_eq!(b.name(), "b");
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn division_equivalent_to_double_negation_formulation() {
+        // π_keep(R) - π_keep((π_keep(R) × S) - R), the classical definition,
+        // must agree with our grouped implementation on random-ish data.
+        let r = rel(
+            "r",
+            &["a", "b"],
+            &[
+                &[1, 1],
+                &[1, 2],
+                &[1, 3],
+                &[2, 1],
+                &[2, 3],
+                &[3, 2],
+                &[4, 1],
+                &[4, 2],
+                &[4, 3],
+                &[4, 4],
+            ],
+        );
+        let s = rel("s", &["b"], &[&[1], &[2], &[3]]);
+        let ours = divide(&r, &["a"], &["b"], &s, &["b"], "ours").unwrap();
+
+        let pa = project(&r, "pa", &["a"]).unwrap();
+        let cross = product(&pa, &s, "cross");
+        let missing = difference(&cross, &r, "missing").unwrap();
+        let missing_a = project(&missing, "ma", &["a"]).unwrap();
+        let classical = difference(&pa, &missing_a, "classical").unwrap();
+        assert!(ours.set_eq(&classical));
+    }
+}

@@ -1,0 +1,520 @@
+//! The `Relation` container: a keyed set of identically structured elements.
+//!
+//! A PASCAL/R `RELATION` holds a variable number of elements with set
+//! semantics and a declared key.  This module provides:
+//!
+//! * element insertion `:+`, deletion `:-` and whole-relation assignment,
+//! * the key-oriented selector `rel[keyval]` ("selected variables"),
+//! * stable element references `@rel[keyval]` ([`ElemRef`]) and their
+//!   dereferencing,
+//! * iteration in `FOR EACH r IN rel` order (insertion order of live
+//!   elements).
+//!
+//! Row slots are never reused while an element is live, and deleting an
+//! element leaves a tombstone so that dangling references are detected
+//! rather than silently resolving to a different element.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::refs::{ElemRef, RelId, RowId};
+use crate::schema::{Key, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Result of an `:+` insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The element was new and has been added.
+    Inserted(ElemRef),
+    /// An identical element (same key, same components) was already present;
+    /// set semantics make this a no-op.
+    AlreadyPresent(ElemRef),
+}
+
+impl InsertOutcome {
+    /// The reference of the (new or pre-existing) element.
+    pub fn elem_ref(&self) -> ElemRef {
+        match self {
+            InsertOutcome::Inserted(r) | InsertOutcome::AlreadyPresent(r) => *r,
+        }
+    }
+
+    /// Whether a new element was actually added.
+    pub fn was_inserted(&self) -> bool {
+        matches!(self, InsertOutcome::Inserted(_))
+    }
+}
+
+/// A relation variable: schema plus current element set.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<RelationSchema>,
+    id: RelId,
+    rows: Vec<Option<Tuple>>,
+    key_index: HashMap<Key, RowId>,
+    live: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema, not registered in
+    /// any catalog (`RelId::DETACHED`).
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        Relation {
+            schema,
+            id: RelId::DETACHED,
+            rows: Vec::new(),
+            key_index: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty relation registered under `id` (used by the catalog).
+    pub fn with_id(schema: Arc<RelationSchema>, id: RelId) -> Self {
+        Relation {
+            schema,
+            id,
+            rows: Vec::new(),
+            key_index: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates a relation pre-populated from an iterator of tuples.
+    pub fn from_tuples(
+        schema: Arc<RelationSchema>,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelationError> {
+        let mut rel = Relation::new(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The relation's catalog id (or [`RelId::DETACHED`]).
+    pub fn id(&self) -> RelId {
+        self.id
+    }
+
+    /// Sets the catalog id; used when a relation is registered.
+    pub fn set_id(&mut self, id: RelId) {
+        self.id = id;
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of live elements.
+    pub fn cardinality(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the relation is empty (`rel = []`), the case Lemma 1 cares
+    /// about.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of row slots ever allocated (live + tombstones); useful for
+    /// storage accounting.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Inserts an element (`rel :+ [tuple]`).
+    ///
+    /// * If an identical element is already present this is a no-op.
+    /// * If an element with the same key but different non-key components is
+    ///   present, a [`RelationError::KeyViolation`] is returned.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<InsertOutcome, RelationError> {
+        self.schema.check_tuple(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        if let Some(&row) = self.key_index.get(&key) {
+            let existing = self.rows[row.0 as usize]
+                .as_ref()
+                .expect("key index points at live row");
+            if *existing == tuple {
+                return Ok(InsertOutcome::AlreadyPresent(ElemRef::new(self.id, row)));
+            }
+            return Err(RelationError::KeyViolation {
+                relation: self.schema.name.to_string(),
+                key: key.to_string(),
+            });
+        }
+        let row = RowId(self.rows.len() as u32);
+        self.rows.push(Some(tuple));
+        self.key_index.insert(key, row);
+        self.live += 1;
+        Ok(InsertOutcome::Inserted(ElemRef::new(self.id, row)))
+    }
+
+    /// Inserts all elements of an iterator, stopping at the first error.
+    pub fn insert_all(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, RelationError> {
+        let mut inserted = 0;
+        for t in tuples {
+            if self.insert(t)?.was_inserted() {
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Deletes the element with the given key (`rel :- [rel[key]]`).
+    ///
+    /// Returns `true` if an element was removed.
+    pub fn delete_key(&mut self, key: &Key) -> bool {
+        if let Some(row) = self.key_index.remove(key) {
+            self.rows[row.0 as usize] = None;
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all elements, keeping the schema.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.key_index.clear();
+        self.live = 0;
+    }
+
+    /// The key-oriented selector `rel[keyval]`: the element with key `key`.
+    pub fn select_by_key(&self, key: &Key) -> Option<&Tuple> {
+        self.key_index
+            .get(key)
+            .and_then(|row| self.rows[row.0 as usize].as_ref())
+    }
+
+    /// The reference `@rel[keyval]` to the element with key `key`.
+    pub fn ref_by_key(&self, key: &Key) -> Option<ElemRef> {
+        self.key_index.get(key).map(|&row| ElemRef::new(self.id, row))
+    }
+
+    /// Dereferences an element reference produced by this relation.
+    ///
+    /// Fails if the reference belongs to another relation or the element has
+    /// been deleted since the reference was taken.
+    pub fn deref(&self, elem_ref: ElemRef) -> Result<&Tuple, RelationError> {
+        if elem_ref.rel != self.id {
+            return Err(RelationError::DanglingReference {
+                detail: format!(
+                    "reference {elem_ref} does not belong to relation {} ({})",
+                    self.schema.name, self.id
+                ),
+            });
+        }
+        self.rows
+            .get(elem_ref.row.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or_else(|| RelationError::DanglingReference {
+                detail: format!(
+                    "reference {elem_ref} in relation {} points at a deleted element",
+                    self.schema.name
+                ),
+            })
+    }
+
+    /// The tuple stored at a row slot, if live (id-agnostic variant of
+    /// [`Relation::deref`] used by detached intermediate relations).
+    pub fn row(&self, row: RowId) -> Option<&Tuple> {
+        self.rows.get(row.0 as usize).and_then(|slot| slot.as_ref())
+    }
+
+    /// Iterates over `(reference, element)` pairs in insertion order
+    /// (`FOR EACH r IN rel`).
+    pub fn iter(&self) -> impl Iterator<Item = (ElemRef, &Tuple)> + '_ {
+        let id = self.id;
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| {
+                slot.as_ref()
+                    .map(|t| (ElemRef::new(id, RowId(i as u32)), t))
+            })
+    }
+
+    /// Iterates over the elements only.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// Collects the elements into a vector (mostly for tests and display).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.tuples().cloned().collect()
+    }
+
+    /// Whether an identical element is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        let key = self.schema.key_of(tuple);
+        self.select_by_key(&key).is_some_and(|t| t == tuple)
+    }
+
+    /// Reads the named component of the element referenced by `elem_ref`.
+    pub fn component(&self, elem_ref: ElemRef, attr: &str) -> Result<&Value, RelationError> {
+        let idx = self.schema.require_attr(attr)?;
+        Ok(self.deref(elem_ref)?.get(idx))
+    }
+
+    /// Set-equality of the element sets of two relations (schemas must be
+    /// union-compatible; component names are ignored).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        if !self.schema.union_compatible(&other.schema) {
+            return false;
+        }
+        if self.cardinality() != other.cardinality() {
+            return false;
+        }
+        self.tuples().all(|t| other.contains_compatible(t))
+    }
+
+    fn contains_compatible(&self, tuple: &Tuple) -> bool {
+        // `tuple` comes from a union-compatible relation; compare on key
+        // extracted through *our* schema.
+        let key = self.schema.key_of(tuple);
+        self.select_by_key(&key).is_some_and(|t| t == tuple)
+    }
+
+    /// Replaces the whole element set by that of `other` (PASCAL/R relation
+    /// assignment `rel := expr`).  The schemas must be union-compatible.
+    pub fn assign_from(&mut self, other: &Relation) -> Result<(), RelationError> {
+        if !self.schema.union_compatible(other.schema()) {
+            return Err(RelationError::Incompatible {
+                detail: format!(
+                    "cannot assign {} (arity {}) to {} (arity {})",
+                    other.name(),
+                    other.schema.arity(),
+                    self.name(),
+                    self.schema.arity()
+                ),
+            });
+        }
+        self.clear();
+        for t in other.tuples() {
+            self.insert(t.clone())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} element(s))", self.schema.name, self.cardinality())?;
+        let mut header = String::new();
+        for (i, a) in self.schema.attributes.iter().enumerate() {
+            if i > 0 {
+                header.push_str(" | ");
+            }
+            header.push_str(&a.name);
+        }
+        writeln!(f, "  {header}")?;
+        for t in self.tuples() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use crate::value::{EnumType, ValueType};
+
+    fn employees() -> Relation {
+        let status = EnumType::new(
+            "statustype",
+            ["student", "technician", "assistant", "professor"],
+        );
+        let schema = RelationSchema::new(
+            "employees",
+            vec![
+                Attribute::new("enr", ValueType::subrange(1, 99)),
+                Attribute::new("ename", ValueType::string(10)),
+                Attribute::new("estatus", ValueType::Enum(status.clone())),
+            ],
+            &["enr"],
+        )
+        .unwrap();
+        let mut rel = Relation::with_id(schema, RelId(1));
+        rel.insert(Tuple::new(vec![
+            Value::int(10),
+            Value::str("Abel"),
+            status.value("professor").unwrap(),
+        ]))
+        .unwrap();
+        rel.insert(Tuple::new(vec![
+            Value::int(20),
+            Value::str("Highman"),
+            status.value("technician").unwrap(),
+        ]))
+        .unwrap();
+        rel
+    }
+
+    #[test]
+    fn insert_and_cardinality() {
+        let rel = employees();
+        assert_eq!(rel.cardinality(), 2);
+        assert!(!rel.is_empty());
+        assert_eq!(rel.slot_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop_and_key_violation_is_error() {
+        let mut rel = employees();
+        let status = EnumType::new(
+            "statustype",
+            ["student", "technician", "assistant", "professor"],
+        );
+        let dup = Tuple::new(vec![
+            Value::int(20),
+            Value::str("Highman"),
+            status.value("technician").unwrap(),
+        ]);
+        let outcome = rel.insert(dup).unwrap();
+        assert!(!outcome.was_inserted());
+        assert_eq!(rel.cardinality(), 2);
+
+        let conflict = Tuple::new(vec![
+            Value::int(20),
+            Value::str("Lowman"),
+            status.value("student").unwrap(),
+        ]);
+        assert!(matches!(
+            rel.insert(conflict),
+            Err(RelationError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn selected_variable_access_by_key() {
+        let rel = employees();
+        let key = Key::single(20i64);
+        let t = rel.select_by_key(&key).unwrap();
+        assert_eq!(t.get(1), &Value::str("Highman"));
+        assert!(rel.select_by_key(&Key::single(99i64)).is_none());
+    }
+
+    #[test]
+    fn references_resolve_and_detect_dangling() {
+        let mut rel = employees();
+        let key = Key::single(20i64);
+        let r = rel.ref_by_key(&key).unwrap();
+        assert_eq!(rel.deref(r).unwrap().get(1), &Value::str("Highman"));
+        assert_eq!(
+            rel.component(r, "ename").unwrap(),
+            &Value::str("Highman")
+        );
+        assert!(rel.component(r, "salary").is_err());
+
+        assert!(rel.delete_key(&key));
+        assert!(rel.deref(r).is_err(), "deleted element must not resolve");
+        assert_eq!(rel.cardinality(), 1);
+
+        // Reference from another relation id is rejected.
+        let foreign = ElemRef::new(RelId(77), RowId(0));
+        assert!(rel.deref(foreign).is_err());
+    }
+
+    #[test]
+    fn row_slots_are_not_reused_after_delete() {
+        let mut rel = employees();
+        let key = Key::single(20i64);
+        let before = rel.ref_by_key(&key).unwrap();
+        rel.delete_key(&key);
+        let status = EnumType::new(
+            "statustype",
+            ["student", "technician", "assistant", "professor"],
+        );
+        let out = rel
+            .insert(Tuple::new(vec![
+                Value::int(30),
+                Value::str("Newman"),
+                status.value("assistant").unwrap(),
+            ]))
+            .unwrap();
+        assert_ne!(out.elem_ref().row, before.row);
+        assert!(rel.deref(before).is_err());
+    }
+
+    #[test]
+    fn iteration_in_insertion_order() {
+        let rel = employees();
+        let names: Vec<_> = rel
+            .tuples()
+            .map(|t| t.get(1).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["Abel", "Highman"]);
+        let refs: Vec<_> = rel.iter().map(|(r, _)| r.row.0).collect();
+        assert_eq!(refs, vec![0, 1]);
+    }
+
+    #[test]
+    fn set_equality_and_assignment() {
+        let a = employees();
+        let mut b = Relation::with_id(a.schema().clone(), RelId(9));
+        assert!(!a.set_eq(&b));
+        b.assign_from(&a).unwrap();
+        assert!(a.set_eq(&b));
+        assert!(b.set_eq(&a));
+        b.delete_key(&Key::single(10i64));
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn assignment_requires_compatible_schema() {
+        let a = employees();
+        let other_schema = RelationSchema::all_key(
+            "unary",
+            vec![Attribute::new("x", ValueType::int())],
+        );
+        let mut b = Relation::new(other_schema);
+        assert!(b.assign_from(&a).is_err());
+    }
+
+    #[test]
+    fn clear_empties_the_relation() {
+        let mut rel = employees();
+        rel.clear();
+        assert!(rel.is_empty());
+        assert_eq!(rel.cardinality(), 0);
+    }
+
+    #[test]
+    fn from_tuples_builds_a_relation() {
+        let schema = RelationSchema::all_key(
+            "nums",
+            vec![Attribute::new("n", ValueType::int())],
+        );
+        let rel = Relation::from_tuples(
+            schema,
+            (1..=5).map(|i| Tuple::new(vec![Value::int(i)])),
+        )
+        .unwrap();
+        assert_eq!(rel.cardinality(), 5);
+        assert!(rel.contains(&Tuple::new(vec![Value::int(3)])));
+    }
+
+    #[test]
+    fn display_contains_header_and_rows() {
+        let rel = employees();
+        let s = rel.to_string();
+        assert!(s.contains("employees (2 element(s))"));
+        assert!(s.contains("enr | ename | estatus"));
+        assert!(s.contains("'Abel'"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Tuples (relation elements).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A relation element: an ordered list of component values.
+///
+/// Tuples are immutable once constructed; updates in PASCAL/R are expressed
+/// as deletion plus insertion (or assignment of a whole new relation value),
+/// which keeps element references stable for live elements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from component values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The component at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds; callers are expected to have
+    /// validated attribute indices against the schema.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// The component at `idx`, if present.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// All components.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Builds a new tuple containing the components at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (used by joins and Cartesian products).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Builds a tuple from anything convertible to values.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::int(20), Value::str("Highman")]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), &Value::int(20));
+        assert_eq!(t.try_get(1), Some(&Value::str("Highman")));
+        assert_eq!(t.try_get(2), None);
+        assert_eq!(t.values().len(), 2);
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = Tuple::new(vec![Value::int(1), Value::int(2), Value::int(3)]);
+        let p = t.project(&[2, 0, 2]);
+        assert_eq!(
+            p.values(),
+            &[Value::int(3), Value::int(1), Value::int(3)]
+        );
+    }
+
+    #[test]
+    fn concat_joins_component_lists() {
+        let a = Tuple::new(vec![Value::int(1)]);
+        let b = Tuple::new(vec![Value::str("x"), Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(1), &Value::str("x"));
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        let t = Tuple::new(vec![Value::int(20), Value::str("Highman")]);
+        assert_eq!(t.to_string(), "<20, 'Highman'>");
+    }
+
+    #[test]
+    fn tuple_macro_converts_values() {
+        let t = tuple![20, "Highman", true];
+        assert_eq!(t.get(0), &Value::int(20));
+        assert_eq!(t.get(1), &Value::str("Highman"));
+        assert_eq!(t.get(2), &Value::Bool(true));
+    }
+}

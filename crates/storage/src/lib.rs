@@ -1,0 +1,12 @@
+//! `pascalr-storage`: paged access simulation and the metrics registry used
+//! to reproduce the paper's cost arguments (relation reads, intermediate
+//! structure sizes, comparison counts) in measurable form.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod pages;
+
+pub use metrics::{Counters, Metrics, MetricsSnapshot, Phase};
+pub use pages::PageModel;

@@ -1,0 +1,16 @@
+//! `pascalr-workload`: the synthetic university database of Figure 1 (exact
+//! and scaled variants), the paper's query suite plus an extended workload,
+//! and the brute-force oracle used to validate every execution strategy.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod oracle;
+pub mod queries;
+pub mod university;
+
+pub use oracle::{oracle_eval, CatalogProvider};
+pub use queries::{all_queries, extended_workload, paper_queries, query_by_id, QuerySpec};
+pub use university::{
+    clear_relation, figure1_catalog, figure1_sample_database, generate, UniversityConfig,
+};

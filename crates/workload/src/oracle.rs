@@ -1,0 +1,87 @@
+//! Brute-force oracle evaluation of selections against a catalog.
+//!
+//! The optimized planner/executor pipeline is validated against the defining
+//! semantics of the calculus ([`pascalr_calculus::semantics`]); this module
+//! adapts a [`Catalog`] to the [`RelationProvider`] trait and handles the one
+//! runtime concern the defining semantics does not: empty range relations
+//! never need adaptation here because the brute-force evaluator implements
+//! the original (un-normalized) formula directly.
+
+use pascalr_calculus::{eval_selection, CalculusError, RelationProvider, Selection};
+use pascalr_catalog::Catalog;
+use pascalr_relation::Relation;
+
+/// Adapter exposing a catalog's relations to the calculus semantics.
+pub struct CatalogProvider<'a>(pub &'a Catalog);
+
+impl RelationProvider for CatalogProvider<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.0.relation(name).ok()
+    }
+}
+
+/// Evaluates a selection by the defining (brute-force) semantics against a
+/// catalog.  This is the correctness oracle for every strategy level.
+pub fn oracle_eval(selection: &Selection, catalog: &Catalog) -> Result<Relation, CalculusError> {
+    eval_selection(selection, &CatalogProvider(catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university::figure1_sample_database;
+    use pascalr_parser::paper::{EXAMPLE_2_1_QUERY, EXAMPLE_4_5_QUERY, EXAMPLE_4_7_QUERY};
+    use pascalr_parser::parse_selection;
+
+    #[test]
+    fn example_2_1_oracle_result_on_the_sample_database() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let result = oracle_eval(&sel, &cat).unwrap();
+        // Professors: Abel (10), Baker (11), Cohen (12).
+        //  - Abel published in 1977            → must teach sophomore-or-lower:
+        //    teaches course 50 (freshman) → qualifies.
+        //  - Baker published only in 1976      → qualifies via the ALL branch.
+        //  - Cohen published in 1977           → teaches 53 (senior) and 51
+        //    (sophomore) → qualifies via the SOME branch.
+        let names: std::collections::BTreeSet<String> = result
+            .tuples()
+            .map(|t| t.get(0).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            ["Abel", "Baker", "Cohen"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
+    }
+
+    #[test]
+    fn examples_4_5_and_4_7_agree_with_2_1_when_ranges_are_nonempty() {
+        let cat = figure1_sample_database().unwrap();
+        let q21 = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let q45 = parse_selection(EXAMPLE_4_5_QUERY, &cat).unwrap();
+        let q47 = parse_selection(EXAMPLE_4_7_QUERY, &cat).unwrap();
+        let r21 = oracle_eval(&q21, &cat).unwrap();
+        let r45 = oracle_eval(&q45, &cat).unwrap();
+        let r47 = oracle_eval(&q47, &cat).unwrap();
+        assert!(r21.set_eq(&r45), "Example 4.5 must be equivalent to 2.1");
+        assert!(r21.set_eq(&r47), "Example 4.7 must be equivalent to 2.1");
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = Selection::new(
+            "q",
+            vec![pascalr_calculus::ComponentRef::new("x", "enr")],
+            vec![pascalr_calculus::RangeDecl::new(
+                "x",
+                pascalr_calculus::RangeExpr::relation("nosuch"),
+            )],
+            pascalr_calculus::Formula::truth(),
+        );
+        assert!(oracle_eval(&sel, &cat).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! The query workload: the paper's worked examples plus an extended suite
+//! exercising each optimization strategy and special case.
+//!
+//! Every query is kept as PASCAL/R source text (so the parser is exercised
+//! end-to-end) together with an identifier and a description tying it back to
+//! the paper section or experiment that uses it.
+
+use pascalr_calculus::Selection;
+use pascalr_catalog::Catalog;
+use pascalr_parser::paper::{
+    EXAMPLE_2_1_QUERY, EXAMPLE_3_2_SUBEXPRESSION, EXAMPLE_4_5_QUERY, EXAMPLE_4_7_QUERY,
+};
+use pascalr_parser::{parse_selection, ParseError};
+
+/// A named query of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Short identifier, e.g. `ex2.1` or `q03`.
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// What the query exercises and which experiment uses it.
+    pub description: &'static str,
+    /// PASCAL/R source text.
+    pub text: &'static str,
+}
+
+impl QuerySpec {
+    /// Parses the query against a catalog.
+    pub fn parse(&self, catalog: &Catalog) -> Result<Selection, ParseError> {
+        parse_selection(self.text, catalog)
+    }
+}
+
+/// The paper's own queries (Examples 2.1, 3.2, 4.5, 4.7).
+pub fn paper_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "ex2.1",
+            name: "Example 2.1",
+            description: "professors who did not publish in 1977 or teach a sophomore-level course \
+                          (mixed ALL/SOME query, the paper's running example; experiments E3, E6-E8, E10)",
+            text: EXAMPLE_2_1_QUERY,
+        },
+        QuerySpec {
+            id: "ex3.2",
+            name: "Example 3.2 subexpression",
+            description: "course/timetable pairs with sophomore-level courses \
+                          (single conjunction of one monadic and one dyadic term; experiment E5)",
+            text: EXAMPLE_3_2_SUBEXPRESSION,
+        },
+        QuerySpec {
+            id: "ex4.5",
+            name: "Example 4.5",
+            description: "Example 2.1 after Strategy 3 (extended range expressions), as written in the paper",
+            text: EXAMPLE_4_5_QUERY,
+        },
+        QuerySpec {
+            id: "ex4.7",
+            name: "Example 4.7",
+            description: "Example 4.5 with swapped quantifiers, prepared for Strategy 4 \
+                          (collection-phase quantifier evaluation)",
+            text: EXAMPLE_4_7_QUERY,
+        },
+    ]
+}
+
+/// The extended workload (Q01–Q12) exercising individual features.
+pub fn extended_workload() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            id: "q01",
+            name: "Monadic selection",
+            description: "all professors (single monadic term; baseline for the collection phase)",
+            text: "profs := [<e.enr, e.ename> OF EACH e IN employees: e.estatus = professor]",
+        },
+        QuerySpec {
+            id: "q02",
+            name: "Existential join",
+            description: "employees who currently teach at least one course (single dyadic term under SOME)",
+            text: "teachers := [<e.ename> OF EACH e IN employees: \
+                   SOME t IN timetable (t.tenr = e.enr)]",
+        },
+        QuerySpec {
+            id: "q03",
+            name: "Universal join",
+            description: "employees all of whose papers were published in 1977 \
+                          (universal quantification with a dyadic and a monadic term)",
+            text: "only77 := [<e.ename> OF EACH e IN employees: \
+                   ALL p IN papers ((p.penr <> e.enr) OR (p.pyear = 1977))]",
+        },
+        QuerySpec {
+            id: "q04",
+            name: "Inequality join",
+            description: "employees with a paper published before 1976 (non-equality dyadic term)",
+            text: "early := [<e.ename> OF EACH e IN employees: \
+                   SOME p IN papers ((p.penr = e.enr) AND (p.pyear < 1976))]",
+        },
+        QuerySpec {
+            id: "q05",
+            name: "SOME with < (max value-list reduction)",
+            description: "papers strictly older than some other paper (Strategy 4 keeps only the maximum year)",
+            text: "notnewest := [<p.ptitle> OF EACH p IN papers: \
+                   SOME q IN papers (p.pyear < q.pyear)]",
+        },
+        QuerySpec {
+            id: "q06",
+            name: "ALL with <= (min value-list reduction)",
+            description: "papers no newer than every paper (Strategy 4 keeps only the minimum year)",
+            text: "oldest := [<p.ptitle> OF EACH p IN papers: \
+                   ALL q IN papers (p.pyear <= q.pyear)]",
+        },
+        QuerySpec {
+            id: "q07",
+            name: "ALL with = (single-value reduction)",
+            description: "employees teaching every timetable entry (= combined with ALL stores at most one value)",
+            text: "allteach := [<e.ename> OF EACH e IN employees: \
+                   ALL t IN timetable (e.enr = t.tenr)]",
+        },
+        QuerySpec {
+            id: "q08",
+            name: "SOME with <> (single-value reduction)",
+            description: "employees not teaching some timetable entry (<> combined with SOME stores at most one value)",
+            text: "othersteach := [<e.ename> OF EACH e IN employees: \
+                   SOME t IN timetable (e.enr <> t.tenr)]",
+        },
+        QuerySpec {
+            id: "q09",
+            name: "Pure existential disjunction",
+            description: "professors, or employees teaching course 1 (separable conjunctions; experiment E11)",
+            text: "mixed := [<e.ename> OF EACH e IN employees: \
+                   (e.estatus = professor) OR \
+                   SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = 1))]",
+        },
+        QuerySpec {
+            id: "q10",
+            name: "Negated subformula",
+            description: "employees that are NOT (students teaching nothing) — exercises NNF",
+            text: "active := [<e.ename> OF EACH e IN employees: \
+                   NOT ((e.estatus = student) AND \
+                        NOT SOME t IN timetable (t.tenr = e.enr))]",
+        },
+        QuerySpec {
+            id: "q11",
+            name: "Two free variables",
+            description: "professor/course pairs connected through the timetable (binary result relation)",
+            text: "teaches := [<e.ename, c.cnr> OF EACH e IN employees, EACH c IN courses: \
+                   (e.estatus = professor) AND \
+                   SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = c.cnr))]",
+        },
+        QuerySpec {
+            id: "q12",
+            name: "Universal over restricted range",
+            description: "employees teaching every sophomore-level course (division over an extended range)",
+            text: "covers := [<e.ename> OF EACH e IN employees: \
+                   ALL c IN [EACH c IN courses: c.clevel <= sophomore] \
+                     SOME t IN timetable ((t.tenr = e.enr) AND (t.tcnr = c.cnr))]",
+        },
+    ]
+}
+
+/// Every query of the workload: paper examples first, then the extended
+/// suite.
+pub fn all_queries() -> Vec<QuerySpec> {
+    let mut v = paper_queries();
+    v.extend(extended_workload());
+    v
+}
+
+/// Looks a query up by id.
+pub fn query_by_id(id: &str) -> Option<QuerySpec> {
+    all_queries().into_iter().find(|q| q.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_eval;
+    use crate::university::{figure1_sample_database, generate, UniversityConfig};
+
+    #[test]
+    fn every_query_parses_against_the_figure1_catalog() {
+        let cat = figure1_sample_database().unwrap();
+        for q in all_queries() {
+            q.parse(&cat)
+                .unwrap_or_else(|e| panic!("query {} failed to parse: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn every_query_parses_and_evaluates_against_a_generated_catalog() {
+        let cat = generate(&UniversityConfig::at_scale(1)).unwrap();
+        for q in all_queries() {
+            let sel = q.parse(&cat).unwrap();
+            let result = oracle_eval(&sel, &cat)
+                .unwrap_or_else(|e| panic!("query {} failed to evaluate: {e}", q.id));
+            // Sanity: result arity matches the component selection.
+            assert_eq!(result.schema().arity(), sel.components.len());
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let all = all_queries();
+        let mut ids: Vec<&str> = all.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert!(query_by_id("ex2.1").is_some());
+        assert!(query_by_id("q05").is_some());
+        assert!(query_by_id("zzz").is_none());
+    }
+
+    #[test]
+    fn q05_q06_have_the_expected_semantics() {
+        // On the Figure 1 sample: paper years are 1975, 1976, 1977 (x3).
+        let cat = figure1_sample_database().unwrap();
+        let notnewest = oracle_eval(&query_by_id("q05").unwrap().parse(&cat).unwrap(), &cat).unwrap();
+        // Papers that are not from 1977 (the maximum year): 2 of them.
+        assert_eq!(notnewest.cardinality(), 2);
+        let oldest = oracle_eval(&query_by_id("q06").unwrap().parse(&cat).unwrap(), &cat).unwrap();
+        // Only the single 1975 paper is <= every other year.
+        assert_eq!(oldest.cardinality(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Department report: runs the whole query workload (the paper's examples
+//! plus the extended suite) over a generated university database and prints
+//! a small report per query — the scenario the paper's introduction
+//! motivates (ad-hoc data selection embedded in a host program).
+//!
+//! ```text
+//! cargo run --example department_report [scale]
+//! ```
+
+use pascalr::Database;
+use pascalr_workload::{all_queries, generate, UniversityConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let config = UniversityConfig::at_scale(scale);
+    println!(
+        "Generating the department database at scale {scale}: {} employees, {} papers, {} courses, {} timetable entries",
+        config.employee_count(),
+        config.paper_count(),
+        config.course_count(),
+        config.timetable_count()
+    );
+    let db = Database::from_catalog(generate(&config)?);
+
+    println!(
+        "{:<8} {:<34} {:>8} {:>8} {:>10} {:>12}",
+        "query", "name", "rows", "scans", "tuples", "elapsed"
+    );
+    for spec in all_queries() {
+        let outcome = db.query(spec.text)?;
+        let total = outcome.report.metrics.total();
+        println!(
+            "{:<8} {:<34} {:>8} {:>8} {:>10} {:>12?}",
+            spec.id,
+            spec.name,
+            outcome.result.cardinality(),
+            total.relation_scans,
+            total.tuples_read,
+            outcome.report.elapsed
+        );
+    }
+    Ok(())
+}

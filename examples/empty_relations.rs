@@ -1,0 +1,49 @@
+//! Empty relations and Lemma 1: reproduces the paper's Example 2.2 caveat.
+//!
+//! With `papers = []`, the standard form (which assumes non-empty range
+//! relations) would return *all* employees; the runtime adaptation must
+//! collapse the query to the professor test instead.
+//!
+//! ```text
+//! cargo run --example empty_relations
+//! ```
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+use pascalr_workload::figure1_sample_database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Full database: the three professors qualify (Abel and Cohen via the
+    // sophomore-course branch, Baker via the no-1977-paper branch).
+    let db = Database::from_catalog(figure1_sample_database()?);
+    let full = db.query(EXAMPLE_2_1_QUERY)?;
+    println!("With all relations populated:\n{}", full.result);
+
+    // Now empty the papers relation: `ALL p IN papers (...)` is vacuously
+    // true, so exactly the professors must qualify — no more, no fewer.
+    let mut db = db;
+    db.catalog_mut().relation_mut("papers")?.clear();
+    for level in StrategyLevel::ALL {
+        let outcome = db.query_with(EXAMPLE_2_1_QUERY, level)?;
+        println!(
+            "{}: {} qualifying employees{}",
+            level.short_name(),
+            outcome.result.cardinality(),
+            outcome
+                .report
+                .fallback
+                .as_ref()
+                .map(|f| format!("  [{f}]"))
+                .unwrap_or_default()
+        );
+        assert_eq!(outcome.result.cardinality(), 3);
+    }
+
+    // Emptying courses instead: the universal branch still applies, so only
+    // Baker (who did not publish in 1977) qualifies.
+    let mut db = Database::from_catalog(figure1_sample_database()?);
+    db.catalog_mut().relation_mut("courses")?.clear();
+    let outcome = db.query(EXAMPLE_2_1_QUERY)?;
+    println!("\nWith courses = []:\n{}", outcome.result);
+    Ok(())
+}

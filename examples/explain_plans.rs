@@ -1,0 +1,22 @@
+//! Explain plans: shows how the same query (the paper's Example 2.1) is
+//! transformed as the strategy level increases — the standard form of
+//! Example 2.2, the extended ranges of Example 4.5, and the collection-phase
+//! quantifier steps of Example 4.7.
+//!
+//! ```text
+//! cargo run --example explain_plans
+//! ```
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+use pascalr_workload::figure1_sample_database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::from_catalog(figure1_sample_database()?);
+    println!("Query (Example 2.1):\n{EXAMPLE_2_1_QUERY}\n");
+    for level in StrategyLevel::ALL {
+        println!("================================================================");
+        println!("{}", db.explain(EXAMPLE_2_1_QUERY, level)?);
+    }
+    Ok(())
+}

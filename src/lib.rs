@@ -1,0 +1,12 @@
+//! Top-level crate of the PASCAL/R query-processing reproduction.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library itself lives in the
+//! workspace crates and is re-exported here for convenience:
+//!
+//! * [`pascalr`] — the public facade (`Database`, `StrategyLevel`, reports);
+//! * [`pascalr_workload`] — the Figure 1 university database generator and
+//!   the paper's query suite.
+
+pub use pascalr;
+pub use pascalr_workload;

@@ -1,0 +1,168 @@
+//! End-to-end reproduction of the paper's worked examples (E3, E6–E8, E12)
+//! through the public `Database` facade.
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_calculus::{standardize, Quantifier};
+use pascalr_parser::paper::{EXAMPLE_2_1_QUERY, EXAMPLE_4_5_QUERY, EXAMPLE_4_7_QUERY};
+use pascalr_workload::{figure1_sample_database, generate, oracle_eval, UniversityConfig};
+
+fn sample_db() -> Database {
+    Database::from_catalog(figure1_sample_database().unwrap())
+}
+
+#[test]
+fn example_2_2_standard_form_shape() {
+    // Example 2.1 → Example 2.2: prefix ALL p SOME c SOME t, matrix of three
+    // conjunctions each containing the professor test.
+    let db = sample_db();
+    let sel = db.parse(EXAMPLE_2_1_QUERY).unwrap();
+    let std_sel = standardize(&sel);
+    let prefix: Vec<(Quantifier, &str)> = std_sel
+        .form
+        .prefix
+        .iter()
+        .map(|p| (p.q, p.var.as_ref()))
+        .collect();
+    assert_eq!(
+        prefix,
+        vec![
+            (Quantifier::All, "p"),
+            (Quantifier::Some, "c"),
+            (Quantifier::Some, "t")
+        ]
+    );
+    assert_eq!(std_sel.form.conjunction_count(), 3);
+}
+
+#[test]
+fn examples_2_1_4_5_and_4_7_return_the_same_result() {
+    // The paper's transformed queries are equivalent to the original when
+    // all range relations are non-empty; the library must agree, at every
+    // strategy level, for all three formulations.
+    let db = sample_db();
+    let reference = db
+        .query_with(EXAMPLE_2_1_QUERY, StrategyLevel::S0Baseline)
+        .unwrap()
+        .result;
+    assert_eq!(reference.cardinality(), 3);
+    for query in [EXAMPLE_2_1_QUERY, EXAMPLE_4_5_QUERY, EXAMPLE_4_7_QUERY] {
+        for level in StrategyLevel::ALL {
+            let outcome = db.query_with(query, level).unwrap();
+            assert!(
+                reference.set_eq(&outcome.result),
+                "query formulation differs at {level}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strategy_metrics_reproduce_the_papers_claims() {
+    // E6: with Strategy 1 every relation is read no more than once.
+    // E7: Strategy 3 removes a conjunction and shrinks candidate sets.
+    // E8: Strategy 4 reduces combination-phase work further.
+    // (Scale 1 keeps the baseline's deliberately combinatorial combination
+    // phase fast enough for the test suite; the benches sweep larger scales.)
+    let db = Database::from_catalog(generate(&UniversityConfig::at_scale(1)).unwrap());
+    let outcomes = db.compare_strategies(EXAMPLE_2_1_QUERY).unwrap();
+    let scans: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.report.metrics.total().relation_scans)
+        .collect();
+    let max_scans: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.report.metrics.max_scans_per_relation())
+        .collect();
+    let intermediates: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.report.metrics.total().intermediate_tuples)
+        .collect();
+    let conjunctions: Vec<usize> = outcomes
+        .iter()
+        .map(|o| o.plan.prepared.form.conjunction_count())
+        .collect();
+
+    // Baseline reads relations repeatedly; Strategy 1 reads each exactly once.
+    assert!(scans[0] > scans[1], "scans: {scans:?}");
+    assert_eq!(max_scans[1], 1, "max scans per relation at S1");
+    assert_eq!(max_scans[4], 1, "max scans per relation at S4");
+    // Strategy 3 removes one conjunction (3 → 2).
+    assert_eq!(conjunctions[0], 3);
+    assert_eq!(conjunctions[3], 2);
+    // Intermediate structures shrink monotonically from S1 through S4.
+    assert!(intermediates[2] <= intermediates[1]);
+    assert!(intermediates[3] < intermediates[2], "intermediates: {intermediates:?}");
+    assert!(intermediates[4] < intermediates[0], "intermediates: {intermediates:?}");
+    // Results identical everywhere.
+    for pair in outcomes.windows(2) {
+        assert!(pair[0].result.set_eq(&pair[1].result));
+    }
+}
+
+#[test]
+fn example_4_7_plan_builds_cset_tset_pset() {
+    let db = sample_db();
+    let outcome = db
+        .query_with(EXAMPLE_2_1_QUERY, StrategyLevel::S4CollectionQuantifiers)
+        .unwrap();
+    let steps = &outcome.plan.semijoin_steps;
+    assert_eq!(steps.len(), 3);
+    assert_eq!(steps[0].bound_var.as_ref(), "c"); // cset
+    assert_eq!(steps[1].bound_var.as_ref(), "t"); // tset (built from cset)
+    assert_eq!(steps[2].bound_var.as_ref(), "p"); // pset
+    assert!(outcome.plan.prepared.form.prefix.is_empty());
+    // The value lists were materialized and sized.
+    for step in steps {
+        assert!(
+            outcome.report.metrics.structure_sizes.contains_key(&step.produces),
+            "missing recorded size for {}",
+            step.produces
+        );
+    }
+}
+
+#[test]
+fn empty_relation_adaptation_of_example_2_2() {
+    // E12: papers = [] — the answer must be exactly the professors, at every
+    // strategy level, with the fallback reported.
+    let mut db = sample_db();
+    db.catalog_mut().relation_mut("papers").unwrap().clear();
+    for level in StrategyLevel::ALL {
+        let outcome = db.query_with(EXAMPLE_2_1_QUERY, level).unwrap();
+        assert_eq!(outcome.result.cardinality(), 3, "{level}");
+        assert!(outcome.report.fallback.is_some(), "{level}");
+    }
+}
+
+#[test]
+fn oracle_agreement_on_three_generated_databases() {
+    for seed in [1u64, 7, 42] {
+        let config = UniversityConfig {
+            seed,
+            ..UniversityConfig::at_scale(1)
+        };
+        let cat = generate(&config).unwrap();
+        let db = Database::from_catalog(cat.clone());
+        let sel = db.parse(EXAMPLE_2_1_QUERY).unwrap();
+        let expected = oracle_eval(&sel, &cat).unwrap();
+        // The baseline level is exercised for one seed (its deliberately
+        // unoptimized combination phase dominates the test's runtime);
+        // the optimized levels are checked for every seed.
+        let levels: &[StrategyLevel] = if seed == 1 {
+            &StrategyLevel::ALL
+        } else {
+            &[
+                StrategyLevel::S2OneStep,
+                StrategyLevel::S3ExtendedRanges,
+                StrategyLevel::S4CollectionQuantifiers,
+            ]
+        };
+        for &level in levels {
+            let outcome = db.query_with(EXAMPLE_2_1_QUERY, level).unwrap();
+            assert!(
+                expected.set_eq(&outcome.result),
+                "seed {seed} level {level}"
+            );
+        }
+    }
+}

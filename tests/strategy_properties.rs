@@ -1,0 +1,194 @@
+//! Property-based tests: on randomly generated departments and randomly
+//! assembled selection expressions, every strategy level must agree with the
+//! brute-force oracle, and the core algebraic identities used by the
+//! combination phase must hold.
+
+use proptest::prelude::*;
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_calculus::{ComponentRef, Formula, Operand, RangeDecl, RangeExpr, Selection};
+use pascalr_relation::algebra;
+use pascalr_relation::{
+    Attribute, CompareOp, EnumType, Relation, RelationSchema, Tuple, Value, ValueType,
+};
+use pascalr_workload::{generate, oracle_eval, UniversityConfig};
+
+/// A small random selection expression over the university schema.
+///
+/// The shape is: professor-or-status test on `e`, combined (AND/OR) with a
+/// quantified (SOME/ALL) join to papers or timetable, optionally with a
+/// monadic restriction on the quantified variable.
+fn arbitrary_selection() -> impl Strategy<Value = Selection> {
+    let status = 0..4i64;
+    let quantified_rel = prop_oneof![Just("papers"), Just("timetable")];
+    let use_all = any::<bool>();
+    let use_and = any::<bool>();
+    let monadic_on_quantified = any::<bool>();
+    let year = 1970..1978i64;
+    (
+        status,
+        quantified_rel,
+        use_all,
+        use_and,
+        monadic_on_quantified,
+        year,
+    )
+        .prop_map(|(status, qrel, use_all, use_and, monadic, year)| {
+            // The generated catalog declares `statustype` with these labels;
+            // an equal enumeration type (same name, same ordinals) compares
+            // against it.
+            let status_ty = EnumType::new(
+                "statustype",
+                ["student", "technician", "assistant", "professor"],
+            );
+            let status_test = Formula::compare(
+                Operand::comp("e", "estatus"),
+                CompareOp::Eq,
+                Operand::Const(status_ty.value_at(status as u32).expect("0..4")),
+            );
+            let (attr, other_attr) = if qrel == "papers" {
+                ("penr", "enr")
+            } else {
+                ("tenr", "enr")
+            };
+            let join = Formula::compare(
+                Operand::comp("q", attr),
+                CompareOp::Eq,
+                Operand::comp("e", other_attr),
+            );
+            let body = if monadic && qrel == "papers" {
+                Formula::or(vec![
+                    Formula::compare(
+                        Operand::comp("q", "pyear"),
+                        CompareOp::Ne,
+                        Operand::constant(year),
+                    ),
+                    join,
+                ])
+            } else {
+                join
+            };
+            let quantified = if use_all {
+                Formula::all("q", RangeExpr::relation(qrel), body)
+            } else {
+                Formula::some("q", RangeExpr::relation(qrel), body)
+            };
+            let formula = if use_and {
+                Formula::and(vec![status_test, quantified])
+            } else {
+                Formula::or(vec![status_test, quantified])
+            };
+            Selection::new(
+                "result",
+                vec![ComponentRef::new("e", "enr")],
+                vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
+                formula,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every strategy level agrees with the brute-force oracle on random
+    /// queries over random databases.
+    #[test]
+    fn strategies_agree_with_oracle(sel in arbitrary_selection(), seed in 0u64..200) {
+        let config = UniversityConfig {
+            seed,
+            ..UniversityConfig::at_scale(1)
+        };
+        let cat = generate(&config).unwrap();
+        let expected = oracle_eval(&sel, &cat).unwrap();
+        let db = Database::from_catalog(cat);
+        for level in [StrategyLevel::S0Baseline, StrategyLevel::S2OneStep, StrategyLevel::S4CollectionQuantifiers] {
+            let outcome = db.query_selection(&sel, level).unwrap();
+            prop_assert!(
+                expected.set_eq(&outcome.result),
+                "level {level} disagrees with the oracle for {sel}"
+            );
+        }
+    }
+
+    /// Standardization preserves the result for random queries (checked via
+    /// the oracle on both forms).
+    #[test]
+    fn standard_form_preserves_results(sel in arbitrary_selection(), seed in 0u64..100) {
+        let config = UniversityConfig { seed, ..UniversityConfig::at_scale(1) };
+        let cat = generate(&config).unwrap();
+        let original = oracle_eval(&sel, &cat).unwrap();
+        let standardized = pascalr_calculus::standardize(&sel);
+        let roundtrip = oracle_eval(&standardized.to_selection(), &cat).unwrap();
+        prop_assert!(original.set_eq(&roundtrip));
+    }
+}
+
+/// Random unary/binary integer relations for the algebra identities.
+fn int_relation(name: &str, attrs: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+    let schema = RelationSchema::all_key(
+        name.to_string(),
+        attrs
+            .iter()
+            .map(|a| Attribute::new(a.to_string(), ValueType::int()))
+            .collect(),
+    );
+    let mut rel = Relation::new(schema);
+    for row in rows {
+        let _ = rel.insert(Tuple::new(row.into_iter().map(Value::int).collect()));
+    }
+    rel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Semijoin plus antijoin partition the left relation.
+    #[test]
+    fn semijoin_antijoin_partition(
+        left in proptest::collection::vec((0i64..20, 0i64..20), 0..30),
+        right in proptest::collection::vec((0i64..20,), 0..20)
+    ) {
+        let l = int_relation("l", &["a", "b"], left.into_iter().map(|(a, b)| vec![a, b]).collect());
+        let r = int_relation("r", &["a"], right.into_iter().map(|(a,)| vec![a]).collect());
+        let sj = algebra::semijoin(&l, &r, &[("a", "a")], "sj").unwrap();
+        let aj = algebra::antijoin(&l, &r, &[("a", "a")], "aj").unwrap();
+        prop_assert_eq!(sj.cardinality() + aj.cardinality(), l.cardinality());
+        let back = algebra::union(&sj, &aj, "back").unwrap();
+        prop_assert!(back.set_eq(&l));
+    }
+
+    /// Division agrees with its classical double-difference definition.
+    #[test]
+    fn division_matches_classical_definition(
+        dividend in proptest::collection::vec((0i64..8, 0i64..8), 0..40),
+        divisor in proptest::collection::vec(0i64..8, 0..6)
+    ) {
+        let r = int_relation("r", &["a", "b"], dividend.into_iter().map(|(a, b)| vec![a, b]).collect());
+        let s = int_relation("s", &["b"], divisor.into_iter().map(|b| vec![b]).collect());
+        let ours = algebra::divide(&r, &["a"], &["b"], &s, &["b"], "ours").unwrap();
+        let pa = algebra::project(&r, "pa", &["a"]).unwrap();
+        let cross = algebra::product(&pa, &s, "cross");
+        let missing = algebra::difference(&cross, &r, "missing").unwrap();
+        let missing_a = algebra::project(&missing, "ma", &["a"]).unwrap();
+        let classical = algebra::difference(&pa, &missing_a, "classical").unwrap();
+        prop_assert!(ours.set_eq(&classical));
+    }
+
+    /// Union is commutative and difference is anti-monotone with respect to
+    /// it (sanity identities used throughout the combination phase).
+    #[test]
+    fn union_identities(
+        a in proptest::collection::vec(0i64..30, 0..25),
+        b in proptest::collection::vec(0i64..30, 0..25)
+    ) {
+        let ra = int_relation("a", &["x"], a.into_iter().map(|x| vec![x]).collect());
+        let rb = int_relation("b", &["x"], b.into_iter().map(|x| vec![x]).collect());
+        let ab = algebra::union(&ra, &rb, "ab").unwrap();
+        let ba = algebra::union(&rb, &ra, "ba").unwrap();
+        prop_assert!(ab.set_eq(&ba));
+        prop_assert!(ab.cardinality() <= ra.cardinality() + rb.cardinality());
+        let diff = algebra::difference(&ab, &ra, "d").unwrap();
+        let inter = algebra::intersection(&diff, &ra, "i").unwrap();
+        prop_assert_eq!(inter.cardinality(), 0);
+    }
+}
