@@ -20,9 +20,7 @@ fn separated_evaluation(db: &Database, query: &str) -> usize {
             .unwrap();
         total = Some(match total {
             None => outcome.result,
-            Some(acc) => {
-                pascalr::relation::algebra::union(&acc, &outcome.result, "acc").unwrap()
-            }
+            Some(acc) => pascalr::relation::algebra::union(&acc, &outcome.result, "acc").unwrap(),
         });
     }
     total.map(|r| r.cardinality()).unwrap_or(0)

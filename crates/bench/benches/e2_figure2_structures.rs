@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
-use pascalr_bench::{print_header, print_row, print_structures, quick_criterion, run, sample_db, scaled_db};
+use pascalr_bench::{
+    print_header, print_row, print_structures, quick_criterion, run, sample_db, scaled_db,
+};
 use pascalr_workload::query_by_id;
 
 fn bench(c: &mut Criterion) {

@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
         "E8 / Examples 4.6-4.7: collection-phase quantifier evaluation",
         "value lists avoid building large reference relations just to reduce them again",
     );
-    for level in [StrategyLevel::S3ExtendedRanges, StrategyLevel::S4CollectionQuantifiers] {
+    for level in [
+        StrategyLevel::S3ExtendedRanges,
+        StrategyLevel::S4CollectionQuantifiers,
+    ] {
         let outcome = run(&db, query, level);
         print_row(&outcome);
         let comb = outcome.report.metrics.phase(Phase::Combination);

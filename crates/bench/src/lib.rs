@@ -26,7 +26,8 @@ pub fn custom_db(config: &UniversityConfig) -> Database {
 
 /// Runs one query at one strategy level.
 pub fn run(db: &Database, query: &str, level: StrategyLevel) -> QueryOutcome {
-    db.query_with(query, level).expect("workload query executes")
+    db.query_with(query, level)
+        .expect("workload query executes")
 }
 
 /// Criterion configured for short, low-variance runs: the interesting output

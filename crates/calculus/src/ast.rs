@@ -321,7 +321,12 @@ impl RangeDecl {
 
 impl fmt::Display for RangeDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "EACH {} IN {}", self.var, self.range.display_for(&self.var))
+        write!(
+            f,
+            "EACH {} IN {}",
+            self.var,
+            self.range.display_for(&self.var)
+        )
     }
 }
 
@@ -398,6 +403,7 @@ impl Formula {
     }
 
     /// Logical negation.
+    #[allow(clippy::should_implement_trait)] // constructor mirroring `Formula::and`/`or`
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -439,7 +445,7 @@ impl Formula {
             match f {
                 Formula::Term(t) => {
                     for v in t.vars() {
-                        if !bound.iter().any(|b| *b == v) {
+                        if !bound.contains(&v) {
                             out.insert(v);
                         }
                     }
@@ -815,11 +821,7 @@ mod tests {
     #[test]
     fn free_vars_respect_quantifier_binding() {
         // SOME t IN timetable (e.enr = t.tenr)  has free var {e}
-        let f = Formula::some(
-            "t",
-            RangeExpr::relation("timetable"),
-            Formula::Term(t_et()),
-        );
+        let f = Formula::some("t", RangeExpr::relation("timetable"), Formula::Term(t_et()));
         let free = f.free_vars();
         assert_eq!(free.len(), 1);
         assert!(free.iter().any(|v| v.as_ref() == "e"));
@@ -834,11 +836,7 @@ mod tests {
         let f = Formula::all(
             "p",
             RangeExpr::relation("papers"),
-            Formula::some(
-                "t",
-                RangeExpr::relation("timetable"),
-                Formula::Term(t_et()),
-            ),
+            Formula::some("t", RangeExpr::relation("timetable"), Formula::Term(t_et())),
         );
         let rels = f.quantified_relations();
         assert!(rels.iter().any(|r| r.as_ref() == "papers"));
@@ -898,11 +896,7 @@ mod tests {
             "enames",
             vec![ComponentRef::new("e", "ename")],
             vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
-            Formula::some(
-                "t",
-                RangeExpr::relation("timetable"),
-                Formula::Term(t_et()),
-            ),
+            Formula::some("t", RangeExpr::relation("timetable"), Formula::Term(t_et())),
         );
         let vars = sel.all_vars();
         assert_eq!(vars.len(), 2);

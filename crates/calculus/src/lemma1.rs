@@ -211,9 +211,16 @@ mod tests {
         let mut db = BTreeMap::new();
         db.insert(
             "employees".to_string(),
-            rel("employees", &["enr", "estatus"], &[&[1, 3], &[2, 1], &[3, 3]]),
+            rel(
+                "employees",
+                &["enr", "estatus"],
+                &[&[1, 3], &[2, 1], &[3, 3]],
+            ),
         );
-        db.insert("papers".to_string(), rel("papers", &["penr", "pyear"], rows));
+        db.insert(
+            "papers".to_string(),
+            rel("papers", &["penr", "pyear"], rows),
+        );
         db.insert(
             "timetable".to_string(),
             rel("timetable", &["tenr", "tcnr"], &[&[1, 10], &[3, 11]]),
@@ -234,11 +241,7 @@ mod tests {
 
     /// Checks formula equivalence for every binding of the free variable `e`
     /// over `employees`.
-    fn equivalent_over_e(
-        db: &BTreeMap<String, Relation>,
-        f1: &Formula,
-        f2: &Formula,
-    ) -> bool {
+    fn equivalent_over_e(db: &BTreeMap<String, Relation>, f1: &Formula, f2: &Formula) -> bool {
         let employees = db.get("employees").unwrap();
         for t in employees.tuples() {
             let mut env = Env::new();
@@ -318,8 +321,7 @@ mod tests {
         let db = db_with_papers(&[&[1, 1977], &[3, 1975]]);
         for rule in [Lemma1Rule::OrSome, Lemma1Rule::AndAll] {
             let lhs = lemma1_lhs(rule, &a_formula(), &p_var(), &p_range(), &b_formula());
-            let rhs =
-                apply_lemma1(rule, &a_formula(), &p_var(), &p_range(), &b_formula()).unwrap();
+            let rhs = apply_lemma1(rule, &a_formula(), &p_var(), &p_range(), &b_formula()).unwrap();
             assert!(
                 equivalent_over_e(&db, &lhs, &rhs),
                 "rule {rule:?} failed on non-empty papers"
@@ -335,8 +337,7 @@ mod tests {
         let db = db_with_papers(&[]);
         for rule in [Lemma1Rule::OrSome, Lemma1Rule::AndAll] {
             let lhs = lemma1_lhs(rule, &a_formula(), &p_var(), &p_range(), &b_formula());
-            let rhs =
-                apply_lemma1(rule, &a_formula(), &p_var(), &p_range(), &b_formula()).unwrap();
+            let rhs = apply_lemma1(rule, &a_formula(), &p_var(), &p_range(), &b_formula()).unwrap();
             assert!(
                 !equivalent_over_e(&db, &lhs, &rhs),
                 "rule {rule:?} unexpectedly held on empty papers"
@@ -442,7 +443,10 @@ mod tests {
         // And the adapted formula agrees with the original on a database
         // where courses is indeed empty.
         let mut db = db_with_papers(&[&[1, 1977], &[3, 1975]]);
-        db.insert("courses".to_string(), rel("courses", &["cnr", "clevel"], &[]));
+        db.insert(
+            "courses".to_string(),
+            rel("courses", &["cnr", "clevel"], &[]),
+        );
         assert!(equivalent_over_e(&db, &example_formula(), &adapted));
     }
 

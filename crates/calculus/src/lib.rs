@@ -32,9 +32,7 @@ pub use ast::{
 };
 pub use error::CalculusError;
 pub use lemma1::{adapt_formula_for_empty, adapt_selection_for_empty, Lemma1Rule};
-pub use normalize::{
-    standardize, Conjunction, PrefixEntry, StandardForm, StandardizedSelection,
-};
+pub use normalize::{standardize, Conjunction, PrefixEntry, StandardForm, StandardizedSelection};
 pub use semantics::{eval_formula, eval_selection, Binding, Env, RelationProvider};
 pub use transform::{
     extend_ranges, separate_existential, sink_variable, swap_adjacent_quantifiers, ExtendOptions,

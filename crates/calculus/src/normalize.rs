@@ -205,14 +205,15 @@ impl StandardForm {
         } else {
             Formula::or(self.matrix.iter().map(Conjunction::to_formula).collect())
         };
-        self.prefix.iter().rev().fold(matrix, |body, entry| {
-            Formula::Quant {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(matrix, |body, entry| Formula::Quant {
                 q: entry.q,
                 var: entry.var.clone(),
                 range: entry.range.clone(),
                 body: Box::new(body),
-            }
-        })
+            })
     }
 }
 
@@ -494,10 +495,7 @@ pub fn rename_apart(formula: &Formula, reserved: &BTreeSet<String>) -> Formula {
 /// extraction relied on (Lemma 1: pulling `SOME` across `OR` and `ALL`
 /// across `AND`).
 pub fn prenex(formula: &Formula) -> (Vec<PrefixEntry>, Formula, BTreeSet<RelName>) {
-    fn go(
-        f: &Formula,
-        assumed: &mut BTreeSet<RelName>,
-    ) -> (Vec<PrefixEntry>, Formula) {
+    fn go(f: &Formula, assumed: &mut BTreeSet<RelName>) -> (Vec<PrefixEntry>, Formula) {
         match f {
             Formula::Term(_) => (Vec::new(), f.clone()),
             Formula::Not(inner) => {
@@ -521,11 +519,10 @@ pub fn prenex(formula: &Formula) -> (Vec<PrefixEntry>, Formula, BTreeSet<RelName
                             //     hold unconditionally;
                             //   rule 3 (AND + ALL) and rule 2 (OR + SOME)
                             //     require the range to be non-empty.
-                            let needs_nonempty = match (is_and, entry.q) {
-                                (true, Quantifier::All) => true,
-                                (false, Quantifier::Some) => true,
-                                _ => false,
-                            };
+                            let needs_nonempty = matches!(
+                                (is_and, entry.q),
+                                (true, Quantifier::All) | (false, Quantifier::Some)
+                            );
                             if needs_nonempty {
                                 assumed.insert(entry.range.relation.clone());
                             }
@@ -629,11 +626,7 @@ pub fn to_dnf(matrix: &Formula) -> Vec<Conjunction> {
 
 /// Runs the full standardization pipeline on a selection.
 pub fn standardize(selection: &Selection) -> StandardizedSelection {
-    let reserved: BTreeSet<String> = selection
-        .free
-        .iter()
-        .map(|d| d.var.to_string())
-        .collect();
+    let reserved: BTreeSet<String> = selection.free.iter().map(|d| d.var.to_string()).collect();
     let simplified = simplify(&selection.formula, false);
     let nnf = to_nnf(&simplified);
     let renamed = rename_apart(&nnf, &reserved);
@@ -674,7 +667,9 @@ mod tests {
     use super::*;
     use crate::ast::Operand;
     use crate::semantics::{eval_formula, eval_selection, Env};
-    use pascalr_relation::{Attribute, CompareOp, Relation, RelationSchema, Tuple, Value, ValueType};
+    use pascalr_relation::{
+        Attribute, CompareOp, Relation, RelationSchema, Tuple, Value, ValueType,
+    };
     use std::collections::BTreeMap;
 
     fn cmp_vc(var: &str, attr: &str, op: CompareOp, c: i64) -> Formula {
@@ -791,7 +786,11 @@ mod tests {
     fn nnf_pushes_negation_through_connectives_and_quantifiers() {
         let f = Formula::not(Formula::and(vec![
             cmp_vc("e", "estatus", CompareOp::Eq, 3),
-            some("t", "timetable", cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr")),
+            some(
+                "t",
+                "timetable",
+                cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr"),
+            ),
         ]));
         let nnf = to_nnf(&f);
         let text = nnf.to_string();
@@ -849,11 +848,23 @@ mod tests {
 
     #[test]
     fn simplify_folds_constants() {
-        let f = Formula::and(vec![Formula::truth(), cmp_vc("e", "estatus", CompareOp::Eq, 3)]);
-        assert_eq!(simplify(&f, false), cmp_vc("e", "estatus", CompareOp::Eq, 3));
-        let f = Formula::and(vec![Formula::falsity(), cmp_vc("e", "estatus", CompareOp::Eq, 3)]);
+        let f = Formula::and(vec![
+            Formula::truth(),
+            cmp_vc("e", "estatus", CompareOp::Eq, 3),
+        ]);
+        assert_eq!(
+            simplify(&f, false),
+            cmp_vc("e", "estatus", CompareOp::Eq, 3)
+        );
+        let f = Formula::and(vec![
+            Formula::falsity(),
+            cmp_vc("e", "estatus", CompareOp::Eq, 3),
+        ]);
         assert!(simplify(&f, false).is_falsity());
-        let f = Formula::or(vec![Formula::truth(), cmp_vc("e", "estatus", CompareOp::Eq, 3)]);
+        let f = Formula::or(vec![
+            Formula::truth(),
+            cmp_vc("e", "estatus", CompareOp::Eq, 3),
+        ]);
         assert!(simplify(&f, false).is_truth());
         let f = Formula::not(Formula::truth());
         assert!(simplify(&f, false).is_falsity());
@@ -895,8 +906,7 @@ mod tests {
         let f = to_nnf(&simplify(&example_2_1_formula(), false));
         let renamed = rename_apart(&f, &["e".to_string()].into_iter().collect());
         let (prefix, matrix, assumed) = prenex(&renamed);
-        let order: Vec<(Quantifier, &str)> =
-            prefix.iter().map(|p| (p.q, p.var.as_ref())).collect();
+        let order: Vec<(Quantifier, &str)> = prefix.iter().map(|p| (p.q, p.var.as_ref())).collect();
         assert_eq!(
             order,
             vec![
@@ -1022,7 +1032,10 @@ mod tests {
         let f = std_sel.form.to_formula();
         assert!(f.mentions_var("p"));
         assert!(f.mentions_var("t"));
-        assert_eq!(std_sel.range_of("e").unwrap().relation.as_ref(), "employees");
+        assert_eq!(
+            std_sel.range_of("e").unwrap().relation.as_ref(),
+            "employees"
+        );
         assert_eq!(std_sel.range_of("p").unwrap().relation.as_ref(), "papers");
         assert!(std_sel.range_of("zz").is_none());
         assert_eq!(std_sel.all_vars().len(), 4);
@@ -1054,7 +1067,11 @@ mod tests {
             vec![ComponentRef::new("e", "enr")],
             vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
             Formula::or(vec![
-                some("t", "timetable", cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr")),
+                some(
+                    "t",
+                    "timetable",
+                    cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr"),
+                ),
                 cmp_vc("e", "estatus", CompareOp::Eq, 1),
             ]),
         );

@@ -20,9 +20,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use pascalr_relation::{RelationSchema, Tuple};
 #[cfg(test)]
 use pascalr_relation::Relation;
+use pascalr_relation::{RelationSchema, Tuple};
 
 use crate::ast::{Formula, Quantifier, RangeExpr, Term, VarName};
 use crate::error::CalculusError;
@@ -114,9 +114,7 @@ pub fn to_one_sorted(formula: &Formula) -> OneSorted {
             let body = to_one_sorted(body);
             let combined = match q {
                 Quantifier::Some => OneSorted::And(vec![membership, body]),
-                Quantifier::All => {
-                    OneSorted::Or(vec![OneSorted::Not(Box::new(membership)), body])
-                }
+                Quantifier::All => OneSorted::Or(vec![OneSorted::Not(Box::new(membership)), body]),
             };
             OneSorted::Quant {
                 q: *q,
@@ -323,7 +321,11 @@ mod tests {
         let mut db = BTreeMap::new();
         db.insert(
             "employees".to_string(),
-            rel("employees", &["enr", "estatus"], &[&[1, 3], &[2, 1], &[3, 3]]),
+            rel(
+                "employees",
+                &["enr", "estatus"],
+                &[&[1, 3], &[2, 1], &[3, 3]],
+            ),
         );
         db.insert(
             "papers".to_string(),

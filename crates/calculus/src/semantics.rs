@@ -62,11 +62,11 @@ pub fn eval_operand<'a>(op: &'a Operand, env: &'a Env) -> Result<&'a Value, Calc
     match op {
         Operand::Const(v) => Ok(v),
         Operand::Component(c) => {
-            let binding = env
-                .get(c.var.as_ref())
-                .ok_or_else(|| CalculusError::UnknownVariable {
-                    variable: c.var.to_string(),
-                })?;
+            let binding =
+                env.get(c.var.as_ref())
+                    .ok_or_else(|| CalculusError::UnknownVariable {
+                        variable: c.var.to_string(),
+                    })?;
             let idx = binding.schema.attr_index(&c.attr).ok_or_else(|| {
                 CalculusError::UnknownComponent {
                     variable: c.var.to_string(),
@@ -192,22 +192,24 @@ pub fn result_schema(
     use pascalr_relation::Attribute;
     let mut attrs = Vec::with_capacity(selection.components.len());
     for comp in &selection.components {
-        let decl = selection.free_decl(&comp.var).ok_or_else(|| {
-            CalculusError::UnknownVariable {
-                variable: comp.var.to_string(),
-            }
-        })?;
+        let decl =
+            selection
+                .free_decl(&comp.var)
+                .ok_or_else(|| CalculusError::UnknownVariable {
+                    variable: comp.var.to_string(),
+                })?;
         let rel = provider.relation(&decl.range.relation).ok_or_else(|| {
             CalculusError::UnknownRelation {
                 relation: decl.range.relation.to_string(),
             }
         })?;
-        let idx = rel.schema().attr_index(&comp.attr).ok_or_else(|| {
-            CalculusError::UnknownComponent {
-                variable: comp.var.to_string(),
-                attribute: comp.attr.to_string(),
-            }
-        })?;
+        let idx =
+            rel.schema()
+                .attr_index(&comp.attr)
+                .ok_or_else(|| CalculusError::UnknownComponent {
+                    variable: comp.var.to_string(),
+                    attribute: comp.attr.to_string(),
+                })?;
         let src = rel.schema().attribute(idx);
         // Disambiguate duplicate output names with the variable name.
         let name_taken = attrs
@@ -310,7 +312,11 @@ mod tests {
         // employees(enr, estatus): estatus 3 = professor
         db.insert(
             "employees".to_string(),
-            rel("employees", &["enr", "estatus"], &[&[1, 3], &[2, 1], &[3, 3]]),
+            rel(
+                "employees",
+                &["enr", "estatus"],
+                &[&[1, 3], &[2, 1], &[3, 3]],
+            ),
         );
         // papers(penr, pyear)
         db.insert(
@@ -320,12 +326,20 @@ mod tests {
         // timetable(tenr, tcnr)
         db.insert(
             "timetable".to_string(),
-            rel("timetable", &["tenr", "tcnr"], &[&[1, 10], &[3, 11], &[3, 12]]),
+            rel(
+                "timetable",
+                &["tenr", "tcnr"],
+                &[&[1, 10], &[3, 11], &[3, 12]],
+            ),
         );
         // courses(cnr, clevel): clevel <= 1 is "sophomore or lower"
         db.insert(
             "courses".to_string(),
-            rel("courses", &["cnr", "clevel"], &[&[10, 0], &[11, 3], &[12, 1]]),
+            rel(
+                "courses",
+                &["cnr", "clevel"],
+                &[&[10, 0], &[11, 3], &[12, 1]],
+            ),
         );
         db
     }
@@ -434,7 +448,11 @@ mod tests {
         let f = all(
             "p",
             "papers",
-            some("t", "timetable", cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr")),
+            some(
+                "t",
+                "timetable",
+                cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr"),
+            ),
         );
         assert!(eval_formula(&f, &db, &env).unwrap());
         // SOME t IN timetable ALL p IN papers (t.tenr = p.penr): no single
@@ -442,7 +460,11 @@ mod tests {
         let f = some(
             "t",
             "timetable",
-            all("p", "papers", cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr")),
+            all(
+                "p",
+                "papers",
+                cmp_vv("t", "tenr", CompareOp::Eq, "p", "penr"),
+            ),
         );
         assert!(!eval_formula(&f, &db, &env).unwrap());
     }
@@ -469,7 +491,11 @@ mod tests {
             vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
             Formula::and(vec![
                 cmp_vc("e", "estatus", CompareOp::Eq, 3),
-                some("t", "timetable", cmp_vv("t", "tenr", CompareOp::Eq, "e", "enr")),
+                some(
+                    "t",
+                    "timetable",
+                    cmp_vv("t", "tenr", CompareOp::Eq, "e", "enr"),
+                ),
             ]),
         );
         let result = eval_selection(&sel, &db).unwrap();
@@ -537,10 +563,7 @@ mod tests {
         let db = tiny_db();
         let sel = Selection::new(
             "pairs",
-            vec![
-                ComponentRef::new("a", "enr"),
-                ComponentRef::new("b", "enr"),
-            ],
+            vec![ComponentRef::new("a", "enr"), ComponentRef::new("b", "enr")],
             vec![
                 RangeDecl::new("a", RangeExpr::relation("employees")),
                 RangeDecl::new("b", RangeExpr::relation("employees")),

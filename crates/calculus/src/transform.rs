@@ -18,9 +18,9 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use crate::ast::{Formula, Quantifier, RangeExpr, Term, VarName};
 #[cfg(test)]
 use crate::ast::RangeDecl;
+use crate::ast::{Formula, Quantifier, RangeExpr, Term, VarName};
 use crate::error::CalculusError;
 use crate::normalize::{Conjunction, StandardForm, StandardizedSelection};
 
@@ -83,7 +83,7 @@ impl ExtendReport {
 }
 
 /// Options controlling [`extend_ranges`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExtendOptions {
     /// Whether disjunctive restrictions may be generated when folding a
     /// multi-term pure conjunction of a universally quantified variable into
@@ -92,14 +92,6 @@ pub struct ExtendOptions {
     /// this reproduces the "more general conjunctive normal form" extension
     /// the paper expects to improve efficiency further.
     pub allow_disjunctive: bool,
-}
-
-impl Default for ExtendOptions {
-    fn default() -> Self {
-        ExtendOptions {
-            allow_disjunctive: false,
-        }
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,9 +219,7 @@ pub fn extend_ranges(
             }
             let position = sel.form.matrix.iter().position(|c| {
                 c.is_purely_over(var)
-                    && c.terms
-                        .iter()
-                        .all(|t| t.as_monadic_constant(var).is_some())
+                    && c.terms.iter().all(|t| t.as_monadic_constant(var).is_some())
                     && (c.terms.len() == 1 || options.allow_disjunctive)
             });
             if let Some(idx) = position {
@@ -272,12 +262,7 @@ fn extend_var_range(sel: &mut StandardizedSelection, var: &str, restriction: For
         decl.range = decl.range.and_restrict(restriction);
         return;
     }
-    if let Some(entry) = sel
-        .form
-        .prefix
-        .iter_mut()
-        .find(|p| p.var.as_ref() == var)
-    {
+    if let Some(entry) = sel.form.prefix.iter_mut().find(|p| p.var.as_ref() == var) {
         entry.range = entry.range.and_restrict(restriction);
     }
 }
@@ -639,16 +624,17 @@ mod tests {
                     cmp_vc("e", "estatus", CompareOp::Eq, 3),
                     cmp_vc("e", "enr", CompareOp::Gt, 2),
                 ]),
-                some("t", "timetable", cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr")),
+                some(
+                    "t",
+                    "timetable",
+                    cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr"),
+                ),
             ]),
         );
         let std_sel = standardize(&sel);
         let (extended, report) = extend_ranges(&std_sel, ExtendOptions::default());
         assert!(!extended.range_of("e").unwrap().is_restricted());
-        assert!(report
-            .hoists
-            .iter()
-            .all(|h| h.var.as_ref() != "e"));
+        assert!(report.hoists.iter().all(|h| h.var.as_ref() != "e"));
         // Semantics must of course be preserved.
         let database = db();
         let truth = eval_selection(&sel, &database).unwrap();
@@ -690,10 +676,7 @@ mod tests {
         );
         assert!(cnf.range_of("p").unwrap().is_restricted());
         assert_eq!(cnf_report.removed_conjunctions, 1);
-        assert_eq!(
-            cnf_report.hoists[0].kind,
-            HoistKind::UniversalComplement
-        );
+        assert_eq!(cnf_report.hoists[0].kind, HoistKind::UniversalComplement);
 
         // Both modes preserve semantics on the sample database.
         let database = db();
@@ -712,15 +695,18 @@ mod tests {
             vec![RangeDecl::new("e", RangeExpr::relation("employees"))],
             Formula::or(vec![
                 cmp_vc("e", "estatus", CompareOp::Eq, 1),
-                some("t", "timetable", cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr")),
+                some(
+                    "t",
+                    "timetable",
+                    cmp_vv("e", "enr", CompareOp::Eq, "t", "tenr"),
+                ),
             ]),
         );
         let std_sel = standardize(&sel);
         let parts = separate_existential(&std_sel).unwrap();
         assert_eq!(parts.len(), 2);
         // The conjunction without t gets an empty prefix; the other keeps t.
-        let prefix_lens: BTreeSet<usize> =
-            parts.iter().map(|p| p.form.prefix.len()).collect();
+        let prefix_lens: BTreeSet<usize> = parts.iter().map(|p| p.form.prefix.len()).collect();
         assert_eq!(prefix_lens, [0usize, 1].into_iter().collect());
 
         // Union of the separately evaluated parts equals the original result.

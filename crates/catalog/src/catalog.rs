@@ -136,21 +136,21 @@ impl Catalog {
     /// Dereferences an element reference against whichever relation it
     /// belongs to (the `@` postfix operator of Section 3.1).
     pub fn deref(&self, elem_ref: ElemRef) -> Result<&Tuple, RelationError> {
-        let rel = self
-            .relation_by_id(elem_ref.rel)
-            .ok_or_else(|| RelationError::DanglingReference {
-                detail: format!("reference {elem_ref} does not name a catalog relation"),
-            })?;
+        let rel =
+            self.relation_by_id(elem_ref.rel)
+                .ok_or_else(|| RelationError::DanglingReference {
+                    detail: format!("reference {elem_ref} does not name a catalog relation"),
+                })?;
         rel.deref(elem_ref)
     }
 
     /// Reads one component of a referenced element.
     pub fn deref_component(&self, elem_ref: ElemRef, attr: &str) -> Result<&Value, RelationError> {
-        let rel = self
-            .relation_by_id(elem_ref.rel)
-            .ok_or_else(|| RelationError::DanglingReference {
-                detail: format!("reference {elem_ref} does not name a catalog relation"),
-            })?;
+        let rel =
+            self.relation_by_id(elem_ref.rel)
+                .ok_or_else(|| RelationError::DanglingReference {
+                    detail: format!("reference {elem_ref} does not name a catalog relation"),
+                })?;
         rel.component(elem_ref, attr)
     }
 
@@ -250,7 +250,9 @@ mod tests {
                 &["student", "technician", "assistant", "professor"],
             )
             .unwrap();
-        cat.types_mut().declare_subrange("enumbertype", 1, 99).unwrap();
+        cat.types_mut()
+            .declare_subrange("enumbertype", 1, 99)
+            .unwrap();
         cat.types_mut().declare_string("nametype", 10).unwrap();
         let schema = RelationSchema::new(
             "employees",
@@ -299,10 +301,8 @@ mod tests {
     #[test]
     fn duplicate_relation_names_rejected() {
         let mut cat = catalog_with_employees();
-        let schema = RelationSchema::all_key(
-            "employees",
-            vec![Attribute::new("x", ValueType::int())],
-        );
+        let schema =
+            RelationSchema::all_key("employees", vec![Attribute::new("x", ValueType::int())]);
         assert!(cat.declare_relation(schema).is_err());
     }
 
@@ -338,10 +338,13 @@ mod tests {
     #[test]
     fn permanent_index_declaration_and_build() {
         let mut cat = catalog_with_employees();
-        cat.declare_index("enrindex", "employees", &["enr"]).unwrap();
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
         assert!(cat.has_index_on("employees", &["enr"]));
         assert!(!cat.has_index_on("employees", &["ename"]));
-        assert!(cat.declare_index("enrindex", "employees", &["enr"]).is_err());
+        assert!(cat
+            .declare_index("enrindex", "employees", &["enr"])
+            .is_err());
         assert!(cat.declare_index("bad", "employees", &["zzz"]).is_err());
         assert!(cat.declare_index("bad", "missing", &["enr"]).is_err());
 

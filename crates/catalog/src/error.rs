@@ -47,7 +47,9 @@ impl fmt::Display for CatalogError {
             CatalogError::UnknownRelation { name } => {
                 write!(f, "relation {name} has not been declared")
             }
-            CatalogError::InvalidIndex { detail } => write!(f, "invalid index declaration: {detail}"),
+            CatalogError::InvalidIndex { detail } => {
+                write!(f, "invalid index declaration: {detail}")
+            }
             CatalogError::Relation(e) => write!(f, "{e}"),
         }
     }

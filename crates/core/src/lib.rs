@@ -212,13 +212,13 @@ impl Database {
     /// Builds an enumeration value (e.g. `professor`) from a declared
     /// enumeration type.
     pub fn enum_value(&self, type_name: &str, label: &str) -> Result<Value, PascalRError> {
-        let ty = self
-            .catalog
-            .types()
-            .enum_type(type_name)
-            .ok_or_else(|| CatalogError::UnknownType {
-                name: type_name.to_string(),
-            })?;
+        let ty =
+            self.catalog
+                .types()
+                .enum_type(type_name)
+                .ok_or_else(|| CatalogError::UnknownType {
+                    name: type_name.to_string(),
+                })?;
         ty.value(label)
             .map_err(|e| PascalRError::Catalog(CatalogError::Relation(e)))
     }
@@ -280,11 +280,7 @@ impl Database {
     }
 
     /// Produces the plan (without executing it) for a selection statement.
-    pub fn explain(
-        &self,
-        text: &str,
-        strategy: StrategyLevel,
-    ) -> Result<String, PascalRError> {
+    pub fn explain(&self, text: &str, strategy: StrategyLevel) -> Result<String, PascalRError> {
         let selection = self.parse(text)?;
         let p = plan(&selection, &self.catalog, strategy, self.plan_options);
         Ok(p.explain())
@@ -321,11 +317,8 @@ mod tests {
         let mut db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
         assert_eq!(db.catalog().relation_count(), 4);
         let prof = db.enum_value("statustype", "professor").unwrap();
-        db.insert_values(
-            "employees",
-            vec![Value::int(7), Value::str("Turing"), prof],
-        )
-        .unwrap();
+        db.insert_values("employees", vec![Value::int(7), Value::str("Turing"), prof])
+            .unwrap();
         assert_eq!(db.catalog().relation("employees").unwrap().cardinality(), 1);
         assert!(db.enum_value("statustype", "dean").is_err());
         assert!(db.enum_value("nosuchtype", "x").is_err());
@@ -386,11 +379,6 @@ mod tests {
         db.catalog_mut().relation_mut("papers").unwrap().clear();
         let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
         assert_eq!(outcome.result.cardinality(), 3);
-        assert!(outcome
-            .report
-            .fallback
-            .as_ref()
-            .unwrap()
-            .contains("papers"));
+        assert!(outcome.report.fallback.as_ref().unwrap().contains("papers"));
     }
 }

@@ -138,11 +138,10 @@ impl DerivedCheck {
     }
 
     fn row_matches(&self, target_vals: &[&Value], row: &[Value]) -> bool {
-        self.links.iter().enumerate().all(|(i, link)| {
-            link.op
-                .eval(target_vals[i], &row[i])
-                .unwrap_or(false)
-        })
+        self.links
+            .iter()
+            .enumerate()
+            .all(|(i, link)| link.op.eval(target_vals[i], &row[i]).unwrap_or(false))
     }
 }
 
@@ -160,11 +159,7 @@ pub struct CollectionOutput {
     pub derived: Vec<DerivedCheck>,
 }
 
-fn resolve_var(
-    var: &VarName,
-    range: &RangeExpr,
-    catalog: &Catalog,
-) -> Result<VarInfo, ExecError> {
+fn resolve_var(var: &VarName, range: &RangeExpr, catalog: &Catalog) -> Result<VarInfo, ExecError> {
     let rel = catalog
         .relation(&range.relation)
         .map_err(|_| ExecError::UnknownRelation {
@@ -302,12 +297,7 @@ fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Resul
         // Ranges of variables that appear in no term still have to be read
         // once to produce their candidate lists.
         for var in plan.prepared.all_vars() {
-            let mentioned = plan
-                .prepared
-                .form
-                .matrix
-                .iter()
-                .any(|c| c.mentions(&var));
+            let mentioned = plan.prepared.form.matrix.iter().any(|c| c.mentions(&var));
             if !mentioned {
                 if let Some(r) = plan.prepared.range_of(&var) {
                     scan(&r.relation)?;
@@ -345,13 +335,12 @@ fn build_derived_check(
     // Project the retained elements onto the linked bound components.
     let mut bound_indices = Vec::with_capacity(step.links.len());
     for link in &step.links {
-        let idx = info
-            .schema
-            .attr_index(&link.bound_attr)
-            .ok_or_else(|| ExecError::UnknownComponent {
+        let idx = info.schema.attr_index(&link.bound_attr).ok_or_else(|| {
+            ExecError::UnknownComponent {
                 variable: step.bound_var.to_string(),
                 attribute: link.bound_attr.to_string(),
-            })?;
+            }
+        })?;
         bound_indices.push(idx);
     }
 
@@ -370,7 +359,12 @@ fn build_derived_check(
                 continue 'outer;
             }
         }
-        values.push(bound_indices.iter().map(|&i| tuple.get(i).clone()).collect());
+        values.push(
+            bound_indices
+                .iter()
+                .map(|&i| tuple.get(i).clone())
+                .collect(),
+        );
     }
 
     // Apply the Section 4.4 reductions.
@@ -560,11 +554,11 @@ pub fn run_collection(
                 candidates[right_var.as_ref()].as_slice()
             };
 
-            let (left_attr, op, _, right_attr) = term
-                .as_dyadic_over(&left_var)
-                .ok_or_else(|| ExecError::PlanInvariant {
-                    detail: format!("term {term} is not dyadic over {left_var}"),
-                })?;
+            let (left_attr, op, _, right_attr) =
+                term.as_dyadic_over(&left_var)
+                    .ok_or_else(|| ExecError::PlanInvariant {
+                        detail: format!("term {term} is not dyadic over {left_var}"),
+                    })?;
             let left_idx = left_info.schema.attr_index(&left_attr).ok_or_else(|| {
                 ExecError::UnknownComponent {
                     variable: left_var.to_string(),
@@ -690,7 +684,10 @@ mod tests {
             total_ij(&s2) <= total_ij(&s1),
             "one-step evaluation must not enlarge indirect joins"
         );
-        assert!(total_ij(&s2) < total_ij(&s1), "and for Example 2.2 it strictly shrinks them");
+        assert!(
+            total_ij(&s2) < total_ij(&s1),
+            "and for Example 2.2 it strictly shrinks them"
+        );
     }
 
     #[test]
@@ -756,7 +753,10 @@ mod tests {
             .filter(|(k, _)| k.starts_with("sl_c"))
             .map(|(_, &v)| v)
             .collect();
-        assert!(sl_sizes.contains(&2), "sl_csoph should hold 2 references: {sl_sizes:?}");
+        assert!(
+            sl_sizes.contains(&2),
+            "sl_csoph should hold 2 references: {sl_sizes:?}"
+        );
         assert!(out
             .per_conjunction
             .iter()
@@ -775,7 +775,12 @@ mod tests {
             )],
             pascalr_calculus::Formula::truth(),
         );
-        let p = plan(&sel, &cat, StrategyLevel::S1Parallel, PlanOptions::default());
+        let p = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S1Parallel,
+            PlanOptions::default(),
+        );
         let metrics = Metrics::new();
         assert!(run_collection(&p, &cat, &metrics).is_err());
     }

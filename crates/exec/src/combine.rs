@@ -45,6 +45,7 @@ fn component_value<'a>(
 }
 
 /// Evaluates a dyadic term for a pair of bound references.
+#[allow(clippy::too_many_arguments)] // the two (var, ref) pairs are symmetric by design
 fn dyadic_holds(
     term: &Term,
     collection: &CollectionOutput,
@@ -101,9 +102,7 @@ fn conjunction_refrel(
     let mut ordered: Vec<VarName> = Vec::with_capacity(support.len());
     if !support.is_empty() {
         // Start with the variable involved in the most dyadic terms.
-        support.sort_by_key(|v| {
-            std::cmp::Reverse(conj.dyadic_terms_over(v).len())
-        });
+        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
         ordered.push(support.remove(0));
         while !support.is_empty() {
             let next = support
@@ -265,12 +264,8 @@ pub fn run_combination(
         // Matrix is `false`: no tuple qualifies.
     } else {
         for ci in 0..plan.prepared.form.matrix.len() {
-            let conj_rel =
-                conjunction_refrel(plan, ci, &all_vars, collection, catalog, metrics)?;
-            metrics.record_structure_size(
-                &format!("refrel_c{}", ci + 1),
-                conj_rel.len() as u64,
-            );
+            let conj_rel = conjunction_refrel(plan, ci, &all_vars, collection, catalog, metrics)?;
+            metrics.record_structure_size(&format!("refrel_c{}", ci + 1), conj_rel.len() as u64);
             total.union_in(&conj_rel);
         }
     }
@@ -333,11 +328,7 @@ mod tests {
         for level in StrategyLevel::ALL {
             let (result, _) = combine("ex2.1", level);
             assert_eq!(result.vars().len(), 1, "free variables only");
-            assert_eq!(
-                result.len(),
-                3,
-                "Abel, Baker and Cohen qualify at {level}"
-            );
+            assert_eq!(result.len(), 3, "Abel, Baker and Cohen qualify at {level}");
         }
     }
 

@@ -39,7 +39,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::UnknownRelation { relation } => {
-                write!(f, "range relation {relation} is not declared in the catalog")
+                write!(
+                    f,
+                    "range relation {relation} is not declared in the catalog"
+                )
             }
             ExecError::UnknownComponent {
                 variable,

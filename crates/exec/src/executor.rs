@@ -100,7 +100,12 @@ fn empty_referenced_relations(selection: &Selection, catalog: &Catalog) -> Vec<S
         .iter()
         .map(|r| r.to_string())
         .collect();
-    rels.retain(|r| catalog.relation(r).map(|rel| rel.is_empty()).unwrap_or(false));
+    rels.retain(|r| {
+        catalog
+            .relation(r)
+            .map(|rel| rel.is_empty())
+            .unwrap_or(false)
+    });
     rels.into_iter().collect()
 }
 
@@ -112,9 +117,7 @@ fn violated_extended_range(
     catalog: &Catalog,
 ) -> Result<Option<String>, ExecError> {
     let metrics = Metrics::new(); // throwaway: assumption checking is not charged
-    let check_range = |var: &str,
-                           range: &pascalr_calculus::RangeExpr|
-     -> Result<bool, ExecError> {
+    let check_range = |var: &str, range: &pascalr_calculus::RangeExpr| -> Result<bool, ExecError> {
         let info = crate::collection::VarInfo {
             var: pascalr_calculus::VarName::from(var),
             relation: std::sync::Arc::from(range.relation.as_ref()),
@@ -296,10 +299,7 @@ mod tests {
                 plan_and_execute(&sel, &cat, level, PlanOptions::default(), &metrics).unwrap();
             assert!(expected.set_eq(&result.relation), "level {level}");
             assert!(
-                matches!(
-                    result.fallback,
-                    Some(Fallback::AdaptedForEmptyRelations(_))
-                ),
+                matches!(result.fallback, Some(Fallback::AdaptedForEmptyRelations(_))),
                 "level {level} must report the adaptation"
             );
         }
@@ -393,7 +393,10 @@ mod tests {
             scans.push(snap.total().relation_scans);
             inter.push(snap.total().intermediate_tuples);
         }
-        assert!(scans[0] > scans[1], "S0 scans more often than S1: {scans:?}");
+        assert!(
+            scans[0] > scans[1],
+            "S0 scans more often than S1: {scans:?}"
+        );
         assert_eq!(scans[1], 4, "S1 reads each of the four relations once");
         assert!(
             inter[4] < inter[0],

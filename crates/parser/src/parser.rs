@@ -367,10 +367,7 @@ impl<'a> Parser<'a> {
                     } else {
                         *existing
                     };
-                    RangeExpr::restricted(
-                        inner.relation,
-                        Formula::and(vec![existing, restriction]),
-                    )
+                    RangeExpr::restricted(inner.relation, Formula::and(vec![existing, restriction]))
                 }
             };
             Ok(base)
@@ -494,9 +491,7 @@ impl<'a> Parser<'a> {
                     };
                     match catalog.types().enum_for_label(&name) {
                         Some((ty, _)) => {
-                            let value = ty
-                                .value(&name)
-                                .map_err(|e| self.error(e.to_string()))?;
+                            let value = ty.value(&name).map_err(|e| self.error(e.to_string()))?;
                             Ok(Operand::Const(value))
                         }
                         None => Err(self.error(format!(
@@ -623,10 +618,7 @@ enames := [<e.ename> OF EACH e IN employees:
         assert_eq!(employees.schema().key_names(), vec!["enr"]);
         let timetable = cat.relation("timetable").unwrap();
         assert_eq!(timetable.schema().arity(), 5);
-        assert_eq!(
-            timetable.schema().key_names(),
-            vec!["tenr", "tcnr", "tday"]
-        );
+        assert_eq!(timetable.schema().key_names(), vec!["tenr", "tcnr", "tday"]);
         let papers = cat.relation("papers").unwrap();
         assert_eq!(papers.schema().key_names(), vec!["ptitle", "penr"]);
         // Types resolved correctly.
@@ -718,11 +710,8 @@ q := [<e.ename> OF EACH e IN [EACH x IN employees: x.estatus = professor]: true]
     #[test]
     fn operator_precedence_not_over_and_over_or() {
         let cat = catalog();
-        let f = parse_formula(
-            "NOT e.estatus = professor AND e.enr = 1 OR e.enr = 2",
-            &cat,
-        )
-        .unwrap();
+        let f =
+            parse_formula("NOT e.estatus = professor AND e.enr = 1 OR e.enr = 2", &cat).unwrap();
         // Parses as ((NOT (estatus=prof)) AND enr=1) OR enr=2
         match f {
             Formula::Or(parts) => {

@@ -60,7 +60,11 @@ pub struct DyadicLink {
 
 impl fmt::Display for DyadicLink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "target.{} {} bound.{}", self.target_attr, self.op, self.bound_attr)
+        write!(
+            f,
+            "target.{} {} bound.{}",
+            self.target_attr, self.op, self.bound_attr
+        )
     }
 }
 

@@ -119,11 +119,7 @@ fn derive_semijoin_steps(
             // All dyadic terms over the variable in this conjunction must
             // link it to exactly one other variable.
             let conj = &sunk.form.matrix[ci];
-            let dyadics: Vec<_> = conj
-                .dyadic_terms_over(&var)
-                .into_iter()
-                .cloned()
-                .collect();
+            let dyadics: Vec<_> = conj.dyadic_terms_over(&var).into_iter().cloned().collect();
             if dyadics.is_empty() {
                 continue;
             }
@@ -176,9 +172,7 @@ fn derive_semijoin_steps(
                 .into_iter()
                 .cloned()
                 .collect();
-            prepared.form.matrix[ci]
-                .terms
-                .retain(|t| !t.mentions(&var));
+            prepared.form.matrix[ci].terms.retain(|t| !t.mentions(&var));
 
             // Earlier derived predicates targeting this variable in the same
             // conjunction are consumed by the value-list construction.
@@ -230,11 +224,7 @@ fn drop_vacuous_prefix_vars(
 ) -> Vec<pascalr_calculus::VarName> {
     let mut dropped = Vec::new();
     prepared.form.prefix.retain(|entry| {
-        let occurs = prepared
-            .form
-            .matrix
-            .iter()
-            .any(|c| c.mentions(&entry.var));
+        let occurs = prepared.form.matrix.iter().any(|c| c.mentions(&entry.var));
         if !occurs {
             dropped.push(entry.var.clone());
         }

@@ -25,7 +25,8 @@ use crate::value::{CompareOp, Value};
 /// Builds the result schema of a binary operation by concatenating attribute
 /// lists, disambiguating duplicate names with the source relation name.
 fn concat_schema(name: &str, left: &Relation, right: &Relation) -> Arc<RelationSchema> {
-    let mut attrs: Vec<Attribute> = Vec::with_capacity(left.schema().arity() + right.schema().arity());
+    let mut attrs: Vec<Attribute> =
+        Vec::with_capacity(left.schema().arity() + right.schema().arity());
     for a in &left.schema().attributes {
         attrs.push(a.clone());
     }
@@ -44,11 +45,7 @@ fn concat_schema(name: &str, left: &Relation, right: &Relation) -> Arc<RelationS
 }
 
 /// σ — selection by an arbitrary predicate over the element.
-pub fn select(
-    rel: &Relation,
-    name: &str,
-    mut pred: impl FnMut(&Tuple) -> bool,
-) -> Relation {
+pub fn select(rel: &Relation, name: &str, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
     let schema = RelationSchema::all_key(name.to_string(), rel.schema().attributes.clone());
     let mut out = Relation::new(schema);
     for t in rel.tuples() {
@@ -487,7 +484,11 @@ mod tests {
 
     #[test]
     fn equi_join_matches_on_components() {
-        let c = rel("courses", &["cnr", "clevel"], &[&[10, 1], &[11, 3], &[12, 2]]);
+        let c = rel(
+            "courses",
+            &["cnr", "clevel"],
+            &[&[10, 1], &[11, 3], &[12, 2]],
+        );
         let t = rel(
             "timetable",
             &["tenr", "tcnr"],

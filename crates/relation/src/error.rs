@@ -67,16 +67,28 @@ impl fmt::Display for RelationError {
                 write!(f, "cannot compare {left} value with {right} value")
             }
             RelationError::UnknownEnumLabel { enum_name, label } => {
-                write!(f, "'{label}' is not a label of enumeration type {enum_name}")
+                write!(
+                    f,
+                    "'{label}' is not a label of enumeration type {enum_name}"
+                )
             }
             RelationError::SchemaMismatch { relation, detail } => {
-                write!(f, "tuple does not match schema of relation {relation}: {detail}")
+                write!(
+                    f,
+                    "tuple does not match schema of relation {relation}: {detail}"
+                )
             }
-            RelationError::UnknownAttribute { relation, attribute } => {
+            RelationError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation {relation} has no component named {attribute}")
             }
             RelationError::KeyViolation { relation, key } => {
-                write!(f, "key {key} already present in relation {relation} with a different element")
+                write!(
+                    f,
+                    "key {key} already present in relation {relation} with a different element"
+                )
             }
             RelationError::DanglingReference { detail } => {
                 write!(f, "dangling element reference: {detail}")

@@ -201,7 +201,9 @@ impl Relation {
 
     /// The reference `@rel[keyval]` to the element with key `key`.
     pub fn ref_by_key(&self, key: &Key) -> Option<ElemRef> {
-        self.key_index.get(key).map(|&row| ElemRef::new(self.id, row))
+        self.key_index
+            .get(key)
+            .map(|&row| ElemRef::new(self.id, row))
     }
 
     /// Dereferences an element reference produced by this relation.
@@ -238,13 +240,10 @@ impl Relation {
     /// (`FOR EACH r IN rel`).
     pub fn iter(&self) -> impl Iterator<Item = (ElemRef, &Tuple)> + '_ {
         let id = self.id;
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, slot)| {
-                slot.as_ref()
-                    .map(|t| (ElemRef::new(id, RowId(i as u32)), t))
-            })
+        self.rows.iter().enumerate().filter_map(move |(i, slot)| {
+            slot.as_ref()
+                .map(|t| (ElemRef::new(id, RowId(i as u32)), t))
+        })
     }
 
     /// Iterates over the elements only.
@@ -312,7 +311,12 @@ impl Relation {
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} element(s))", self.schema.name, self.cardinality())?;
+        writeln!(
+            f,
+            "{} ({} element(s))",
+            self.schema.name,
+            self.cardinality()
+        )?;
         let mut header = String::new();
         for (i, a) in self.schema.attributes.iter().enumerate() {
             if i > 0 {
@@ -415,10 +419,7 @@ mod tests {
         let key = Key::single(20i64);
         let r = rel.ref_by_key(&key).unwrap();
         assert_eq!(rel.deref(r).unwrap().get(1), &Value::str("Highman"));
-        assert_eq!(
-            rel.component(r, "ename").unwrap(),
-            &Value::str("Highman")
-        );
+        assert_eq!(rel.component(r, "ename").unwrap(), &Value::str("Highman"));
         assert!(rel.component(r, "salary").is_err());
 
         assert!(rel.delete_key(&key));
@@ -478,10 +479,8 @@ mod tests {
     #[test]
     fn assignment_requires_compatible_schema() {
         let a = employees();
-        let other_schema = RelationSchema::all_key(
-            "unary",
-            vec![Attribute::new("x", ValueType::int())],
-        );
+        let other_schema =
+            RelationSchema::all_key("unary", vec![Attribute::new("x", ValueType::int())]);
         let mut b = Relation::new(other_schema);
         assert!(b.assign_from(&a).is_err());
     }
@@ -496,15 +495,9 @@ mod tests {
 
     #[test]
     fn from_tuples_builds_a_relation() {
-        let schema = RelationSchema::all_key(
-            "nums",
-            vec![Attribute::new("n", ValueType::int())],
-        );
-        let rel = Relation::from_tuples(
-            schema,
-            (1..=5).map(|i| Tuple::new(vec![Value::int(i)])),
-        )
-        .unwrap();
+        let schema = RelationSchema::all_key("nums", vec![Attribute::new("n", ValueType::int())]);
+        let rel = Relation::from_tuples(schema, (1..=5).map(|i| Tuple::new(vec![Value::int(i)])))
+            .unwrap();
         assert_eq!(rel.cardinality(), 5);
         assert!(rel.contains(&Tuple::new(vec![Value::int(3)])));
     }

@@ -103,10 +103,7 @@ impl RelationSchema {
 
     /// Convenience constructor for schemas whose key is every component
     /// (used for intermediate reference relations, single lists, indexes).
-    pub fn all_key(
-        name: impl Into<Arc<str>>,
-        attributes: Vec<Attribute>,
-    ) -> Arc<Self> {
+    pub fn all_key(name: impl Into<Arc<str>>, attributes: Vec<Attribute>) -> Arc<Self> {
         let n = attributes.len();
         Arc::new(RelationSchema {
             name: name.into(),
@@ -341,11 +338,7 @@ mod tests {
 
     #[test]
     fn unknown_key_component_is_rejected() {
-        let r = RelationSchema::new(
-            "bad",
-            vec![Attribute::new("x", ValueType::int())],
-            &["y"],
-        );
+        let r = RelationSchema::new("bad", vec![Attribute::new("x", ValueType::int())], &["y"]);
         assert!(r.is_err());
     }
 
@@ -426,14 +419,8 @@ mod tests {
 
     #[test]
     fn union_compatibility_ignores_names_but_not_types() {
-        let a = RelationSchema::all_key(
-            "a",
-            vec![Attribute::new("x", ValueType::subrange(1, 99))],
-        );
-        let b = RelationSchema::all_key(
-            "b",
-            vec![Attribute::new("y", ValueType::subrange(1, 99))],
-        );
+        let a = RelationSchema::all_key("a", vec![Attribute::new("x", ValueType::subrange(1, 99))]);
+        let b = RelationSchema::all_key("b", vec![Attribute::new("y", ValueType::subrange(1, 99))]);
         let c = RelationSchema::all_key("c", vec![Attribute::new("x", ValueType::string(5))]);
         assert!(a.union_compatible(&b));
         assert!(!a.union_compatible(&c));

@@ -103,10 +103,7 @@ mod tests {
     fn projection_reorders_and_duplicates() {
         let t = Tuple::new(vec![Value::int(1), Value::int(2), Value::int(3)]);
         let p = t.project(&[2, 0, 2]);
-        assert_eq!(
-            p.values(),
-            &[Value::int(3), Value::int(1), Value::int(3)]
-        );
+        assert_eq!(p.values(), &[Value::int(3), Value::int(1), Value::int(3)]);
     }
 
     #[test]

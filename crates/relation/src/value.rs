@@ -37,7 +37,10 @@ pub struct EnumType {
 
 impl EnumType {
     /// Creates a new enumeration type from a name and its labels.
-    pub fn new(name: impl Into<Arc<str>>, labels: impl IntoIterator<Item = impl Into<Arc<str>>>) -> Arc<Self> {
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        labels: impl IntoIterator<Item = impl Into<Arc<str>>>,
+    ) -> Arc<Self> {
         Arc::new(EnumType {
             name: name.into(),
             labels: labels.into_iter().map(Into::into).collect(),
@@ -46,7 +49,10 @@ impl EnumType {
 
     /// Looks up the ordinal of a label.
     pub fn ordinal_of(&self, label: &str) -> Option<u32> {
-        self.labels.iter().position(|l| l.as_ref() == label).map(|p| p as u32)
+        self.labels
+            .iter()
+            .position(|l| l.as_ref() == label)
+            .map(|p| p as u32)
     }
 
     /// Returns the label at `ordinal`, if in range.
@@ -545,7 +551,9 @@ mod tests {
 
     #[test]
     fn cross_kind_comparison_is_a_type_error() {
-        assert!(CompareOp::Eq.eval(&Value::int(3), &Value::str("3")).is_err());
+        assert!(CompareOp::Eq
+            .eval(&Value::int(3), &Value::str("3"))
+            .is_err());
         assert!(Value::Bool(true).try_compare(&Value::int(1)).is_err());
     }
 
@@ -597,10 +605,7 @@ mod tests {
         assert_eq!(ValueType::Bool.domain_cardinality(), Some(2));
         assert_eq!(ValueType::subrange(1, 99).domain_cardinality(), Some(99));
         assert_eq!(ValueType::int().domain_cardinality(), None);
-        assert_eq!(
-            ValueType::Enum(status_type()).domain_cardinality(),
-            Some(4)
-        );
+        assert_eq!(ValueType::Enum(status_type()).domain_cardinality(), Some(4));
         assert_eq!(ValueType::string(10).domain_cardinality(), None);
     }
 

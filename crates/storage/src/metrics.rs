@@ -198,12 +198,16 @@ impl Metrics {
 
     /// Records construction of an index.
     pub fn record_index_build(&self, phase: Phase) {
-        self.cells(phase).index_builds.fetch_add(1, Ordering::Relaxed);
+        self.cells(phase)
+            .index_builds
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records `n` index probes.
     pub fn record_index_probes(&self, phase: Phase, n: u64) {
-        self.cells(phase).index_probes.fetch_add(n, Ordering::Relaxed);
+        self.cells(phase)
+            .index_probes
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` tuples materialized into intermediate structures.
@@ -215,12 +219,16 @@ impl Metrics {
 
     /// Records `n` comparisons.
     pub fn record_comparisons(&self, phase: Phase, n: u64) {
-        self.cells(phase).comparisons.fetch_add(n, Ordering::Relaxed);
+        self.cells(phase)
+            .comparisons
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` dereferences.
     pub fn record_dereferences(&self, phase: Phase, n: u64) {
-        self.cells(phase).dereferences.fetch_add(n, Ordering::Relaxed);
+        self.cells(phase)
+            .dereferences
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records (or overwrites) the final size of a named intermediate
@@ -292,13 +300,20 @@ impl MetricsSnapshot {
 
     /// Number of scans recorded against a relation.
     pub fn scans_of(&self, relation: &str) -> u64 {
-        self.relation_scan_counts.get(relation).copied().unwrap_or(0)
+        self.relation_scan_counts
+            .get(relation)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The maximum number of scans any single relation received — the
     /// paper's Strategy 1 claim is that this is 1.
     pub fn max_scans_per_relation(&self) -> u64 {
-        self.relation_scan_counts.values().copied().max().unwrap_or(0)
+        self.relation_scan_counts
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Size of a named intermediate structure (0 if not recorded).

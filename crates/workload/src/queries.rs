@@ -215,7 +215,8 @@ mod tests {
     fn q05_q06_have_the_expected_semantics() {
         // On the Figure 1 sample: paper years are 1975, 1976, 1977 (x3).
         let cat = figure1_sample_database().unwrap();
-        let notnewest = oracle_eval(&query_by_id("q05").unwrap().parse(&cat).unwrap(), &cat).unwrap();
+        let notnewest =
+            oracle_eval(&query_by_id("q05").unwrap().parse(&cat).unwrap(), &cat).unwrap();
         // Papers that are not from 1977 (the maximum year): 2 of them.
         assert_eq!(notnewest.cardinality(), 2);
         let oldest = oracle_eval(&query_by_id("q06").unwrap().parse(&cat).unwrap(), &cat).unwrap();

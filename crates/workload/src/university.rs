@@ -161,11 +161,7 @@ pub fn figure1_sample_database() -> Result<Catalog, CatalogError> {
     for (penr, pyear, title) in papers {
         cat.insert(
             "papers",
-            Tuple::new(vec![
-                Value::int(penr),
-                Value::int(pyear),
-                Value::str(title),
-            ]),
+            Tuple::new(vec![Value::int(penr), Value::int(pyear), Value::str(title)]),
         )?;
     }
 
@@ -220,8 +216,12 @@ fn scaled_schema_catalog(max_id: i64) -> Catalog {
             &["student", "technician", "assistant", "professor"],
         )
         .expect("fresh registry");
-    types.declare_string("nametype", 10).expect("fresh registry");
-    types.declare_string("titletype", 40).expect("fresh registry");
+    types
+        .declare_string("nametype", 10)
+        .expect("fresh registry");
+    types
+        .declare_string("titletype", 40)
+        .expect("fresh registry");
     types.declare_string("roomtype", 5).expect("fresh registry");
     types
         .declare_subrange("yeartype", 1900, 1999)
@@ -350,7 +350,7 @@ pub fn generate(config: &UniversityConfig) -> Result<Catalog, CatalogError> {
         let year = if rng.gen_bool(config.papers_1977_fraction.clamp(0.0, 1.0)) {
             1977
         } else {
-            1970 + rng.gen_range(0..7).min(6) as i64 // 1970..=1976
+            rng.gen_range(1970i64..=1976)
         };
         cat.insert(
             "papers",
@@ -445,10 +445,7 @@ mod tests {
         let a = generate(&config).unwrap();
         let b = generate(&config).unwrap();
         for rel in ["employees", "papers", "courses", "timetable"] {
-            assert!(a
-                .relation(rel)
-                .unwrap()
-                .set_eq(b.relation(rel).unwrap()));
+            assert!(a.relation(rel).unwrap().set_eq(b.relation(rel).unwrap()));
         }
     }
 
@@ -470,7 +467,10 @@ mod tests {
             a.relation("employees").unwrap().cardinality(),
             b.relation("employees").unwrap().cardinality()
         );
-        assert!(!a.relation("papers").unwrap().set_eq(b.relation("papers").unwrap()));
+        assert!(!a
+            .relation("papers")
+            .unwrap()
+            .set_eq(b.relation("papers").unwrap()));
     }
 
     #[test]

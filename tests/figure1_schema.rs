@@ -27,7 +27,10 @@ fn figure1_schema_matches_the_paper() {
 
     let papers = cat.relation("papers").unwrap();
     assert_eq!(papers.schema().key_names(), vec!["ptitle", "penr"]);
-    assert_eq!(papers.schema().attribute(1).ty, ValueType::subrange(1900, 1999));
+    assert_eq!(
+        papers.schema().attribute(1).ty,
+        ValueType::subrange(1900, 1999)
+    );
 
     let courses = cat.relation("courses").unwrap();
     assert_eq!(courses.schema().key_names(), vec!["cnr"]);
@@ -73,7 +76,11 @@ fn selected_variables_and_references_work_across_the_catalog() {
     let courses = cat.relation("courses").unwrap();
     let c_ref = courses.ref_by_key(&Key::single(51i64)).unwrap();
     assert_eq!(
-        cat.deref_component(c_ref, "clevel").unwrap().as_enum().unwrap().label(),
+        cat.deref_component(c_ref, "clevel")
+            .unwrap()
+            .as_enum()
+            .unwrap()
+            .label(),
         "sophomore"
     );
 }
@@ -82,7 +89,8 @@ fn selected_variables_and_references_work_across_the_catalog() {
 fn example_3_1_primary_index_is_built_and_maintained() {
     // enrindex := [<e.enr, @e> OF EACH e IN employees: true]
     let mut cat = figure1_sample_database().unwrap();
-    cat.declare_index("enrindex", "employees", &["enr"]).unwrap();
+    cat.declare_index("enrindex", "employees", &["enr"])
+        .unwrap();
     let index = cat.build_index("enrindex").unwrap();
     assert_eq!(index.entry_count(), 6);
     assert_eq!(index.distinct_values(), 6);

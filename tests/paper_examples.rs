@@ -91,8 +91,14 @@ fn strategy_metrics_reproduce_the_papers_claims() {
     assert_eq!(conjunctions[3], 2);
     // Intermediate structures shrink monotonically from S1 through S4.
     assert!(intermediates[2] <= intermediates[1]);
-    assert!(intermediates[3] < intermediates[2], "intermediates: {intermediates:?}");
-    assert!(intermediates[4] < intermediates[0], "intermediates: {intermediates:?}");
+    assert!(
+        intermediates[3] < intermediates[2],
+        "intermediates: {intermediates:?}"
+    );
+    assert!(
+        intermediates[4] < intermediates[0],
+        "intermediates: {intermediates:?}"
+    );
     // Results identical everywhere.
     for pair in outcomes.windows(2) {
         assert!(pair[0].result.set_eq(&pair[1].result));
@@ -114,7 +120,11 @@ fn example_4_7_plan_builds_cset_tset_pset() {
     // The value lists were materialized and sized.
     for step in steps {
         assert!(
-            outcome.report.metrics.structure_sizes.contains_key(&step.produces),
+            outcome
+                .report
+                .metrics
+                .structure_sizes
+                .contains_key(&step.produces),
             "missing recorded size for {}",
             step.produces
         );

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the `pascalr-bench`
+//! harnesses use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a small but *working*
+//! harness: each benchmark is warmed up, run for the configured sample
+//! count, and reported as a mean wall-clock time per iteration. There is no
+//! statistical analysis, HTML report, or baseline comparison; swap in the
+//! real crate (see `vendor/README.md`) for publication-grade numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus a parameter rendered with `Display`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: u64,
+    warm_up_time: Duration,
+    recorded: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        *self.recorded = Some(start.elapsed() / self.samples.max(1) as u32);
+    }
+}
+
+/// Top-level harness configuration (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    #[allow(dead_code)] // accepted for API compatibility; samples are count-bound
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration preceding measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in is sample-count bound.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments. Only a positional name filter is
+    /// honoured; criterion's flags (`--bench`, `--save-baseline`, ...) are
+    /// accepted and ignored so `cargo bench` invocations keep working.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" => {}
+                // Flags taking a value.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--warm-up-time" | "--measurement-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Registers an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let group_name = id.name.clone();
+        self.benchmark_group(group_name).run(id, f);
+        self
+    }
+
+    /// Prints the criterion-style closing line.
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full_name = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut recorded = None;
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size.max(1) as u64,
+            warm_up_time: self.criterion.warm_up_time,
+            recorded: &mut recorded,
+        };
+        f(&mut bencher);
+        match recorded {
+            Some(mean) => println!("{full_name:<60} time: [{mean:?} (mean)]"),
+            None => println!("{full_name:<60} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions; supports both the plain and the
+/// `name = ...; config = ...; targets = ...` forms of the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1));
+        let mut hits = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("inc", |b| b.iter(|| hits = black_box(hits + 1)));
+            group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            group.finish();
+        }
+        assert!(hits >= 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(1)
+            .warm_up_time(Duration::ZERO);
+        c.filter = Some("nomatch".to_string());
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::from("s").to_string(), "s");
+    }
+}

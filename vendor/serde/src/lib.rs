@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` trait names and their derive
+//! macros with the same import paths as the real crate, so the workspace
+//! compiles without network access. The derives expand to nothing and the
+//! traits carry no methods — no code in this workspace takes a
+//! `T: Serialize` bound yet. Replace with the real `serde` (features =
+//! ["derive"]) once a registry is reachable; call sites need no changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
