@@ -7,7 +7,7 @@ use pascalr_bench::{quick_criterion, run, scaled_db};
 use pascalr_workload::query_by_id;
 
 fn with_empty_papers(scale: u32) -> Database {
-    let mut db = scaled_db(scale);
+    let db = scaled_db(scale);
     db.catalog_mut().relation_mut("papers").unwrap().clear();
     db
 }

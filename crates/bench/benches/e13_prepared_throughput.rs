@@ -1,0 +1,124 @@
+//! E13 — prepared-query throughput: prepare-once-execute-many vs
+//! parse-every-time, single- and multi-threaded, on the Figure 1 sample
+//! database (Example 2.1) and a parameterized variant.
+//!
+//! Three per-execution cost levels are compared:
+//!
+//! * `prepared` — `PreparedQuery::execute`: no parse, no normalization, no
+//!   planning (plan-cache hit);
+//! * `text_cached_plan` — `Database::query`: re-parses the text every time
+//!   but fetches the plan from the shared cache;
+//! * `text_replan` — `Database::query_selection`: the legacy uncached path,
+//!   planning afresh on every call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{quick_criterion, sample_db};
+use pascalr_workload::query_by_id;
+
+const THREADS: usize = 4;
+const BATCH: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+    let db = sample_db();
+    let session = db
+        .session()
+        .with_strategy(StrategyLevel::S4CollectionQuantifiers);
+    let prepared = session.prepare(query).unwrap();
+    let selection = db.parse(query).unwrap();
+    let expected = prepared.execute().unwrap().result.cardinality();
+
+    println!("\n=== E13: prepared-query throughput (Example 2.1, S4) ===");
+    println!(
+        "  result rows: {expected}; plan-cache stats after warmup: {:?}",
+        db.plan_cache_stats()
+    );
+
+    let mut group = c.benchmark_group("e13_prepared_throughput");
+
+    group.bench_function("prepared/1thread", |b| {
+        b.iter(|| {
+            let outcome = prepared.execute().unwrap();
+            assert_eq!(outcome.result.cardinality(), expected);
+            outcome
+        })
+    });
+    group.bench_function("text_cached_plan/1thread", |b| {
+        b.iter(|| db.query(query).unwrap())
+    });
+    group.bench_function("text_replan/1thread", |b| {
+        b.iter(|| {
+            db.query_selection(&selection, StrategyLevel::S4CollectionQuantifiers)
+                .unwrap()
+        })
+    });
+
+    // Multi-threaded: every iteration runs BATCH executions on each of
+    // THREADS threads sharing the same database handle / prepared query.
+    group.bench_function(format!("prepared/{THREADS}threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..THREADS {
+                    let prepared = &prepared;
+                    scope.spawn(move || {
+                        for _ in 0..BATCH {
+                            let outcome = prepared.execute().unwrap();
+                            assert_eq!(outcome.result.cardinality(), expected);
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.bench_function(format!("text_cached_plan/{THREADS}threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..THREADS {
+                    let db = db.clone();
+                    scope.spawn(move || {
+                        for _ in 0..BATCH {
+                            db.query(query).unwrap();
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    // Parameter binding: one prepared statement, a rotating constant.
+    let by_year = session
+        .prepare(
+            "published := [<e.ename> OF EACH e IN employees: \
+               SOME p IN papers ((p.penr = e.enr) AND (p.pyear = :year))]",
+        )
+        .unwrap();
+    let mut year = 1975i64;
+    group.bench_function("prepared_params/1thread", |b| {
+        b.iter(|| {
+            year = 1975 + (year - 1974) % 3; // 1975..=1977
+            by_year
+                .execute_with(&pascalr::Params::new().set("year", year))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+
+    let stats = db.plan_cache_stats();
+    println!(
+        "  final plan cache: {} hits / {} misses / {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+    assert!(
+        stats.hits > stats.misses,
+        "the cached paths must dominate planning"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -9,7 +9,8 @@ fn bench(c: &mut Criterion) {
     println!("\n=== E4 / Example 3.1: primary index construction ===");
     for scale in [1u32, 4, 16] {
         let db = scaled_db(scale);
-        let employees = db.catalog().relation("employees").unwrap();
+        let catalog = db.catalog();
+        let employees = catalog.relation("employees").unwrap();
         let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
         println!(
             "  scale {scale:>2}: {} elements -> {} index entries, {} distinct keys",
@@ -23,11 +24,13 @@ fn bench(c: &mut Criterion) {
     for scale in [1u32, 8] {
         let db = scaled_db(scale);
         group.bench_with_input(BenchmarkId::new("build_enrindex", scale), &db, |b, db| {
-            let employees = db.catalog().relation("employees").unwrap();
+            let catalog = db.catalog();
+            let employees = catalog.relation("employees").unwrap();
             b.iter(|| HashIndex::build_full("enrindex", employees, &["enr"]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("probe_enrindex", scale), &db, |b, db| {
-            let employees = db.catalog().relation("employees").unwrap();
+            let catalog = db.catalog();
+            let employees = catalog.relation("employees").unwrap();
             let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
             let n = employees.cardinality() as i64;
             b.iter(|| {

@@ -51,6 +51,9 @@ impl fmt::Display for ComponentRef {
     }
 }
 
+/// Name of a query parameter placeholder (e.g. the `year` of `:year`).
+pub type ParamName = Arc<str>;
+
 /// One side of a join-term comparison.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Operand {
@@ -58,6 +61,10 @@ pub enum Operand {
     Component(ComponentRef),
     /// A constant, e.g. `1977`, `professor`, `'Highman'`.
     Const(Value),
+    /// A named parameter placeholder, e.g. `:year`.  Parameters survive
+    /// normalization and planning and are substituted by a constant at
+    /// execution time (see [`crate::params`]).
+    Param(ParamName),
 }
 
 impl Operand {
@@ -71,12 +78,24 @@ impl Operand {
         Operand::Const(v.into())
     }
 
+    /// Convenience constructor for a parameter placeholder operand.
+    pub fn param(name: impl Into<ParamName>) -> Self {
+        Operand::Param(name.into())
+    }
+
     /// The variable referenced by this operand, if any.
     pub fn var(&self) -> Option<&VarName> {
         match self {
             Operand::Component(c) => Some(&c.var),
-            Operand::Const(_) => None,
+            Operand::Const(_) | Operand::Param(_) => None,
         }
+    }
+
+    /// Whether this operand is free of element variables (a constant or a
+    /// parameter placeholder): it evaluates to a single value independent of
+    /// any range binding.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Operand::Const(_) | Operand::Param(_))
     }
 }
 
@@ -85,6 +104,7 @@ impl fmt::Display for Operand {
         match self {
             Operand::Component(c) => write!(f, "{c}"),
             Operand::Const(v) => write!(f, "{v}"),
+            Operand::Param(name) => write!(f, ":{name}"),
         }
     }
 }
@@ -162,13 +182,27 @@ impl Term {
     /// `const OP var.attr`), returns `(attr, op, const)` normalized so the
     /// component is on the left.
     pub fn as_monadic_constant(&self, var: &str) -> Option<(Arc<str>, CompareOp, Value)> {
+        self.as_monadic_scalar(var)
+            .and_then(|(attr, op, scalar)| match scalar {
+                Operand::Const(v) => Some((attr, op, v)),
+                _ => None,
+            })
+    }
+
+    /// Like [`Term::as_monadic_constant`], but also accepts a parameter
+    /// placeholder on the scalar side: for a term of the shape
+    /// `var.attr OP scalar` (or `scalar OP var.attr`), returns
+    /// `(attr, op, scalar)` normalized so the component is on the left.
+    /// Used by transformations that must treat a prepared query with
+    /// parameters exactly like the same query with inlined constants.
+    pub fn as_monadic_scalar(&self, var: &str) -> Option<(Arc<str>, CompareOp, Operand)> {
         match self {
             Term::Compare { left, op, right } => match (left, right) {
-                (Operand::Component(c), Operand::Const(v)) if c.var.as_ref() == var => {
-                    Some((c.attr.clone(), *op, v.clone()))
+                (Operand::Component(c), scalar) if scalar.is_scalar() && c.var.as_ref() == var => {
+                    Some((c.attr.clone(), *op, scalar.clone()))
                 }
-                (Operand::Const(v), Operand::Component(c)) if c.var.as_ref() == var => {
-                    Some((c.attr.clone(), op.flip(), v.clone()))
+                (scalar, Operand::Component(c)) if scalar.is_scalar() && c.var.as_ref() == var => {
+                    Some((c.attr.clone(), op.flip(), scalar.clone()))
                 }
                 _ => None,
             },
@@ -638,7 +672,7 @@ impl fmt::Display for Formula {
 
 /// A complete selection statement:
 /// `target := [<components> OF EACH v IN range, ...: formula]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Selection {
     /// Name of the target relation being assigned (e.g. `enames`).
     pub target: String,

@@ -38,6 +38,12 @@ pub enum CalculusError {
         /// Why the transformation does not apply.
         detail: String,
     },
+    /// A parameter placeholder was evaluated or substituted without a
+    /// binding for it.
+    UnboundParameter {
+        /// The placeholder name (without the leading `:`).
+        name: String,
+    },
     /// An error bubbled up from the relation layer (typing, comparisons).
     Relation(RelationError),
 }
@@ -63,6 +69,9 @@ impl fmt::Display for CalculusError {
             }
             CalculusError::NotApplicable { detail } => {
                 write!(f, "transformation not applicable: {detail}")
+            }
+            CalculusError::UnboundParameter { name } => {
+                write!(f, "parameter :{name} has no bound value")
             }
             CalculusError::Relation(e) => write!(f, "{e}"),
         }

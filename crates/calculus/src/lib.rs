@@ -12,6 +12,8 @@
 //!   adaptation of queries for empty range relations;
 //! * [`onesorted`] — A. Schmidt's conversion to the one-sorted calculus,
 //!   executable for equivalence checking;
+//! * [`params`] — named parameter placeholders (`:name`) and their binding,
+//!   the basis of prepared queries;
 //! * [`transform`] — extended range expressions (Strategy 3), separation of
 //!   conjunctions for existential queries, and quantifier swapping.
 
@@ -23,18 +25,20 @@ pub mod error;
 pub mod lemma1;
 pub mod normalize;
 pub mod onesorted;
+pub mod params;
 pub mod semantics;
 pub mod transform;
 
 pub use ast::{
-    ComponentRef, Formula, Operand, Quantifier, RangeDecl, RangeExpr, RelName, Selection, Term,
-    VarName,
+    ComponentRef, Formula, Operand, ParamName, Quantifier, RangeDecl, RangeExpr, RelName,
+    Selection, Term, VarName,
 };
 pub use error::CalculusError;
 pub use lemma1::{adapt_formula_for_empty, adapt_selection_for_empty, Lemma1Rule};
 pub use normalize::{standardize, Conjunction, PrefixEntry, StandardForm, StandardizedSelection};
+pub use params::Params;
 pub use semantics::{eval_formula, eval_selection, Binding, Env, RelationProvider};
 pub use transform::{
     extend_ranges, separate_existential, sink_variable, swap_adjacent_quantifiers, ExtendOptions,
-    ExtendReport, Hoist, HoistKind,
+    ExtendReport, ExtendedRangeAssumption, Hoist, HoistKind,
 };

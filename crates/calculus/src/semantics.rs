@@ -61,6 +61,9 @@ pub type Env = BTreeMap<String, Binding>;
 pub fn eval_operand<'a>(op: &'a Operand, env: &'a Env) -> Result<&'a Value, CalculusError> {
     match op {
         Operand::Const(v) => Ok(v),
+        Operand::Param(name) => Err(CalculusError::UnboundParameter {
+            name: name.to_string(),
+        }),
         Operand::Component(c) => {
             let binding =
                 env.get(c.var.as_ref())

@@ -145,10 +145,13 @@ pub fn extend_ranges(
             }
             // Candidate terms: monadic constant comparisons over `var` in the
             // first mentioning conjunction.
+            // Parameter placeholders count as constants here so that a
+            // prepared query plans into the same shape as the query with the
+            // constants inlined.
             let candidates: Vec<Term> = sel.form.matrix[mentioning[0]]
                 .monadic_terms_over(var)
                 .into_iter()
-                .filter(|t| t.as_monadic_constant(var).is_some())
+                .filter(|t| t.as_monadic_scalar(var).is_some())
                 .cloned()
                 .collect();
             for term in candidates {
@@ -219,7 +222,7 @@ pub fn extend_ranges(
             }
             let position = sel.form.matrix.iter().position(|c| {
                 c.is_purely_over(var)
-                    && c.terms.iter().all(|t| t.as_monadic_constant(var).is_some())
+                    && c.terms.iter().all(|t| t.as_monadic_scalar(var).is_some())
                     && (c.terms.len() == 1 || options.allow_disjunctive)
             });
             if let Some(idx) = position {

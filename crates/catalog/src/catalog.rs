@@ -38,6 +38,7 @@ pub struct Catalog {
     by_name: BTreeMap<String, RelId>,
     indexes: Vec<IndexDecl>,
     page_model: PageModel,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -59,8 +60,24 @@ impl Catalog {
         self.page_model
     }
 
+    /// The catalog's modification epoch: a monotonic counter bumped by every
+    /// mutation that can invalidate a cached query plan (declarations,
+    /// inserts, index changes, any mutable relation access).  Plan caches
+    /// key on it so that cached plans are discarded when the catalog
+    /// changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Explicitly advances the modification epoch (e.g. after out-of-band
+    /// statistics changes a caller performed through other means).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Mutable access to the type registry (TYPE section).
     pub fn types_mut(&mut self) -> &mut TypeRegistry {
+        self.epoch += 1;
         &mut self.types
     }
 
@@ -78,6 +95,7 @@ impl Catalog {
         let id = RelId(self.relations.len() as u32);
         self.relations.push(Relation::with_id(schema, id));
         self.by_name.insert(name, id);
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -102,9 +120,12 @@ impl Catalog {
         Ok(&self.relations[id.0 as usize])
     }
 
-    /// Mutable access to the relation with the given name.
+    /// Mutable access to the relation with the given name.  Conservatively
+    /// advances the modification epoch: the caller may change cardinalities
+    /// or contents, either of which invalidates cached plans.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, CatalogError> {
         let id = self.relation_id(name)?;
+        self.epoch += 1;
         Ok(&mut self.relations[id.0 as usize])
     }
 
@@ -185,6 +206,7 @@ impl Catalog {
             relation: relation.to_string(),
             attributes: attributes.iter().map(|s| s.to_string()).collect(),
         });
+        self.epoch += 1;
         Ok(())
     }
 
@@ -364,6 +386,54 @@ mod tests {
         assert!(all.contains_key("employees"));
         assert_eq!(cat.pages_of("employees").unwrap(), 1);
         assert!(cat.pages_of("missing").is_err());
+    }
+
+    #[test]
+    fn epoch_advances_on_every_invalidating_mutation() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.epoch(), 0);
+        let e0 = cat.epoch();
+        cat.types_mut().declare_string("nametype", 10).unwrap();
+        assert!(cat.epoch() > e0);
+
+        let mut cat = catalog_with_employees();
+        let declared = cat.epoch();
+        assert!(declared > 0, "declarations and inserts advance the epoch");
+
+        cat.insert(
+            "employees",
+            Tuple::new(vec![
+                Value::int(30),
+                Value::str("Newman"),
+                cat.types()
+                    .enum_type("statustype")
+                    .unwrap()
+                    .value("assistant")
+                    .unwrap(),
+            ]),
+        )
+        .unwrap();
+        assert!(cat.epoch() > declared);
+
+        let after_insert = cat.epoch();
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+        assert!(cat.epoch() > after_insert);
+
+        let after_index = cat.epoch();
+        cat.relation_mut("employees").unwrap().clear();
+        assert!(cat.epoch() > after_index);
+
+        let after_clear = cat.epoch();
+        cat.bump_epoch();
+        assert_eq!(cat.epoch(), after_clear + 1);
+
+        // Read-only access does not advance the epoch.
+        let snapshot = cat.epoch();
+        let _ = cat.relation("employees").unwrap();
+        let _ = cat.stats("employees").unwrap();
+        let _ = cat.all_stats();
+        assert_eq!(cat.epoch(), snapshot);
     }
 
     #[test]

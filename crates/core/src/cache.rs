@@ -1,0 +1,225 @@
+//! The shared plan cache.
+//!
+//! Plans are keyed by *(selection fingerprint, strategy level, catalog
+//! epoch)*: the fingerprint identifies the query shape (parsed selection
+//! plus planning options), and the epoch ties the plan to the catalog state
+//! it was derived from.  Any catalog mutation advances the epoch (see
+//! [`pascalr_catalog::Catalog::epoch`]), so stale plans can never be
+//! returned — they are evicted lazily the next time a plan for the current
+//! epoch is inserted.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pascalr_calculus::Selection;
+use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
+
+/// Cache key: query shape + strategy + catalog state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    /// Hash of the parsed selection and the planning options.
+    pub fingerprint: u64,
+    /// The strategy level the plan was built for.
+    pub strategy: StrategyLevel,
+    /// The catalog epoch the plan was derived from.
+    pub epoch: u64,
+}
+
+/// Snapshot of the plan-cache counters (observable cache behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: u64,
+    /// Number of lookups that required planning.
+    pub misses: u64,
+    /// Number of cached plans evicted because the catalog epoch moved on.
+    pub invalidations: u64,
+    /// Number of plans currently cached.
+    pub entries: usize,
+}
+
+/// One cached entry: the plan plus the exact query shape it was built for,
+/// kept so that a 64-bit fingerprint collision can never hand out another
+/// query's plan — lookups verify the shape before reporting a hit.
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    selection: Arc<Selection>,
+    options: PlanOptions,
+    plan: Arc<QueryPlan>,
+}
+
+/// The guarded interior: entries plus the epoch of the most recent insert,
+/// so the stale-entry sweep runs only when the epoch actually changes.
+#[derive(Debug, Default)]
+struct PlanMap {
+    entries: HashMap<PlanKey, PlanEntry>,
+    epoch: u64,
+}
+
+/// The cache itself: a lock-guarded map plus lock-free counters.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    plans: RwLock<PlanMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Upper bound on cached plans.  A read-only workload of ever-distinct
+/// query texts never bumps the epoch, so without a cap the map would grow
+/// without bound; prepared statements re-use one entry and are unaffected.
+const PLAN_CACHE_CAP: usize = 1024;
+
+impl PlanCache {
+    /// Looks up a plan, recording a hit or miss.  A fingerprint collision
+    /// (entry present but for a different selection/options) counts as a
+    /// miss; the caller's subsequent insert replaces the colliding entry.
+    /// Prepared queries pass the same `Arc<Selection>` every time, so the
+    /// shape check is normally a pointer comparison.
+    pub fn get(
+        &self,
+        key: &PlanKey,
+        selection: &Arc<Selection>,
+        options: PlanOptions,
+    ) -> Option<Arc<QueryPlan>> {
+        let found = self.plans.read().entries.get(key).and_then(|entry| {
+            (entry.options == options
+                && (Arc::ptr_eq(&entry.selection, selection) || *entry.selection == **selection))
+                .then(|| entry.plan.clone())
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a freshly built plan.  When the catalog epoch changed since
+    /// the last insert, every stale entry is swept out (and counted as an
+    /// invalidation); the common same-epoch insert skips the sweep.  The
+    /// map is kept under [`PLAN_CACHE_CAP`] by uncounted arbitrary
+    /// eviction.
+    pub fn insert(
+        &self,
+        key: PlanKey,
+        selection: Arc<Selection>,
+        options: PlanOptions,
+        plan: Arc<QueryPlan>,
+    ) {
+        let mut map = self.plans.write();
+        if map.epoch != key.epoch {
+            let before = map.entries.len();
+            map.entries.retain(|k, _| k.epoch == key.epoch);
+            let evicted = (before - map.entries.len()) as u64;
+            if evicted > 0 {
+                self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+            }
+            map.epoch = key.epoch;
+        }
+        while map.entries.len() >= PLAN_CACHE_CAP {
+            // Arbitrary eviction: with the cap this large, churn here means
+            // the workload is one-shot texts, for which any victim is fine.
+            let victim = *map.entries.keys().next().expect("len checked");
+            map.entries.remove(&victim);
+        }
+        map.entries.insert(
+            key,
+            PlanEntry {
+                selection,
+                options,
+                plan,
+            },
+        );
+    }
+
+    /// Current counter values and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.plans.read().entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_planner::plan;
+    use pascalr_workload::figure1_sample_database;
+
+    fn shape(id: &str) -> (Arc<Selection>, Arc<QueryPlan>) {
+        let cat = figure1_sample_database().unwrap();
+        let sel = pascalr_workload::query_by_id(id)
+            .unwrap()
+            .parse(&cat)
+            .unwrap();
+        let p = Arc::new(plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        ));
+        (Arc::new(sel), p)
+    }
+
+    #[test]
+    fn hits_misses_and_epoch_eviction_are_counted() {
+        let cache = PlanCache::default();
+        let (sel, built) = shape("q01");
+        let opts = PlanOptions::default();
+        let key = PlanKey {
+            fingerprint: 1,
+            strategy: StrategyLevel::S4CollectionQuantifiers,
+            epoch: 7,
+        };
+        assert!(cache.get(&key, &sel, opts).is_none());
+        cache.insert(key, sel.clone(), opts, built.clone());
+        assert!(cache.get(&key, &sel, opts).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A new epoch evicts the stale entry on insert.
+        let newer = PlanKey { epoch: 8, ..key };
+        assert!(cache.get(&newer, &sel, opts).is_none());
+        cache.insert(newer, sel.clone(), opts, built);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.invalidations, 1);
+        assert!(
+            cache.get(&key, &sel, opts).is_none(),
+            "stale epoch never hits"
+        );
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_treated_as_misses() {
+        // Two different queries forced onto the SAME key: the entry's
+        // stored shape must prevent the second query from receiving the
+        // first query's plan.
+        let cache = PlanCache::default();
+        let (sel_a, plan_a) = shape("q01");
+        let (sel_b, _) = shape("q02");
+        let opts = PlanOptions::default();
+        let key = PlanKey {
+            fingerprint: 42,
+            strategy: StrategyLevel::S4CollectionQuantifiers,
+            epoch: 1,
+        };
+        cache.insert(key, sel_a.clone(), opts, plan_a);
+        assert!(cache.get(&key, &sel_a, opts).is_some());
+        assert!(
+            cache.get(&key, &sel_b, opts).is_none(),
+            "a colliding fingerprint must never serve another query's plan"
+        );
+        // Different options on the same selection miss too.
+        let other_opts = PlanOptions {
+            declaration_scan_order: true,
+            ..Default::default()
+        };
+        assert!(cache.get(&key, &sel_a, other_opts).is_none());
+    }
+}

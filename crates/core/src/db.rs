@@ -1,0 +1,434 @@
+//! The thread-safe [`Database`] handle.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use pascalr_calculus::{Params, Selection};
+use pascalr_catalog::{Catalog, CatalogError};
+use pascalr_parser::{parse_database, parse_selection};
+use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
+use pascalr_relation::{Tuple, Value};
+use pascalr_storage::Metrics;
+
+use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::{ExecutionReport, PascalRError, QueryOutcome, Session};
+
+/// State shared by every clone of a [`Database`] handle.
+#[derive(Debug)]
+pub(crate) struct DbShared {
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) plan_cache: PlanCache,
+}
+
+/// A PASCAL/R database: catalog plus query machinery.
+///
+/// `Database` is a cheap-to-clone **shared handle**: every clone refers to
+/// the same catalog (behind a reader-writer lock) and the same plan cache,
+/// so a single database can serve concurrent sessions from many threads.
+/// Use [`Database::fork`] for the old deep-copy semantics (an independent
+/// database with its own catalog).
+///
+/// The per-handle defaults (`default_strategy`, plan options) are *not*
+/// shared: changing them on one clone does not affect the others, which
+/// gives each handle session-like defaults.  For explicit per-connection
+/// state, open a [`Session`].
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub(crate) shared: Arc<DbShared>,
+    default_strategy: StrategyLevel,
+    plan_options: PlanOptions,
+}
+
+/// Shared read access to the catalog, returned by [`Database::catalog`].
+/// Holding it blocks writers (inserts, DDL) but not other readers.
+pub struct CatalogRef<'a>(RwLockReadGuard<'a, Catalog>);
+
+impl Deref for CatalogRef<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+impl fmt::Debug for CatalogRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive write access to the catalog, returned by
+/// [`Database::catalog_mut`].  Holding it blocks all other access.
+pub struct CatalogRefMut<'a>(RwLockWriteGuard<'a, Catalog>);
+
+impl Deref for CatalogRefMut<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+impl DerefMut for CatalogRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        &mut self.0
+    }
+}
+
+impl fmt::Debug for CatalogRefMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Hash of the query shape: parsed selection plus planning options.
+pub(crate) fn fingerprint(selection: &Selection, options: PlanOptions) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    selection.hash(&mut h);
+    options.hash(&mut h);
+    h.finish()
+}
+
+/// Executes an already-bound plan against a catalog snapshot and assembles
+/// the outcome.
+pub(crate) fn execute_outcome(
+    catalog: &Catalog,
+    query_plan: Arc<QueryPlan>,
+) -> Result<QueryOutcome, PascalRError> {
+    let metrics = Metrics::new();
+    let start = Instant::now();
+    let exec_result = pascalr_exec::execute(&query_plan, catalog, &metrics)?;
+    let elapsed = start.elapsed();
+    let fallback = exec_result.fallback.as_ref().map(|f| match f {
+        pascalr_exec::Fallback::AdaptedForEmptyRelations(rels) => {
+            format!("adapted for empty relation(s): {}", rels.join(", "))
+        }
+        pascalr_exec::Fallback::ExtendedRangeEmpty(var) => {
+            format!("extended range of {var} was empty; re-planned at S2")
+        }
+    });
+    let strategy = query_plan.strategy;
+    Ok(QueryOutcome {
+        result: exec_result.relation,
+        plan: query_plan,
+        report: ExecutionReport {
+            strategy,
+            metrics: metrics.snapshot(),
+            elapsed,
+            fallback,
+        },
+    })
+}
+
+/// The facade-level unbound-parameter error for `name` (single place that
+/// fixes the error shape for every entry point).
+pub(crate) fn unbound_param_error(name: &str) -> PascalRError {
+    PascalRError::Calculus(pascalr_calculus::CalculusError::UnboundParameter {
+        name: name.to_string(),
+    })
+}
+
+/// Fails with [`PascalRError`] if the selection still carries parameter
+/// placeholders (text/selection entry points do not accept parameters; use
+/// a prepared query).
+fn reject_unbound_params(selection: &Selection) -> Result<(), PascalRError> {
+    match selection.param_names().into_iter().next() {
+        Some(name) => Err(unbound_param_error(&name)),
+        None => Ok(()),
+    }
+}
+
+impl Database {
+    /// Creates an empty database (no types, no relations).
+    pub fn new() -> Self {
+        Database::from_catalog(Catalog::new())
+    }
+
+    /// Creates a database from PASCAL/R declarations (TYPE and VAR sections,
+    /// Figure 1 style).
+    pub fn from_declarations(text: &str) -> Result<Self, PascalRError> {
+        Ok(Database::from_catalog(parse_database(text)?))
+    }
+
+    /// Wraps an existing catalog (e.g. one produced by
+    /// `pascalr-workload`'s generator).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database {
+            shared: Arc::new(DbShared {
+                catalog: RwLock::new(catalog),
+                plan_cache: PlanCache::default(),
+            }),
+            default_strategy: StrategyLevel::S4CollectionQuantifiers,
+            plan_options: PlanOptions::default(),
+        }
+    }
+
+    /// Deep copy: an independent database whose catalog starts as a copy of
+    /// this one's current state (what `clone()` used to mean before
+    /// `Database` became a shared handle).  The fork has a fresh, empty plan
+    /// cache and inherits this handle's defaults.
+    pub fn fork(&self) -> Database {
+        let snapshot = self.shared.catalog.read().clone();
+        Database {
+            shared: Arc::new(DbShared {
+                catalog: RwLock::new(snapshot),
+                plan_cache: PlanCache::default(),
+            }),
+            default_strategy: self.default_strategy,
+            plan_options: self.plan_options,
+        }
+    }
+
+    /// Whether two handles share the same underlying database state.
+    pub fn shares_state_with(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// The default strategy level used by [`Database::query`] and new
+    /// [`Session`]s.
+    pub fn default_strategy(&self) -> StrategyLevel {
+        self.default_strategy
+    }
+
+    /// Changes this handle's default strategy level (other clones are
+    /// unaffected).
+    pub fn set_default_strategy(&mut self, strategy: StrategyLevel) {
+        self.default_strategy = strategy;
+    }
+
+    /// This handle's planning options.
+    pub fn plan_options(&self) -> PlanOptions {
+        self.plan_options
+    }
+
+    /// Changes this handle's planning options (ablation switches).
+    pub fn set_plan_options(&mut self, options: PlanOptions) {
+        self.plan_options = options;
+    }
+
+    /// Opens a session carrying per-connection defaults, seeded from this
+    /// handle's defaults.
+    pub fn session(&self) -> Session {
+        Session::new(self)
+    }
+
+    /// Shared read access to the catalog.
+    ///
+    /// The returned guard blocks writers while alive.  **Drop it before
+    /// calling any other `Database`/`Session`/`PreparedQuery` method on the
+    /// same thread** — not just mutating ones: every entry point takes the
+    /// same lock internally, and with a writer already waiting a second
+    /// read acquisition on the same thread can deadlock (the underlying
+    /// reader-writer lock may prefer writers).
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef(self.shared.catalog.read())
+    }
+
+    /// Exclusive write access to the catalog (declaring additional
+    /// relations, permanent indexes, ...).  Any mutation performed through
+    /// the guard advances the catalog epoch and thereby invalidates cached
+    /// plans.  As with [`Database::catalog`], drop the guard before calling
+    /// any other method of this API on the same thread.
+    pub fn catalog_mut(&self) -> CatalogRefMut<'_> {
+        CatalogRefMut(self.shared.catalog.write())
+    }
+
+    /// The catalog's current modification epoch (plan-cache invalidation
+    /// counter).
+    pub fn epoch(&self) -> u64 {
+        self.shared.catalog.read().epoch()
+    }
+
+    /// Counters of the shared plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.shared.plan_cache.stats()
+    }
+
+    /// Inserts one element (`rel :+ [tuple]`).
+    pub fn insert(&self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
+        self.shared.catalog.write().insert(relation, tuple)?;
+        Ok(())
+    }
+
+    /// Inserts one element given as a plain value list.
+    pub fn insert_values(&self, relation: &str, values: Vec<Value>) -> Result<(), PascalRError> {
+        self.insert(relation, Tuple::new(values))
+    }
+
+    /// Inserts many elements; returns how many were new.
+    pub fn insert_all(
+        &self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, PascalRError> {
+        Ok(self.shared.catalog.write().insert_all(relation, tuples)?)
+    }
+
+    /// Builds an enumeration value (e.g. `professor`) from a declared
+    /// enumeration type.
+    pub fn enum_value(&self, type_name: &str, label: &str) -> Result<Value, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        let ty = catalog
+            .types()
+            .enum_type(type_name)
+            .ok_or_else(|| CatalogError::UnknownType {
+                name: type_name.to_string(),
+            })?;
+        ty.value(label)
+            .map_err(|e| PascalRError::Catalog(CatalogError::Relation(e)))
+    }
+
+    /// Parses a selection statement against this database's catalog.
+    pub fn parse(&self, text: &str) -> Result<Selection, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        Ok(parse_selection(text, &catalog)?)
+    }
+
+    /// Looks up or builds the plan for a selection under the current catalog
+    /// epoch, going through the shared plan cache.  `fp` is the query-shape
+    /// fingerprint (see [`fingerprint`]); prepared queries pass their
+    /// precomputed value so the hot path does not rehash the AST.
+    pub(crate) fn cached_plan(
+        &self,
+        catalog: &Catalog,
+        selection: &Arc<Selection>,
+        fp: u64,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Arc<QueryPlan> {
+        let key = PlanKey {
+            fingerprint: fp,
+            strategy,
+            epoch: catalog.epoch(),
+        };
+        if let Some(p) = self.shared.plan_cache.get(&key, selection, options) {
+            return p;
+        }
+        let built = Arc::new(plan(selection, catalog, strategy, options));
+        self.shared
+            .plan_cache
+            .insert(key, selection.clone(), options, built.clone());
+        built
+    }
+
+    /// Evaluates a selection statement (text) at the default strategy level.
+    ///
+    /// This is a thin wrapper over the prepared path: the text is parsed,
+    /// the plan comes from the shared plan cache (planning happens at most
+    /// once per query shape and catalog epoch).  For repeated execution —
+    /// especially with varying constants — prefer
+    /// [`Session::prepare`](crate::Session::prepare).
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, PascalRError> {
+        self.query_with(text, self.default_strategy)
+    }
+
+    /// Evaluates a selection statement (text) at an explicit strategy level
+    /// (cached-plan path, like [`Database::query`]).
+    pub fn query_with(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+    ) -> Result<QueryOutcome, PascalRError> {
+        self.query_text_with_options(text, strategy, self.plan_options)
+    }
+
+    /// Cached-path text query with explicit planning options (used by
+    /// sessions, whose options may differ from this handle's defaults).
+    pub(crate) fn query_text_with_options(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Result<QueryOutcome, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &catalog)?);
+        reject_unbound_params(&selection)?;
+        let fp = fingerprint(&selection, options);
+        let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
+        execute_outcome(&catalog, query_plan)
+    }
+
+    /// Evaluates an already-parsed selection at an explicit strategy level.
+    ///
+    /// This is the low-level *uncached* path: the selection is planned
+    /// afresh on every call (useful for one-off plans and for measuring
+    /// planning cost).  Use a prepared query to amortize planning.
+    pub fn query_selection(
+        &self,
+        selection: &Selection,
+        strategy: StrategyLevel,
+    ) -> Result<QueryOutcome, PascalRError> {
+        reject_unbound_params(selection)?;
+        let catalog = self.shared.catalog.read();
+        let query_plan = Arc::new(plan(selection, &catalog, strategy, self.plan_options));
+        execute_outcome(&catalog, query_plan)
+    }
+
+    /// Produces the plan (without executing it) for a selection statement.
+    pub fn explain(&self, text: &str, strategy: StrategyLevel) -> Result<String, PascalRError> {
+        self.explain_with_options(text, strategy, self.plan_options)
+    }
+
+    /// One-shot parameterized text query (used by sessions): parse, fetch
+    /// the placeholder-carrying plan from the cache, bind `params`, execute
+    /// — one catalog lock acquisition and one cache lookup per call.
+    pub(crate) fn query_params_with_options(
+        &self,
+        text: &str,
+        params: &Params,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Result<QueryOutcome, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &catalog)?);
+        let fp = fingerprint(&selection, options);
+        let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
+        let bound = if selection.param_names().is_empty() {
+            query_plan
+        } else {
+            Arc::new(query_plan.bind_params(params)?)
+        };
+        execute_outcome(&catalog, bound)
+    }
+
+    /// `explain` with explicit planning options (used by sessions).
+    pub(crate) fn explain_with_options(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Result<String, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &catalog)?);
+        let fp = fingerprint(&selection, options);
+        let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
+        Ok(query_plan.explain())
+    }
+
+    /// Runs the same query at every strategy level and returns the outcomes
+    /// in level order — the comparison the paper's Section 4 is about.
+    pub fn compare_strategies(&self, text: &str) -> Result<Vec<QueryOutcome>, PascalRError> {
+        let catalog = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &catalog)?);
+        reject_unbound_params(&selection)?;
+        let fp = fingerprint(&selection, self.plan_options);
+        StrategyLevel::ALL
+            .iter()
+            .map(|&level| {
+                let query_plan =
+                    self.cached_plan(&catalog, &selection, fp, level, self.plan_options);
+                execute_outcome(&catalog, query_plan)
+            })
+            .collect()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}

@@ -2,28 +2,90 @@
 //! PASCAL/R Relational Database Management System"* (Jarke & Schmidt,
 //! ACM SIGMOD 1982) as a Rust library.
 //!
-//! The crate offers a single entry point, [`Database`]: declare a PASCAL/R
-//! database (Figure 1 style), load elements, and evaluate selection
-//! expressions with existential and universal quantifiers at any of the five
-//! strategy levels the paper discusses (naive baseline, parallel evaluation,
-//! one-step nested subexpressions, extended range expressions,
-//! collection-phase quantifier evaluation).  Every query execution returns
-//! both the result relation and an [`ExecutionReport`] with the access
-//! metrics the paper's cost arguments are stated in (relation scans, tuples
-//! read, intermediate structure sizes, comparisons).
+//! # Entry points
+//!
+//! * [`Database`] — a **thread-safe, cheaply clonable handle** to a shared
+//!   catalog plus a shared plan cache.  Declare a PASCAL/R database
+//!   (Figure 1 style), load elements, and evaluate selection expressions
+//!   with existential and universal quantifiers at any of the five strategy
+//!   levels the paper discusses.  Cloning a `Database` shares state; use
+//!   [`Database::fork`] for an independent deep copy.
+//! * [`Session`] — per-connection defaults (strategy level, plan options)
+//!   over a shared database; the intended handle for one thread or
+//!   connection.
+//! * [`PreparedQuery`] — parse → standard-form normalization → planning
+//!   captured **once**, then executed repeatedly (and concurrently) with
+//!   only the collection/combination phases on the hot path.  Statements
+//!   may contain `:name` parameter placeholders bound per execution with
+//!   [`Params`].
+//!
+//! Every query execution returns both the result relation and an
+//! [`ExecutionReport`] with the access metrics the paper's cost arguments
+//! are stated in (relation scans, tuples read, intermediate structure
+//! sizes, comparisons).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pascalr::{Database, Params, StrategyLevel};
+//!
+//! let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+//!
+//! // A session carries per-connection defaults over the shared database.
+//! let session = db.session().with_strategy(StrategyLevel::S4CollectionQuantifiers);
+//!
+//! // Prepare once: parsing, normalization and planning happen here.
+//! let by_year = session
+//!     .prepare(
+//!         "published := [<e.ename> OF EACH e IN employees: \
+//!            SOME p IN papers ((p.penr = e.enr) AND (p.pyear = :year))]",
+//!     )
+//!     .unwrap();
+//!
+//! // Execute many times with different constants — no re-planning.
+//! let in_1977 = by_year.execute_with(&Params::new().set("year", 1977)).unwrap();
+//! let in_1976 = by_year.execute_with(&Params::new().set("year", 1976)).unwrap();
+//! assert!(in_1977.result.cardinality() >= in_1976.result.cardinality());
+//!
+//! // The database handle is a shared, thread-safe view: clones can run the
+//! // same prepared query concurrently from many threads.
+//! let stats = db.plan_cache_stats();
+//! assert!(stats.hits >= 1);
+//! ```
+//!
+//! # Migrating from the text-query API
+//!
+//! The original text-based entry points are kept as thin wrappers over the
+//! prepared path: [`Database::query`] / [`Database::query_with`] parse on
+//! every call but fetch their plan from the shared cache, and
+//! [`Database::query_selection`] remains the low-level *uncached*
+//! plan-every-time path.  New code should open a [`Session`] and use
+//! [`Session::prepare`] for anything executed more than once.  Note that
+//! `Database::clone` now shares state (it used to deep-copy); call
+//! [`Database::fork`] where an independent copy is required.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-use pascalr_calculus::Selection;
-use pascalr_catalog::{Catalog, CatalogError};
-use pascalr_exec::{plan_and_execute, ExecError, Fallback};
-use pascalr_parser::{parse_database, parse_selection, ParseError};
-use pascalr_planner::{plan, PlanOptions, QueryPlan};
-use pascalr_storage::{Metrics, MetricsSnapshot};
+use pascalr_catalog::CatalogError;
+use pascalr_exec::ExecError;
+use pascalr_parser::ParseError;
+use pascalr_planner::QueryPlan;
+use pascalr_storage::MetricsSnapshot;
+
+mod cache;
+mod db;
+mod prepared;
+mod session;
+
+pub use cache::CacheStats;
+pub use db::{CatalogRef, CatalogRefMut, Database};
+pub use prepared::PreparedQuery;
+pub use session::Session;
 
 pub use pascalr_calculus as calculus;
 pub use pascalr_catalog as catalog;
@@ -33,8 +95,10 @@ pub use pascalr_planner as planner;
 pub use pascalr_relation as relation;
 pub use pascalr_storage as storage;
 
-pub use pascalr_calculus::{ComponentRef, Formula, Quantifier, RangeDecl, RangeExpr};
-pub use pascalr_planner::StrategyLevel;
+pub use pascalr_calculus::{
+    CalculusError, ComponentRef, Formula, Params, Quantifier, RangeDecl, RangeExpr,
+};
+pub use pascalr_planner::{PlanOptions, StrategyLevel};
 pub use pascalr_relation::{
     CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value, ValueType,
 };
@@ -48,6 +112,8 @@ pub enum PascalRError {
     Catalog(CatalogError),
     /// Execution error.
     Exec(ExecError),
+    /// Calculus error (unbound parameter, invalid transformation, ...).
+    Calculus(CalculusError),
 }
 
 impl fmt::Display for PascalRError {
@@ -56,6 +122,7 @@ impl fmt::Display for PascalRError {
             PascalRError::Parse(e) => write!(f, "{e}"),
             PascalRError::Catalog(e) => write!(f, "{e}"),
             PascalRError::Exec(e) => write!(f, "{e}"),
+            PascalRError::Calculus(e) => write!(f, "{e}"),
         }
     }
 }
@@ -77,6 +144,11 @@ impl From<ExecError> for PascalRError {
         PascalRError::Exec(e)
     }
 }
+impl From<CalculusError> for PascalRError {
+    fn from(e: CalculusError) -> Self {
+        PascalRError::Calculus(e)
+    }
+}
 
 /// Per-query execution report: strategy, metrics, timing and fallbacks.
 #[derive(Debug, Clone)]
@@ -85,7 +157,8 @@ pub struct ExecutionReport {
     pub strategy: StrategyLevel,
     /// Snapshot of the access metrics accumulated by this query.
     pub metrics: MetricsSnapshot,
-    /// Wall-clock execution time (planning + execution).
+    /// Wall-clock time of the execution phases only (plan-cache lookup and
+    /// parameter binding happen before the clock starts).
     pub elapsed: Duration,
     /// Description of the runtime fallback, if one was taken (empty range
     /// relation or empty extended range).
@@ -115,206 +188,34 @@ impl ExecutionReport {
 pub struct QueryOutcome {
     /// The result relation, named after the selection's target.
     pub result: Relation,
-    /// The plan that was executed.
-    pub plan: QueryPlan,
+    /// The plan that was executed (shared with the plan cache when it came
+    /// from there).
+    pub plan: Arc<QueryPlan>,
     /// Metrics and timing.
     pub report: ExecutionReport,
-}
-
-/// A PASCAL/R database: catalog plus query machinery.
-#[derive(Debug, Clone)]
-pub struct Database {
-    catalog: Catalog,
-    default_strategy: StrategyLevel,
-    plan_options: PlanOptions,
-}
-
-impl Database {
-    /// Creates an empty database (no types, no relations).
-    pub fn new() -> Self {
-        Database {
-            catalog: Catalog::new(),
-            default_strategy: StrategyLevel::S4CollectionQuantifiers,
-            plan_options: PlanOptions::default(),
-        }
-    }
-
-    /// Creates a database from PASCAL/R declarations (TYPE and VAR sections,
-    /// Figure 1 style).
-    pub fn from_declarations(text: &str) -> Result<Self, PascalRError> {
-        Ok(Database {
-            catalog: parse_database(text)?,
-            default_strategy: StrategyLevel::S4CollectionQuantifiers,
-            plan_options: PlanOptions::default(),
-        })
-    }
-
-    /// Wraps an existing catalog (e.g. one produced by
-    /// `pascalr-workload`'s generator).
-    pub fn from_catalog(catalog: Catalog) -> Self {
-        Database {
-            catalog,
-            default_strategy: StrategyLevel::S4CollectionQuantifiers,
-            plan_options: PlanOptions::default(),
-        }
-    }
-
-    /// The default strategy level used by [`Database::query`].
-    pub fn default_strategy(&self) -> StrategyLevel {
-        self.default_strategy
-    }
-
-    /// Changes the default strategy level.
-    pub fn set_default_strategy(&mut self, strategy: StrategyLevel) {
-        self.default_strategy = strategy;
-    }
-
-    /// Changes the planning options (ablation switches).
-    pub fn set_plan_options(&mut self, options: PlanOptions) {
-        self.plan_options = options;
-    }
-
-    /// Read access to the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// Mutable access to the catalog (declaring additional relations,
-    /// permanent indexes, ...).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
-    }
-
-    /// Inserts one element (`rel :+ [tuple]`).
-    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
-        self.catalog.insert(relation, tuple)?;
-        Ok(())
-    }
-
-    /// Inserts one element given as a plain value list.
-    pub fn insert_values(
-        &mut self,
-        relation: &str,
-        values: Vec<Value>,
-    ) -> Result<(), PascalRError> {
-        self.insert(relation, Tuple::new(values))
-    }
-
-    /// Inserts many elements; returns how many were new.
-    pub fn insert_all(
-        &mut self,
-        relation: &str,
-        tuples: impl IntoIterator<Item = Tuple>,
-    ) -> Result<usize, PascalRError> {
-        Ok(self.catalog.insert_all(relation, tuples)?)
-    }
-
-    /// Builds an enumeration value (e.g. `professor`) from a declared
-    /// enumeration type.
-    pub fn enum_value(&self, type_name: &str, label: &str) -> Result<Value, PascalRError> {
-        let ty =
-            self.catalog
-                .types()
-                .enum_type(type_name)
-                .ok_or_else(|| CatalogError::UnknownType {
-                    name: type_name.to_string(),
-                })?;
-        ty.value(label)
-            .map_err(|e| PascalRError::Catalog(CatalogError::Relation(e)))
-    }
-
-    /// Parses a selection statement against this database's catalog.
-    pub fn parse(&self, text: &str) -> Result<Selection, PascalRError> {
-        Ok(parse_selection(text, &self.catalog)?)
-    }
-
-    /// Evaluates a selection statement (text) at the default strategy level.
-    pub fn query(&self, text: &str) -> Result<QueryOutcome, PascalRError> {
-        self.query_with(text, self.default_strategy)
-    }
-
-    /// Evaluates a selection statement (text) at an explicit strategy level.
-    pub fn query_with(
-        &self,
-        text: &str,
-        strategy: StrategyLevel,
-    ) -> Result<QueryOutcome, PascalRError> {
-        let selection = self.parse(text)?;
-        self.query_selection(&selection, strategy)
-    }
-
-    /// Evaluates an already-parsed selection at an explicit strategy level.
-    pub fn query_selection(
-        &self,
-        selection: &Selection,
-        strategy: StrategyLevel,
-    ) -> Result<QueryOutcome, PascalRError> {
-        let metrics = Metrics::new();
-        let start = Instant::now();
-        let (query_plan, exec_result) = plan_and_execute(
-            selection,
-            &self.catalog,
-            strategy,
-            self.plan_options,
-            &metrics,
-        )?;
-        let elapsed = start.elapsed();
-        let fallback = exec_result.fallback.as_ref().map(|f| match f {
-            Fallback::AdaptedForEmptyRelations(rels) => {
-                format!("adapted for empty relation(s): {}", rels.join(", "))
-            }
-            Fallback::ExtendedRangeEmpty(var) => {
-                format!("extended range of {var} was empty; re-planned at S2")
-            }
-        });
-        Ok(QueryOutcome {
-            result: exec_result.relation,
-            plan: query_plan,
-            report: ExecutionReport {
-                strategy,
-                metrics: metrics.snapshot(),
-                elapsed,
-                fallback,
-            },
-        })
-    }
-
-    /// Produces the plan (without executing it) for a selection statement.
-    pub fn explain(&self, text: &str, strategy: StrategyLevel) -> Result<String, PascalRError> {
-        let selection = self.parse(text)?;
-        let p = plan(&selection, &self.catalog, strategy, self.plan_options);
-        Ok(p.explain())
-    }
-
-    /// Runs the same query at every strategy level and returns the outcomes
-    /// in level order — the comparison the paper's Section 4 is about.
-    pub fn compare_strategies(&self, text: &str) -> Result<Vec<QueryOutcome>, PascalRError> {
-        let selection = self.parse(text)?;
-        StrategyLevel::ALL
-            .iter()
-            .map(|&level| self.query_selection(&selection, level))
-            .collect()
-    }
-}
-
-impl Default for Database {
-    fn default() -> Self {
-        Database::new()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pascalr_parser::paper::{EXAMPLE_2_1_QUERY, FIGURE_1_DECLARATIONS};
+    use pascalr_workload::oracle_eval;
 
     fn sample_db() -> Database {
         Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap())
     }
 
     #[test]
+    fn facade_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<PreparedQuery>();
+    }
+
+    #[test]
     fn declarations_and_inserts_round_trip() {
-        let mut db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
+        let db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
         assert_eq!(db.catalog().relation_count(), 4);
         let prof = db.enum_value("statustype", "professor").unwrap();
         db.insert_values("employees", vec![Value::int(7), Value::str("Turing"), prof])
@@ -375,10 +276,179 @@ mod tests {
 
     #[test]
     fn fallback_is_reported_in_the_outcome() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.catalog_mut().relation_mut("papers").unwrap().clear();
         let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
         assert_eq!(outcome.result.cardinality(), 3);
         assert!(outcome.report.fallback.as_ref().unwrap().contains("papers"));
+    }
+
+    #[test]
+    fn clone_shares_state_and_fork_copies_it() {
+        let db = sample_db();
+        let clone = db.clone();
+        assert!(db.shares_state_with(&clone));
+        let fork = db.fork();
+        assert!(!db.shares_state_with(&fork));
+
+        // A mutation through one clone is visible through the other ...
+        clone.catalog_mut().relation_mut("papers").unwrap().clear();
+        assert!(db.catalog().relation("papers").unwrap().is_empty());
+        // ... but not through the fork.
+        assert!(!fork.catalog().relation("papers").unwrap().is_empty());
+
+        // Per-handle defaults are NOT shared.
+        let mut other = db.clone();
+        other.set_default_strategy(StrategyLevel::S0Baseline);
+        assert_eq!(
+            db.default_strategy(),
+            StrategyLevel::S4CollectionQuantifiers
+        );
+    }
+
+    #[test]
+    fn prepared_queries_hit_the_plan_cache_and_replan_on_epoch_bump() {
+        let db = sample_db();
+        let session = db.session();
+        let prepared = session.prepare(EXAMPLE_2_1_QUERY).unwrap();
+        let after_prepare = db.plan_cache_stats();
+        assert_eq!(after_prepare.misses, 1, "prepare plans exactly once");
+        assert_eq!(after_prepare.entries, 1);
+
+        // Repeated execution: zero additional planning, only cache hits.
+        for _ in 0..3 {
+            let outcome = prepared.execute().unwrap();
+            assert_eq!(outcome.result.cardinality(), 3);
+        }
+        let after_runs = db.plan_cache_stats();
+        assert_eq!(after_runs.misses, after_prepare.misses, "no re-planning");
+        assert_eq!(after_runs.hits, after_prepare.hits + 3);
+
+        // A catalog mutation bumps the epoch: the next execution re-plans
+        // exactly once, then hits again.
+        let prof = db.enum_value("statustype", "professor").unwrap();
+        db.insert_values(
+            "employees",
+            vec![Value::int(42), Value::str("Newone"), prof],
+        )
+        .unwrap();
+        prepared.execute().unwrap();
+        let after_bump = db.plan_cache_stats();
+        assert_eq!(after_bump.misses, after_runs.misses + 1, "re-plans once");
+        assert!(after_bump.invalidations >= 1, "stale plan was evicted");
+        prepared.execute().unwrap();
+        let after_second = db.plan_cache_stats();
+        assert_eq!(after_second.misses, after_bump.misses, "hits again");
+    }
+
+    #[test]
+    fn prepared_queries_with_params_match_inlined_constants() {
+        let db = sample_db();
+        let session = db.session();
+        let prepared = session
+            .prepare(
+                "published := [<e.ename> OF EACH e IN employees: \
+                   SOME p IN papers ((p.penr = e.enr) AND (p.pyear = :year))]",
+            )
+            .unwrap();
+        assert_eq!(prepared.param_names().len(), 1);
+        assert_eq!(prepared.param_names()[0].as_ref(), "year");
+        // Unbound execution is rejected up front.
+        assert!(matches!(
+            prepared.execute(),
+            Err(PascalRError::Calculus(
+                CalculusError::UnboundParameter { .. }
+            ))
+        ));
+        for year in [1975i64, 1976, 1977] {
+            let bound = prepared
+                .execute_with(&Params::new().set("year", year))
+                .unwrap();
+            let inline = db
+                .query(&format!(
+                    "published := [<e.ename> OF EACH e IN employees: \
+                       SOME p IN papers ((p.penr = e.enr) AND (p.pyear = {year}))]"
+                ))
+                .unwrap();
+            assert!(bound.result.set_eq(&inline.result), "year {year}");
+        }
+        // Missing binding at execution is an error too.
+        assert!(prepared.execute_with(&Params::new()).is_err());
+    }
+
+    #[test]
+    fn sessions_carry_independent_defaults() {
+        let db = sample_db();
+        let s0 = db.session().with_strategy(StrategyLevel::S0Baseline);
+        let mut s4 = db.session();
+        s4.set_strategy(StrategyLevel::S4CollectionQuantifiers);
+        assert_eq!(s0.strategy(), StrategyLevel::S0Baseline);
+        assert_eq!(s4.strategy(), StrategyLevel::S4CollectionQuantifiers);
+        assert!(s0.database().shares_state_with(s4.database()));
+
+        let a = s0.query(EXAMPLE_2_1_QUERY).unwrap();
+        let b = s4.query(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(a.report.strategy, StrategyLevel::S0Baseline);
+        assert_eq!(b.report.strategy, StrategyLevel::S4CollectionQuantifiers);
+        assert!(a.result.set_eq(&b.result));
+        assert!(s0.explain(EXAMPLE_2_1_QUERY).unwrap().contains("S0"));
+
+        // query_with_params end to end.
+        let outcome = s4
+            .query_with_params(
+                "q := [<e.ename> OF EACH e IN employees: e.estatus = :s]",
+                &Params::new().set("s", db.enum_value("statustype", "professor").unwrap()),
+            )
+            .unwrap();
+        assert_eq!(outcome.result.cardinality(), 3);
+    }
+
+    #[test]
+    fn session_one_shot_paths_honor_session_plan_options() {
+        let db = sample_db();
+        // The ablation switch reverses the scan order: declaration order
+        // starts with employees, cardinality order with courses.
+        let session = db
+            .session()
+            .with_strategy(StrategyLevel::S1Parallel)
+            .with_plan_options(PlanOptions {
+                declaration_scan_order: true,
+                ..Default::default()
+            });
+        let outcome = session.query(EXAMPLE_2_1_QUERY).unwrap();
+        assert_eq!(outcome.plan.scan_order[0].as_ref(), "employees");
+        assert!(session
+            .explain(EXAMPLE_2_1_QUERY)
+            .unwrap()
+            .contains("scan order: employees"));
+
+        // The database handle's own defaults are unaffected.
+        let default_outcome = db
+            .query_with(EXAMPLE_2_1_QUERY, StrategyLevel::S1Parallel)
+            .unwrap();
+        assert_eq!(default_outcome.plan.scan_order[0].as_ref(), "courses");
+    }
+
+    #[test]
+    fn text_paths_reject_unbound_placeholders() {
+        let db = sample_db();
+        let text = "q := [<e.ename> OF EACH e IN employees: e.enr = :n]";
+        assert!(db.query(text).is_err());
+        let sel = db.parse(text).unwrap();
+        assert!(db.query_selection(&sel, StrategyLevel::S2OneStep).is_err());
+    }
+
+    #[test]
+    fn prepared_results_agree_with_the_oracle_at_every_level() {
+        let db = sample_db();
+        for level in StrategyLevel::ALL {
+            let session = db.session().with_strategy(level);
+            let prepared = session.prepare(EXAMPLE_2_1_QUERY).unwrap();
+            let outcome = prepared.execute().unwrap();
+            let expected = oracle_eval(prepared.selection(), &db.catalog()).unwrap();
+            assert!(outcome.result.set_eq(&expected), "{level}");
+            assert_eq!(prepared.strategy(), level);
+            assert!(prepared.explain().contains("scan order"));
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Prepared queries: plan once, execute many times.
+
+use std::sync::Arc;
+
+use pascalr_calculus::{ParamName, Params, Selection};
+use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
+
+use crate::db::{execute_outcome, fingerprint, unbound_param_error};
+use crate::{Database, PascalRError, QueryOutcome};
+
+/// A prepared query: the result of parsing, normalizing and planning a
+/// selection exactly once.
+///
+/// Executing a prepared query performs **no** parse, normalization or
+/// planning work as long as the catalog epoch is unchanged — the plan comes
+/// from the shared plan cache (observable via
+/// [`Database::plan_cache_stats`]).  After a catalog mutation (epoch bump)
+/// the next execution re-plans exactly once and re-populates the cache.
+///
+/// Prepared queries are `Clone + Send + Sync`: one prepared statement can be
+/// executed concurrently from many threads.  If the statement uses `:name`
+/// parameter placeholders, bind them per execution with
+/// [`PreparedQuery::execute_with`]; binding substitutes constants into a
+/// copy of the cached plan without changing its shape.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    db: Database,
+    selection: Arc<Selection>,
+    strategy: StrategyLevel,
+    options: PlanOptions,
+    fingerprint: u64,
+    param_names: Vec<ParamName>,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(
+        db: Database,
+        selection: Selection,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> PreparedQuery {
+        let param_names: Vec<ParamName> = selection.param_names().into_iter().collect();
+        let fp = fingerprint(&selection, options);
+        let prepared = PreparedQuery {
+            db,
+            selection: Arc::new(selection),
+            strategy,
+            options,
+            fingerprint: fp,
+            param_names,
+        };
+        // Plan eagerly so that preparation — not the first execution — pays
+        // the planning cost; this also warms the shared plan cache.
+        {
+            let catalog = prepared.db.shared.catalog.read();
+            let _ = prepared.db.cached_plan(
+                &catalog,
+                &prepared.selection,
+                prepared.fingerprint,
+                strategy,
+                options,
+            );
+        }
+        prepared
+    }
+
+    /// The parsed selection this query executes.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// The strategy level the query was prepared at.
+    pub fn strategy(&self) -> StrategyLevel {
+        self.strategy
+    }
+
+    /// The planning options the query was prepared with.
+    pub fn plan_options(&self) -> PlanOptions {
+        self.options
+    }
+
+    /// The names of the query's parameter placeholders, sorted.  Empty for
+    /// a parameter-free statement.
+    pub fn param_names(&self) -> &[ParamName] {
+        &self.param_names
+    }
+
+    /// Renders the current plan (re-planning first if the catalog changed
+    /// since preparation).
+    pub fn explain(&self) -> String {
+        let catalog = self.db.shared.catalog.read();
+        self.db
+            .cached_plan(
+                &catalog,
+                &self.selection,
+                self.fingerprint,
+                self.strategy,
+                self.options,
+            )
+            .explain()
+    }
+
+    /// Executes the prepared query.  Fails with an unbound-parameter error
+    /// if the statement has placeholders; bind them with
+    /// [`PreparedQuery::execute_with`].
+    pub fn execute(&self) -> Result<QueryOutcome, PascalRError> {
+        if let Some(name) = self.param_names.first() {
+            return Err(unbound_param_error(name));
+        }
+        let catalog = self.db.shared.catalog.read();
+        let query_plan = self.db.cached_plan(
+            &catalog,
+            &self.selection,
+            self.fingerprint,
+            self.strategy,
+            self.options,
+        );
+        execute_outcome(&catalog, query_plan)
+    }
+
+    /// Executes the prepared query with parameters bound.  The cached plan
+    /// keeps its placeholders; `params` are substituted into a per-execution
+    /// copy, so one prepared statement serves arbitrarily many distinct
+    /// constants without re-planning.  Extra bindings are ignored; missing
+    /// ones are an error.
+    pub fn execute_with(&self, params: &Params) -> Result<QueryOutcome, PascalRError> {
+        let catalog = self.db.shared.catalog.read();
+        let query_plan = self.db.cached_plan(
+            &catalog,
+            &self.selection,
+            self.fingerprint,
+            self.strategy,
+            self.options,
+        );
+        let bound: Arc<QueryPlan> = if self.param_names.is_empty() {
+            query_plan
+        } else {
+            Arc::new(query_plan.bind_params(params)?)
+        };
+        execute_outcome(&catalog, bound)
+    }
+
+    /// The query-shape fingerprint used as part of the plan-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-connection sessions.
+
+use pascalr_calculus::{Params, Selection};
+use pascalr_planner::{PlanOptions, StrategyLevel};
+
+use crate::{Database, PascalRError, PreparedQuery, QueryOutcome};
+
+/// A session: a lightweight per-connection view of a shared [`Database`]
+/// carrying connection-local defaults (strategy level, planning options).
+///
+/// Sessions are cheap to create and [`Clone`], and independent of each
+/// other: changing one session's defaults affects neither the database
+/// handle it came from nor any other session.  All query entry points take
+/// `&self`, so a session can be shared across threads — though the intended
+/// pattern is one session per connection/thread over one shared database.
+///
+/// ```
+/// use pascalr::{Database, StrategyLevel};
+///
+/// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+/// let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+/// let prepared = session
+///     .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+///     .unwrap();
+/// let outcome = prepared.execute().unwrap();
+/// assert_eq!(outcome.report.strategy, StrategyLevel::S2OneStep);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    db: Database,
+    strategy: StrategyLevel,
+    options: PlanOptions,
+}
+
+impl Session {
+    pub(crate) fn new(db: &Database) -> Session {
+        Session {
+            db: db.clone(),
+            strategy: db.default_strategy(),
+            options: db.plan_options(),
+        }
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: StrategyLevel) -> Session {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style planning-option override.
+    pub fn with_plan_options(mut self, options: PlanOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// Changes the session's strategy level.
+    pub fn set_strategy(&mut self, strategy: StrategyLevel) {
+        self.strategy = strategy;
+    }
+
+    /// Changes the session's planning options.
+    pub fn set_plan_options(&mut self, options: PlanOptions) {
+        self.options = options;
+    }
+
+    /// The session's strategy level.
+    pub fn strategy(&self) -> StrategyLevel {
+        self.strategy
+    }
+
+    /// The session's planning options.
+    pub fn plan_options(&self) -> PlanOptions {
+        self.options
+    }
+
+    /// The database handle the session operates on.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Prepares a selection statement: parse, standard-form normalization
+    /// and planning happen **once**, here; the returned [`PreparedQuery`]
+    /// can then be executed repeatedly (and concurrently) with only the
+    /// combination/collection phases on the hot path.  The text may contain
+    /// `:name` parameter placeholders bound at execution time.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, PascalRError> {
+        let selection = self.db.parse(text)?;
+        Ok(self.prepare_selection(selection))
+    }
+
+    /// Prepares an already-parsed selection (same contract as
+    /// [`Session::prepare`]).
+    pub fn prepare_selection(&self, selection: Selection) -> PreparedQuery {
+        PreparedQuery::new(self.db.clone(), selection, self.strategy, self.options)
+    }
+
+    /// One-shot evaluation of a parameter-free statement at the session's
+    /// strategy level and planning options (cached-plan path).
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, PascalRError> {
+        self.db
+            .query_text_with_options(text, self.strategy, self.options)
+    }
+
+    /// One-shot evaluation of a parameterized statement: the plan comes
+    /// from the shared cache (planned on first use), `params` are bound per
+    /// call.  For repeated execution, [`Session::prepare`] once instead.
+    pub fn query_with_params(
+        &self,
+        text: &str,
+        params: &Params,
+    ) -> Result<QueryOutcome, PascalRError> {
+        self.db
+            .query_params_with_options(text, params, self.strategy, self.options)
+    }
+
+    /// Produces the plan (without executing it) for a statement at the
+    /// session's strategy level and planning options.
+    pub fn explain(&self, text: &str) -> Result<String, PascalRError> {
+        self.db
+            .explain_with_options(text, self.strategy, self.options)
+    }
+}

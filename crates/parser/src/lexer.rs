@@ -13,6 +13,9 @@ pub enum Token {
     Int(i64),
     /// String literal in single quotes.
     Str(String),
+    /// Named parameter placeholder `:name` (the colon must be immediately
+    /// followed by the identifier).
+    Param(String),
     /// `:=`
     Assign,
     /// `:`
@@ -64,6 +67,7 @@ impl fmt::Display for Token {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Int(i) => write!(f, "{i}"),
             Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(s) => write!(f, ":{s}"),
             Token::Assign => write!(f, ":="),
             Token::Colon => write!(f, ":"),
             Token::Semicolon => write!(f, ";"),
@@ -124,7 +128,24 @@ impl std::error::Error for LexError {}
 ///
 /// Comments are written `(* ... *)` or `{ ... }`; identifiers may contain
 /// underscores (the paper itself writes `ind_t_cnr`, `sl_csoph`, ...).
+///
+/// A colon immediately followed by an identifier lexes as a parameter
+/// placeholder (`:year`); write a space after a separating colon (as all of
+/// the paper's selections do) to get the plain `:` token.  Declarations —
+/// where placeholders are meaningless — are lexed with
+/// [`tokenize_declarations`], which keeps the old colon behaviour.
 pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
+    tokenize_with(input, true)
+}
+
+/// Tokenizes declaration text (TYPE/VAR sections): like [`tokenize`] but
+/// with parameter placeholders disabled, so `name:type` keeps lexing as
+/// identifier, colon, identifier.
+pub fn tokenize_declarations(input: &str) -> Result<Vec<Spanned>, LexError> {
+    tokenize_with(input, false)
+}
+
+fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
@@ -276,6 +297,21 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                         line,
                         col,
                     });
+                } else if params
+                    && i + 1 < chars.len()
+                    && (chars[i + 1].is_ascii_alphabetic() || chars[i + 1] == '_')
+                {
+                    // Parameter placeholder `:name`: the colon is immediately
+                    // followed by an identifier (a separating colon is always
+                    // followed by whitespace or punctuation in this grammar).
+                    let start = i + 1;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    push!(Token::Param(text));
+                    col += i - start + 1;
                 } else {
                     push!(Token::Colon);
                     i += 1;
@@ -464,5 +500,34 @@ mod tests {
     fn insert_operator_is_rejected_with_guidance() {
         let err = tokenize("employees :+ [<20>]").unwrap_err();
         assert!(err.to_string().contains(":+"));
+    }
+
+    #[test]
+    fn parameter_placeholders_lex_as_params() {
+        let t = toks("p.pyear < :year AND e.estatus = :s_2");
+        assert!(t.contains(&Token::Param("year".into())));
+        assert!(t.contains(&Token::Param("s_2".into())));
+        // A separating colon (followed by whitespace) stays a plain colon.
+        let t = toks("EACH e IN employees: true");
+        assert!(t.contains(&Token::Colon));
+        assert!(!t.iter().any(|tok| matches!(tok, Token::Param(_))));
+        // `:=` still lexes as assignment, `:1` is a colon then an integer.
+        let t = toks("x := 1");
+        assert_eq!(t[1], Token::Assign);
+        let t = toks(": 1");
+        assert_eq!(t[0], Token::Colon);
+        assert_eq!(Token::Param("year".into()).to_string(), ":year");
+    }
+
+    #[test]
+    fn declaration_mode_never_emits_params() {
+        let t: Vec<Token> = tokenize_declarations("r:RELATION <k> OF RECORD k:id END;")
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect();
+        assert_eq!(t[1], Token::Colon);
+        assert_eq!(t[2], Token::Ident("RELATION".into()));
+        assert!(!t.iter().any(|tok| matches!(tok, Token::Param(_))));
     }
 }

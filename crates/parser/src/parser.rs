@@ -7,7 +7,7 @@ use pascalr_calculus::{ComponentRef, Formula, Operand, RangeDecl, RangeExpr, Sel
 use pascalr_catalog::{Catalog, CatalogError};
 use pascalr_relation::{Attribute, CompareOp, RelationSchema, Value};
 
-use crate::lexer::{tokenize, LexError, Spanned, Token};
+use crate::lexer::{tokenize, tokenize_declarations, LexError, Spanned, Token};
 
 /// A parse error with position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +57,16 @@ impl<'a> Parser<'a> {
         })
     }
 
+    /// Parser over declaration text: parameter placeholders are disabled,
+    /// so compact `name:type` fields keep their pre-parameter lexing.
+    fn new_declarations(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize_declarations(input)?,
+            pos: 0,
+            catalog: None,
+        })
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos].token
     }
@@ -93,7 +103,16 @@ impl<'a> Parser<'a> {
             self.advance();
             Ok(())
         } else {
-            Err(self.error(format!("expected '{expected}', found '{}'", self.peek())))
+            let mut message = format!("expected '{expected}', found '{}'", self.peek());
+            if *expected == Token::Colon {
+                if let Token::Param(name) = self.peek() {
+                    message.push_str(&format!(
+                        "; ':{name}' lexes as a parameter placeholder — write a space \
+                         after a separating ':'"
+                    ));
+                }
+            }
+            Err(self.error(message))
         }
     }
 
@@ -473,6 +492,10 @@ impl<'a> Parser<'a> {
                 self.advance();
                 Ok(Operand::Const(Value::str(s)))
             }
+            Token::Param(name) => {
+                self.advance();
+                Ok(Operand::param(name))
+            }
             Token::Ident(name) => {
                 if self.peek_at(1) == &Token::Dot {
                     // var.attr
@@ -508,7 +531,7 @@ impl<'a> Parser<'a> {
 /// Parses a PASCAL/R database declaration (TYPE and VAR sections, Figure 1)
 /// into a fresh [`Catalog`].
 pub fn parse_database(input: &str) -> Result<Catalog, ParseError> {
-    let mut p = Parser::new(input, None)?;
+    let mut p = Parser::new_declarations(input)?;
     let catalog = p.parse_database()?;
     if p.peek() != &Token::Eof {
         return Err(p.error(format!("unexpected trailing input '{}'", p.peek())));
@@ -769,6 +792,46 @@ q := [<e.ename> OF EACH e IN [EACH x IN employees: x.estatus = professor]: true]
         let cat = catalog();
         assert!(parse_formula("e.enr = 1 garbage garbage", &cat).is_err());
         assert!(parse_database(&format!("{FIGURE_1} 42")).is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders_parse_into_param_operands() {
+        let cat = catalog();
+        let f = parse_formula("p.pyear < :year AND e.estatus = :status", &cat).unwrap();
+        let names: Vec<String> = f
+            .param_names()
+            .iter()
+            .map(|n| n.as_ref().to_string())
+            .collect();
+        assert_eq!(names, vec!["status", "year"]);
+        assert!(f.to_string().contains(":year"));
+        // Parameters work in full selections, on either comparison side.
+        let sel = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME p IN papers ((p.penr = e.enr) AND (:year <= p.pyear))]",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(sel.param_names().len(), 1);
+    }
+
+    #[test]
+    fn compact_colon_in_selections_gets_a_placeholder_hint() {
+        // `employees:e.enr` mis-lexes as Param("e"); the error must point at
+        // the parameter rule instead of a bare "expected ':'".
+        let cat = catalog();
+        let err =
+            parse_selection("q := [<e.ename> OF EACH e IN employees:e.enr = 1]", &cat).unwrap_err();
+        assert!(err.to_string().contains("parameter placeholder"), "{err}");
+    }
+
+    #[test]
+    fn declarations_lex_compact_colons_without_param_tokens() {
+        // `name:type` with no space is valid declaration syntax and must not
+        // lex as a parameter placeholder.
+        let cat = parse_database("TYPE id = 1..10; VAR r:RELATION <k> OF RECORD k:id END;");
+        let cat = cat.unwrap();
+        assert_eq!(cat.relation_names(), vec!["r"]);
     }
 
     #[test]

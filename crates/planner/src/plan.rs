@@ -11,7 +11,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use pascalr_calculus::{
-    ExtendReport, Quantifier, RangeExpr, RelName, Selection, StandardizedSelection, Term, VarName,
+    CalculusError, ExtendReport, ParamName, Params, Quantifier, RangeExpr, RelName, Selection,
+    StandardizedSelection, Term, VarName,
 };
 use serde::{Deserialize, Serialize};
 
@@ -218,6 +219,93 @@ impl QueryPlan {
     /// variables plus the remaining quantifier prefix).
     pub fn combination_vars(&self) -> Vec<VarName> {
         self.prepared.all_vars()
+    }
+
+    /// The parameter placeholders the plan still carries (sorted).  A plan
+    /// with placeholders must be bound with [`QueryPlan::bind_params`]
+    /// before execution.
+    pub fn param_names(&self) -> Vec<ParamName> {
+        let mut names: std::collections::BTreeSet<ParamName> = self.original.param_names();
+        names.extend(self.prepared.param_names());
+        for step in &self.semijoin_steps {
+            for t in &step.monadic_filters {
+                names.extend(t.param_names());
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    /// Substitutes concrete values for the plan's parameter placeholders,
+    /// producing an executable plan with the *same shape* (prefix, matrix,
+    /// semijoin steps and scan order are untouched — only `:name` operands
+    /// become constants).  Fails if any placeholder lacks a binding.
+    pub fn bind_params(&self, params: &Params) -> Result<QueryPlan, CalculusError> {
+        let extend_report = self
+            .extend_report
+            .as_ref()
+            .map(|report| {
+                Ok::<_, CalculusError>(ExtendReport {
+                    hoists: report
+                        .hoists
+                        .iter()
+                        .map(|h| {
+                            Ok(pascalr_calculus::Hoist {
+                                var: h.var.clone(),
+                                terms: h
+                                    .terms
+                                    .iter()
+                                    .map(|t| t.bind_params(params))
+                                    .collect::<Result<_, _>>()?,
+                                kind: h.kind,
+                            })
+                        })
+                        .collect::<Result<_, CalculusError>>()?,
+                    removed_conjunctions: report.removed_conjunctions,
+                    assumptions: report
+                        .assumptions
+                        .iter()
+                        .map(|a| {
+                            Ok(pascalr_calculus::ExtendedRangeAssumption {
+                                var: a.var.clone(),
+                                range: a.range.bind_params(params)?,
+                            })
+                        })
+                        .collect::<Result<_, CalculusError>>()?,
+                })
+            })
+            .transpose()?;
+        Ok(QueryPlan {
+            strategy: self.strategy,
+            original: self.original.bind_params(params)?,
+            prepared: self.prepared.bind_params(params)?,
+            extend_report,
+            semijoin_steps: self
+                .semijoin_steps
+                .iter()
+                .map(|s| {
+                    Ok(SemijoinStep {
+                        quantifier: s.quantifier,
+                        bound_var: s.bound_var.clone(),
+                        range: s.range.bind_params(params)?,
+                        monadic_filters: s
+                            .monadic_filters
+                            .iter()
+                            .map(|t| t.bind_params(params))
+                            .collect::<Result<_, _>>()?,
+                        links: s.links.clone(),
+                        target_var: s.target_var.clone(),
+                        conjunction: s.conjunction,
+                        consumes: s.consumes.clone(),
+                        reduction: s.reduction,
+                        produces: s.produces.clone(),
+                    })
+                })
+                .collect::<Result<_, CalculusError>>()?,
+            derived_predicates: self.derived_predicates.clone(),
+            scan_order: self.scan_order.clone(),
+            dropped_vars: self.dropped_vars.clone(),
+            notes: self.notes.clone(),
+        })
     }
 }
 

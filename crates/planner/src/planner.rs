@@ -25,7 +25,7 @@ use crate::plan::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
 use crate::strategy::StrategyLevel;
 
 /// Options controlling planning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PlanOptions {
     /// Allow disjunctive restrictions in extended ranges (the paper's
     /// "conjunctive normal form" future-work mode; ablated in E7).
@@ -540,6 +540,55 @@ mod tests {
         // than via a monadic filter.
         assert!(pl.semijoin_steps[0].range.is_restricted());
         assert!(pl.semijoin_steps[0].monadic_filters.is_empty());
+    }
+
+    #[test]
+    fn parameterized_plans_match_inlined_plans_after_binding() {
+        let cat = figure1_sample_database().unwrap();
+        let with_param = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME p IN papers ((p.penr = e.enr) AND (p.pyear = :year)) \
+               AND (e.estatus = professor)]",
+            &cat,
+        )
+        .unwrap();
+        let inlined = parse_selection(
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME p IN papers ((p.penr = e.enr) AND (p.pyear = 1977)) \
+               AND (e.estatus = professor)]",
+            &cat,
+        )
+        .unwrap();
+        for level in StrategyLevel::ALL {
+            let p_param = plan(&with_param, &cat, level, PlanOptions::default());
+            let p_inline = plan(&inlined, &cat, level, PlanOptions::default());
+            // Same shape while unbound: same prefix, matrix and steps.
+            assert_eq!(
+                p_param.prepared.form.prefix.len(),
+                p_inline.prepared.form.prefix.len(),
+                "{level}"
+            );
+            assert_eq!(
+                p_param.semijoin_steps.len(),
+                p_inline.semijoin_steps.len(),
+                "{level}"
+            );
+            assert_eq!(p_param.scan_order, p_inline.scan_order, "{level}");
+            // Binding the placeholder yields the *identical* plan.
+            let params = pascalr_calculus::Params::new().set("year", 1977i64);
+            assert_eq!(p_param.param_names().len(), 1);
+            let bound = p_param.bind_params(&params).unwrap();
+            assert!(bound.param_names().is_empty());
+            assert_eq!(bound, p_inline, "{level}");
+        }
+        // Missing bindings are reported.
+        let p = plan(
+            &with_param,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+        assert!(p.bind_params(&pascalr_calculus::Params::new()).is_err());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //!   subranges, enumerations, packed strings) plus reference values, and the
 //!   six comparison operators of join terms;
 //! * [`schema`] — relation schemas with declared keys;
-//! * [`tuple`] — relation elements;
-//! * [`relation`] — the keyed [`Relation`](relation::Relation) container with
+//! * [`tuple`](mod@tuple) — relation elements;
+//! * [`relation`] — the keyed [`Relation`] container with
 //!   insertion (`:+`), deletion, key-oriented selected variables
 //!   (`rel[keyval]`) and element references (`@rel[keyval]`);
 //! * [`refs`] — element references, the paper's generalization of TIDs;

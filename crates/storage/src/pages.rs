@@ -1,7 +1,8 @@
 //! Paged access simulation.
 //!
 //! The original PASCAL/R system read disk-resident relations
-//! "one-element-at-a-time" (Section 4.1, citing [15]).  We do not have the
+//! "one-element-at-a-time" (Section 4.1, citing the paper's reference 15).
+//! We do not have the
 //! 1978 hardware, so the reproduction simulates secondary-storage access with
 //! a simple page model: a relation of `n` elements occupies
 //! `ceil(n / tuples_per_page)` pages, a full scan reads all of them, and a

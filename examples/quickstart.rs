@@ -5,13 +5,13 @@
 //! cargo run --example quickstart
 //! ```
 
-use pascalr::{Database, StrategyLevel, Value};
+use pascalr::{Database, Params, StrategyLevel, Value};
 use pascalr_parser::paper::{EXAMPLE_2_1_QUERY, FIGURE_1_DECLARATIONS};
 use pascalr_relation::Tuple;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the database of Figure 1 (TYPE and VAR sections).
-    let mut db = Database::from_declarations(FIGURE_1_DECLARATIONS)?;
+    let db = Database::from_declarations(FIGURE_1_DECLARATIONS)?;
     println!("Declared relations: {:?}", db.catalog().relation_names());
 
     // 2. Load a small department: three professors, a technician, papers,
@@ -65,13 +65,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
 
-    // 3. Run Example 2.1: professors who did not publish in 1977 or teach a
-    //    sophomore-level (or lower) course.
-    let outcome = db.query(EXAMPLE_2_1_QUERY)?;
+    // 3. Open a session and run Example 2.1: professors who did not publish
+    //    in 1977 or teach a sophomore-level (or lower) course.  `prepare`
+    //    parses, normalizes and plans exactly once.
+    let session = db.session();
+    let example = session.prepare(EXAMPLE_2_1_QUERY)?;
+    let outcome = example.execute()?;
     println!("\n{}", outcome.result);
     println!("Execution report:\n{}", outcome.report.render());
 
-    // 4. The same query at the naive baseline reads relations far more often.
+    // 4. Re-executing the prepared query does no parse/normalize/plan work:
+    //    the plan comes from the shared cache.
+    let again = example.execute()?;
+    assert!(again.result.set_eq(&outcome.result));
+    let stats = db.plan_cache_stats();
+    println!(
+        "plan cache: {} hits, {} misses ({} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
+
+    // 5. Parameter binding: one prepared statement, many constants.
+    let by_year = session.prepare(
+        "published := [<e.ename> OF EACH e IN employees: \
+           SOME p IN papers ((p.penr = e.enr) AND (p.pyear = :year))]",
+    )?;
+    for year in [1976i64, 1977] {
+        let published = by_year.execute_with(&Params::new().set("year", year))?;
+        println!(
+            "published in {year}: {} employees",
+            published.result.cardinality()
+        );
+    }
+
+    // 6. The same query at the naive baseline reads relations far more often.
     let baseline = db.query_with(EXAMPLE_2_1_QUERY, StrategyLevel::S0Baseline)?;
     println!(
         "relation scans: baseline={} optimized={}",

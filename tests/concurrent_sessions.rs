@@ -1,0 +1,144 @@
+//! Multi-threaded smoke test: several threads share one `Database` clone
+//! and run the paper's worked examples (2.1, 3.2, 4.5, 4.7) concurrently,
+//! through prepared queries, at every strategy level.  Every thread must see
+//! exactly the oracle's results, and the metrics aggregated across threads
+//! must be sane (every execution did real work).
+
+use pascalr_repro::pascalr::{Database, PreparedQuery, StrategyLevel};
+use pascalr_repro::pascalr_workload::{figure1_sample_database, oracle_eval, paper_queries};
+
+const THREADS: usize = 4;
+const ROUNDS: usize = 3;
+
+#[test]
+fn threads_sharing_one_database_agree_with_the_oracle() {
+    let db = Database::from_catalog(figure1_sample_database().unwrap());
+
+    // Expected results are computed once, up front, from the same catalog.
+    let expected: Vec<_> = paper_queries()
+        .iter()
+        .map(|q| {
+            let sel = db.parse(q.text).unwrap();
+            (q.id, oracle_eval(&sel, &db.catalog()).unwrap())
+        })
+        .collect();
+
+    // Prepare every (query, level) pair once; the prepared statements are
+    // shared by all threads.
+    let prepared: Vec<(&str, StrategyLevel, PreparedQuery)> = paper_queries()
+        .iter()
+        .flat_map(|q| {
+            StrategyLevel::ALL.into_iter().map(|level| {
+                let session = db.session().with_strategy(level);
+                (q.id, level, session.prepare(q.text).unwrap())
+            })
+        })
+        .collect();
+
+    let total_scans = std::sync::atomic::AtomicU64::new(0);
+    let total_queries = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            // Each thread gets its own clone of the shared handle (the
+            // clone shares catalog and plan cache).
+            let db = db.clone();
+            let expected = &expected;
+            let prepared = &prepared;
+            let total_scans = &total_scans;
+            let total_queries = &total_queries;
+            scope.spawn(move || {
+                assert!(db.shares_state_with(db.session().database()));
+                for round in 0..ROUNDS {
+                    for (id, level, stmt) in prepared {
+                        let outcome = stmt.execute().unwrap_or_else(|e| {
+                            panic!("worker {worker} round {round}: {id} at {level}: {e}")
+                        });
+                        let (_, oracle) = expected
+                            .iter()
+                            .find(|(eid, _)| eid == id)
+                            .expect("every prepared query has an oracle result");
+                        assert!(
+                            oracle.set_eq(&outcome.result),
+                            "worker {worker} round {round}: {id} at {level} \
+                             disagrees with the oracle"
+                        );
+                        let scans = outcome.report.metrics.total().relation_scans;
+                        assert!(scans > 0, "{id} at {level} did no scan work");
+                        total_scans.fetch_add(scans, std::sync::atomic::Ordering::Relaxed);
+                        total_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Aggregated metrics are sane: every (thread, round, query, level)
+    // execution was recorded and did real work.
+    let executed = total_queries.load(std::sync::atomic::Ordering::Relaxed);
+    let scans = total_scans.load(std::sync::atomic::Ordering::Relaxed);
+    let expected_executions = (THREADS * ROUNDS * prepared.len()) as u64;
+    assert_eq!(executed, expected_executions);
+    assert!(
+        scans >= executed,
+        "every execution scans at least one relation ({scans} scans / {executed} queries)"
+    );
+
+    // The plan cache served the whole workload: at most one planning miss
+    // per prepared (query, level) pair — preparation itself — regardless of
+    // thread count (concurrent same-key misses may rarely race, hence <=
+    // a small slack rather than strict equality).
+    let stats = db.plan_cache_stats();
+    assert!(
+        stats.misses <= prepared.len() as u64,
+        "prepared statements must not re-plan: {stats:?}"
+    );
+    assert!(
+        stats.hits >= expected_executions,
+        "executions are served from the plan cache: {stats:?}"
+    );
+}
+
+#[test]
+fn concurrent_readers_coexist_with_writers() {
+    let db = Database::from_catalog(figure1_sample_database().unwrap());
+    let session = db.session();
+    let stmt = session
+        .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+        .unwrap();
+    let baseline = stmt.execute().unwrap().result.cardinality();
+
+    std::thread::scope(|scope| {
+        // Readers run the prepared query repeatedly ...
+        for _ in 0..3 {
+            let stmt = stmt.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let outcome = stmt.execute().unwrap();
+                    assert!(outcome.result.cardinality() >= baseline);
+                }
+            });
+        }
+        // ... while a writer inserts more professors through the same
+        // shared handle (each insert bumps the catalog epoch).
+        let db = db.clone();
+        scope.spawn(move || {
+            let prof = db.enum_value("statustype", "professor").unwrap();
+            for i in 0..10 {
+                db.insert_values(
+                    "employees",
+                    vec![
+                        pascalr_repro::pascalr::Value::int(60 + i),
+                        pascalr_repro::pascalr::Value::str(format!("New{i}")),
+                        prof.clone(),
+                    ],
+                )
+                .unwrap();
+            }
+        });
+    });
+
+    // All writes landed and the final prepared execution sees them.
+    let final_count = stmt.execute().unwrap().result.cardinality();
+    assert_eq!(final_count, baseline + 10);
+}

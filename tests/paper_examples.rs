@@ -135,7 +135,7 @@ fn example_4_7_plan_builds_cset_tset_pset() {
 fn empty_relation_adaptation_of_example_2_2() {
     // E12: papers = [] — the answer must be exactly the professors, at every
     // strategy level, with the fallback reported.
-    let mut db = sample_db();
+    let db = sample_db();
     db.catalog_mut().relation_mut("papers").unwrap().clear();
     for level in StrategyLevel::ALL {
         let outcome = db.query_with(EXAMPLE_2_1_QUERY, level).unwrap();

@@ -1,0 +1,112 @@
+//! Property-based tests for parameter binding: for random constants,
+//! binding them via `:param` on a prepared query must be indistinguishable
+//! from inlining them in the query text — same result relation, same plan
+//! shape (in fact the bound plan is *identical* to the inlined plan).
+
+use proptest::prelude::*;
+
+use pascalr_repro::pascalr::{Database, Params, StrategyLevel};
+use pascalr_repro::pascalr_workload::figure1_sample_database;
+
+fn sample_db() -> Database {
+    Database::from_catalog(figure1_sample_database().unwrap())
+}
+
+/// A parameterized query shape: the `:c` text plus a renderer producing the
+/// equivalent text with the constant inlined.
+type Shape = (&'static str, fn(i64) -> String);
+
+/// The parameterized query shapes under test.
+fn shapes() -> Vec<Shape> {
+    vec![
+        (
+            // Existential join with a monadic constant on the quantified
+            // variable (S3 hoists it into the range; S4 peels the variable).
+            "q := [<e.ename> OF EACH e IN employees: \
+               SOME p IN papers ((p.penr = e.enr) AND (p.pyear < :c))]",
+            |c| {
+                format!(
+                    "q := [<e.ename> OF EACH e IN employees: \
+                       SOME p IN papers ((p.penr = e.enr) AND (p.pyear < {c}))]"
+                )
+            },
+        ),
+        (
+            // Universal quantifier; the parameter sits in the ALL branch.
+            "q := [<e.ename> OF EACH e IN employees: \
+               ALL p IN papers ((p.penr <> e.enr) OR (p.pyear = :c))]",
+            |c| {
+                format!(
+                    "q := [<e.ename> OF EACH e IN employees: \
+                       ALL p IN papers ((p.penr <> e.enr) OR (p.pyear = {c}))]"
+                )
+            },
+        ),
+        (
+            // Monadic test on the free variable (exact hoist candidate).
+            "q := [<e.ename> OF EACH e IN employees: \
+               (e.enr <= :c) AND SOME t IN timetable (t.tenr = e.enr)]",
+            |c| {
+                format!(
+                    "q := [<e.ename> OF EACH e IN employees: \
+                       (e.enr <= {c}) AND SOME t IN timetable (t.tenr = e.enr)]"
+                )
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Binding `:c = value` equals inlining `value` in the text: identical
+    /// result relation and identical (bound) plan, at every strategy level.
+    #[test]
+    fn bound_params_equal_inlined_constants(
+        value in 1900i64..1999,
+        shape in 0usize..3,
+        level in 0usize..5,
+    ) {
+        let db = sample_db();
+        let level = StrategyLevel::ALL[level];
+        let session = db.session().with_strategy(level);
+        let (param_text, inline_text) = &shapes()[shape];
+
+        let prepared = session.prepare(param_text).unwrap();
+        prop_assert_eq!(prepared.param_names().len(), 1);
+        let bound = prepared
+            .execute_with(&Params::new().set("c", value))
+            .unwrap();
+
+        let inlined = db.query_with(&inline_text(value), level).unwrap();
+
+        // Same result relation.
+        prop_assert!(
+            bound.result.set_eq(&inlined.result),
+            "shape {} at {} with c = {}: bound {} rows vs inlined {} rows",
+            shape, level, value,
+            bound.result.cardinality(),
+            inlined.result.cardinality()
+        );
+        // Same plan, structurally: binding only replaced `:c` by the value.
+        prop_assert_eq!(
+            &*bound.plan, &*inlined.plan,
+            "shape {} at {} with c = {}: plans diverge", shape, level, value
+        );
+    }
+
+    /// The prepared statement is planned once per shape; executing it with
+    /// many distinct constants never re-plans.
+    #[test]
+    fn distinct_constants_share_one_plan(values in proptest::collection::vec(1900i64..1999, 1..8)) {
+        let db = sample_db();
+        let session = db.session();
+        let (param_text, _) = &shapes()[0];
+        let prepared = session.prepare(param_text).unwrap();
+        let misses_after_prepare = db.plan_cache_stats().misses;
+        for v in values {
+            prepared.execute_with(&Params::new().set("c", v)).unwrap();
+        }
+        prop_assert_eq!(db.plan_cache_stats().misses, misses_after_prepare);
+    }
+}

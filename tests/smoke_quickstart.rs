@@ -12,7 +12,7 @@ use pascalr_repro::pascalr_workload::oracle_eval;
 /// Builds the quickstart department: three professors and a technician,
 /// their papers, two courses and a two-entry timetable.
 fn quickstart_database() -> Database {
-    let mut db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
+    let db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
 
     let professor = db.enum_value("statustype", "professor").unwrap();
     let technician = db.enum_value("statustype", "technician").unwrap();
@@ -78,7 +78,7 @@ fn quickstart_flow_agrees_with_the_oracle_at_every_strategy_level() {
     );
 
     let selection = db.parse(EXAMPLE_2_1_QUERY).unwrap();
-    let expected = oracle_eval(&selection, db.catalog()).unwrap();
+    let expected = oracle_eval(&selection, &db.catalog()).unwrap();
     assert!(
         expected.cardinality() > 0,
         "Example 2.1 must select someone"

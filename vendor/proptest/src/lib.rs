@@ -242,7 +242,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Admissible length range for [`vec`].
+    /// Admissible length range for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
