@@ -1,0 +1,163 @@
+//! E14 — streaming-result latency: time-to-first-tuple and `take(10)`
+//! against full materialization, on the Figure 1 sample database and a
+//! large generated university workload, single- and multi-threaded.
+//!
+//! The paper's PASCAL/R embedding consumes answers through host-language
+//! `FOR EACH` loops, so a program reading a prefix of the answer should
+//! never pay for the rest.  This experiment quantifies that for the
+//! streaming [`Rows`] cursor:
+//!
+//! * `first_tuple` — `rows().next()`: one tuple constructed, then the
+//!   cursor is dropped (all remaining combination/construction work is
+//!   skipped);
+//! * `take10` — ten tuples, then drop;
+//! * `materialize` — `execute()`: the full answer relation (the legacy
+//!   path, now a drain of the same cursor).
+//!
+//! The interesting comparison is on the large workload with a
+//! quantifier-free query (the combination phase streams): first-tuple
+//! latency should sit far below full materialization.  A quantified query
+//! is included as the contrast case — there the combination result must be
+//! materialized before the first tuple, so streaming only saves the
+//! construction phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pascalr::StrategyLevel;
+use pascalr_bench::{quick_criterion, sample_db, scaled_db};
+use pascalr_workload::query_by_id;
+
+const THREADS: usize = 4;
+const BATCH: usize = 4;
+const SCALE: u32 = 24; // 576 employees, ~1700 papers, ~2300 timetable rows
+
+fn bench(c: &mut Criterion) {
+    // q01 (monadic, quantifier-free: streaming combination) and q02
+    // (existential join: materialized combination) at S4.
+    let small = sample_db();
+    let large = scaled_db(SCALE);
+    let streaming_query = query_by_id("q01").unwrap().text;
+    let quantified_query = query_by_id("q02").unwrap().text;
+
+    let small_session = small
+        .session()
+        .with_strategy(StrategyLevel::S4CollectionQuantifiers);
+    let large_session = large
+        .session()
+        .with_strategy(StrategyLevel::S4CollectionQuantifiers);
+    let small_q = small_session.prepare(streaming_query).unwrap();
+    let large_q = large_session.prepare(streaming_query).unwrap();
+    let large_quant = large_session.prepare(quantified_query).unwrap();
+
+    let full = large_q.execute().unwrap().result.cardinality();
+    println!("\n=== E14: streaming-result latency (q01/q02, S4) ===");
+    println!(
+        "  large workload: scale {SCALE}, {} employees, {} result rows for q01",
+        large.catalog().relation("employees").unwrap().cardinality(),
+        full
+    );
+    {
+        // Paper-style comparison: work performed per consumption pattern.
+        let mut first = large_q.rows().unwrap();
+        let _ = first.next().unwrap().unwrap();
+        let first_outcome = first.finish();
+        let full_outcome = large_q.execute().unwrap();
+        println!(
+            "  q01 derefs: first_tuple={} materialize={}  (combination intermediates {} vs {})",
+            first_outcome
+                .metrics
+                .phase(pascalr::storage::Phase::Construction)
+                .dereferences,
+            full_outcome
+                .report
+                .metrics
+                .phase(pascalr::storage::Phase::Construction)
+                .dereferences,
+            first_outcome
+                .metrics
+                .phase(pascalr::storage::Phase::Combination)
+                .intermediate_tuples,
+            full_outcome
+                .report
+                .metrics
+                .phase(pascalr::storage::Phase::Combination)
+                .intermediate_tuples,
+        );
+    }
+
+    let mut group = c.benchmark_group("e14_streaming_latency");
+
+    group.bench_function("figure1/first_tuple", |b| {
+        b.iter(|| small_q.rows().unwrap().next().unwrap().unwrap())
+    });
+    group.bench_function("figure1/materialize", |b| {
+        b.iter(|| small_q.execute().unwrap())
+    });
+
+    group.bench_function("large/first_tuple", |b| {
+        b.iter(|| large_q.rows().unwrap().next().unwrap().unwrap())
+    });
+    group.bench_function("large/take10", |b| {
+        b.iter(|| {
+            let rows = large_q.rows().unwrap();
+            let taken: Vec<_> = rows.take(10).collect();
+            assert_eq!(taken.len(), 10);
+            taken
+        })
+    });
+    group.bench_function("large/materialize", |b| {
+        b.iter(|| {
+            let outcome = large_q.execute().unwrap();
+            assert_eq!(outcome.result.cardinality(), full);
+            outcome
+        })
+    });
+
+    // The quantified contrast: streaming can only skip construction work.
+    group.bench_function("large_quantified/first_tuple", |b| {
+        b.iter(|| large_quant.rows().unwrap().next().unwrap().unwrap())
+    });
+    group.bench_function("large_quantified/materialize", |b| {
+        b.iter(|| large_quant.execute().unwrap())
+    });
+
+    // Multi-threaded: THREADS threads sharing one prepared query, each
+    // running BATCH first-tuple probes (existence-check style traffic)
+    // per iteration, vs the same traffic materializing everything.
+    group.bench_function(format!("large/first_tuple/{THREADS}threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..THREADS {
+                    let large_q = &large_q;
+                    scope.spawn(move || {
+                        for _ in 0..BATCH {
+                            let _ = large_q.rows().unwrap().next().unwrap().unwrap();
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.bench_function(format!("large/materialize/{THREADS}threads"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..THREADS {
+                    let large_q = &large_q;
+                    scope.spawn(move || {
+                        for _ in 0..BATCH {
+                            large_q.execute().unwrap();
+                        }
+                    });
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use pascalr_relation::{Tuple, Value};
 use pascalr_storage::Metrics;
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
-use crate::{ExecutionReport, PascalRError, QueryOutcome, Session};
+use crate::{ExecutionReport, PascalRError, QueryOutcome, Rows, Session};
 
 /// State shared by every clone of a [`Database`] handle.
 #[derive(Debug)]
@@ -45,7 +45,7 @@ pub struct Database {
 
 /// Shared read access to the catalog, returned by [`Database::catalog`].
 /// Holding it blocks writers (inserts, DDL) but not other readers.
-pub struct CatalogRef<'a>(RwLockReadGuard<'a, Catalog>);
+pub struct CatalogRef<'a>(pub(crate) RwLockReadGuard<'a, Catalog>);
 
 impl Deref for CatalogRef<'_> {
     type Target = Catalog;
@@ -94,30 +94,31 @@ pub(crate) fn fingerprint(selection: &Selection, options: PlanOptions) -> u64 {
 }
 
 /// Executes an already-bound plan against a catalog snapshot and assembles
-/// the outcome.
+/// the outcome.  This is the materializing face of the streaming cursor:
+/// `pascalr_exec::execute` drains an `ExecutionCursor` into a relation, so
+/// `execute()`-style entry points and [`crate::Rows`] share one execution
+/// path.
 pub(crate) fn execute_outcome(
     catalog: &Catalog,
     query_plan: Arc<QueryPlan>,
 ) -> Result<QueryOutcome, PascalRError> {
     let metrics = Metrics::new();
     let start = Instant::now();
-    let exec_result = pascalr_exec::execute(&query_plan, catalog, &metrics)?;
+    let exec_result = pascalr_exec::execute(query_plan.clone(), catalog, &metrics)?;
     let elapsed = start.elapsed();
-    let fallback = exec_result.fallback.as_ref().map(|f| match f {
-        pascalr_exec::Fallback::AdaptedForEmptyRelations(rels) => {
-            format!("adapted for empty relation(s): {}", rels.join(", "))
-        }
-        pascalr_exec::Fallback::ExtendedRangeEmpty(var) => {
-            format!("extended range of {var} was empty; re-planned at S2")
-        }
-    });
+    let fallback = exec_result
+        .fallback
+        .as_ref()
+        .map(crate::rows::fallback_description);
     let strategy = query_plan.strategy;
     Ok(QueryOutcome {
         result: exec_result.relation,
         plan: query_plan,
         report: ExecutionReport {
             strategy,
-            metrics: metrics.snapshot(),
+            // The per-query snapshot the executor took — not a re-read of
+            // any shared counter.
+            metrics: exec_result.metrics,
             elapsed,
             fallback,
         },
@@ -371,6 +372,64 @@ impl Database {
     /// Produces the plan (without executing it) for a selection statement.
     pub fn explain(&self, text: &str, strategy: StrategyLevel) -> Result<String, PascalRError> {
         self.explain_with_options(text, strategy, self.plan_options)
+    }
+
+    /// Streams an already-parsed selection as a lazy [`Rows`] cursor at an
+    /// explicit strategy level.
+    ///
+    /// Like [`Database::query_selection`], this is the low-level *uncached*
+    /// path: the selection is planned afresh on every call (pass a plan
+    /// carrying a [`pascalr_planner::QueryPlan::row_budget`] hint by
+    /// preparing the query instead, or cap the cursor with
+    /// [`Rows::with_row_budget`]).  No execution work happens until the
+    /// first tuple is requested, and dropping the cursor early stops all
+    /// remaining work.  The cursor holds a catalog read-guard; see the
+    /// [`Rows`] docs for the deadlock hazard.
+    pub fn rows_selection(
+        &self,
+        selection: &Selection,
+        strategy: StrategyLevel,
+    ) -> Result<Rows<'_>, PascalRError> {
+        reject_unbound_params(selection)?;
+        let guard = self.shared.catalog.read();
+        let query_plan = Arc::new(plan(selection, &guard, strategy, self.plan_options));
+        Ok(Rows::new(CatalogRef(guard), query_plan))
+    }
+
+    /// Cached-path streaming text query (used by sessions): parse, fetch
+    /// the plan from the shared cache, return the lazy cursor.
+    pub(crate) fn rows_text_with_options(
+        &self,
+        text: &str,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Result<Rows<'_>, PascalRError> {
+        let guard = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &guard)?);
+        reject_unbound_params(&selection)?;
+        let fp = fingerprint(&selection, options);
+        let query_plan = self.cached_plan(&guard, &selection, fp, strategy, options);
+        Ok(Rows::new(CatalogRef(guard), query_plan))
+    }
+
+    /// Cached-path streaming text query with parameters bound per call.
+    pub(crate) fn rows_params_with_options(
+        &self,
+        text: &str,
+        params: &Params,
+        strategy: StrategyLevel,
+        options: PlanOptions,
+    ) -> Result<Rows<'_>, PascalRError> {
+        let guard = self.shared.catalog.read();
+        let selection = Arc::new(parse_selection(text, &guard)?);
+        let fp = fingerprint(&selection, options);
+        let query_plan = self.cached_plan(&guard, &selection, fp, strategy, options);
+        let bound = if selection.param_names().is_empty() {
+            query_plan
+        } else {
+            Arc::new(query_plan.bind_params(params)?)
+        };
+        Ok(Rows::new(CatalogRef(guard), bound))
     }
 
     /// One-shot parameterized text query (used by sessions): parse, fetch

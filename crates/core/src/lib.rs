@@ -18,11 +18,23 @@
 //!   only the collection/combination phases on the hot path.  Statements
 //!   may contain `:name` parameter placeholders bound per execution with
 //!   [`Params`].
+//! * [`Rows`] — the **streaming result cursor** behind every execution:
+//!   [`PreparedQuery::rows`], [`Session::rows`] and
+//!   [`Database::rows_selection`] return a lazy iterator of result tuples
+//!   that pipelines the construction phase (and, for plans without a
+//!   quantifier prefix, the final combination pass) tuple-by-tuple.
+//!   Dropping the cursor after `k` tuples stops all remaining work — the
+//!   PASCAL/R `FOR EACH` embedding the paper assumes, where a host
+//!   program consuming a prefix of the answer never pays for the rest.
+//!   The `execute()`-style entry points are thin wrappers that drain the
+//!   same cursor into a [`Relation`].
 //!
 //! Every query execution returns both the result relation and an
 //! [`ExecutionReport`] with the access metrics the paper's cost arguments
 //! are stated in (relation scans, tuples read, intermediate structure
-//! sizes, comparisons).
+//! sizes, comparisons); streaming cursors report the same per-query
+//! metrics through [`Rows::finish`] / [`ExecutionOutcome`], charging only
+//! the work actually performed.
 //!
 //! # Quickstart
 //!
@@ -80,11 +92,13 @@ use pascalr_storage::MetricsSnapshot;
 mod cache;
 mod db;
 mod prepared;
+mod rows;
 mod session;
 
 pub use cache::CacheStats;
 pub use db::{CatalogRef, CatalogRefMut, Database};
 pub use prepared::PreparedQuery;
+pub use rows::{ExecutionOutcome, Rows};
 pub use session::Session;
 
 pub use pascalr_calculus as calculus;

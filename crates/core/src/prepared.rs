@@ -5,8 +5,8 @@ use std::sync::Arc;
 use pascalr_calculus::{ParamName, Params, Selection};
 use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
 
-use crate::db::{execute_outcome, fingerprint, unbound_param_error};
-use crate::{Database, PascalRError, QueryOutcome};
+use crate::db::{execute_outcome, fingerprint, unbound_param_error, CatalogRef};
+use crate::{Database, PascalRError, QueryOutcome, Rows};
 
 /// A prepared query: the result of parsing, normalizing and planning a
 /// selection exactly once.
@@ -138,6 +138,54 @@ impl PreparedQuery {
             Arc::new(query_plan.bind_params(params)?)
         };
         execute_outcome(&catalog, bound)
+    }
+
+    /// Streams the prepared query as a lazy [`Rows`] cursor.  Fails with an
+    /// unbound-parameter error if the statement has placeholders; bind them
+    /// with [`PreparedQuery::rows_with`].
+    ///
+    /// The cursor is the streaming counterpart of
+    /// [`PreparedQuery::execute`] (which is exactly `rows()` drained into a
+    /// relation): no execution work happens before the first tuple is
+    /// requested, tuples are constructed one at a time, and dropping the
+    /// cursor early — e.g. after `take(10)` or an existence check — stops
+    /// all remaining collection/combination/construction work.  The cursor
+    /// holds a catalog read-guard for its lifetime; see the [`Rows`] docs
+    /// for the deadlock hazard.
+    pub fn rows(&self) -> Result<Rows<'_>, PascalRError> {
+        if let Some(name) = self.param_names.first() {
+            return Err(unbound_param_error(name));
+        }
+        let guard = self.db.shared.catalog.read();
+        let query_plan = self.db.cached_plan(
+            &guard,
+            &self.selection,
+            self.fingerprint,
+            self.strategy,
+            self.options,
+        );
+        Ok(Rows::new(CatalogRef(guard), query_plan))
+    }
+
+    /// Streams the prepared query with parameters bound, as a lazy
+    /// [`Rows`] cursor (the streaming counterpart of
+    /// [`PreparedQuery::execute_with`]).  Extra bindings are ignored;
+    /// missing ones are an error.
+    pub fn rows_with(&self, params: &Params) -> Result<Rows<'_>, PascalRError> {
+        let guard = self.db.shared.catalog.read();
+        let query_plan = self.db.cached_plan(
+            &guard,
+            &self.selection,
+            self.fingerprint,
+            self.strategy,
+            self.options,
+        );
+        let bound: Arc<QueryPlan> = if self.param_names.is_empty() {
+            query_plan
+        } else {
+            Arc::new(query_plan.bind_params(params)?)
+        };
+        Ok(Rows::new(CatalogRef(guard), bound))
     }
 
     /// The query-shape fingerprint used as part of the plan-cache key.

@@ -1,0 +1,195 @@
+//! The streaming result API: lazy [`Rows`] cursors.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pascalr_exec::{ExecError, ExecutionCursor, Fallback};
+use pascalr_planner::{QueryPlan, StrategyLevel};
+use pascalr_relation::{RelationSchema, Tuple};
+use pascalr_storage::{Metrics, MetricsSnapshot};
+
+use crate::db::CatalogRef;
+
+/// Renders a runtime fallback for reports (shared by the streaming and
+/// materializing paths so both describe it identically).
+pub(crate) fn fallback_description(fallback: &Fallback) -> String {
+    match fallback {
+        Fallback::AdaptedForEmptyRelations(rels) => {
+            format!("adapted for empty relation(s): {}", rels.join(", "))
+        }
+        Fallback::ExtendedRangeEmpty(var) => {
+            format!("extended range of {var} was empty; re-planned at S2")
+        }
+    }
+}
+
+/// Post-execution metadata common to both result modes — the streaming
+/// [`Rows`] cursor ([`Rows::finish`]) and the materializing
+/// `execute()`-style entry points: which strategy ran, whether a runtime
+/// fallback was taken, and the per-query [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The strategy level the query was executed at.
+    pub strategy: StrategyLevel,
+    /// Description of the runtime fallback, if one was taken (empty range
+    /// relation or empty extended range).  For a cursor that was never
+    /// polled this is `None` even if a fallback *would* have been taken —
+    /// fallbacks are detected when execution starts.
+    pub fallback: Option<String>,
+    /// Snapshot of the access metrics this query charged — only the work
+    /// actually performed, so a cursor dropped after `k` tuples reports
+    /// the cost of producing `k` tuples.
+    pub metrics: MetricsSnapshot,
+    /// Number of distinct result tuples produced before the cursor
+    /// stopped.
+    pub rows_emitted: u64,
+    /// Wall-clock time between cursor creation and [`Rows::finish`].
+    pub elapsed: Duration,
+}
+
+/// A lazy, streaming result cursor: an iterator of
+/// `Result<`[`Tuple`]`, `[`ExecError`]`>` that produces the query's
+/// distinct result tuples one at a time.
+///
+/// `Rows` is the streaming face of the single execution engine
+/// ([`ExecutionCursor`]); the `execute()`-style entry points are thin
+/// wrappers that drain the same cursor into a relation.  No execution
+/// work happens before the first `next()` call, the construction phase
+/// (and, for plans without a quantifier prefix, the final combination
+/// pass) runs tuple-by-tuple, and **dropping the cursor stops all
+/// remaining collection/combination/construction work** — `rows.take(10)`
+/// never pays for the eleventh tuple.
+///
+/// # The held read-guard (deadlock hazard)
+///
+/// A `Rows` cursor holds **shared read access to the catalog** for its
+/// entire lifetime, exactly like [`Database::catalog`]: writers
+/// (inserts, DDL) block until it is dropped, and — as with the guard —
+/// you must drop the cursor before calling any other
+/// `Database`/`Session`/`PreparedQuery` method **on the same thread**,
+/// including read-only ones: every entry point takes the same lock
+/// internally, and with a writer already waiting a second read
+/// acquisition on the same thread can deadlock (the underlying
+/// reader-writer lock may prefer writers).  Consume the cursor, then
+/// act on the results.
+///
+/// # Example
+///
+/// ```
+/// use pascalr::{Database, StrategyLevel};
+///
+/// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+/// let session = db.session().with_strategy(StrategyLevel::S4CollectionQuantifiers);
+/// let q = session
+///     .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+///     .unwrap();
+///
+/// let mut names = Vec::new();
+/// for row in q.rows().unwrap() {
+///     names.push(row.unwrap());
+/// }
+/// assert_eq!(names.len(), 3);
+///
+/// // Early exit: only the first tuple is ever constructed.
+/// let first = q.rows().unwrap().next().unwrap().unwrap();
+/// assert!(names.contains(&first));
+/// ```
+///
+/// [`Database::catalog`]: crate::Database::catalog
+pub struct Rows<'db> {
+    // Field order matters for drop safety only in that both borrow the
+    // same shared state; the cursor holds no reference into the guard —
+    // every `next()` passes the catalog explicitly.
+    guard: CatalogRef<'db>,
+    cursor: ExecutionCursor,
+    plan: Arc<QueryPlan>,
+    started_at: Instant,
+}
+
+impl<'db> Rows<'db> {
+    pub(crate) fn new(guard: CatalogRef<'db>, plan: Arc<QueryPlan>) -> Rows<'db> {
+        Rows {
+            guard,
+            cursor: ExecutionCursor::new(plan.clone(), Metrics::new()),
+            plan,
+            started_at: Instant::now(),
+        }
+    }
+
+    /// The plan this cursor was created with.  After a runtime fallback the
+    /// cursor executes an adapted plan instead; see [`Rows::fallback`].
+    pub fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+
+    /// The strategy level of the plan.
+    pub fn strategy(&self) -> StrategyLevel {
+        self.plan.strategy
+    }
+
+    /// Caps how many tuples the cursor will produce; all remaining work
+    /// stops once the budget is reached (like dropping the cursor there).
+    /// Overrides the plan's [`QueryPlan::row_budget`] hint.
+    pub fn with_row_budget(mut self, budget: u64) -> Rows<'db> {
+        self.cursor.set_row_budget(Some(budget));
+        self
+    }
+
+    /// The result schema.  Forces the deferred start of execution (runtime
+    /// assumption checks and the collection phase) if it has not happened
+    /// yet, but constructs no tuple.
+    pub fn schema(&mut self) -> Result<Arc<RelationSchema>, ExecError> {
+        self.cursor.start(&self.guard)?;
+        Ok(self
+            .cursor
+            .schema()
+            .expect("a started cursor has a result schema")
+            .clone())
+    }
+
+    /// Description of the runtime fallback taken, if any.  `None` until the
+    /// first tuple has been requested (fallbacks are detected lazily).
+    pub fn fallback(&self) -> Option<String> {
+        self.cursor.fallback().map(fallback_description)
+    }
+
+    /// Number of distinct tuples produced so far.
+    pub fn rows_emitted(&self) -> u64 {
+        self.cursor.produced()
+    }
+
+    /// Snapshot of the metrics charged so far — only work actually
+    /// performed (a freshly created cursor reports all zeros).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.cursor.metrics().snapshot()
+    }
+
+    /// Ends the cursor (dropping any unproduced tuples and stopping their
+    /// work) and reports what it did.
+    pub fn finish(self) -> ExecutionOutcome {
+        ExecutionOutcome {
+            strategy: self.plan.strategy,
+            fallback: self.fallback(),
+            metrics: self.metrics(),
+            rows_emitted: self.rows_emitted(),
+            elapsed: self.started_at.elapsed(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Rows<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rows")
+            .field("strategy", &self.plan.strategy)
+            .field("rows_emitted", &self.rows_emitted())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Iterator for Rows<'_> {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.cursor.next_tuple(&self.guard)
+    }
+}

@@ -3,7 +3,7 @@
 use pascalr_calculus::{Params, Selection};
 use pascalr_planner::{PlanOptions, StrategyLevel};
 
-use crate::{Database, PascalRError, PreparedQuery, QueryOutcome};
+use crate::{Database, PascalRError, PreparedQuery, QueryOutcome, Rows};
 
 /// A session: a lightweight per-connection view of a shared [`Database`]
 /// carrying connection-local defaults (strategy level, planning options).
@@ -118,5 +118,27 @@ impl Session {
     pub fn explain(&self, text: &str) -> Result<String, PascalRError> {
         self.db
             .explain_with_options(text, self.strategy, self.options)
+    }
+
+    /// Streams a parameter-free statement as a lazy [`Rows`] cursor at the
+    /// session's strategy level and planning options (cached-plan path).
+    ///
+    /// No execution work happens until the first tuple is requested;
+    /// dropping the cursor early stops all remaining work, so
+    /// `session.rows(text)?.take(10)` pays for ten tuples, not for the
+    /// full answer relation.  The cursor holds a catalog read-guard for
+    /// its lifetime; see the [`Rows`] docs for the deadlock hazard.
+    pub fn rows(&self, text: &str) -> Result<Rows<'_>, PascalRError> {
+        self.db
+            .rows_text_with_options(text, self.strategy, self.options)
+    }
+
+    /// Streams a parameterized statement: the plan comes from the shared
+    /// cache, `params` are bound per call, the result is a lazy [`Rows`]
+    /// cursor.  For repeated execution, [`Session::prepare`] once and use
+    /// [`PreparedQuery::rows_with`] instead.
+    pub fn rows_with_params(&self, text: &str, params: &Params) -> Result<Rows<'_>, PascalRError> {
+        self.db
+            .rows_params_with_options(text, params, self.strategy, self.options)
     }
 }

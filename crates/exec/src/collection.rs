@@ -174,8 +174,15 @@ fn resolve_var(var: &VarName, range: &RangeExpr, catalog: &Catalog) -> Result<Va
 }
 
 /// Evaluates a range expression into candidate references, recording the
-/// restriction comparisons.
-fn range_candidates(
+/// restriction comparisons against `metrics`.
+///
+/// This is the primitive behind every candidate list the collection phase
+/// builds.  It is public because the executor's **runtime assumption
+/// checks** (and tests probing planner range extensions) need to answer
+/// "is this — possibly extended — range empty right now?" without running
+/// a whole collection phase; pass a throwaway [`Metrics`] handle when the
+/// probe should not be charged to the query.
+pub fn range_candidates(
     info: &VarInfo,
     catalog: &Catalog,
     metrics: &Metrics,
@@ -204,16 +211,6 @@ fn range_candidates(
         }
     }
     Ok(out)
-}
-
-/// Public wrapper around the range-candidate computation, used by the
-/// executor's runtime assumption checks (is an extended range empty?).
-pub fn range_candidates_public(
-    info: &VarInfo,
-    catalog: &Catalog,
-    metrics: &Metrics,
-) -> Result<Vec<ElemRef>, ExecError> {
-    range_candidates(info, catalog, metrics)
 }
 
 /// Evaluates a monadic term for a single element.

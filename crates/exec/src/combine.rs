@@ -7,7 +7,7 @@
 //! left, using projection for existential quantification and division for
 //! universal quantification."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use pascalr_calculus::{Quantifier, Term, VarName};
 use pascalr_catalog::Catalog;
@@ -15,7 +15,7 @@ use pascalr_planner::QueryPlan;
 use pascalr_relation::{CompareOp, ElemRef, Value};
 use pascalr_storage::{Metrics, Phase};
 
-use crate::collection::CollectionOutput;
+use crate::collection::{CollectionOutput, ConjStructures};
 use crate::error::ExecError;
 use crate::refrel::RefRel;
 
@@ -68,6 +68,293 @@ fn dyadic_holds(
     Ok(op.eval(lv, rv)?)
 }
 
+/// The equality indirect-join probe one [`Stage`] uses to narrow its
+/// candidate references per prefix row.
+#[derive(Debug)]
+pub(crate) struct EqProbe {
+    /// Index of the indirect join in the conjunction's [`ConjStructures`].
+    ij: usize,
+    /// Column (within the prior variables) holding the probe reference.
+    other_col: usize,
+    /// Whether the stage's variable is the indirect join's *left* variable
+    /// (then the `by_right` map is probed with the prior column's
+    /// reference).
+    var_is_left: bool,
+}
+
+/// A dyadic term connecting a stage's variable to an earlier column.
+#[derive(Debug)]
+pub(crate) struct StageCheck {
+    term: Term,
+    other: VarName,
+    other_col: usize,
+}
+
+/// One step of a conjunction's reference-relation assembly: extend the
+/// partial reference relation over the prior variables by one more
+/// variable.  A stage with no [`StageCheck`]s is a plain Cartesian product
+/// (a support variable unconnected to earlier columns, or an expansion
+/// variable the conjunction does not mention); otherwise each candidate is
+/// admitted per prefix row by evaluating the connecting dyadic terms.
+///
+/// Stages are precomputed from the plan alone, so the same stage list
+/// drives both the materialized assembly ([`run_combination`]) and the
+/// executor's streaming cursor, which pipelines the *final* stage
+/// tuple-by-tuple.
+#[derive(Debug)]
+pub(crate) struct Stage {
+    var: VarName,
+    /// Candidate references for the variable: its single list for support
+    /// variables, the full candidate set for expansion variables.
+    candidates: Vec<ElemRef>,
+    /// The same candidates as a set (membership filter after an indirect-
+    /// join probe, which may return references other monadic terms
+    /// filtered out at Strategy 0/1).
+    cand_set: HashSet<ElemRef>,
+    checks: Vec<StageCheck>,
+    eq_probe: Option<EqProbe>,
+}
+
+impl Stage {
+    /// Whether this stage is a plain Cartesian product.
+    pub(crate) fn is_product(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// The candidate references to try against `row`.  With an equality
+    /// indirect join available this probes its reference map (recording the
+    /// probe when `record_probe` is set — streaming callers touch the same
+    /// row repeatedly and must record it only once); otherwise the full
+    /// candidate list is returned.
+    pub(crate) fn probe<'s>(
+        &'s self,
+        row: &[ElemRef],
+        structures: &'s ConjStructures,
+        metrics: &Metrics,
+        record_probe: bool,
+    ) -> &'s [ElemRef] {
+        match &self.eq_probe {
+            Some(p) => {
+                let ij = &structures.indirect_joins[p.ij];
+                let map = if p.var_is_left {
+                    &ij.by_right
+                } else {
+                    &ij.by_left
+                };
+                if record_probe {
+                    metrics.record_index_probes(Phase::Combination, 1);
+                }
+                map.get(&row[p.other_col]).map(Vec::as_slice).unwrap_or(&[])
+            }
+            None => &self.candidates,
+        }
+    }
+
+    /// Whether `cand` extends `row` (candidate-set membership plus every
+    /// connecting dyadic term).
+    pub(crate) fn admits(
+        &self,
+        cand: ElemRef,
+        row: &[ElemRef],
+        collection: &CollectionOutput,
+        catalog: &Catalog,
+        metrics: &Metrics,
+    ) -> Result<bool, ExecError> {
+        if self.checks.is_empty() {
+            return Ok(true);
+        }
+        if self.eq_probe.is_some() && !self.cand_set.contains(&cand) {
+            return Ok(false);
+        }
+        for check in &self.checks {
+            if !dyadic_holds(
+                &check.term,
+                collection,
+                catalog,
+                self.var.as_ref(),
+                cand,
+                check.other.as_ref(),
+                row[check.other_col],
+                metrics,
+            )? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// The precomputed assembly of one conjunction: its stages and the column
+/// order the assembled rows come out in.
+#[derive(Debug)]
+pub(crate) struct ConjAssembly {
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) var_order: Vec<VarName>,
+}
+
+/// The base of every conjunction assembly: a zero-column reference
+/// relation holding exactly one empty row.
+pub(crate) fn base_refrel() -> RefRel {
+    let mut base = RefRel::new(Vec::new());
+    base.push(Vec::new());
+    base
+}
+
+/// Precomputes the assembly stages of one conjunction.
+///
+/// Support variables (those with a single list in this conjunction) come
+/// first, ordered so that each one after the first connects to an earlier
+/// one through a dyadic term whenever possible (keeps partial results
+/// joined instead of multiplied); the expansion variables the conjunction
+/// does not mention follow in `all_vars` order, pairing with every
+/// candidate of their range ("n-tuples of references where n is the number
+/// of variables in the selection expression").
+pub(crate) fn conjunction_assembly(
+    plan: &QueryPlan,
+    ci: usize,
+    all_vars: &[VarName],
+    collection: &CollectionOutput,
+) -> ConjAssembly {
+    let conj = &plan.prepared.form.matrix[ci];
+    let structures = &collection.per_conjunction[ci];
+
+    let mut support: Vec<VarName> = all_vars
+        .iter()
+        .filter(|v| structures.single_lists.contains_key(v.as_ref()))
+        .cloned()
+        .collect();
+    let connected = |a: &VarName, b: &VarName| -> bool {
+        conj.terms
+            .iter()
+            .filter(|t| t.is_dyadic())
+            .any(|t| t.mentions(a) && t.mentions(b))
+    };
+    let mut order: Vec<VarName> = Vec::with_capacity(all_vars.len());
+    if !support.is_empty() {
+        // Start with the variable involved in the most dyadic terms.
+        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
+        order.push(support.remove(0));
+        while !support.is_empty() {
+            let next = support
+                .iter()
+                .position(|v| order.iter().any(|o| connected(o, v)))
+                .unwrap_or(0);
+            order.push(support.remove(next));
+        }
+    }
+    for var in all_vars {
+        if !order.iter().any(|v| v.as_ref() == var.as_ref()) {
+            order.push(var.clone());
+        }
+    }
+
+    let mut stages = Vec::with_capacity(order.len());
+    for (i, var) in order.iter().enumerate() {
+        let prior = &order[..i];
+        let candidates = match structures.single_lists.get(var.as_ref()) {
+            Some(list) => list.clone(),
+            None => collection.candidates[var.as_ref()].clone(),
+        };
+        // Dyadic terms linking `var` to variables already assembled.
+        let checks: Vec<StageCheck> = conj
+            .terms
+            .iter()
+            .filter(|t| t.is_dyadic() && t.mentions(var))
+            .filter_map(|t| {
+                let other = t.vars().into_iter().find(|v| v.as_ref() != var.as_ref())?;
+                let other_col = prior.iter().position(|p| p.as_ref() == other.as_ref())?;
+                Some(StageCheck {
+                    term: t.clone(),
+                    other,
+                    other_col,
+                })
+            })
+            .collect();
+        // Prefer probing an equality indirect join if one exists.
+        let eq_probe = if checks.is_empty() {
+            None
+        } else {
+            structures
+                .indirect_joins
+                .iter()
+                .enumerate()
+                .find_map(|(idx, ij)| {
+                    let (other, var_is_left) = if ij.left_var.as_ref() == var.as_ref() {
+                        (&ij.right_var, true)
+                    } else if ij.right_var.as_ref() == var.as_ref() {
+                        (&ij.left_var, false)
+                    } else {
+                        return None;
+                    };
+                    let other_col = prior.iter().position(|p| p.as_ref() == other.as_ref())?;
+                    matches!(
+                        ij.term,
+                        Term::Compare {
+                            op: CompareOp::Eq,
+                            ..
+                        }
+                    )
+                    .then_some(EqProbe {
+                        ij: idx,
+                        other_col,
+                        var_is_left,
+                    })
+                })
+        };
+        // The membership filter is only consulted after an indirect-join
+        // probe; don't build the set for product stages or plain scans.
+        let cand_set: HashSet<ElemRef> = if eq_probe.is_some() {
+            candidates.iter().copied().collect()
+        } else {
+            HashSet::new()
+        };
+        stages.push(Stage {
+            var: var.clone(),
+            candidates,
+            cand_set,
+            checks,
+            eq_probe,
+        });
+    }
+
+    ConjAssembly {
+        stages,
+        var_order: order,
+    }
+}
+
+/// Extends the partial reference relation by one stage (materialized form),
+/// recording the stage's intermediate size.
+pub(crate) fn apply_stage(
+    current: RefRel,
+    stage: &Stage,
+    collection: &CollectionOutput,
+    structures: &ConjStructures,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<RefRel, ExecError> {
+    let next = if stage.is_product() {
+        current.product_with(stage.var.clone(), &stage.candidates)
+    } else {
+        let mut vars = current.vars().to_vec();
+        vars.push(stage.var.clone());
+        let mut next = RefRel::new(vars);
+        for row in current.rows() {
+            let cands = stage.probe(row, structures, metrics, true);
+            for &cand in cands {
+                if stage.admits(cand, row, collection, catalog, metrics)? {
+                    let mut new_row = row.to_vec();
+                    new_row.push(cand);
+                    next.push(new_row);
+                }
+            }
+        }
+        next
+    };
+    metrics.record_intermediate(Phase::Combination, next.len() as u64);
+    Ok(next)
+}
+
 /// Builds the reference relation of one conjunction over its support
 /// variables, then expands it over the remaining combination variables.
 fn conjunction_refrel(
@@ -78,163 +365,12 @@ fn conjunction_refrel(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<RefRel, ExecError> {
-    let conj = &plan.prepared.form.matrix[ci];
+    let assembly = conjunction_assembly(plan, ci, all_vars, collection);
     let structures = &collection.per_conjunction[ci];
-
-    // Support variables: every variable with a single list in this
-    // conjunction (single lists already incorporate monadic terms and
-    // derived predicates).
-    let mut support: Vec<VarName> = all_vars
-        .iter()
-        .filter(|v| structures.single_lists.contains_key(v.as_ref()))
-        .cloned()
-        .collect();
-
-    // Order support variables so that each one after the first connects to an
-    // earlier one through a dyadic term whenever possible (keeps partial
-    // results joined instead of multiplied).
-    let connected = |a: &VarName, b: &VarName| -> bool {
-        conj.terms
-            .iter()
-            .filter(|t| t.is_dyadic())
-            .any(|t| t.mentions(a) && t.mentions(b))
-    };
-    let mut ordered: Vec<VarName> = Vec::with_capacity(support.len());
-    if !support.is_empty() {
-        // Start with the variable involved in the most dyadic terms.
-        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
-        ordered.push(support.remove(0));
-        while !support.is_empty() {
-            let next = support
-                .iter()
-                .position(|v| ordered.iter().any(|o| connected(o, v)))
-                .unwrap_or(0);
-            ordered.push(support.remove(next));
-        }
+    let mut current = base_refrel();
+    for stage in &assembly.stages {
+        current = apply_stage(current, stage, collection, structures, catalog, metrics)?;
     }
-
-    // Assemble the conjunction's reference relation.
-    let mut current = {
-        let mut base = RefRel::new(Vec::new());
-        base.push(Vec::new());
-        base
-    };
-    for var in &ordered {
-        let candidates = structures
-            .single_lists
-            .get(var.as_ref())
-            .cloned()
-            .unwrap_or_default();
-        // Dyadic terms linking `var` to variables already in `current`.
-        let relevant_terms: Vec<&Term> = conj
-            .terms
-            .iter()
-            .filter(|t| t.is_dyadic())
-            .filter(|t| {
-                t.mentions(var)
-                    && t.vars()
-                        .iter()
-                        .any(|v| v.as_ref() != var.as_ref() && current.col(v).is_some())
-            })
-            .collect();
-
-        if relevant_terms.is_empty() {
-            current = current.product_with(var.clone(), &candidates);
-        } else {
-            // Prefer probing an equality indirect join if one exists.
-            let eq_join = structures.indirect_joins.iter().find(|ij| {
-                let other = if ij.left_var.as_ref() == var.as_ref() {
-                    &ij.right_var
-                } else if ij.right_var.as_ref() == var.as_ref() {
-                    &ij.left_var
-                } else {
-                    return false;
-                };
-                current.col(other).is_some()
-                    && matches!(
-                        ij.term,
-                        Term::Compare {
-                            op: CompareOp::Eq,
-                            ..
-                        }
-                    )
-            });
-
-            let mut vars = current.vars().to_vec();
-            vars.push(var.clone());
-            let mut next = RefRel::new(vars);
-
-            for row in current.rows() {
-                // Candidate references for `var` given this row.
-                let row_candidates: Vec<ElemRef> = if let Some(ij) = eq_join {
-                    let (other_var, map, flip) = if ij.left_var.as_ref() == var.as_ref() {
-                        (&ij.right_var, &ij.by_right, true)
-                    } else {
-                        (&ij.left_var, &ij.by_left, false)
-                    };
-                    let _ = flip;
-                    let other_col = current
-                        .col(other_var)
-                        .expect("eq_join selection guarantees presence");
-                    metrics.record_index_probes(Phase::Combination, 1);
-                    map.get(&row[other_col]).cloned().unwrap_or_default()
-                } else {
-                    candidates.clone()
-                };
-
-                'cand: for cand in row_candidates {
-                    // The candidate must still be in the single list (probing
-                    // the indirect join may return references filtered out
-                    // by other monadic terms at Strategy 0/1).
-                    if !candidates.contains(&cand) {
-                        continue;
-                    }
-                    for term in &relevant_terms {
-                        let others: Vec<VarName> = term
-                            .vars()
-                            .into_iter()
-                            .filter(|v| v.as_ref() != var.as_ref())
-                            .collect();
-                        let other = &others[0];
-                        let Some(other_col) = current.col(other) else {
-                            continue;
-                        };
-                        if !dyadic_holds(
-                            term,
-                            collection,
-                            catalog,
-                            var,
-                            cand,
-                            other,
-                            row[other_col],
-                            metrics,
-                        )? {
-                            continue 'cand;
-                        }
-                    }
-                    let mut new_row = row.to_vec();
-                    new_row.push(cand);
-                    next.push(new_row);
-                }
-            }
-            current = next;
-        }
-        metrics.record_intermediate(Phase::Combination, current.len() as u64);
-    }
-
-    // Expand over the combination variables the conjunction does not
-    // mention: they pair with every candidate of their range ("n-tuples of
-    // references where n is the number of variables in the selection
-    // expression").
-    for var in all_vars {
-        if current.col(var).is_some() {
-            continue;
-        }
-        let candidates = &collection.candidates[var.as_ref()];
-        current = current.product_with(var.clone(), candidates);
-        metrics.record_intermediate(Phase::Combination, current.len() as u64);
-    }
-
     Ok(current)
 }
 

@@ -1,20 +1,19 @@
-//! Plan execution: runtime assumption checks, the three phases, and the
-//! construction of the result relation.
+//! Plan execution: runtime assumption checks and the materializing
+//! entry points over the streaming [`ExecutionCursor`].
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use pascalr_calculus::{adapt_selection_for_empty, Selection};
+use pascalr_calculus::Selection;
 use pascalr_catalog::Catalog;
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
-use pascalr_relation::{Relation, Tuple, Value};
-use pascalr_storage::{Metrics, Phase};
+use pascalr_relation::Relation;
+use pascalr_storage::{Metrics, MetricsSnapshot};
 
-use crate::collection::{run_collection, ExecProvider};
-use crate::combine::run_combination;
+use crate::cursor::ExecutionCursor;
 use crate::error::ExecError;
-use crate::refrel::RefRel;
 
-/// The outcome of executing a plan.
+/// The outcome of executing a plan to completion.
 #[derive(Debug)]
 pub struct ExecutionResult {
     /// The result relation (named after the selection's target).
@@ -22,6 +21,10 @@ pub struct ExecutionResult {
     /// If a runtime assumption of the plan failed (empty range relation or
     /// empty extended range), the fallback that was taken.
     pub fallback: Option<Fallback>,
+    /// Snapshot of the access metrics this query charged to the handle it
+    /// was executed with (so callers report per-query work without
+    /// reaching into shared counters).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Which fallback was taken when a runtime assumption failed.
@@ -35,66 +38,8 @@ pub enum Fallback {
     ExtendedRangeEmpty(String),
 }
 
-/// The construction phase (Section 3.3, step 3): dereference the qualified
-/// references and project onto the component selection.
-fn run_construction(
-    plan: &QueryPlan,
-    qualified: &RefRel,
-    catalog: &Catalog,
-    metrics: &Metrics,
-) -> Result<Relation, ExecError> {
-    // The result schema is derived from the prepared selection (same
-    // components; free ranges may be extended but point at the same base
-    // relations).
-    let prepared_selection = plan.prepared.to_selection();
-    let schema =
-        pascalr_calculus::semantics::result_schema(&prepared_selection, &ExecProvider(catalog))?;
-    let mut result = Relation::new(schema);
-
-    // Pre-resolve the projection columns.
-    let mut projections = Vec::with_capacity(plan.prepared.components.len());
-    for comp in &plan.prepared.components {
-        let col = qualified
-            .col(&comp.var)
-            .ok_or_else(|| ExecError::PlanInvariant {
-                detail: format!(
-                    "component selection references {} which is not a free variable",
-                    comp.var
-                ),
-            })?;
-        let range = plan
-            .prepared
-            .range_of(&comp.var)
-            .ok_or_else(|| ExecError::PlanInvariant {
-                detail: format!("no range for {}", comp.var),
-            })?;
-        let rel = catalog.relation(&range.relation)?;
-        let attr_idx =
-            rel.schema()
-                .attr_index(&comp.attr)
-                .ok_or_else(|| ExecError::UnknownComponent {
-                    variable: comp.var.to_string(),
-                    attribute: comp.attr.to_string(),
-                })?;
-        projections.push((col, range.relation.to_string(), attr_idx));
-    }
-
-    for row in qualified.rows() {
-        let mut values: Vec<Value> = Vec::with_capacity(projections.len());
-        for (col, rel_name, attr_idx) in &projections {
-            let rel = catalog.relation(rel_name)?;
-            let tuple = rel.deref(row[*col])?;
-            metrics.record_dereferences(Phase::Construction, 1);
-            values.push(tuple.get(*attr_idx).clone());
-        }
-        let _ = result.insert(Tuple::new(values));
-    }
-    metrics.record_structure_size("result", result.cardinality() as u64);
-    Ok(result)
-}
-
 /// Referenced relations of a plan that are empty in the catalog.
-fn empty_referenced_relations(selection: &Selection, catalog: &Catalog) -> Vec<String> {
+pub(crate) fn empty_referenced_relations(selection: &Selection, catalog: &Catalog) -> Vec<String> {
     let mut rels: BTreeSet<String> = selection
         .relations()
         .iter()
@@ -112,7 +57,7 @@ fn empty_referenced_relations(selection: &Selection, catalog: &Catalog) -> Vec<S
 /// Checks whether any extended range the plan relies on (distributive hoists
 /// of Strategy 3, or the ranges of existential Strategy 4 steps) is empty at
 /// runtime.  Returns the offending variable, if any.
-fn violated_extended_range(
+pub(crate) fn violated_extended_range(
     query_plan: &QueryPlan,
     catalog: &Catalog,
 ) -> Result<Option<String>, ExecError> {
@@ -120,11 +65,11 @@ fn violated_extended_range(
     let check_range = |var: &str, range: &pascalr_calculus::RangeExpr| -> Result<bool, ExecError> {
         let info = crate::collection::VarInfo {
             var: pascalr_calculus::VarName::from(var),
-            relation: std::sync::Arc::from(range.relation.as_ref()),
+            relation: Arc::from(range.relation.as_ref()),
             schema: catalog.relation(&range.relation)?.schema().clone(),
             range: range.clone(),
         };
-        let candidates = crate::collection::range_candidates_public(&info, catalog, &metrics)?;
+        let candidates = crate::collection::range_candidates(&info, catalog, &metrics)?;
         Ok(candidates.is_empty())
     };
 
@@ -145,67 +90,36 @@ fn violated_extended_range(
     Ok(None)
 }
 
-/// Executes a plan against a catalog, recording metrics, and applying the
-/// runtime adaptations of Section 2 when an assumption of the standard form
-/// fails.
+/// Executes a plan to completion against a catalog, recording metrics, and
+/// applying the runtime adaptations of Section 2 when an assumption of the
+/// standard form fails.
+///
+/// This is a thin materializing wrapper over [`ExecutionCursor`] — the
+/// streaming cursor is the **only** execution path; `execute` merely
+/// drains it into a [`Relation`].
 pub fn execute(
-    query_plan: &QueryPlan,
+    query_plan: Arc<QueryPlan>,
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<ExecutionResult, ExecError> {
-    // Runtime check 1: empty base range relations (Lemma 1 adaptation).
-    let empties = empty_referenced_relations(&query_plan.original, catalog);
-    if !empties.is_empty() {
-        let empty_set: BTreeSet<String> = empties.iter().cloned().collect();
-        let adapted = adapt_selection_for_empty(&query_plan.original, &empty_set);
-        let adapted_plan = plan(
-            &adapted,
-            catalog,
-            query_plan.strategy,
-            PlanOptions::default(),
-        );
-        // The adapted selection no longer quantifies over the empty
-        // relations, so this recursion terminates after one step.
-        let inner = execute_prepared(&adapted_plan, catalog, metrics)?;
-        return Ok(ExecutionResult {
-            relation: inner.relation,
-            fallback: Some(Fallback::AdaptedForEmptyRelations(empties)),
-        });
+    let mut cursor = ExecutionCursor::new(query_plan, metrics.clone());
+    // The relation below deduplicates on insert; don't pay for a second
+    // copy of the result set inside the cursor.
+    cursor.set_distinct(false);
+    cursor.start(catalog)?;
+    let schema = cursor
+        .schema()
+        .expect("a successfully started cursor has a result schema")
+        .clone();
+    let mut relation = Relation::new(schema);
+    while let Some(item) = cursor.next_tuple(catalog) {
+        let _ = relation.insert(item?);
     }
-
-    // Runtime check 2: empty extended ranges invalidate the Strategy 3/4
-    // shortcuts; fall back to a Strategy 2 plan of the same selection.
-    if query_plan.strategy.extended_ranges() {
-        if let Some(var) = violated_extended_range(query_plan, catalog)? {
-            let fallback_plan = plan(
-                &query_plan.original,
-                catalog,
-                StrategyLevel::S2OneStep,
-                PlanOptions::default(),
-            );
-            let inner = execute_prepared(&fallback_plan, catalog, metrics)?;
-            return Ok(ExecutionResult {
-                relation: inner.relation,
-                fallback: Some(Fallback::ExtendedRangeEmpty(var)),
-            });
-        }
-    }
-
-    execute_prepared(query_plan, catalog, metrics)
-}
-
-/// Executes a plan whose runtime assumptions have already been validated.
-fn execute_prepared(
-    query_plan: &QueryPlan,
-    catalog: &Catalog,
-    metrics: &Metrics,
-) -> Result<ExecutionResult, ExecError> {
-    let collection = run_collection(query_plan, catalog, metrics)?;
-    let qualified = run_combination(query_plan, &collection, catalog, metrics)?;
-    let relation = run_construction(query_plan, &qualified, catalog, metrics)?;
+    metrics.record_structure_size("result", relation.cardinality() as u64);
     Ok(ExecutionResult {
         relation,
-        fallback: None,
+        fallback: cursor.fallback().cloned(),
+        metrics: metrics.snapshot(),
     })
 }
 
@@ -216,9 +130,9 @@ pub fn plan_and_execute(
     strategy: StrategyLevel,
     options: PlanOptions,
     metrics: &Metrics,
-) -> Result<(QueryPlan, ExecutionResult), ExecError> {
-    let p = plan(selection, catalog, strategy, options);
-    let r = execute(&p, catalog, metrics)?;
+) -> Result<(Arc<QueryPlan>, ExecutionResult), ExecError> {
+    let p = Arc::new(plan(selection, catalog, strategy, options));
+    let r = execute(p.clone(), catalog, metrics)?;
     Ok((p, r))
 }
 
@@ -226,6 +140,7 @@ pub fn plan_and_execute(
 mod tests {
     use super::*;
     use pascalr_planner::StrategyLevel;
+    use pascalr_relation::{Tuple, Value};
     use pascalr_workload::{
         all_queries, clear_relation, figure1_sample_database, generate, oracle_eval,
         UniversityConfig,

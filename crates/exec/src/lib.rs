@@ -4,17 +4,25 @@
 //! projection for `SOME`, division for `ALL`) and construction phase
 //! (dereferencing + component projection) — together with the runtime
 //! adaptation for empty range relations.
+//!
+//! The single execution engine is the streaming [`ExecutionCursor`], which
+//! produces result tuples lazily and pipelines the construction phase (and,
+//! for plans without a quantifier prefix, the final combination pass)
+//! tuple-by-tuple.  [`execute`] is a thin materializing wrapper that drains
+//! the cursor into a [`pascalr_relation::Relation`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod collection;
 pub mod combine;
+pub mod cursor;
 pub mod error;
 pub mod executor;
 pub mod refrel;
 
 pub use collection::{CollectionOutput, ConjStructures, DerivedCheck, IndirectJoin, VarInfo};
+pub use cursor::ExecutionCursor;
 pub use error::ExecError;
 pub use executor::{execute, plan_and_execute, ExecutionResult, Fallback};
 pub use refrel::RefRel;

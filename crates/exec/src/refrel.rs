@@ -79,6 +79,13 @@ impl RefRel {
         self.rows.iter().map(|r| r.as_ref())
     }
 
+    /// The tuple at `idx` (insertion order), if in bounds.  Streaming
+    /// cursors use this to resume iteration across calls without holding a
+    /// borrowing iterator.
+    pub fn row(&self, idx: usize) -> Option<&[ElemRef]> {
+        self.rows.get(idx).map(|r| r.as_ref())
+    }
+
     /// Cartesian product with a unary column of candidate references for a
     /// new variable.
     pub fn product_with(&self, var: VarName, refs: &[ElemRef]) -> RefRel {

@@ -143,9 +143,34 @@ pub struct QueryPlan {
     pub dropped_vars: Vec<VarName>,
     /// Free-form notes accumulated during planning (shown by `explain`).
     pub notes: Vec<String>,
+    /// Optional hint that the consumer intends to read at most this many
+    /// result tuples.  A streaming executor may stop all remaining
+    /// combination/construction work once the budget is reached; the hint
+    /// never changes *which* tuples qualify, only how many are produced.
+    /// `None` (the default) means "produce the full result".
+    pub row_budget: Option<u64>,
 }
 
 impl QueryPlan {
+    /// Whether the combination output can be consumed in **streaming
+    /// order**: once the quantifier prefix of the prepared form is empty
+    /// (either because the query has no quantifiers or because Strategy 4
+    /// evaluated them all during the collection phase), no projection or
+    /// division pass over the full reference relation is needed, so the
+    /// union of the per-conjunction reference tuples can be handed to the
+    /// construction phase one tuple at a time.  Plans for which this is
+    /// `false` must materialize the combination result before the first
+    /// output tuple can be produced.
+    pub fn combination_streams(&self) -> bool {
+        self.prepared.form.prefix.is_empty()
+    }
+
+    /// Builder-style setter for the [`QueryPlan::row_budget`] hint.
+    pub fn with_row_budget(mut self, budget: u64) -> QueryPlan {
+        self.row_budget = Some(budget);
+        self
+    }
+
     /// Names of the intermediate structures the plan will build, in the
     /// paper's naming convention (`sl_*`, `ind_*`, `ij_*`, `vl_*`).
     pub fn structure_names(&self) -> Vec<String> {
@@ -209,6 +234,17 @@ impl QueryPlan {
                 .collect::<Vec<_>>()
                 .join(" -> ")
         ));
+        out.push_str(&format!(
+            "combination output: {}\n",
+            if self.combination_streams() {
+                "streaming (empty quantifier prefix)"
+            } else {
+                "materialized (quantifier passes required)"
+            }
+        ));
+        if let Some(budget) = self.row_budget {
+            out.push_str(&format!("row budget: at most {budget} tuple(s)\n"));
+        }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
         }
@@ -305,6 +341,7 @@ impl QueryPlan {
             scan_order: self.scan_order.clone(),
             dropped_vars: self.dropped_vars.clone(),
             notes: self.notes.clone(),
+            row_budget: self.row_budget,
         })
     }
 }

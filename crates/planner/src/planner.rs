@@ -324,6 +324,7 @@ pub fn plan(
         scan_order,
         dropped_vars,
         notes,
+        row_budget: None,
     }
 }
 
@@ -399,6 +400,47 @@ mod tests {
         }
         // All matrix terms were consumed by the steps.
         assert_eq!(p.prepared.form.term_count(), 0);
+    }
+
+    #[test]
+    fn streamability_and_row_budget_are_exposed_on_the_plan() {
+        // With a quantifier prefix the combination output must be
+        // materialized; once Strategy 4 evaluates the whole prefix in the
+        // collection phase, it can be consumed in streaming order.
+        let p0 = example_plan(StrategyLevel::S0Baseline);
+        assert!(!p0.combination_streams());
+        assert!(p0
+            .explain()
+            .contains("combination output: materialized (quantifier passes required)"));
+        let p4 = example_plan(StrategyLevel::S4CollectionQuantifiers);
+        assert!(p4.combination_streams());
+        assert!(p4
+            .explain()
+            .contains("combination output: streaming (empty quantifier prefix)"));
+
+        // The row-budget hint defaults to unbounded, survives parameter
+        // binding, and shows up in explain output.
+        assert_eq!(p4.row_budget, None);
+        let budgeted = p4.with_row_budget(10);
+        assert_eq!(budgeted.row_budget, Some(10));
+        assert!(budgeted
+            .explain()
+            .contains("row budget: at most 10 tuple(s)"));
+        let bound = budgeted
+            .bind_params(&pascalr_calculus::Params::new())
+            .unwrap();
+        assert_eq!(bound.row_budget, Some(10));
+
+        // A quantifier-free selection streams at every level.
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(
+            "profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]",
+            &cat,
+        )
+        .unwrap();
+        for level in StrategyLevel::ALL {
+            assert!(plan(&sel, &cat, level, PlanOptions::default()).combination_streams());
+        }
     }
 
     #[test]

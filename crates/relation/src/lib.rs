@@ -37,5 +37,5 @@ pub use index::HashIndex;
 pub use refs::{ElemRef, RelId, RowId};
 pub use relation::{InsertOutcome, Relation};
 pub use schema::{Attribute, Key, RelationSchema};
-pub use tuple::Tuple;
+pub use tuple::{Tuple, TupleCow};
 pub use value::{CompareOp, EnumType, EnumValue, Value, ValueType};

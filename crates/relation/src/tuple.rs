@@ -1,6 +1,7 @@
 //! Tuples (relation elements).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,59 @@ impl Tuple {
         v.extend_from_slice(&self.0);
         v.extend_from_slice(&other.0);
         Tuple(v.into_boxed_slice())
+    }
+}
+
+/// A borrowed projection: the would-be components of a result tuple as
+/// references into the source relations' elements.
+///
+/// The streaming construction phase projects every qualified reference
+/// tuple onto the component selection.  Materializing that projection
+/// clones every value (strings included) even when the row turns out to be
+/// a duplicate that set semantics will drop.  `TupleCow` defers the clone:
+/// it supports hashing ([`TupleCow::hash64`]) and comparison against owned
+/// tuples ([`TupleCow::matches`]) on the borrowed values, and only
+/// [`TupleCow::into_tuple`] pays for the copy — which a streaming cursor
+/// calls exclusively for rows it actually emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleCow<'a>(Vec<&'a Value>);
+
+impl<'a> TupleCow<'a> {
+    /// Creates a borrowed projection from component references.
+    pub fn new(values: Vec<&'a Value>) -> Self {
+        TupleCow(values)
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The borrowed components.
+    pub fn values(&self) -> &[&'a Value] {
+        &self.0
+    }
+
+    /// A 64-bit hash of the projected components, identical to the hash an
+    /// owned [`Tuple`] with the same values would produce under the same
+    /// hasher seedless default — usable as a pre-filter key for duplicate
+    /// detection without constructing the owned tuple.
+    pub fn hash64(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for v in &self.0 {
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Component-wise equality against an owned tuple.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.0.len() == tuple.arity() && self.0.iter().zip(tuple.values()).all(|(a, b)| **a == *b)
+    }
+
+    /// Materializes the projection, cloning each component once.
+    pub fn into_tuple(self) -> Tuple {
+        Tuple(self.0.into_iter().cloned().collect())
     }
 }
 
@@ -119,6 +173,25 @@ mod tests {
     fn display_uses_angle_brackets() {
         let t = Tuple::new(vec![Value::int(20), Value::str("Highman")]);
         assert_eq!(t.to_string(), "<20, 'Highman'>");
+    }
+
+    #[test]
+    fn tuple_cow_matches_and_materializes() {
+        let owned = Tuple::new(vec![Value::int(20), Value::str("Highman")]);
+        let v0 = Value::int(20);
+        let v1 = Value::str("Highman");
+        let cow = TupleCow::new(vec![&v0, &v1]);
+        assert_eq!(cow.arity(), 2);
+        assert!(cow.matches(&owned));
+        let other = Tuple::new(vec![Value::int(21), Value::str("Highman")]);
+        assert!(!cow.matches(&other));
+        assert!(!cow.matches(&Tuple::new(vec![Value::int(20)])));
+
+        // Equal projections hash equally; the materialized tuple round-trips.
+        let cow2 = TupleCow::new(vec![&v0, &v1]);
+        assert_eq!(cow.hash64(), cow2.hash64());
+        assert_eq!(cow.values().len(), 2);
+        assert_eq!(cow.into_tuple(), owned);
     }
 
     #[test]

@@ -105,5 +105,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.report.metrics.total().relation_scans
     );
     assert!(baseline.result.set_eq(&outcome.result));
+
+    // 7. Streaming results: `rows()` returns a lazy cursor; dropping it
+    //    early stops all remaining work.  The per-query metrics of the
+    //    finished cursor show exactly what the prefix cost — here one
+    //    tuple's worth of construction dereferences, not the whole
+    //    relation's.
+    let professors =
+        session.prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")?;
+    let mut rows = professors.rows()?;
+    let first = rows.next().expect("at least one professor")?;
+    let streamed = rows.finish();
+    println!(
+        "first professor: {first}; cost of the 1-tuple prefix:\n{}",
+        streamed.metrics.render()
+    );
     Ok(())
 }
