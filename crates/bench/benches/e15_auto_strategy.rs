@@ -1,0 +1,118 @@
+//! E15 — cost-based strategy selection: `StrategyLevel::Auto` versus the
+//! five fixed paper levels across cardinality regimes.
+//!
+//! The paper's point ("the cardinality of range relations has a very strong
+//! impact on the time and storage consumption of query evaluation") is that
+//! no fixed strategy level is right for every database.  This experiment
+//! sweeps the skewed workload scenarios of `pascalr-workload` and shows
+//! that ANALYZE + Auto lands within a few percent of the best fixed level
+//! in every regime while avoiding the worst by orders of magnitude — plus
+//! the estimated-vs-actual cardinality report `explain_analyzed` surfaces.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::{Database, StrategyLevel};
+use pascalr_bench::{custom_db, quick_criterion, run, scaled_db};
+use pascalr_workload::{query_by_id, skew_scenarios};
+
+/// The observable-cost proxy (the optimizer's default weights): tuples and
+/// comparisons at 1, intermediates and dereferences at 2.
+fn cost_proxy(outcome: &pascalr::QueryOutcome) -> f64 {
+    let t = outcome.report.metrics.total();
+    t.tuples_read as f64
+        + t.comparisons as f64
+        + 2.0 * t.intermediate_tuples as f64
+        + 2.0 * t.dereferences as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let query = query_by_id("ex2.1").unwrap().text;
+
+    println!("\n=== E15: cost-based strategy selection (Example 2.1) ===");
+    println!("claim: ANALYZE + Auto tracks the best fixed level in every cardinality regime");
+    println!(
+        "{:<12} {:<8} {:>6} {:>12} {:>14} {:>14} {:>12}",
+        "regime", "level", "rows", "tuples", "comparisons", "intermediate", "cost-proxy"
+    );
+    let mut autos: Vec<(String, Database)> = Vec::new();
+    for (name, config) in skew_scenarios(1) {
+        let db = custom_db(&config);
+        let t = Instant::now();
+        db.analyze().unwrap();
+        let analyze_time = t.elapsed();
+        for level in StrategyLevel::ALL {
+            let outcome = run(&db, query, level);
+            let total = outcome.report.metrics.total();
+            println!(
+                "{:<12} {:<8} {:>6} {:>12} {:>14} {:>14} {:>12.0}",
+                name,
+                level.short_name(),
+                outcome.result.cardinality(),
+                total.tuples_read,
+                total.comparisons,
+                total.intermediate_tuples,
+                cost_proxy(&outcome),
+            );
+        }
+        let auto = run(&db, query, StrategyLevel::Auto);
+        let total = auto.report.metrics.total();
+        println!(
+            "{:<12} {:<8} {:>6} {:>12} {:>14} {:>14} {:>12.0}  <- chose {} (ANALYZE took {:?})",
+            name,
+            "Auto",
+            auto.result.cardinality(),
+            total.tuples_read,
+            total.comparisons,
+            total.intermediate_tuples,
+            cost_proxy(&auto),
+            auto.report.strategy.short_name(),
+            analyze_time,
+        );
+        autos.push((name.to_string(), db));
+    }
+
+    // The estimated-vs-actual feedback loop, once per run.
+    let (_, db) = &autos[0];
+    let outcome = db.query_with(query, StrategyLevel::Auto).unwrap();
+    println!("\n--- explain_analyzed (paper_toy, Auto) ---");
+    println!("{}", outcome.explain_analyzed());
+
+    // Timed: Auto execution (cached plan) per regime, against the best and
+    // worst fixed levels.
+    let mut group = c.benchmark_group("e15_auto_strategy");
+    for (name, db) in &autos {
+        group.bench_with_input(BenchmarkId::new("auto", name), db, |b, db| {
+            b.iter(|| run(db, query, StrategyLevel::Auto))
+        });
+        group.bench_with_input(BenchmarkId::new("best_fixed_s4", name), db, |b, db| {
+            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers))
+        });
+    }
+    // The worst fixed level is only tractable on the toy regime.
+    let (name, db) = &autos[0];
+    group.bench_with_input(BenchmarkId::new("worst_fixed_s0", name), db, |b, db| {
+        b.iter(|| run(db, query, StrategyLevel::S0Baseline))
+    });
+
+    // Planning cost of Auto (it costs all five candidates) on the uncached
+    // path, versus a single fixed-level planning pass.
+    let sel = db.parse(query).unwrap();
+    group.bench_function("plan_auto_uncached", |b| {
+        b.iter(|| db.query_selection(&sel, StrategyLevel::Auto).unwrap())
+    });
+
+    // ANALYZE itself: the single-pass statistics computation on the
+    // scale-24 university workload (the satellite's benchmark guard — it
+    // must stay a scan, not a copy).
+    let big = scaled_db(24);
+    group.bench_function("analyze_scale24", |b| b.iter(|| big.analyze().unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -19,6 +19,14 @@ use crate::error::CatalogError;
 use crate::stats::RelationStats;
 use crate::types::TypeRegistry;
 
+/// One cached ANALYZE result: the statistics plus the value of the global
+/// stats epoch at the time they were computed.
+#[derive(Debug, Clone)]
+struct CachedStats {
+    stats: Arc<RelationStats>,
+    epoch: u64,
+}
+
 /// Declaration of a permanent index kept by the system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexDecl {
@@ -39,6 +47,8 @@ pub struct Catalog {
     indexes: Vec<IndexDecl>,
     page_model: PageModel,
     epoch: u64,
+    stats_epoch: u64,
+    stats_cache: BTreeMap<String, CachedStats>,
 }
 
 impl Catalog {
@@ -60,13 +70,27 @@ impl Catalog {
         self.page_model
     }
 
-    /// The catalog's modification epoch: a monotonic counter bumped by every
+    /// The catalog's **plan epoch**: a monotonic counter bumped by every
     /// mutation that can invalidate a cached query plan (declarations,
     /// inserts, index changes, any mutable relation access).  Plan caches
     /// key on it so that cached plans are discarded when the catalog
     /// changes.
+    ///
+    /// ANALYZE ([`Catalog::analyze_relation`]) deliberately does **not**
+    /// advance this epoch: refreshed statistics only matter to plans that
+    /// consult them (`StrategyLevel::Auto`), which are keyed on the
+    /// separate per-relation [`Catalog::stats_epoch`] instead — so an
+    /// ANALYZE never thrashes the prepared-statement fast path of
+    /// fixed-level queries.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The catalog's global **stats epoch**: a monotonic counter bumped by
+    /// every ANALYZE.  Each cached [`RelationStats`] entry records the
+    /// value at which it was computed (see [`Catalog::stats_epoch_of`]).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
     }
 
     /// Explicitly advances the modification epoch (e.g. after out-of-band
@@ -241,6 +265,62 @@ impl Catalog {
     /// Computes statistics for one relation.
     pub fn stats(&self, relation: &str) -> Result<RelationStats, CatalogError> {
         Ok(RelationStats::compute(self.relation(relation)?))
+    }
+
+    /// ANALYZE one relation: computes its statistics in a single pass and
+    /// caches them under a fresh stats epoch.  Does **not** advance the
+    /// plan epoch — only `StrategyLevel::Auto` plans (which consult the
+    /// statistics) are re-planned, via their stats-epoch cache key.
+    pub fn analyze_relation(&mut self, relation: &str) -> Result<Arc<RelationStats>, CatalogError> {
+        let stats = Arc::new(RelationStats::compute(self.relation(relation)?));
+        self.stats_epoch += 1;
+        self.stats_cache.insert(
+            relation.to_string(),
+            CachedStats {
+                stats: stats.clone(),
+                epoch: self.stats_epoch,
+            },
+        );
+        Ok(stats)
+    }
+
+    /// ANALYZE every declared relation (one stats-epoch bump per relation,
+    /// so per-relation staleness stays observable).
+    pub fn analyze_all(&mut self) -> Result<(), CatalogError> {
+        let names: Vec<String> = self
+            .relations
+            .iter()
+            .map(|r| r.name().to_string())
+            .collect();
+        for name in names {
+            self.analyze_relation(&name)?;
+        }
+        Ok(())
+    }
+
+    /// The cached ANALYZE statistics for a relation, if it has been
+    /// analyzed.  The statistics may be stale with respect to the live
+    /// contents; they are refreshed only by another ANALYZE.
+    pub fn cached_stats(&self, relation: &str) -> Option<&Arc<RelationStats>> {
+        self.stats_cache.get(relation).map(|c| &c.stats)
+    }
+
+    /// The stats epoch at which a relation was last analyzed (0 if never).
+    pub fn stats_epoch_of(&self, relation: &str) -> u64 {
+        self.stats_cache.get(relation).map(|c| c.epoch).unwrap_or(0)
+    }
+
+    /// A fingerprint of the statistics a query over `relations` depends
+    /// on: the maximum per-relation stats epoch.  Monotonic — analyzing
+    /// any of the named relations strictly increases it (the global
+    /// counter only moves forward), while analyzing an *unrelated*
+    /// relation leaves it unchanged.  Plan caches key `Auto` plans on it.
+    pub fn stats_fingerprint<'a>(&self, relations: impl IntoIterator<Item = &'a str>) -> u64 {
+        relations
+            .into_iter()
+            .map(|r| self.stats_epoch_of(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Computes statistics for every relation.
@@ -434,6 +514,73 @@ mod tests {
         let _ = cat.stats("employees").unwrap();
         let _ = cat.all_stats();
         assert_eq!(cat.epoch(), snapshot);
+    }
+
+    #[test]
+    fn analyze_caches_stats_under_the_stats_epoch_without_plan_epoch_bump() {
+        let mut cat = catalog_with_employees();
+        assert_eq!(cat.stats_epoch(), 0);
+        assert_eq!(cat.stats_epoch_of("employees"), 0);
+        assert!(cat.cached_stats("employees").is_none());
+
+        let plan_epoch = cat.epoch();
+        let stats = cat.analyze_relation("employees").unwrap();
+        assert_eq!(stats.cardinality, 2);
+        assert_eq!(
+            cat.epoch(),
+            plan_epoch,
+            "ANALYZE must not invalidate fixed-level cached plans"
+        );
+        assert_eq!(cat.stats_epoch(), 1);
+        assert_eq!(cat.stats_epoch_of("employees"), 1);
+        assert_eq!(cat.cached_stats("employees").unwrap().cardinality, 2);
+        assert!(cat.analyze_relation("missing").is_err());
+
+        // Stale by design: a later insert does not refresh the cache.
+        cat.insert(
+            "employees",
+            Tuple::new(vec![
+                Value::int(30),
+                Value::str("Newman"),
+                cat.types()
+                    .enum_type("statustype")
+                    .unwrap()
+                    .value("assistant")
+                    .unwrap(),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(cat.cached_stats("employees").unwrap().cardinality, 2);
+        assert_eq!(cat.stats_epoch_of("employees"), 1);
+        // Re-analyzing refreshes and advances the epoch.
+        cat.analyze_relation("employees").unwrap();
+        assert_eq!(cat.cached_stats("employees").unwrap().cardinality, 3);
+        assert_eq!(cat.stats_epoch_of("employees"), 2);
+    }
+
+    #[test]
+    fn stats_fingerprint_tracks_only_the_named_relations() {
+        let mut cat = catalog_with_employees();
+        let schema =
+            RelationSchema::all_key("papers", vec![Attribute::new("penr", ValueType::int())]);
+        cat.declare_relation(schema).unwrap();
+
+        assert_eq!(cat.stats_fingerprint(["employees"]), 0);
+        cat.analyze_relation("employees").unwrap();
+        let fp_emp = cat.stats_fingerprint(["employees"]);
+        assert_eq!(fp_emp, 1);
+        // Analyzing an unrelated relation leaves the fingerprint alone.
+        cat.analyze_relation("papers").unwrap();
+        assert_eq!(cat.stats_fingerprint(["employees"]), fp_emp);
+        // ... but shows up for queries that use it.
+        assert_eq!(cat.stats_fingerprint(["employees", "papers"]), 2);
+        // Re-analyzing a named relation strictly increases the fingerprint.
+        cat.analyze_relation("employees").unwrap();
+        assert!(cat.stats_fingerprint(["employees"]) > fp_emp);
+        // analyze_all covers everything.
+        cat.analyze_all().unwrap();
+        assert!(cat.cached_stats("papers").is_some());
+        assert!(cat.stats_fingerprint(["papers"]) > 2);
     }
 
     #[test]

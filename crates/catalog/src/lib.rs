@@ -13,5 +13,5 @@ pub mod types;
 
 pub use catalog::{Catalog, IndexDecl};
 pub use error::CatalogError;
-pub use stats::{ColumnStats, RelationStats};
+pub use stats::{ColumnStats, Histogram, RelationStats};
 pub use types::TypeRegistry;

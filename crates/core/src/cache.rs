@@ -1,12 +1,19 @@
 //! The shared plan cache.
 //!
-//! Plans are keyed by *(selection fingerprint, strategy level, catalog
-//! epoch)*: the fingerprint identifies the query shape (parsed selection
-//! plus planning options), and the epoch ties the plan to the catalog state
-//! it was derived from.  Any catalog mutation advances the epoch (see
+//! Plans are keyed by *(selection fingerprint, strategy level, catalog plan
+//! epoch, stats epoch)*: the fingerprint identifies the query shape (parsed
+//! selection plus planning options), the plan epoch ties the plan to the
+//! catalog state it was derived from, and the stats epoch ties
+//! `StrategyLevel::Auto` plans to the ANALYZE statistics they consulted.
+//! Any catalog mutation advances the plan epoch (see
 //! [`pascalr_catalog::Catalog::epoch`]), so stale plans can never be
 //! returned — they are evicted lazily the next time a plan for the current
-//! epoch is inserted.
+//! epoch is inserted.  ANALYZE advances only the per-relation stats epochs
+//! ([`pascalr_catalog::Catalog::stats_epoch_of`]); fixed-level plans key
+//! with `stats_epoch = 0` and therefore survive every ANALYZE, while an
+//! `Auto` plan keys on the fingerprint of exactly the relations its query
+//! mentions — so it re-plans once after *their* ANALYZE and is untouched by
+//! anyone else's.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,8 +30,15 @@ pub(crate) struct PlanKey {
     pub fingerprint: u64,
     /// The strategy level the plan was built for.
     pub strategy: StrategyLevel,
-    /// The catalog epoch the plan was derived from.
+    /// The catalog plan epoch the plan was derived from.
     pub epoch: u64,
+    /// The stats fingerprint of the relations the query mentions, for
+    /// statistics-consulting (`Auto`) plans; 0 for fixed-level plans.
+    /// Fixed-level plans use ANALYZE statistics only for the advisory
+    /// restriction-selectivity refinement of their scan order (base
+    /// cardinalities come from the live relations), so serving one across
+    /// an ANALYZE is safe.
+    pub stats_epoch: u64,
 }
 
 /// Snapshot of the plan-cache counters (observable cache behaviour).
@@ -118,6 +132,24 @@ impl PlanCache {
             }
             map.epoch = key.epoch;
         }
+        // An ANALYZE moved this query's stats fingerprint: drop the same
+        // query's plan for the superseded statistics (other queries'
+        // entries — including every fixed-level plan — are untouched).
+        let stale: Vec<PlanKey> = map
+            .entries
+            .keys()
+            .filter(|k| {
+                k.fingerprint == key.fingerprint
+                    && k.strategy == key.strategy
+                    && k.epoch == key.epoch
+                    && k.stats_epoch != key.stats_epoch
+            })
+            .copied()
+            .collect();
+        for k in stale {
+            map.entries.remove(&k);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
         while map.entries.len() >= PLAN_CACHE_CAP {
             // Arbitrary eviction: with the cap this large, churn here means
             // the workload is one-shot texts, for which any victim is fine.
@@ -175,6 +207,7 @@ mod tests {
             fingerprint: 1,
             strategy: StrategyLevel::S4CollectionQuantifiers,
             epoch: 7,
+            stats_epoch: 0,
         };
         assert!(cache.get(&key, &sel, opts).is_none());
         cache.insert(key, sel.clone(), opts, built.clone());
@@ -196,6 +229,34 @@ mod tests {
     }
 
     #[test]
+    fn stats_epoch_is_part_of_the_key_and_supersedes_stale_auto_plans() {
+        let cache = PlanCache::default();
+        let (sel, built) = shape("q01");
+        let opts = PlanOptions::default();
+        let key = PlanKey {
+            fingerprint: 9,
+            strategy: StrategyLevel::Auto,
+            epoch: 3,
+            stats_epoch: 1,
+        };
+        cache.insert(key, sel.clone(), opts, built.clone());
+        assert!(cache.get(&key, &sel, opts).is_some());
+        // After an ANALYZE of a mentioned relation the fingerprint moves:
+        // the old entry never hits and is replaced on insert.
+        let analyzed = PlanKey {
+            stats_epoch: 2,
+            ..key
+        };
+        assert!(cache.get(&analyzed, &sel, opts).is_none());
+        cache.insert(analyzed, sel.clone(), opts, built);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "the superseded entry was dropped");
+        assert_eq!(stats.invalidations, 1);
+        assert!(cache.get(&key, &sel, opts).is_none());
+        assert!(cache.get(&analyzed, &sel, opts).is_some());
+    }
+
+    #[test]
     fn fingerprint_collisions_are_treated_as_misses() {
         // Two different queries forced onto the SAME key: the entry's
         // stored shape must prevent the second query from receiving the
@@ -208,6 +269,7 @@ mod tests {
             fingerprint: 42,
             strategy: StrategyLevel::S4CollectionQuantifiers,
             epoch: 1,
+            stats_epoch: 0,
         };
         cache.insert(key, sel_a.clone(), opts, plan_a);
         assert!(cache.get(&key, &sel_a, opts).is_some());

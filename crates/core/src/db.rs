@@ -163,7 +163,12 @@ impl Database {
                 catalog: RwLock::new(catalog),
                 plan_cache: PlanCache::default(),
             }),
-            default_strategy: StrategyLevel::S4CollectionQuantifiers,
+            // Cost-based selection is the default: the planner picks the
+            // cheapest of the five fixed levels per query (exactly S4-like
+            // until statistics or cardinalities say otherwise).  The paper
+            // levels remain selectable via `set_default_strategy` /
+            // `Session::with_strategy`.
+            default_strategy: StrategyLevel::Auto,
             plan_options: PlanOptions::default(),
         }
     }
@@ -244,6 +249,43 @@ impl Database {
         self.shared.catalog.read().epoch()
     }
 
+    /// The catalog's global stats epoch (advanced by every ANALYZE).
+    pub fn stats_epoch(&self) -> u64 {
+        self.shared.catalog.read().stats_epoch()
+    }
+
+    /// ANALYZE every relation: computes cardinalities, per-column distinct
+    /// counts, min/max and integer histograms in one pass per relation and
+    /// caches them in the catalog under a fresh stats epoch.
+    ///
+    /// Only [`StrategyLevel::Auto`] plans over the analyzed relations are
+    /// re-planned (exactly once, via their stats-epoch cache key); cached
+    /// fixed-level plans and `Auto` plans over other relations keep
+    /// hitting the plan cache.
+    ///
+    /// ```
+    /// use pascalr::{Database, StrategyLevel};
+    ///
+    /// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+    /// db.analyze().unwrap();
+    /// let outcome = db
+    ///     .query("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+    ///     .unwrap();
+    /// // Auto picked a concrete paper level and reports it.
+    /// assert!(StrategyLevel::ALL.contains(&outcome.report.strategy));
+    /// assert!(outcome.plan.explain().contains("auto strategy selection"));
+    /// ```
+    pub fn analyze(&self) -> Result<(), PascalRError> {
+        self.shared.catalog.write().analyze_all()?;
+        Ok(())
+    }
+
+    /// ANALYZE a single relation (see [`Database::analyze`]).
+    pub fn analyze_relation(&self, relation: &str) -> Result<(), PascalRError> {
+        self.shared.catalog.write().analyze_relation(relation)?;
+        Ok(())
+    }
+
     /// Counters of the shared plan cache.
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.shared.plan_cache.stats()
@@ -293,6 +335,12 @@ impl Database {
     /// epoch, going through the shared plan cache.  `fp` is the query-shape
     /// fingerprint (see [`fingerprint`]); prepared queries pass their
     /// precomputed value so the hot path does not rehash the AST.
+    ///
+    /// Statistics-consulting plans ([`StrategyLevel::Auto`]) additionally
+    /// key on the stats fingerprint of exactly the relations the selection
+    /// mentions: after an ANALYZE of one of *those* relations the next
+    /// execution re-plans exactly once, while an unrelated relation's
+    /// ANALYZE (and every fixed-level plan) keeps hitting the cache.
     pub(crate) fn cached_plan(
         &self,
         catalog: &Catalog,
@@ -301,10 +349,16 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Arc<QueryPlan> {
+        let stats_epoch = if strategy.is_auto() {
+            catalog.stats_fingerprint(selection.relations().iter().map(|r| r.as_ref()))
+        } else {
+            0
+        };
         let key = PlanKey {
             fingerprint: fp,
             strategy,
             epoch: catalog.epoch(),
+            stats_epoch,
         };
         if let Some(p) = self.shared.plan_cache.get(&key, selection, options) {
             return p;

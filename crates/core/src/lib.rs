@@ -36,6 +36,19 @@
 //! metrics through [`Rows::finish`] / [`ExecutionOutcome`], charging only
 //! the work actually performed.
 //!
+//! # Cost-based strategy selection
+//!
+//! The default strategy is [`StrategyLevel::Auto`]: the planner prices all
+//! five paper levels with a cost model over the catalog's ANALYZE
+//! statistics ([`Database::analyze`] /
+//! [`Database::analyze_relation`]) and executes the cheapest.  Reports
+//! carry the *chosen* fixed level; `explain()` shows the candidate cost
+//! table and per-conjunction cardinality estimates, and
+//! [`QueryOutcome::explain_analyzed`] compares them against the actual
+//! counts after execution.  Statistics live under a dedicated stats epoch,
+//! so an ANALYZE re-plans exactly the `Auto` queries that mention the
+//! analyzed relations and leaves all other cached plans untouched.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -112,7 +125,9 @@ pub use pascalr_storage as storage;
 pub use pascalr_calculus::{
     CalculusError, ComponentRef, Formula, Params, Quantifier, RangeDecl, RangeExpr,
 };
-pub use pascalr_planner::{PlanOptions, StrategyLevel};
+pub use pascalr_planner::{
+    ConjunctionEstimate, CostEstimate, CostWeights, PlanEstimates, PlanOptions, StrategyLevel,
+};
 pub use pascalr_relation::{
     CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value, ValueType,
 };
@@ -209,6 +224,50 @@ pub struct QueryOutcome {
     pub report: ExecutionReport,
 }
 
+impl QueryOutcome {
+    /// The plan explanation *plus* the optimizer's estimated cardinalities
+    /// checked against what actually happened: per-conjunction estimated
+    /// rows next to the `refrel_c<i>` sizes the executor recorded, and the
+    /// estimated result cardinality next to the actual one.
+    pub fn explain_analyzed(&self) -> String {
+        let mut out = self.plan.explain();
+        out.push_str(&render_estimated_vs_actual(
+            &self.plan,
+            &self.report.metrics,
+        ));
+        out
+    }
+}
+
+/// Renders "estimated vs actual" cardinality lines for a completed
+/// execution: the plan's cost-model estimates against the per-conjunction
+/// (`refrel_c<i>`) and result structure sizes recorded in the metrics
+/// snapshot.  Returns an empty string for plans without estimates.
+///
+/// Streaming consumers can feed the snapshot from
+/// [`ExecutionOutcome::metrics`](crate::ExecutionOutcome) the same way
+/// [`QueryOutcome::explain_analyzed`] does for materialized results.
+pub fn render_estimated_vs_actual(plan: &QueryPlan, metrics: &MetricsSnapshot) -> String {
+    let Some(est) = &plan.estimates else {
+        return String::new();
+    };
+    let mut out = String::from("estimated vs actual rows:\n");
+    for ce in &est.per_conjunction {
+        out.push_str(&format!(
+            "  conjunction {}: estimated ~{:.1}, actual {}\n",
+            ce.index + 1,
+            ce.rows,
+            metrics.structure_size(&format!("refrel_c{}", ce.index + 1)),
+        ));
+    }
+    out.push_str(&format!(
+        "  result: estimated ~{:.1}, actual {}\n",
+        est.result_rows,
+        metrics.structure_size("result"),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,12 +303,15 @@ mod tests {
         let db = sample_db();
         let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
         assert_eq!(outcome.result.cardinality(), 3);
-        assert_eq!(
-            outcome.report.strategy,
-            StrategyLevel::S4CollectionQuantifiers
-        );
+        // The default strategy is Auto: the report carries the *chosen*
+        // fixed level, the plan carries the selection rationale.
+        assert!(StrategyLevel::ALL.contains(&outcome.report.strategy));
+        assert!(outcome.plan.explain().contains("auto strategy selection"));
         assert!(outcome.report.metrics.total().relation_scans > 0);
-        assert!(outcome.report.render().contains("S4"));
+        assert!(outcome
+            .report
+            .render()
+            .contains(outcome.report.strategy.short_name()));
         assert!(outcome.plan.explain().contains("scan order"));
     }
 
@@ -314,10 +376,7 @@ mod tests {
         // Per-handle defaults are NOT shared.
         let mut other = db.clone();
         other.set_default_strategy(StrategyLevel::S0Baseline);
-        assert_eq!(
-            db.default_strategy(),
-            StrategyLevel::S4CollectionQuantifiers
-        );
+        assert_eq!(db.default_strategy(), StrategyLevel::Auto);
     }
 
     #[test]
@@ -450,6 +509,89 @@ mod tests {
         assert!(db.query(text).is_err());
         let sel = db.parse(text).unwrap();
         assert!(db.query_selection(&sel, StrategyLevel::S2OneStep).is_err());
+    }
+
+    #[test]
+    fn analyze_refreshes_stats_without_thrashing_fixed_level_plans() {
+        let db = sample_db();
+        // A fixed-level prepared statement ...
+        let session = db
+            .session()
+            .with_strategy(StrategyLevel::S4CollectionQuantifiers);
+        let prepared = session.prepare(EXAMPLE_2_1_QUERY).unwrap();
+        prepared.execute().unwrap();
+        let before = db.plan_cache_stats();
+
+        // ... survives ANALYZE untouched: stats move, plans do not.
+        assert_eq!(db.stats_epoch(), 0);
+        db.analyze().unwrap();
+        assert!(db.stats_epoch() >= 4, "one bump per analyzed relation");
+        prepared.execute().unwrap();
+        let after = db.plan_cache_stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "ANALYZE must not invalidate fixed-level plans"
+        );
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn auto_plans_replan_once_after_analyze_of_a_mentioned_relation_only() {
+        let db = sample_db();
+        let session = db.session(); // defaults to Auto
+        assert_eq!(session.strategy(), StrategyLevel::Auto);
+        // This query mentions only employees.
+        let prepared = session
+            .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+            .unwrap();
+        prepared.execute().unwrap();
+        let baseline = db.plan_cache_stats();
+
+        // ANALYZE of an *unrelated* relation: the cached Auto plan
+        // survives (the regression this guards: one epoch for everything
+        // used to thrash the prepared-statement fast path).
+        db.analyze_relation("papers").unwrap();
+        prepared.execute().unwrap();
+        let after_unrelated = db.plan_cache_stats();
+        assert_eq!(
+            after_unrelated.misses, baseline.misses,
+            "an unrelated relation's ANALYZE must keep the cache hit"
+        );
+
+        // ANALYZE of the mentioned relation: re-plan exactly once.
+        db.analyze_relation("employees").unwrap();
+        prepared.execute().unwrap();
+        let after_related = db.plan_cache_stats();
+        assert_eq!(after_related.misses, after_unrelated.misses + 1);
+        prepared.execute().unwrap();
+        assert_eq!(
+            db.plan_cache_stats().misses,
+            after_related.misses,
+            "hits again after the single re-plan"
+        );
+    }
+
+    #[test]
+    fn explain_analyzed_reports_estimated_vs_actual_rows() {
+        let db = sample_db();
+        db.analyze().unwrap();
+        let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
+        let text = outcome.explain_analyzed();
+        assert!(text.contains("estimated vs actual rows:"), "{text}");
+        assert!(text.contains("conjunction 1: estimated ~"), "{text}");
+        assert!(
+            text.contains(&format!(
+                ", actual {}",
+                outcome.report.metrics.structure_size("refrel_c1")
+            )),
+            "{text}"
+        );
+        assert!(text.contains("result: estimated ~"), "{text}");
+        assert!(text.contains(&format!("actual {}", outcome.result.cardinality())));
+        // Estimates also appear in the pre-execution explain.
+        let pre = db.explain(EXAMPLE_2_1_QUERY, StrategyLevel::Auto).unwrap();
+        assert!(pre.contains("estimated rows (conjunction 1)"), "{pre}");
+        assert!(pre.contains("auto strategy selection"), "{pre}");
     }
 
     #[test]

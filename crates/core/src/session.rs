@@ -14,6 +14,12 @@ use crate::{Database, PascalRError, PreparedQuery, QueryOutcome, Rows};
 /// `&self`, so a session can be shared across threads — though the intended
 /// pattern is one session per connection/thread over one shared database.
 ///
+/// New sessions default to [`StrategyLevel::Auto`] (inherited from the
+/// database handle): the planner picks the cheapest of the five paper
+/// levels per query from the catalog's ANALYZE statistics.  Pin a fixed
+/// level with [`Session::with_strategy`] to reproduce the paper's
+/// comparisons.
+///
 /// ```
 /// use pascalr::{Database, StrategyLevel};
 ///
@@ -76,6 +82,13 @@ impl Session {
     /// The database handle the session operates on.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// ANALYZE every relation of the shared database (see
+    /// [`Database::analyze`]): refreshes the statistics the session's
+    /// [`StrategyLevel::Auto`] queries plan from.
+    pub fn analyze(&self) -> Result<(), PascalRError> {
+        self.db.analyze()
     }
 
     /// Prepares a selection statement: parse, standard-form normalization

@@ -1,0 +1,39 @@
+//! `pascalr-optimizer`: cost-based strategy selection for the PASCAL/R
+//! reproduction.
+//!
+//! The paper observes that "the cardinality of range relations has a very
+//! strong impact on the time and storage consumption of query evaluation" —
+//! which strategy level wins depends on the data.  This crate closes the
+//! loop between the statistics `pascalr-catalog` computes (ANALYZE) and the
+//! planner's decisions:
+//!
+//! * [`StatsView`] — a read-only snapshot of the statistics relevant to one
+//!   planning pass: cached ANALYZE results where they exist, live
+//!   cardinalities as the fallback;
+//! * [`selectivity`] — per-term and per-restriction selectivity estimation
+//!   on top of [`pascalr_catalog::RelationStats`] (equality via distinct
+//!   counts, ranges via the equi-width histograms);
+//! * [`cost`] — the cost model: for a standardized selection and a set of
+//!   strategy features it predicts the paper's observable costs (tuples
+//!   read, comparisons, intermediate tuples, dereferences — the same
+//!   counters `pascalr-storage` records at runtime) by simulating the
+//!   combination-phase stage assembly numerically.
+//!
+//! The planner (one crate up) evaluates the model once per candidate
+//! strategy level and ordering and picks the cheapest; the estimates ride
+//! along on the plan so `explain()` can report estimated vs. actual
+//! cardinalities after execution.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod selectivity;
+pub mod view;
+
+pub use cost::{
+    estimate_plan, ConjunctionEstimate, CostEstimate, CostWeights, PlanEstimate, SemijoinInfo,
+    StrategyFeatures,
+};
+pub use selectivity::{dyadic_selectivity, monadic_selectivity, restriction_selectivity};
+pub use view::StatsView;

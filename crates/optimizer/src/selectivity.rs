@@ -1,0 +1,208 @@
+//! Selectivity estimation for join terms and range restrictions.
+//!
+//! All estimates degrade gracefully: with ANALYZE statistics available they
+//! use distinct counts and histograms; without, they fall back to the
+//! textbook default fractions.  Parameter placeholders (`:name`) are
+//! estimated like unknown constants, so a parameterized plan is costed the
+//! same as the inlined one up to the constant-specific refinement.
+
+use pascalr_calculus::{Formula, Operand, Term};
+use pascalr_relation::CompareOp;
+
+use crate::view::StatsView;
+
+/// Default selectivity of an equality against an unknown constant.
+pub const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Default selectivity of a range comparison (`<`, `<=`, `>`, `>=`).
+pub const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity when nothing is known about a term.
+pub const DEFAULT_SEL: f64 = 0.5;
+
+/// The fallback selectivity for an operator with no statistics.
+fn default_for(op: CompareOp) -> f64 {
+    match op {
+        CompareOp::Eq => DEFAULT_EQ_SEL,
+        CompareOp::Ne => 1.0 - DEFAULT_EQ_SEL,
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => DEFAULT_RANGE_SEL,
+    }
+}
+
+/// Estimated fraction of `relation`'s elements a monadic term over `var`
+/// retains.  Terms that are not monadic over `var` estimate as
+/// [`DEFAULT_SEL`].
+pub fn monadic_selectivity(term: &Term, var: &str, relation: &str, stats: &StatsView) -> f64 {
+    match term {
+        Term::Bool(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Term::Compare { .. } => match term.as_monadic_scalar(var) {
+            Some((attr, op, Operand::Const(v))) => match stats.stats(relation) {
+                Some(s) => s.estimate_selectivity(&attr, op, &v),
+                None => default_for(op),
+            },
+            Some((_, op, _)) => default_for(op), // parameter placeholder
+            None => DEFAULT_SEL,                 // same-variable comparison, e.g. t.tenr = t.tcnr
+        },
+    }
+}
+
+/// Estimated selectivity of a dyadic term `left_var.a OP right_var.b`
+/// joining `left_relation` and `right_relation`.
+///
+/// Equality uses the classic `1 / max(distinct(a), distinct(b))`; without
+/// distinct counts it assumes the larger side is a key
+/// (`1 / max(|L|, |R|)`).
+pub fn dyadic_selectivity(
+    term: &Term,
+    left_var: &str,
+    left_relation: &str,
+    right_relation: &str,
+    stats: &StatsView,
+) -> f64 {
+    let Some((left_attr, op, _right_var, right_attr)) = term.as_dyadic_over(left_var) else {
+        return DEFAULT_SEL;
+    };
+    match op {
+        CompareOp::Eq | CompareOp::Ne => {
+            let d_left = stats
+                .distinct(left_relation, &left_attr)
+                .unwrap_or_else(|| stats.cardinality(left_relation));
+            let d_right = stats
+                .distinct(right_relation, &right_attr)
+                .unwrap_or_else(|| stats.cardinality(right_relation));
+            let eq = 1.0 / d_left.max(d_right).max(1.0);
+            if op == CompareOp::Eq {
+                eq
+            } else {
+                1.0 - eq
+            }
+        }
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => DEFAULT_RANGE_SEL,
+    }
+}
+
+/// Estimated fraction of `relation`'s elements a range-restriction formula
+/// over `var` retains (the `[EACH v IN rel: restriction]` of extended
+/// ranges).  `AND` multiplies, `OR` applies inclusion-exclusion, `NOT`
+/// complements; nested quantifiers (which cannot appear in a restriction
+/// produced by the standardizer) estimate as [`DEFAULT_SEL`].
+pub fn restriction_selectivity(
+    formula: &Formula,
+    var: &str,
+    relation: &str,
+    stats: &StatsView,
+) -> f64 {
+    match formula {
+        Formula::Term(t) => monadic_selectivity(t, var, relation, stats),
+        Formula::Not(inner) => 1.0 - restriction_selectivity(inner, var, relation, stats),
+        Formula::And(parts) => parts
+            .iter()
+            .map(|p| restriction_selectivity(p, var, relation, stats))
+            .product(),
+        Formula::Or(parts) => {
+            let mut keep = 1.0;
+            for p in parts {
+                keep *= 1.0 - restriction_selectivity(p, var, relation, stats);
+            }
+            1.0 - keep
+        }
+        Formula::Quant { .. } => DEFAULT_SEL,
+    }
+    .clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_calculus::RangeExpr;
+    use pascalr_workload::figure1_sample_database;
+
+    fn analyzed_view() -> StatsView {
+        let mut cat = figure1_sample_database().unwrap();
+        cat.analyze_all().unwrap();
+        StatsView::from_catalog(&cat)
+    }
+
+    fn term_eq_year(year: i64) -> Term {
+        Term::cmp(
+            Operand::comp("p", "pyear"),
+            CompareOp::Eq,
+            Operand::constant(year),
+        )
+    }
+
+    #[test]
+    fn monadic_selectivity_uses_distinct_counts_when_analyzed() {
+        let stats = analyzed_view();
+        // papers.pyear has 3 distinct values on the sample database.
+        let sel = monadic_selectivity(&term_eq_year(1977), "p", "papers", &stats);
+        assert!((sel - 1.0 / 3.0).abs() < 1e-9, "{sel}");
+        // Without ANALYZE the default applies.
+        let sel = monadic_selectivity(&term_eq_year(1977), "p", "papers", &StatsView::empty());
+        assert!((sel - DEFAULT_EQ_SEL).abs() < 1e-9);
+        // Parameters estimate like unknown constants.
+        let t = Term::cmp(
+            Operand::comp("p", "pyear"),
+            CompareOp::Eq,
+            Operand::param("year"),
+        );
+        assert!((monadic_selectivity(&t, "p", "papers", &stats) - DEFAULT_EQ_SEL).abs() < 1e-9);
+        // Booleans are exact.
+        assert_eq!(
+            monadic_selectivity(&Term::Bool(true), "p", "papers", &stats),
+            1.0
+        );
+        assert_eq!(
+            monadic_selectivity(&Term::Bool(false), "p", "papers", &stats),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dyadic_equality_uses_the_larger_distinct_count() {
+        let stats = analyzed_view();
+        let t = Term::cmp(
+            Operand::comp("p", "penr"),
+            CompareOp::Eq,
+            Operand::comp("e", "enr"),
+        );
+        // employees.enr has 6 distinct values, papers.penr has 4.
+        let sel = dyadic_selectivity(&t, "p", "papers", "employees", &stats);
+        assert!((sel - 1.0 / 6.0).abs() < 1e-9, "{sel}");
+        let ne = Term::cmp(
+            Operand::comp("p", "penr"),
+            CompareOp::Ne,
+            Operand::comp("e", "enr"),
+        );
+        let sel_ne = dyadic_selectivity(&ne, "p", "papers", "employees", &stats);
+        assert!((sel_ne - (1.0 - 1.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restriction_selectivity_composes_connectives() {
+        let stats = analyzed_view();
+        let year = Formula::Term(term_eq_year(1977));
+        let _range = RangeExpr::restricted("papers", year.clone());
+        let s1 = restriction_selectivity(&year, "p", "papers", &stats);
+        let s_and = restriction_selectivity(
+            &Formula::and(vec![year.clone(), year.clone()]),
+            "p",
+            "papers",
+            &stats,
+        );
+        assert!((s_and - s1 * s1).abs() < 1e-9);
+        let s_or = restriction_selectivity(
+            &Formula::or(vec![year.clone(), year.clone()]),
+            "p",
+            "papers",
+            &stats,
+        );
+        assert!((s_or - (1.0 - (1.0 - s1) * (1.0 - s1))).abs() < 1e-9);
+        let s_not = restriction_selectivity(&Formula::not(year), "p", "papers", &stats);
+        assert!((s_not - (1.0 - s1)).abs() < 1e-9);
+    }
+}

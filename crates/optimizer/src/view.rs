@@ -1,0 +1,99 @@
+//! A read-only statistics snapshot for one planning pass.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pascalr_catalog::{Catalog, RelationStats};
+
+/// The statistics available to the optimizer for one planning pass.
+///
+/// For every declared relation the view carries the live cardinality (an
+/// O(1) read in this in-memory reproduction); relations that have been
+/// ANALYZEd additionally carry their cached [`RelationStats`] — distinct
+/// counts, min/max and histograms.  Where ANALYZE statistics exist they
+/// take precedence, *including their (possibly stale) cardinality*: the
+/// optimizer deliberately behaves like a statistics-driven system, so its
+/// decisions change exactly when the stats epoch does, never silently in
+/// between.
+#[derive(Debug, Clone, Default)]
+pub struct StatsView {
+    analyzed: BTreeMap<String, Arc<RelationStats>>,
+    live_cardinality: BTreeMap<String, u64>,
+}
+
+impl StatsView {
+    /// Snapshots the statistics of every relation declared in the catalog.
+    pub fn from_catalog(catalog: &Catalog) -> StatsView {
+        let mut view = StatsView::default();
+        for name in catalog.relation_names() {
+            if let Ok(rel) = catalog.relation(name) {
+                view.live_cardinality
+                    .insert(name.to_string(), rel.cardinality() as u64);
+            }
+            if let Some(stats) = catalog.cached_stats(name) {
+                view.analyzed.insert(name.to_string(), stats.clone());
+            }
+        }
+        view
+    }
+
+    /// An empty view (no statistics at all); every estimate degrades to
+    /// its default heuristic.
+    pub fn empty() -> StatsView {
+        StatsView::default()
+    }
+
+    /// The cardinality estimate for a relation: the ANALYZE cardinality if
+    /// the relation was analyzed, the live cardinality otherwise, 0.0 for
+    /// unknown relations.
+    pub fn cardinality(&self, relation: &str) -> f64 {
+        if let Some(stats) = self.analyzed.get(relation) {
+            return stats.cardinality as f64;
+        }
+        self.live_cardinality.get(relation).copied().unwrap_or(0) as f64
+    }
+
+    /// The ANALYZE statistics for a relation, if it has been analyzed.
+    pub fn stats(&self, relation: &str) -> Option<&RelationStats> {
+        self.analyzed.get(relation).map(|s| s.as_ref())
+    }
+
+    /// Whether the relation has ANALYZE statistics.
+    pub fn has_stats(&self, relation: &str) -> bool {
+        self.analyzed.contains_key(relation)
+    }
+
+    /// The distinct count of `relation.attr`, if known from ANALYZE.
+    pub fn distinct(&self, relation: &str, attr: &str) -> Option<f64> {
+        self.analyzed
+            .get(relation)
+            .and_then(|s| s.column(attr))
+            .map(|c| c.distinct as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_workload::figure1_sample_database;
+
+    #[test]
+    fn view_prefers_analyzed_stats_and_falls_back_to_live_cardinality() {
+        let mut cat = figure1_sample_database().unwrap();
+        let view = StatsView::from_catalog(&cat);
+        assert_eq!(view.cardinality("employees"), 6.0);
+        assert!(!view.has_stats("employees"));
+        assert!(view.distinct("employees", "enr").is_none());
+        assert_eq!(view.cardinality("nosuch"), 0.0);
+
+        cat.analyze_relation("employees").unwrap();
+        // Mutate after ANALYZE: the view must keep reporting the analyzed
+        // (stale) cardinality for employees, the live one for the rest.
+        cat.relation_mut("papers").unwrap().clear();
+        let view = StatsView::from_catalog(&cat);
+        assert!(view.has_stats("employees"));
+        assert_eq!(view.cardinality("employees"), 6.0);
+        assert_eq!(view.distinct("employees", "enr"), Some(6.0));
+        assert_eq!(view.cardinality("papers"), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Cost-based automatic strategy selection ([`StrategyLevel::Auto`]).
+//!
+//! The paper's Section 4 presents five strategy levels and argues that
+//! which one wins depends on the cardinalities of the range relations.
+//! This module closes that loop: it plans the selection at every fixed
+//! level, asks the `pascalr-optimizer` cost model (fed by the catalog's
+//! ANALYZE statistics) for the predicted cost of each candidate, and
+//! returns the cheapest plan — with the full candidate cost table attached
+//! so `explain()` can show *why* a level was chosen.
+
+use pascalr_calculus::Selection;
+use pascalr_catalog::Catalog;
+use pascalr_optimizer::{CostWeights, StatsView, StrategyFeatures};
+
+use crate::plan::QueryPlan;
+use crate::planner::{plan_fixed, PlanOptions};
+use crate::strategy::StrategyLevel;
+
+/// Maps a fixed strategy level onto the optimizer's feature flags.
+pub(crate) fn features_of(level: StrategyLevel) -> StrategyFeatures {
+    StrategyFeatures {
+        parallel_scans: level.parallel_scans(),
+        one_step: level.one_step_nested(),
+        extended_ranges: level.extended_ranges(),
+        collection_quantifiers: level.collection_quantifiers(),
+    }
+}
+
+/// Plans the selection at every fixed level and returns the cheapest
+/// candidate under the default cost weights.  Ties go to the *higher*
+/// (more sophisticated) level — the paper's strategies are cumulative, so
+/// at equal predicted cost the richer repertoire is the safer bet.
+pub(crate) fn plan_auto(
+    selection: &Selection,
+    catalog: &Catalog,
+    options: PlanOptions,
+    stats: &StatsView,
+) -> QueryPlan {
+    let weights = CostWeights::default();
+    let candidates: Vec<QueryPlan> = StrategyLevel::ALL
+        .iter()
+        .map(|&level| plan_fixed(selection, catalog, level, options, stats))
+        .collect();
+    let costs: Vec<f64> = candidates
+        .iter()
+        .map(|p| {
+            p.estimates
+                .as_ref()
+                .map(|e| e.total_cost)
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    let mut best = 0;
+    for (i, &cost) in costs.iter().enumerate() {
+        if cost <= costs[best] {
+            best = i;
+        }
+    }
+
+    let table: Vec<(StrategyLevel, f64)> = StrategyLevel::ALL
+        .iter()
+        .copied()
+        .zip(costs.iter().copied())
+        .collect();
+    let mut chosen = candidates.into_iter().nth(best).expect("five candidates");
+    let rationale = {
+        let parts: Vec<String> = table
+            .iter()
+            .map(|(level, cost)| format!("{}={:.0}", level.short_name(), cost))
+            .collect();
+        format!(
+            "auto: selected {} by weighted cost {:.0} (tuple={} cmp={} inter={} deref={}; \
+             candidates: {})",
+            chosen.strategy.short_name(),
+            costs[best],
+            weights.tuple_read,
+            weights.comparison,
+            weights.intermediate,
+            weights.dereference,
+            parts.join(", ")
+        )
+    };
+    if let Some(est) = chosen.estimates.as_mut() {
+        est.auto_selected = true;
+        est.candidate_costs = table;
+    }
+    chosen.notes.push(rationale);
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan;
+    use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+    use pascalr_parser::parse_selection;
+    use pascalr_workload::figure1_sample_database;
+
+    #[test]
+    fn features_map_matches_the_cumulative_levels() {
+        let f = features_of(StrategyLevel::S0Baseline);
+        assert!(!f.parallel_scans && !f.one_step && !f.extended_ranges);
+        let f = features_of(StrategyLevel::S2OneStep);
+        assert!(f.parallel_scans && f.one_step && !f.extended_ranges);
+        let f = features_of(StrategyLevel::S4CollectionQuantifiers);
+        assert!(f.extended_ranges && f.collection_quantifiers);
+    }
+
+    #[test]
+    fn auto_plans_record_the_chosen_level_and_the_candidate_table() {
+        let mut cat = figure1_sample_database().unwrap();
+        cat.analyze_all().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let p = plan(&sel, &cat, StrategyLevel::Auto, PlanOptions::default());
+        assert!(
+            StrategyLevel::ALL.contains(&p.strategy),
+            "auto must choose a concrete fixed level, got {}",
+            p.strategy
+        );
+        let est = p.estimates.as_ref().expect("auto plans carry estimates");
+        assert!(est.auto_selected);
+        assert_eq!(est.candidate_costs.len(), 5);
+        // The chosen level is minimal in the table (ties break upward).
+        let chosen_cost = est
+            .candidate_costs
+            .iter()
+            .find(|(l, _)| *l == p.strategy)
+            .map(|(_, c)| *c)
+            .unwrap();
+        for (_, c) in &est.candidate_costs {
+            assert!(chosen_cost <= *c + 1e-9);
+        }
+        assert!(p.explain().contains("auto strategy selection"));
+        assert!(p.notes.iter().any(|n| n.starts_with("auto: selected")));
+    }
+
+    #[test]
+    fn auto_avoids_the_baseline_when_cardinalities_grow() {
+        // On a scaled database the naive baseline's re-scanning and the
+        // cartesian combination blow-up must price it out.
+        let mut cat =
+            pascalr_workload::generate(&pascalr_workload::UniversityConfig::at_scale(4)).unwrap();
+        cat.analyze_all().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let p = plan(&sel, &cat, StrategyLevel::Auto, PlanOptions::default());
+        assert!(
+            p.strategy >= StrategyLevel::S3ExtendedRanges,
+            "expected an advanced level on a scaled database, got {} ({})",
+            p.strategy,
+            p.explain()
+        );
+    }
+
+    #[test]
+    fn auto_works_without_analyze_statistics() {
+        // Without ANALYZE the model falls back to live cardinalities and
+        // default selectivities; auto must still pick a valid level.
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let p = plan(&sel, &cat, StrategyLevel::Auto, PlanOptions::default());
+        assert!(StrategyLevel::ALL.contains(&p.strategy));
+        assert!(p.estimates.as_ref().unwrap().auto_selected);
+    }
+}

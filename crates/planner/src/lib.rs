@@ -1,15 +1,19 @@
 //! `pascalr-planner`: query plans and the four PASCAL/R optimization
 //! strategies (parallel evaluation, one-step nested subexpressions, extended
 //! range expressions, collection-phase quantifier evaluation) on top of the
-//! naive Palermo-style baseline.
+//! naive Palermo-style baseline — plus [`StrategyLevel::Auto`], the
+//! cost-based selection policy that picks among them using the catalog's
+//! ANALYZE statistics and the `pascalr-optimizer` cost model.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod auto;
 pub mod plan;
 pub mod planner;
 pub mod strategy;
 
-pub use plan::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
+pub use pascalr_optimizer::{ConjunctionEstimate, CostEstimate, CostWeights};
+pub use plan::{DyadicLink, PlanEstimates, QueryPlan, SemijoinStep, ValueListMode};
 pub use planner::{plan, PlanOptions};
 pub use strategy::StrategyLevel;

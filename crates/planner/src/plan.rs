@@ -14,9 +14,37 @@ use pascalr_calculus::{
     CalculusError, ExtendReport, ParamName, Params, Quantifier, RangeExpr, RelName, Selection,
     StandardizedSelection, Term, VarName,
 };
+use pascalr_optimizer::{ConjunctionEstimate, CostEstimate};
 use serde::{Deserialize, Serialize};
 
 use crate::strategy::StrategyLevel;
+
+/// Cost-model output attached to a plan: per-conjunction cardinality
+/// estimates, the predicted cost counters, and — for plans produced by
+/// [`StrategyLevel::Auto`] — the per-level candidate cost table.
+///
+/// Estimates are *advisory*: they never change which tuples qualify, only
+/// which plan shape is chosen, and they are excluded from plan equality
+/// (two plans differing only in their estimates are interchangeable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEstimates {
+    /// Estimated reference-row output of each conjunction of the prepared
+    /// matrix (index-aligned; compare with the `refrel_c<i>` structure
+    /// sizes the executor records).
+    pub per_conjunction: Vec<ConjunctionEstimate>,
+    /// Estimated number of result tuples (compare with the `result`
+    /// structure size).
+    pub result_rows: f64,
+    /// Predicted cost counters for this plan.
+    pub cost: CostEstimate,
+    /// The weighted scalar cost the optimizer minimized.
+    pub total_cost: f64,
+    /// For Auto-selected plans: the weighted cost of every candidate fixed
+    /// level, in [`StrategyLevel::ALL`] order.  Empty otherwise.
+    pub candidate_costs: Vec<(StrategyLevel, f64)>,
+    /// Whether this plan was chosen by [`StrategyLevel::Auto`].
+    pub auto_selected: bool,
+}
 
 /// How the value list of a collection-phase quantifier step is reduced
 /// (Section 4.4's special cases).
@@ -117,9 +145,12 @@ impl fmt::Display for SemijoinStep {
 }
 
 /// The complete plan for one selection at one strategy level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryPlan {
-    /// The strategy level the plan was built for.
+    /// The strategy level the plan was built for.  Plans requested at
+    /// [`StrategyLevel::Auto`] record the *chosen* fixed level here (the
+    /// selection rationale lives in [`QueryPlan::estimates`] and
+    /// [`QueryPlan::notes`]).
     pub strategy: StrategyLevel,
     /// The original selection as written by the user.
     pub original: Selection,
@@ -149,6 +180,29 @@ pub struct QueryPlan {
     /// never changes *which* tuples qualify, only how many are produced.
     /// `None` (the default) means "produce the full result".
     pub row_budget: Option<u64>,
+    /// Cost-model estimates for this plan (per-conjunction cardinalities,
+    /// predicted counters, and the Auto candidate table).  Advisory only —
+    /// excluded from plan equality.
+    pub estimates: Option<PlanEstimates>,
+}
+
+impl PartialEq for QueryPlan {
+    /// Plans compare on everything that affects execution; the advisory
+    /// [`QueryPlan::estimates`] are excluded (a parameterized plan and its
+    /// inlined twin carry slightly different estimates but are the same
+    /// plan).
+    fn eq(&self, other: &Self) -> bool {
+        self.strategy == other.strategy
+            && self.original == other.original
+            && self.prepared == other.prepared
+            && self.extend_report == other.extend_report
+            && self.semijoin_steps == other.semijoin_steps
+            && self.derived_predicates == other.derived_predicates
+            && self.scan_order == other.scan_order
+            && self.dropped_vars == other.dropped_vars
+            && self.notes == other.notes
+            && self.row_budget == other.row_budget
+    }
 }
 
 impl QueryPlan {
@@ -244,6 +298,37 @@ impl QueryPlan {
         ));
         if let Some(budget) = self.row_budget {
             out.push_str(&format!("row budget: at most {budget} tuple(s)\n"));
+        }
+        if let Some(est) = &self.estimates {
+            for ce in &est.per_conjunction {
+                out.push_str(&format!(
+                    "estimated rows (conjunction {}): ~{:.1}\n",
+                    ce.index + 1,
+                    ce.rows
+                ));
+            }
+            out.push_str(&format!(
+                "estimated result rows: ~{:.1}; estimated cost: tuples={:.0} comparisons={:.0} \
+                 intermediate={:.0} derefs={:.0} (weighted {:.0})\n",
+                est.result_rows,
+                est.cost.tuples_read,
+                est.cost.comparisons,
+                est.cost.intermediates,
+                est.cost.dereferences,
+                est.total_cost,
+            ));
+            if est.auto_selected {
+                let table: Vec<String> = est
+                    .candidate_costs
+                    .iter()
+                    .map(|(level, cost)| format!("{}={:.0}", level.short_name(), cost))
+                    .collect();
+                out.push_str(&format!(
+                    "auto strategy selection: chose {} (candidate costs: {})\n",
+                    self.strategy.short_name(),
+                    table.join(", ")
+                ));
+            }
         }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
@@ -342,6 +427,9 @@ impl QueryPlan {
             dropped_vars: self.dropped_vars.clone(),
             notes: self.notes.clone(),
             row_budget: self.row_budget,
+            // Binding substitutes constants without changing the plan
+            // shape; the advisory estimates carry over unchanged.
+            estimates: self.estimates.clone(),
         })
     }
 }

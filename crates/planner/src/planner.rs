@@ -19,9 +19,11 @@ use pascalr_calculus::{
     StandardizedSelection,
 };
 use pascalr_catalog::Catalog;
+use pascalr_optimizer::{CostWeights, SemijoinInfo, StatsView};
 use pascalr_relation::CompareOp;
 
-use crate::plan::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
+use crate::auto::{features_of, plan_auto};
+use crate::plan::{DyadicLink, PlanEstimates, QueryPlan, SemijoinStep, ValueListMode};
 use crate::strategy::StrategyLevel;
 
 /// Options controlling planning.
@@ -234,48 +236,96 @@ fn drop_vacuous_prefix_vars(
 }
 
 /// Chooses the scan order of the base relations for the parallel collection
-/// phase: ascending estimated cardinality, so that indexes on small relations
-/// exist before large relations are scanned and probed against them.
+/// phase: ascending *estimated effective* cardinality (live cardinality
+/// times the statistics-based selectivity of the range restriction, if
+/// any), so that indexes on small candidate sets exist before large
+/// relations are scanned and probed against them.
+///
+/// The base cardinality deliberately comes from the live relation, not
+/// from the (possibly stale) ANALYZE snapshot: fixed-level plans are cache
+/// keyed only on the plan epoch, so their scan order must never bake in an
+/// analyzed cardinality that a later ANALYZE could silently fail to
+/// refresh.  ANALYZE statistics contribute only the restriction
+/// *selectivity* refinement, which is a fraction and ordering-advisory.
+/// Relations the catalog does not know sort last; the stable sort keeps
+/// declaration order among ties.
 fn choose_scan_order(
     prepared: &StandardizedSelection,
     steps: &[SemijoinStep],
     catalog: &Catalog,
+    stats: &StatsView,
     declaration_order: bool,
 ) -> Vec<pascalr_calculus::RelName> {
-    let mut relations: Vec<pascalr_calculus::RelName> = Vec::new();
-    let mut push = |name: &pascalr_calculus::RelName| {
-        if !relations.iter().any(|r| r.as_ref() == name.as_ref()) {
-            relations.push(name.clone());
+    let mut relations: Vec<(pascalr_calculus::RelName, f64)> = Vec::new();
+    let mut push = |name: &pascalr_calculus::RelName, rows: f64| {
+        match relations
+            .iter_mut()
+            .find(|(r, _)| r.as_ref() == name.as_ref())
+        {
+            // A relation scanned for several variables builds its index
+            // for the most restricted one first.
+            Some((_, est)) => *est = est.min(rows),
+            None => relations.push((name.clone(), rows)),
+        }
+    };
+    let estimate = |range: &pascalr_calculus::RangeExpr, var: &str| -> f64 {
+        let Ok(rel) = catalog.relation(&range.relation) else {
+            return f64::INFINITY;
+        };
+        let live = rel.cardinality() as f64;
+        match &range.restriction {
+            Some(f) => {
+                live * pascalr_optimizer::restriction_selectivity(f, var, &range.relation, stats)
+            }
+            None => live,
         }
     };
     for d in &prepared.free {
-        push(&d.range.relation);
+        push(&d.range.relation, estimate(&d.range, &d.var));
     }
     for p in &prepared.form.prefix {
-        push(&p.range.relation);
+        push(&p.range.relation, estimate(&p.range, &p.var));
     }
     for s in steps {
-        push(&s.range.relation);
+        push(&s.range.relation, estimate(&s.range, &s.bound_var));
     }
-    if declaration_order {
-        return relations;
+    if !declaration_order {
+        relations.sort_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     }
-    relations.sort_by_key(|r| {
-        catalog
-            .relation(r)
-            .map(|rel| rel.cardinality())
-            .unwrap_or(usize::MAX)
-    });
-    relations
+    relations.into_iter().map(|(r, _)| r).collect()
 }
 
 /// Builds the query plan for a selection at a strategy level.
+///
+/// [`StrategyLevel::Auto`] runs the cost model over all five fixed levels
+/// (using the catalog's ANALYZE statistics where available) and returns the
+/// cheapest candidate; the produced plan records the chosen fixed level in
+/// [`QueryPlan::strategy`] and the selection rationale in its estimates and
+/// notes.
 pub fn plan(
     selection: &Selection,
     catalog: &Catalog,
     strategy: StrategyLevel,
     options: PlanOptions,
 ) -> QueryPlan {
+    let stats = StatsView::from_catalog(catalog);
+    if strategy.is_auto() {
+        plan_auto(selection, catalog, options, &stats)
+    } else {
+        plan_fixed(selection, catalog, strategy, options, &stats)
+    }
+}
+
+/// Builds the plan for one *fixed* strategy level against a prepared
+/// statistics view, attaching the cost-model estimates.
+pub(crate) fn plan_fixed(
+    selection: &Selection,
+    catalog: &Catalog,
+    strategy: StrategyLevel,
+    options: PlanOptions,
+    stats: &StatsView,
+) -> QueryPlan {
+    debug_assert!(!strategy.is_auto(), "Auto must go through plan()");
     let mut notes = Vec::new();
     let mut prepared = standardize(selection);
 
@@ -311,8 +361,33 @@ pub fn plan(
         &prepared,
         &semijoin_steps,
         catalog,
+        stats,
         options.declaration_scan_order,
     );
+
+    // Cost-model prediction for this candidate shape: per-conjunction
+    // cardinalities plus the paper's observable cost counters.
+    let steps_info: Vec<SemijoinInfo> = semijoin_steps
+        .iter()
+        .map(|s| SemijoinInfo {
+            quantifier: s.quantifier,
+            bound_var: s.bound_var.clone(),
+            range: s.range.clone(),
+            monadic_filters: s.monadic_filters.clone(),
+            links: s.links.len(),
+            target_var: s.target_var.clone(),
+        })
+        .collect();
+    let prediction =
+        pascalr_optimizer::estimate_plan(&prepared, &steps_info, features_of(strategy), stats);
+    let estimates = Some(PlanEstimates {
+        per_conjunction: prediction.per_conjunction,
+        result_rows: prediction.result_rows,
+        cost: prediction.cost,
+        total_cost: prediction.cost.total(&CostWeights::default()),
+        candidate_costs: Vec::new(),
+        auto_selected: false,
+    });
 
     QueryPlan {
         strategy,
@@ -325,6 +400,7 @@ pub fn plan(
         dropped_vars,
         notes,
         row_budget: None,
+        estimates,
     }
 }
 

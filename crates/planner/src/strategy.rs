@@ -30,10 +30,20 @@ pub enum StrategyLevel {
     /// Strategy 4 — quantifier evaluation in the collection phase via value
     /// lists (generalized semi-joins, Section 4.4, Examples 4.6/4.7).
     S4CollectionQuantifiers,
+    /// Cost-based automatic selection: the planner estimates the paper's
+    /// observable costs (tuples read, comparisons, intermediate tuples,
+    /// dereferences) for each of the five fixed levels using the catalog's
+    /// ANALYZE statistics and picks the cheapest.  The produced plan
+    /// carries the *chosen* fixed level in [`crate::QueryPlan::strategy`]
+    /// together with the per-level cost table and the per-conjunction
+    /// cardinality estimates (shown by `explain`).
+    Auto,
 }
 
 impl StrategyLevel {
-    /// All levels in increasing order of sophistication.
+    /// The five *fixed* paper levels in increasing order of sophistication
+    /// ([`StrategyLevel::Auto`] is deliberately excluded: it is a selection
+    /// policy over these, not a sixth repertoire).
     pub const ALL: [StrategyLevel; 5] = [
         StrategyLevel::S0Baseline,
         StrategyLevel::S1Parallel,
@@ -63,7 +73,12 @@ impl StrategyLevel {
         self >= StrategyLevel::S4CollectionQuantifiers
     }
 
-    /// Short name used in reports (`S0` … `S4`).
+    /// Whether this is the cost-based automatic selection policy.
+    pub fn is_auto(self) -> bool {
+        self == StrategyLevel::Auto
+    }
+
+    /// Short name used in reports (`S0` … `S4`, `Auto`).
     pub fn short_name(self) -> &'static str {
         match self {
             StrategyLevel::S0Baseline => "S0",
@@ -71,6 +86,7 @@ impl StrategyLevel {
             StrategyLevel::S2OneStep => "S2",
             StrategyLevel::S3ExtendedRanges => "S3",
             StrategyLevel::S4CollectionQuantifiers => "S4",
+            StrategyLevel::Auto => "Auto",
         }
     }
 
@@ -82,6 +98,7 @@ impl StrategyLevel {
             StrategyLevel::S2OneStep => "one-step nested subexpressions",
             StrategyLevel::S3ExtendedRanges => "extended range expressions",
             StrategyLevel::S4CollectionQuantifiers => "collection-phase quantifier evaluation",
+            StrategyLevel::Auto => "cost-based automatic strategy selection",
         }
     }
 }
@@ -119,6 +136,21 @@ mod tests {
             assert_eq!(s.short_name(), format!("S{i}"));
             assert!(!s.description().is_empty());
             assert!(s.to_string().contains(s.short_name()));
+            assert!(!s.is_auto());
         }
+    }
+
+    #[test]
+    fn auto_is_a_policy_over_the_fixed_levels() {
+        assert!(StrategyLevel::Auto.is_auto());
+        assert!(!StrategyLevel::ALL.contains(&StrategyLevel::Auto));
+        assert_eq!(StrategyLevel::Auto.short_name(), "Auto");
+        assert!(StrategyLevel::Auto.to_string().contains("cost-based"));
+        // If an Auto marker ever leaks into execution-side feature checks,
+        // it must behave like the full repertoire, never like a downgrade.
+        assert!(StrategyLevel::Auto.parallel_scans());
+        assert!(StrategyLevel::Auto.one_step_nested());
+        assert!(StrategyLevel::Auto.extended_ranges());
+        assert!(StrategyLevel::Auto.collection_quantifiers());
     }
 }

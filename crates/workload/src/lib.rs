@@ -12,5 +12,6 @@ pub mod university;
 pub use oracle::{oracle_eval, CatalogProvider};
 pub use queries::{all_queries, extended_workload, paper_queries, query_by_id, QuerySpec};
 pub use university::{
-    clear_relation, figure1_catalog, figure1_sample_database, generate, UniversityConfig,
+    clear_relation, figure1_catalog, figure1_sample_database, generate, skew_scenarios,
+    UniversityConfig,
 };

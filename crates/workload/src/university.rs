@@ -412,6 +412,45 @@ pub fn generate(config: &UniversityConfig) -> Result<Catalog, CatalogError> {
     Ok(cat)
 }
 
+/// Named cardinality/selectivity regimes for the cost-based-optimizer
+/// experiments (E15): the paper's point is that the best strategy level
+/// depends on the range-relation cardinalities, so each regime skews the
+/// generator differently.
+///
+/// * `paper_toy` — the default department at the paper's scale;
+/// * `selective` — highly selective monadic predicates (few professors,
+///   few 1977 papers, few low-level courses): extended ranges and
+///   collection-phase quantifiers cut the candidate sets hard;
+/// * `dense` — almost unselective predicates and dense joins: restriction
+///   buys little, join and quantifier work dominates.
+pub fn skew_scenarios(scale: u32) -> Vec<(&'static str, UniversityConfig)> {
+    vec![
+        ("paper_toy", UniversityConfig::at_scale(scale)),
+        (
+            "selective",
+            UniversityConfig {
+                professor_fraction: 0.08,
+                papers_1977_fraction: 0.05,
+                sophomore_fraction: 0.12,
+                papers_per_employee: 2.0,
+                timetable_per_employee: 2.0,
+                seed: 0xBEEF,
+                ..UniversityConfig::at_scale(scale)
+            },
+        ),
+        (
+            "dense",
+            UniversityConfig {
+                professor_fraction: 0.95,
+                papers_1977_fraction: 0.9,
+                sophomore_fraction: 0.9,
+                seed: 0xF00D,
+                ..UniversityConfig::at_scale(scale)
+            },
+        ),
+    ]
+}
+
 /// Empties the named relation of a generated catalog (used by the Lemma 1 /
 /// adaptation experiments).
 pub fn clear_relation(catalog: &mut Catalog, relation: &str) -> Result<(), CatalogError> {

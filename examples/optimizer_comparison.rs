@@ -38,11 +38,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Cost-based selection: ANALYZE, then let Auto price the candidates.
+    db.analyze()?;
+    let auto = db.query_with(EXAMPLE_2_1_QUERY, pascalr::StrategyLevel::Auto)?;
+    let total = auto.report.metrics.total();
+    println!(
+        "{:<6} {:>6} {:>8} {:>10} {:>14} {:>14} {:>12} {:>12?}  <- Auto chose {}",
+        "Auto",
+        auto.result.cardinality(),
+        total.relation_scans,
+        total.tuples_read,
+        total.intermediate_tuples,
+        total.comparisons,
+        auto.report.metrics.max_scans_per_relation(),
+        auto.report.elapsed,
+        auto.report.strategy.short_name(),
+    );
+
     // All strategies return the same answer; the paper's claim is about cost.
     for pair in outcomes.windows(2) {
         assert!(pair[0].result.set_eq(&pair[1].result));
     }
-    println!("\nAll five strategy levels returned identical results.");
+    assert!(auto.result.set_eq(&outcomes[0].result));
+    println!("\nAll five strategy levels (and Auto) returned identical results.");
     println!("Strategy 1 claim: with parallel evaluation every relation is read at most once —");
     println!(
         "max scans per relation at S1+: {}",

@@ -97,6 +97,49 @@ fn quickstart_flow_agrees_with_the_oracle_at_every_strategy_level() {
 }
 
 #[test]
+fn analyze_plus_auto_picks_a_level_and_matches_the_oracle() {
+    let db = quickstart_database();
+    // ANALYZE computes and caches the statistics the cost-based optimizer
+    // plans from; Auto (the default) then picks a concrete paper level.
+    db.analyze().unwrap();
+    assert_eq!(db.default_strategy(), StrategyLevel::Auto);
+
+    let selection = db.parse(EXAMPLE_2_1_QUERY).unwrap();
+    let expected = oracle_eval(&selection, &db.catalog()).unwrap();
+    let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
+    assert!(
+        expected.set_eq(&outcome.result),
+        "Auto disagrees with the oracle"
+    );
+    assert!(
+        StrategyLevel::ALL.contains(&outcome.report.strategy),
+        "Auto reports the chosen fixed level, got {}",
+        outcome.report.strategy
+    );
+    // The explain surface carries the rationale and the estimated-vs-actual
+    // cardinality feedback.
+    assert!(outcome.plan.explain().contains("auto strategy selection"));
+    let analyzed = outcome.explain_analyzed();
+    assert!(analyzed.contains("estimated vs actual rows:"), "{analyzed}");
+
+    // ANALYZE of one relation must not thrash cached plans of queries
+    // over other relations.
+    let session = db.session();
+    let profs = session
+        .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+        .unwrap();
+    profs.execute().unwrap();
+    let before = db.plan_cache_stats();
+    db.analyze_relation("courses").unwrap();
+    profs.execute().unwrap();
+    assert_eq!(
+        db.plan_cache_stats().misses,
+        before.misses,
+        "unrelated ANALYZE kept the cache hit"
+    );
+}
+
+#[test]
 fn baseline_scans_more_than_the_optimized_strategies() {
     let db = quickstart_database();
     let baseline = db
