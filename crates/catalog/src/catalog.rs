@@ -8,7 +8,8 @@
 //! first step can be omitted, if permanent indexes exist.").
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use pascalr_relation::{
     ElemRef, HashIndex, Key, RelId, Relation, RelationError, RelationSchema, Tuple, Value,
@@ -38,13 +39,101 @@ pub struct IndexDecl {
     pub attributes: Vec<String>,
 }
 
+impl IndexDecl {
+    /// Whether this declaration indexes exactly `relation(attributes)`
+    /// (component order is significant: the probe key is built in
+    /// declaration order).
+    pub fn covers(&self, relation: &str, attributes: &[&str]) -> bool {
+        self.relation == relation
+            && self.attributes.len() == attributes.len()
+            && self.attributes.iter().zip(attributes).all(|(a, b)| a == b)
+    }
+}
+
+/// A permanent index handed out by [`Catalog::permanent_index`]: the shared
+/// hash structure plus whether this lookup had to rebuild it from a stale
+/// state (so callers can charge the rebuild to their metrics).
+#[derive(Debug, Clone)]
+pub struct PermanentIndexUse {
+    /// The (full) hash index over the declared components.
+    pub index: Arc<HashIndex>,
+    /// `true` when this lookup rebuilt the index because a mutable relation
+    /// access had invalidated it.
+    pub rebuilt: bool,
+}
+
+/// A permanent index declaration together with its maintained physical
+/// structure.  The cell is `None` while the index is **stale** (a
+/// [`Catalog::relation_mut`] access may have changed the relation in
+/// arbitrary ways); it is rebuilt lazily on the next
+/// [`Catalog::permanent_index`] lookup.  Inserts through
+/// [`Catalog::insert`] / [`Catalog::insert_all`] maintain a live index
+/// incrementally and never invalidate it.
+struct MaintainedIndex {
+    decl: IndexDecl,
+    cell: Mutex<Option<Arc<HashIndex>>>,
+}
+
+impl MaintainedIndex {
+    fn new(decl: IndexDecl, index: HashIndex) -> Self {
+        MaintainedIndex {
+            decl,
+            cell: Mutex::new(Some(Arc::new(index))),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Arc<HashIndex>>> {
+        self.cell.lock().unwrap_or_else(|poisoned| {
+            // A panic while holding the lock can at worst leave a stale
+            // index behind; drop it and let the next use rebuild.
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            guard
+        })
+    }
+
+    fn invalidate(&self) {
+        *self.lock() = None;
+    }
+
+    /// Adds a freshly inserted element to a live index (no-op when stale).
+    fn maintain_insert(&self, rel: &Relation, elem: ElemRef) {
+        let mut guard = self.lock();
+        if let Some(index) = guard.as_mut() {
+            if Arc::make_mut(index).insert_ref(rel, elem).is_err() {
+                // Cannot happen for a reference the relation just handed
+                // out; degrade to stale rather than serve a wrong index.
+                *guard = None;
+            }
+        }
+    }
+}
+
+impl Clone for MaintainedIndex {
+    fn clone(&self) -> Self {
+        MaintainedIndex {
+            decl: self.decl.clone(),
+            cell: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+impl fmt::Debug for MaintainedIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaintainedIndex")
+            .field("decl", &self.decl)
+            .field("live", &self.lock().is_some())
+            .finish()
+    }
+}
+
 /// The database catalog.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     types: TypeRegistry,
     relations: Vec<Relation>,
     by_name: BTreeMap<String, RelId>,
-    indexes: Vec<IndexDecl>,
+    indexes: Vec<MaintainedIndex>,
     page_model: PageModel,
     epoch: u64,
     stats_epoch: u64,
@@ -146,11 +235,55 @@ impl Catalog {
 
     /// Mutable access to the relation with the given name.  Conservatively
     /// advances the modification epoch: the caller may change cardinalities
-    /// or contents, either of which invalidates cached plans.
+    /// or contents, either of which invalidates cached plans.  Permanent
+    /// indexes on the relation are dropped to **stale** for the same reason
+    /// — they rebuild lazily on their next use.  (Inserts through
+    /// [`Catalog::insert`] / [`Catalog::insert_all`] maintain the indexes
+    /// incrementally instead and never stale them.)
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, CatalogError> {
         let id = self.relation_id(name)?;
         self.epoch += 1;
+        for mi in &self.indexes {
+            if mi.decl.relation == name {
+                mi.invalidate();
+            }
+        }
         Ok(&mut self.relations[id.0 as usize])
+    }
+
+    /// Replaces an existing relation variable with a fresh, empty relation
+    /// under a (possibly different) schema, keeping its [`RelId`].
+    ///
+    /// Rejected with [`CatalogError::InvalidIndex`] while a permanent index
+    /// references a component the new schema does not have — otherwise the
+    /// declaration would dangle and the next lazy rebuild would fail far
+    /// from the cause.  Drop the offending indexes first.
+    pub fn redeclare_relation(
+        &mut self,
+        schema: Arc<RelationSchema>,
+    ) -> Result<RelId, CatalogError> {
+        let name = schema.name.to_string();
+        let id = self.relation_id(&name)?;
+        for mi in self.indexes.iter().filter(|mi| mi.decl.relation == name) {
+            for a in &mi.decl.attributes {
+                if schema.attr_index(a).is_none() {
+                    return Err(CatalogError::InvalidIndex {
+                        detail: format!(
+                            "cannot redeclare relation {name}: permanent index {} indexes \
+                             component {a}, which the new schema lacks (drop the index first)",
+                            mi.decl.name
+                        ),
+                    });
+                }
+            }
+        }
+        for mi in self.indexes.iter().filter(|mi| mi.decl.relation == name) {
+            // Component positions may have moved: rebuild lazily.
+            mi.invalidate();
+        }
+        self.relations[id.0 as usize] = Relation::with_id(schema, id);
+        self.epoch += 1;
+        Ok(id)
     }
 
     /// Names of all declared relations, in declaration order.
@@ -164,18 +297,52 @@ impl Catalog {
     }
 
     /// Inserts an element into a named relation (`rel :+ [tuple]`).
+    ///
+    /// Live permanent indexes on the relation are maintained
+    /// **incrementally** — one hash insertion per index, no rebuild — so
+    /// the element is immediately visible to index-backed execution.  The
+    /// plan epoch advances once (the insert changes cardinalities), exactly
+    /// as it did before permanent indexes were maintained: index
+    /// maintenance itself never causes additional re-planning.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), CatalogError> {
-        self.relation_mut(relation)?.insert(tuple)?;
+        let id = self.relation_id(relation)?;
+        self.epoch += 1;
+        let outcome = self.relations[id.0 as usize].insert(tuple)?;
+        if outcome.was_inserted() {
+            let rel = &self.relations[id.0 as usize];
+            for mi in &self.indexes {
+                if mi.decl.relation == relation {
+                    mi.maintain_insert(rel, outcome.elem_ref());
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Inserts many elements into a named relation.
+    /// Inserts many elements into a named relation, maintaining live
+    /// permanent indexes incrementally (see [`Catalog::insert`]).  One plan
+    /// epoch bump covers the whole batch.
     pub fn insert_all(
         &mut self,
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, CatalogError> {
-        Ok(self.relation_mut(relation)?.insert_all(tuples)?)
+        let id = self.relation_id(relation)?;
+        self.epoch += 1;
+        let mut added = 0;
+        for tuple in tuples {
+            let outcome = self.relations[id.0 as usize].insert(tuple)?;
+            if outcome.was_inserted() {
+                added += 1;
+                let rel = &self.relations[id.0 as usize];
+                for mi in &self.indexes {
+                    if mi.decl.relation == relation {
+                        mi.maintain_insert(rel, outcome.elem_ref());
+                    }
+                }
+            }
+        }
+        Ok(added)
     }
 
     /// Dereferences an element reference against whichever relation it
@@ -205,7 +372,16 @@ impl Catalog {
     }
 
     /// Declares a permanent index (Example 3.1's `enrindex`, or the
-    /// `ind_t_cnr` style indexes of Figure 2 when kept permanently).
+    /// `ind_t_cnr` style indexes of Figure 2 when kept permanently) and
+    /// builds its hash structure immediately.  From then on the index is
+    /// **maintained**: inserts update it incrementally, mutable relation
+    /// access drops it to stale and it rebuilds lazily on next use.
+    ///
+    /// Rejected with [`CatalogError::InvalidIndex`] when the relation or a
+    /// component does not exist, when the component list repeats a name,
+    /// when another index with the same name exists, or when an index over
+    /// exactly the same `(relation, attributes)` already exists under a
+    /// different name (it would shadow this one everywhere).
     pub fn declare_index(
         &mut self,
         name: &str,
@@ -213,46 +389,125 @@ impl Catalog {
         attributes: &[&str],
     ) -> Result<(), CatalogError> {
         let rel = self.relation(relation)?;
-        for a in attributes {
+        if attributes.is_empty() {
+            return Err(CatalogError::InvalidIndex {
+                detail: format!("index {name} declares no components"),
+            });
+        }
+        for (i, a) in attributes.iter().enumerate() {
             if rel.schema().attr_index(a).is_none() {
                 return Err(CatalogError::InvalidIndex {
                     detail: format!("relation {relation} has no component {a}"),
                 });
             }
+            if attributes[..i].contains(a) {
+                return Err(CatalogError::InvalidIndex {
+                    detail: format!(
+                        "index {name} lists component {a} more than once \
+                         (duplicate key columns index nothing new)"
+                    ),
+                });
+            }
         }
-        if self.indexes.iter().any(|i| i.name == name) {
+        if self.indexes.iter().any(|mi| mi.decl.name == name) {
             return Err(CatalogError::InvalidIndex {
                 detail: format!("index {name} is already declared"),
             });
         }
-        self.indexes.push(IndexDecl {
-            name: name.to_string(),
-            relation: relation.to_string(),
-            attributes: attributes.iter().map(|s| s.to_string()).collect(),
-        });
+        if let Some(existing) = self
+            .indexes
+            .iter()
+            .find(|mi| mi.decl.covers(relation, attributes))
+        {
+            return Err(CatalogError::InvalidIndex {
+                detail: format!(
+                    "index {} already covers {relation}({}); a second index over the same \
+                     components under the name {name} would be redundant",
+                    existing.decl.name,
+                    attributes.join(", ")
+                ),
+            });
+        }
+        let built = HashIndex::build_full(name.to_string(), rel, attributes)?;
+        self.indexes.push(MaintainedIndex::new(
+            IndexDecl {
+                name: name.to_string(),
+                relation: relation.to_string(),
+                attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            },
+            built,
+        ));
         self.epoch += 1;
         Ok(())
     }
 
-    /// All permanent index declarations.
-    pub fn indexes(&self) -> &[IndexDecl] {
-        &self.indexes
+    /// Drops a permanent index by name.  Advances the plan epoch, so every
+    /// cached plan — in particular one whose execution probes the index —
+    /// re-plans exactly once on its next use.
+    pub fn drop_index(&mut self, name: &str) -> Result<IndexDecl, CatalogError> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|mi| mi.decl.name == name)
+            .ok_or_else(|| CatalogError::InvalidIndex {
+                detail: format!("no permanent index named {name}"),
+            })?;
+        let removed = self.indexes.remove(pos);
+        self.epoch += 1;
+        Ok(removed.decl)
+    }
+
+    /// All permanent index declarations, in declaration order.
+    pub fn indexes(&self) -> impl Iterator<Item = &IndexDecl> + '_ {
+        self.indexes.iter().map(|mi| &mi.decl)
     }
 
     /// Whether a permanent index exists on exactly `relation(attributes)`.
     pub fn has_index_on(&self, relation: &str, attributes: &[&str]) -> bool {
-        self.indexes.iter().any(|i| {
-            i.relation == relation
-                && i.attributes.len() == attributes.len()
-                && i.attributes.iter().zip(attributes).all(|(a, b)| a == b)
+        self.indexes
+            .iter()
+            .any(|mi| mi.decl.covers(relation, attributes))
+    }
+
+    /// The maintained permanent index on exactly `relation(attributes)`,
+    /// if one is declared.  A stale index (invalidated by a
+    /// [`Catalog::relation_mut`] access) is rebuilt here, once, and the
+    /// returned [`PermanentIndexUse::rebuilt`] flag reports it so that the
+    /// caller can charge the rebuild to its metrics.
+    pub fn permanent_index(
+        &self,
+        relation: &str,
+        attributes: &[&str],
+    ) -> Option<PermanentIndexUse> {
+        let mi = self
+            .indexes
+            .iter()
+            .find(|mi| mi.decl.covers(relation, attributes))?;
+        let mut guard = mi.lock();
+        if let Some(index) = guard.as_ref() {
+            return Some(PermanentIndexUse {
+                index: index.clone(),
+                rebuilt: false,
+            });
+        }
+        let rel = self.relation(&mi.decl.relation).ok()?;
+        let attrs: Vec<&str> = mi.decl.attributes.iter().map(String::as_str).collect();
+        let rebuilt = Arc::new(HashIndex::build_full(mi.decl.name.clone(), rel, &attrs).ok()?);
+        *guard = Some(rebuilt.clone());
+        Some(PermanentIndexUse {
+            index: rebuilt,
+            rebuilt: true,
         })
     }
 
-    /// Builds the physical hash index for a permanent index declaration.
+    /// Builds a fresh physical hash index for a permanent index declaration
+    /// (a point-in-time copy; the *maintained* structure is served by
+    /// [`Catalog::permanent_index`]).
     pub fn build_index(&self, name: &str) -> Result<HashIndex, CatalogError> {
         let decl = self
             .indexes
             .iter()
+            .map(|mi| &mi.decl)
             .find(|i| i.name == name)
             .ok_or_else(|| CatalogError::InvalidIndex {
                 detail: format!("no permanent index named {name}"),
@@ -453,7 +708,131 @@ mod tests {
         let idx = cat.build_index("enrindex").unwrap();
         assert_eq!(idx.entry_count(), 2);
         assert!(cat.build_index("nosuch").is_err());
-        assert_eq!(cat.indexes().len(), 1);
+        assert_eq!(cat.indexes().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_attribute_and_duplicate_coverage_are_rejected() {
+        let mut cat = catalog_with_employees();
+        // Repeated component names in one declaration.
+        let err = cat
+            .declare_index("twice", "employees", &["enr", "enr"])
+            .unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+        // Empty component list.
+        assert!(cat.declare_index("none", "employees", &[]).is_err());
+        // Two indexes over the identical (relation, attributes).
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+        let err = cat
+            .declare_index("enrindex2", "employees", &["enr"])
+            .unwrap_err();
+        assert!(err.to_string().contains("already covers"), "{err}");
+        assert!(err.to_string().contains("enrindex"), "{err}");
+        // A different component list under a new name is fine.
+        cat.declare_index("nameindex", "employees", &["ename"])
+            .unwrap();
+        assert_eq!(cat.indexes().count(), 2);
+    }
+
+    #[test]
+    fn maintained_index_follows_inserts_and_survives_staleness() {
+        let mut cat = catalog_with_employees();
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+        let use0 = cat.permanent_index("employees", &["enr"]).unwrap();
+        assert!(!use0.rebuilt, "declare builds eagerly");
+        assert_eq!(use0.index.entry_count(), 2);
+
+        // Insert: maintained incrementally, no rebuild on next use.
+        cat.insert(
+            "employees",
+            Tuple::new(vec![
+                Value::int(30),
+                Value::str("Newman"),
+                cat.types()
+                    .enum_type("statustype")
+                    .unwrap()
+                    .value("assistant")
+                    .unwrap(),
+            ]),
+        )
+        .unwrap();
+        let use1 = cat.permanent_index("employees", &["enr"]).unwrap();
+        assert!(!use1.rebuilt, "insert maintenance must not stale the index");
+        assert_eq!(use1.index.entry_count(), 3);
+        assert_eq!(use1.index.probe(&Key::single(30i64)).len(), 1);
+
+        // Mutable access stales; the next use rebuilds once.
+        cat.relation_mut("employees").unwrap().clear();
+        let use2 = cat.permanent_index("employees", &["enr"]).unwrap();
+        assert!(use2.rebuilt, "stale index rebuilds lazily");
+        assert_eq!(use2.index.entry_count(), 0);
+        let use3 = cat.permanent_index("employees", &["enr"]).unwrap();
+        assert!(!use3.rebuilt, "rebuild happens once");
+
+        // Unknown coverage is not served.
+        assert!(cat.permanent_index("employees", &["ename"]).is_none());
+        assert!(cat.permanent_index("papers", &["enr"]).is_none());
+    }
+
+    #[test]
+    fn drop_index_removes_the_declaration_and_bumps_the_epoch() {
+        let mut cat = catalog_with_employees();
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+        let before = cat.epoch();
+        let decl = cat.drop_index("enrindex").unwrap();
+        assert_eq!(decl.name, "enrindex");
+        assert!(cat.epoch() > before, "dropping an index re-plans");
+        assert!(cat.permanent_index("employees", &["enr"]).is_none());
+        assert!(cat.drop_index("enrindex").is_err());
+    }
+
+    #[test]
+    fn redeclaring_a_relation_guards_dangling_index_declarations() {
+        let mut cat = catalog_with_employees();
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+
+        // A schema without the indexed component is rejected up front.
+        let lacking = RelationSchema::all_key(
+            "employees",
+            vec![Attribute::new("ename", ValueType::string(10))],
+        );
+        let err = cat.redeclare_relation(lacking).unwrap_err();
+        assert!(err.to_string().contains("enrindex"), "{err}");
+        assert!(
+            cat.relation("employees").unwrap().cardinality() == 2,
+            "a rejected redeclaration must not touch the relation"
+        );
+
+        // A schema that keeps the component (even at another position) is
+        // fine; the index rebuilds against the new layout.
+        let keeping = RelationSchema::new(
+            "employees",
+            vec![
+                Attribute::new("ename", ValueType::string(10)),
+                Attribute::new("enr", ValueType::subrange(1, 99)),
+            ],
+            &["enr"],
+        )
+        .unwrap();
+        let id = cat.redeclare_relation(keeping).unwrap();
+        assert_eq!(id, cat.relation_id("employees").unwrap());
+        cat.insert(
+            "employees",
+            Tuple::new(vec![Value::str("Abel"), Value::int(10)]),
+        )
+        .unwrap();
+        let use_ = cat.permanent_index("employees", &["enr"]).unwrap();
+        assert_eq!(use_.index.probe(&Key::single(10i64)).len(), 1);
+        assert!(cat
+            .redeclare_relation(RelationSchema::all_key(
+                "ghost",
+                vec![Attribute::new("x", ValueType::int())],
+            ))
+            .is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod error;
 pub mod stats;
 pub mod types;
 
-pub use catalog::{Catalog, IndexDecl};
+pub use catalog::{Catalog, IndexDecl, PermanentIndexUse};
 pub use error::CatalogError;
 pub use stats::{ColumnStats, Histogram, RelationStats};
 pub use types::TypeRegistry;

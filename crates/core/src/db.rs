@@ -286,6 +286,58 @@ impl Database {
         Ok(())
     }
 
+    /// Creates a **permanent index** on `relation(attributes)` (Example
+    /// 3.1's `enrindex`): the hash structure is built now and *maintained*
+    /// from then on — inserts update it incrementally, and execution
+    /// consults it instead of building a per-query index for covered join
+    /// terms and `selected`-style restricted ranges (Section 3.2: "The
+    /// first step can be omitted, if permanent indexes exist").
+    ///
+    /// Creating an index advances the plan epoch, so cached plans re-plan
+    /// once and pick the index up; plain inserts afterwards maintain the
+    /// index without any extra re-planning.  Like every entry point, this
+    /// takes the catalog write lock internally — drop any guard returned
+    /// by [`Database::catalog`]/[`Database::catalog_mut`] on this thread
+    /// first, or the call deadlocks.
+    ///
+    /// ```
+    /// use pascalr::Database;
+    ///
+    /// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+    /// db.create_index("penrindex", "papers", &["penr"]).unwrap();
+    /// let outcome = db
+    ///     .query(
+    ///         "published := [<e.ename> OF EACH e IN employees: \
+    ///            SOME p IN papers (p.penr = e.enr)]",
+    ///     )
+    ///     .unwrap();
+    /// // The covered join term probed the permanent index: no per-query
+    /// // index was built during the collection phase.
+    /// assert_eq!(outcome.report.metrics.total().index_builds, 0);
+    /// assert!(outcome.plan.explain().contains("penrindex"));
+    /// ```
+    pub fn create_index(
+        &self,
+        name: &str,
+        relation: &str,
+        attributes: &[&str],
+    ) -> Result<(), PascalRError> {
+        self.shared
+            .catalog
+            .write()
+            .declare_index(name, relation, attributes)?;
+        Ok(())
+    }
+
+    /// Drops a permanent index by name.  Advances the plan epoch: every
+    /// cached plan — in particular prepared queries whose execution probed
+    /// the index — re-plans exactly once on its next use and falls back to
+    /// per-query index construction.
+    pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
+        self.shared.catalog.write().drop_index(name)?;
+        Ok(())
+    }
+
     /// Counters of the shared plan cache.
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.shared.plan_cache.stats()

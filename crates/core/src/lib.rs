@@ -36,6 +36,17 @@
 //! metrics through [`Rows::finish`] / [`ExecutionOutcome`], charging only
 //! the work actually performed.
 //!
+//! # Permanent indexes
+//!
+//! [`Database::create_index`] builds a **maintained** permanent index
+//! (Example 3.1's `enrindex`): execution probes it instead of building a
+//! per-query index for covered equality join terms and
+//! equality-restricted ranges — Section 3.2's "The first step can be
+//! omitted, if permanent indexes exist".  Inserts maintain it
+//! incrementally; [`Database::drop_index`] re-plans cached queries
+//! exactly once back onto the rebuild path; `explain()` names the
+//! indexes a plan relies on.
+//!
 //! # Cost-based strategy selection
 //!
 //! The default strategy is [`StrategyLevel::Auto`]: the planner prices all

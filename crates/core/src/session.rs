@@ -91,6 +91,24 @@ impl Session {
         self.db.analyze()
     }
 
+    /// Creates a maintained permanent index on the shared database (see
+    /// [`Database::create_index`]).  Visible to every session; cached
+    /// plans re-plan once and start probing it.
+    pub fn create_index(
+        &self,
+        name: &str,
+        relation: &str,
+        attributes: &[&str],
+    ) -> Result<(), PascalRError> {
+        self.db.create_index(name, relation, attributes)
+    }
+
+    /// Drops a permanent index on the shared database (see
+    /// [`Database::drop_index`]).
+    pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
+        self.db.drop_index(name)
+    }
+
     /// Prepares a selection statement: parse, standard-form normalization
     /// and planning happen **once**, here; the returned [`PreparedQuery`]
     /// can then be executed repeatedly (and concurrently) with only the

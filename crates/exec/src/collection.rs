@@ -16,7 +16,7 @@
 //! * `S3`+ — extended range expressions shrink the candidate sets;
 //! * `S4` — value lists evaluate quantifiers during collection.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use pascalr_calculus::{
@@ -24,7 +24,7 @@ use pascalr_calculus::{
 };
 use pascalr_catalog::Catalog;
 use pascalr_planner::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
-use pascalr_relation::{ElemRef, Relation, RelationSchema, Tuple, Value};
+use pascalr_relation::{CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value};
 use pascalr_storage::{Metrics, Phase};
 
 use crate::error::ExecError;
@@ -213,6 +213,97 @@ pub fn range_candidates(
     Ok(out)
 }
 
+/// The permanent-index probe that can serve a restricted range without a
+/// full scan: the first declared index (per the shared
+/// [`pascalr_optimizer::covering_range_indexes`] decision) whose every
+/// component carries an equality conjunct with a *constant* operand —
+/// parameters are already bound by execution time, so a plan whose shape
+/// was judged index-servable always probes here.  Returns the indexed
+/// component names and the probe key; shape-only — the physical index is
+/// fetched (and lazily rebuilt) by [`range_candidates_indexed`].
+pub(crate) fn range_probe_key(info: &VarInfo, catalog: &Catalog) -> Option<(Vec<String>, Key)> {
+    let restriction = info.range.restriction.as_ref()?;
+    let eqs = pascalr_optimizer::eq_conjunct_operands(restriction, info.var.as_ref());
+    let decls: Vec<&pascalr_catalog::IndexDecl> = catalog.indexes().collect();
+    for decl in pascalr_optimizer::covering_range_indexes(
+        decls.iter().copied(),
+        &info.range,
+        info.var.as_ref(),
+    ) {
+        let values: Option<Vec<Value>> = decl
+            .attributes
+            .iter()
+            .map(|a| {
+                eqs.iter().find_map(|(attr, operand)| {
+                    (attr.as_ref() == a.as_str()).then(|| match operand {
+                        pascalr_calculus::Operand::Const(v) => Some(v.clone()),
+                        _ => None,
+                    })?
+                })
+            })
+            .collect();
+        if let Some(values) = values {
+            return Some((decl.attributes.clone(), Key::new(values)));
+        }
+    }
+    None
+}
+
+/// Index-backed variant of [`range_candidates`]: when a permanent index
+/// covers the equality part of the range restriction, the candidates come
+/// from one index probe (plus a residual restriction check per probed
+/// element) instead of a full relation scan.  Returns `Ok(None)` when no
+/// covering index exists; a stale index rebuilt here is charged as one
+/// index build.
+pub(crate) fn range_candidates_indexed(
+    info: &VarInfo,
+    catalog: &Catalog,
+    metrics: &Metrics,
+) -> Result<Option<Vec<ElemRef>>, ExecError> {
+    let Some((attrs, key)) = range_probe_key(info, catalog) else {
+        return Ok(None);
+    };
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let Some(use_) = catalog.permanent_index(&info.relation, &attr_refs) else {
+        return Ok(None);
+    };
+    if use_.rebuilt {
+        metrics.record_index_build(Phase::Collection);
+    }
+    metrics.record_index_probes(Phase::Collection, 1);
+    let restriction = info
+        .range
+        .restriction
+        .as_ref()
+        .expect("an index-served range is restricted");
+    let rel = catalog.relation(&info.relation)?;
+    let provider = ExecProvider(catalog);
+    let matches = use_.index.probe(&key);
+    // Point reads through the index: one element (and page) per match.
+    metrics.record_tuple_reads(
+        Phase::Collection,
+        matches.len() as u64,
+        matches.len() as u64,
+    );
+    let mut out = Vec::new();
+    for &r in matches {
+        let tuple = rel.deref(r)?;
+        metrics.record_comparisons(Phase::Collection, 1);
+        let mut env = Env::new();
+        env.insert(
+            info.var.to_string(),
+            Binding {
+                schema: info.schema.clone(),
+                tuple: tuple.clone(),
+            },
+        );
+        if eval_formula(restriction, &provider, &env)? {
+            out.push(r);
+        }
+    }
+    Ok(Some(out))
+}
+
 /// Evaluates a monadic term for a single element.
 fn monadic_holds(
     term: &Term,
@@ -249,7 +340,20 @@ fn monadic_holds(
 }
 
 /// Accounts for the relation scans the strategy performs.
-fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Result<(), ExecError> {
+///
+/// `index_served` names the relations whose every range lookup in this
+/// plan is answered by a permanent-index probe ([`range_candidates_indexed`])
+/// — those relations are never actually scanned, so no scan is recorded
+/// for them.  Index builds are *not* predicted here: they are recorded at
+/// the site where an ephemeral index is really built (the indirect-join
+/// construction), so that terms covered by a permanent index record
+/// probes but zero builds and `explain_analyzed()` stays truthful.
+fn record_scans(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    metrics: &Metrics,
+    index_served: &BTreeSet<String>,
+) -> Result<(), ExecError> {
     let page_model = catalog.page_model();
     let scan = |relation: &str| -> Result<(), ExecError> {
         let rel = catalog.relation(relation)?;
@@ -264,13 +368,15 @@ fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Resul
     };
 
     if plan.strategy.parallel_scans() {
-        // One scan per relation in the plan's scan order.
+        // One scan per relation in the plan's scan order, minus the
+        // relations permanent indexes serve outright.
         for r in &plan.scan_order {
-            scan(r)?;
+            if !index_served.contains(r.as_ref()) {
+                scan(r)?;
+            }
         }
     } else {
-        // Baseline: every join-term evaluation reads its relation(s); every
-        // dyadic term additionally builds an index on one side.
+        // Baseline: every join-term evaluation reads its relation(s).
         let relation_of_var = |var: &str| -> Option<Arc<str>> {
             plan.prepared
                 .range_of(var)
@@ -283,9 +389,6 @@ fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Resul
                     if let Some(rel) = relation_of_var(v) {
                         scan(&rel)?;
                     }
-                }
-                if vars.len() == 2 {
-                    metrics.record_index_build(Phase::Collection);
                 }
             }
             // Free/quantified variables whose range is read to produce
@@ -302,19 +405,6 @@ fn record_scans(plan: &QueryPlan, catalog: &Catalog, metrics: &Metrics) -> Resul
             }
         }
     }
-    if plan.strategy.parallel_scans() {
-        // Index builds: one per dyadic term of the matrix.
-        let dyadic_terms: usize = plan
-            .prepared
-            .form
-            .matrix
-            .iter()
-            .map(|c| c.terms.iter().filter(|t| t.is_dyadic()).count())
-            .sum();
-        for _ in 0..dyadic_terms {
-            metrics.record_index_build(Phase::Collection);
-        }
-    }
     Ok(())
 }
 
@@ -326,7 +416,12 @@ fn build_derived_check(
     metrics: &Metrics,
 ) -> Result<DerivedCheck, ExecError> {
     let info = resolve_var(&step.bound_var, &step.range, catalog)?;
-    let candidates = range_candidates(&info, catalog, metrics)?;
+    // Steps exist only at Strategy 4: a covering permanent index serves
+    // the (extended) range by probe instead of a scan.
+    let candidates = match range_candidates_indexed(&info, catalog, metrics)? {
+        Some(c) => c,
+        None => range_candidates(&info, catalog, metrics)?,
+    };
     let rel = catalog.relation(&info.relation)?;
 
     // Project the retained elements onto the linked bound components.
@@ -430,25 +525,63 @@ pub fn run_collection(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<CollectionOutput, ExecError> {
-    record_scans(plan, catalog, metrics)?;
-
-    // Resolve combination-phase variables and their candidates.
-    let mut var_info = BTreeMap::new();
-    let mut candidates = BTreeMap::new();
-    for var in plan.prepared.all_vars() {
+    // Resolve combination-phase variables first: which ranges a permanent
+    // index can serve decides the scan accounting below.
+    let all_vars: Vec<VarName> = plan.prepared.all_vars();
+    let mut var_info: BTreeMap<String, VarInfo> = BTreeMap::new();
+    for var in &all_vars {
         let range = plan
             .prepared
-            .range_of(&var)
+            .range_of(var)
             .ok_or_else(|| ExecError::PlanInvariant {
                 detail: format!("variable {var} has no range"),
             })?
             .clone();
-        let info = resolve_var(&var, &range, catalog)?;
-        let cands = range_candidates(&info, catalog, metrics)?;
+        var_info.insert(var.to_string(), resolve_var(var, &range, catalog)?);
+    }
+    let step_infos: Vec<VarInfo> = plan
+        .semijoin_steps
+        .iter()
+        .map(|s| resolve_var(&s.bound_var, &s.range, catalog))
+        .collect::<Result<_, _>>()?;
+
+    // Index-backed range lookups are part of the parallel repertoire
+    // (Strategy 1+); the baseline stays deliberately naive.  A relation is
+    // scan-free when *every* range over it is served by an index probe.
+    let use_index_ranges = plan.strategy.parallel_scans();
+    let mut index_served: BTreeSet<String> = BTreeSet::new();
+    if use_index_ranges {
+        let mut fully_served: BTreeMap<String, bool> = BTreeMap::new();
+        for info in var_info.values().chain(step_infos.iter()) {
+            let servable = range_probe_key(info, catalog).is_some();
+            fully_served
+                .entry(info.relation.to_string())
+                .and_modify(|all| *all &= servable)
+                .or_insert(servable);
+        }
+        index_served = fully_served
+            .into_iter()
+            .filter_map(|(rel, all)| all.then_some(rel))
+            .collect();
+    }
+    record_scans(plan, catalog, metrics, &index_served)?;
+
+    // Candidates per combination-phase variable.
+    let mut candidates = BTreeMap::new();
+    for var in &all_vars {
+        let info = &var_info[var.as_ref()];
+        let indexed = if use_index_ranges {
+            range_candidates_indexed(info, catalog, metrics)?
+        } else {
+            None
+        };
+        let cands = match indexed {
+            Some(c) => c,
+            None => range_candidates(info, catalog, metrics)?,
+        };
         metrics.record_intermediate(Phase::Collection, cands.len() as u64);
         metrics.record_structure_size(&format!("cand_{var}"), cands.len() as u64);
         candidates.insert(var.to_string(), cands);
-        var_info.insert(var.to_string(), info);
     }
 
     // Strategy 4 value lists (must run before the per-conjunction single
@@ -514,7 +647,13 @@ pub fn run_collection(
             structures.single_lists.insert(var.clone(), list);
         }
 
-        // Indirect joins for dyadic terms.
+        // Indirect joins for dyadic terms.  The assembly order the
+        // combination phase will use decides which side of an equality
+        // term gets probed — and therefore which side a covering
+        // permanent index lets us skip the whole structure for.
+        let assembly_order = crate::combine::assembly_var_order(conj, &all_vars, |v| {
+            structures.single_lists.contains_key(v)
+        });
         for term in conj.terms.iter().filter(|t| t.is_dyadic()) {
             let vars: Vec<VarName> = term.vars().into_iter().collect();
             let (left_var, right_var) = (vars[0].clone(), vars[1].clone());
@@ -570,20 +709,62 @@ pub fn run_collection(
             })?;
 
             let mut pairs = Vec::new();
-            if op == pascalr_relation::CompareOp::Eq {
-                // Hash join: index the right side by value, probe from the
-                // left (this is the paper's index + test scheme).
-                let mut index: HashMap<&Value, Vec<ElemRef>> = HashMap::new();
-                for &r in right_refs {
-                    let t = right_rel.deref(r)?;
-                    index.entry(t.get(right_idx)).or_default().push(r);
+            if op == CompareOp::Eq {
+                // The paper's index + test scheme — with the first step
+                // omitted when a permanent index exists (Section 3.2): the
+                // side assembled *later* by the combination phase is the
+                // probed one; a maintained catalog index on that component
+                // makes both the ephemeral index and the materialized
+                // indirect join unnecessary (the combination stages probe
+                // the permanent index per prefix row instead).
+                let left_pos = assembly_order
+                    .iter()
+                    .position(|v| v.as_ref() == left_var.as_ref());
+                let right_pos = assembly_order
+                    .iter()
+                    .position(|v| v.as_ref() == right_var.as_ref());
+                if let (Some(lp), Some(rp)) = (left_pos, right_pos) {
+                    let (probed_info, probed_attr) = if lp > rp {
+                        (left_info, left_attr.as_ref())
+                    } else {
+                        (right_info, right_attr.as_ref())
+                    };
+                    if let Some(use_) =
+                        catalog.permanent_index(&probed_info.relation, &[probed_attr])
+                    {
+                        if use_.rebuilt {
+                            metrics.record_index_build(Phase::Collection);
+                        }
+                        continue;
+                    }
                 }
-                for &l in left_refs {
-                    let lt = left_rel.deref(l)?;
+                // No permanent cover: build an ephemeral hash index on the
+                // smaller side and probe from the larger (the cost model
+                // knows both cardinalities; the paper leaves the choice
+                // open).  Pairs always come out as (left, right).
+                metrics.record_index_build(Phase::Collection);
+                let build_right = right_refs.len() <= left_refs.len();
+                let (build_refs, build_rel, build_idx, probe_refs, probe_rel, probe_idx) =
+                    if build_right {
+                        (
+                            right_refs, right_rel, right_idx, left_refs, left_rel, left_idx,
+                        )
+                    } else {
+                        (
+                            left_refs, left_rel, left_idx, right_refs, right_rel, right_idx,
+                        )
+                    };
+                let mut index: HashMap<&Value, Vec<ElemRef>> = HashMap::new();
+                for &b in build_refs {
+                    let t = build_rel.deref(b)?;
+                    index.entry(t.get(build_idx)).or_default().push(b);
+                }
+                for &p in probe_refs {
+                    let pt = probe_rel.deref(p)?;
                     metrics.record_index_probes(Phase::Collection, 1);
-                    if let Some(matches) = index.get(lt.get(left_idx)) {
-                        for &r in matches {
-                            pairs.push((l, r));
+                    if let Some(matches) = index.get(pt.get(probe_idx)) {
+                        for &b in matches {
+                            pairs.push(if build_right { (p, b) } else { (b, p) });
                         }
                     }
                 }

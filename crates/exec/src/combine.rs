@@ -8,11 +8,12 @@
 //! universal quantification."
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use pascalr_calculus::{Quantifier, Term, VarName};
+use pascalr_calculus::{Conjunction, Quantifier, Term, VarName};
 use pascalr_catalog::Catalog;
 use pascalr_planner::QueryPlan;
-use pascalr_relation::{CompareOp, ElemRef, Value};
+use pascalr_relation::{CompareOp, ElemRef, HashIndex, Value};
 use pascalr_storage::{Metrics, Phase};
 
 use crate::collection::{CollectionOutput, ConjStructures};
@@ -82,6 +83,26 @@ pub(crate) struct EqProbe {
     var_is_left: bool,
 }
 
+/// A **permanent-index** probe: used when the collection phase skipped
+/// materializing the indirect join of an equality term because the
+/// catalog's maintained index already covers the probe side (Section 3.2:
+/// "The first step can be omitted, if permanent indexes exist").  Per
+/// prefix row the prior column's component value is read and the permanent
+/// index is probed by value; candidate-set membership and the connecting
+/// term checks in [`Stage::admits`] keep the narrowing exact.
+#[derive(Debug)]
+pub(crate) struct PermProbe {
+    /// The maintained hash index over the stage variable's component.
+    index: Arc<HashIndex>,
+    /// Column (within the prior variables) holding the probing reference.
+    other_col: usize,
+    /// Relation of the prior column's variable.
+    other_rel: Arc<str>,
+    /// Component index (in that relation's schema) whose value probes the
+    /// index.
+    other_attr: usize,
+}
+
 /// A dyadic term connecting a stage's variable to an earlier column.
 #[derive(Debug)]
 pub(crate) struct StageCheck {
@@ -108,11 +129,12 @@ pub(crate) struct Stage {
     /// variables, the full candidate set for expansion variables.
     candidates: Vec<ElemRef>,
     /// The same candidates as a set (membership filter after an indirect-
-    /// join probe, which may return references other monadic terms
-    /// filtered out at Strategy 0/1).
+    /// join or permanent-index probe, which may return references other
+    /// monadic terms filtered out).
     cand_set: HashSet<ElemRef>,
     checks: Vec<StageCheck>,
     eq_probe: Option<EqProbe>,
+    perm_probe: Option<PermProbe>,
 }
 
 impl Stage {
@@ -122,32 +144,40 @@ impl Stage {
     }
 
     /// The candidate references to try against `row`.  With an equality
-    /// indirect join available this probes its reference map (recording the
-    /// probe when `record_probe` is set — streaming callers touch the same
-    /// row repeatedly and must record it only once); otherwise the full
-    /// candidate list is returned.
+    /// indirect join available this probes its reference map; with a
+    /// covering permanent index it probes the maintained index by value
+    /// (recording the probe when `record_probe` is set — streaming callers
+    /// touch the same row repeatedly and must record it only once);
+    /// otherwise the full candidate list is returned.
     pub(crate) fn probe<'s>(
         &'s self,
         row: &[ElemRef],
         structures: &'s ConjStructures,
+        catalog: &Catalog,
         metrics: &Metrics,
         record_probe: bool,
-    ) -> &'s [ElemRef] {
-        match &self.eq_probe {
-            Some(p) => {
-                let ij = &structures.indirect_joins[p.ij];
-                let map = if p.var_is_left {
-                    &ij.by_right
-                } else {
-                    &ij.by_left
-                };
-                if record_probe {
-                    metrics.record_index_probes(Phase::Combination, 1);
-                }
-                map.get(&row[p.other_col]).map(Vec::as_slice).unwrap_or(&[])
+    ) -> Result<&'s [ElemRef], ExecError> {
+        if let Some(p) = &self.eq_probe {
+            let ij = &structures.indirect_joins[p.ij];
+            let map = if p.var_is_left {
+                &ij.by_right
+            } else {
+                &ij.by_left
+            };
+            if record_probe {
+                metrics.record_index_probes(Phase::Combination, 1);
             }
-            None => &self.candidates,
+            return Ok(map.get(&row[p.other_col]).map(Vec::as_slice).unwrap_or(&[]));
         }
+        if let Some(p) = &self.perm_probe {
+            let rel = catalog.relation(&p.other_rel)?;
+            let value = rel.deref(row[p.other_col])?.get(p.other_attr);
+            if record_probe {
+                metrics.record_index_probes(Phase::Combination, 1);
+            }
+            return Ok(p.index.probe_value(value));
+        }
+        Ok(&self.candidates)
     }
 
     /// Whether `cand` extends `row` (candidate-set membership plus every
@@ -163,7 +193,8 @@ impl Stage {
         if self.checks.is_empty() {
             return Ok(true);
         }
-        if self.eq_probe.is_some() && !self.cand_set.contains(&cand) {
+        if (self.eq_probe.is_some() || self.perm_probe.is_some()) && !self.cand_set.contains(&cand)
+        {
             return Ok(false);
         }
         for check in &self.checks {
@@ -200,53 +231,38 @@ pub(crate) fn base_refrel() -> RefRel {
     base
 }
 
-/// Precomputes the assembly stages of one conjunction.
-///
-/// Support variables (those with a single list in this conjunction) come
-/// first, ordered so that each one after the first connects to an earlier
-/// one through a dyadic term whenever possible (keeps partial results
-/// joined instead of multiplied); the expansion variables the conjunction
-/// does not mention follow in `all_vars` order, pairing with every
-/// candidate of their range ("n-tuples of references where n is the number
-/// of variables in the selection expression").
+/// The variable order one conjunction's stages assemble in: the shared
+/// [`pascalr_optimizer::assembly_order`] with the executor's ground-truth
+/// support predicate — "the variable has a single list in this
+/// conjunction".  The collection phase calls this too, to predict which
+/// side of an equality term the combination phase will probe (the side a
+/// covering permanent index lets it skip materializing the indirect join
+/// for), and the planner/cost model mirror the same decision procedure at
+/// plan time.
+pub(crate) fn assembly_var_order(
+    conj: &Conjunction,
+    all_vars: &[VarName],
+    has_single_list: impl Fn(&str) -> bool,
+) -> Vec<VarName> {
+    pascalr_optimizer::assembly_order(conj, all_vars, has_single_list)
+}
+
+/// Precomputes the assembly stages of one conjunction (see
+/// [`assembly_var_order`] for the stage order).  The catalog is consulted
+/// for covering permanent indexes: an equality term whose indirect join
+/// the collection phase skipped gets a [`PermProbe`] against the
+/// maintained index instead.
 pub(crate) fn conjunction_assembly(
     plan: &QueryPlan,
     ci: usize,
     all_vars: &[VarName],
     collection: &CollectionOutput,
+    catalog: &Catalog,
 ) -> ConjAssembly {
     let conj = &plan.prepared.form.matrix[ci];
     let structures = &collection.per_conjunction[ci];
 
-    let mut support: Vec<VarName> = all_vars
-        .iter()
-        .filter(|v| structures.single_lists.contains_key(v.as_ref()))
-        .cloned()
-        .collect();
-    let connected = |a: &VarName, b: &VarName| -> bool {
-        conj.terms
-            .iter()
-            .filter(|t| t.is_dyadic())
-            .any(|t| t.mentions(a) && t.mentions(b))
-    };
-    let mut order: Vec<VarName> = Vec::with_capacity(all_vars.len());
-    if !support.is_empty() {
-        // Start with the variable involved in the most dyadic terms.
-        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
-        order.push(support.remove(0));
-        while !support.is_empty() {
-            let next = support
-                .iter()
-                .position(|v| order.iter().any(|o| connected(o, v)))
-                .unwrap_or(0);
-            order.push(support.remove(next));
-        }
-    }
-    for var in all_vars {
-        if !order.iter().any(|v| v.as_ref() == var.as_ref()) {
-            order.push(var.clone());
-        }
-    }
+    let order = assembly_var_order(conj, all_vars, |v| structures.single_lists.contains_key(v));
 
     let mut stages = Vec::with_capacity(order.len());
     for (i, var) in order.iter().enumerate() {
@@ -301,9 +317,33 @@ pub(crate) fn conjunction_assembly(
                     })
                 })
         };
+        // No materialized indirect join for an equality check: the
+        // collection phase skipped it because a permanent index covers the
+        // stage variable's component — probe the maintained index instead.
+        let perm_probe = if eq_probe.is_some() {
+            None
+        } else {
+            checks.iter().find_map(|check| {
+                let (var_attr, op, _, other_attr) = check.term.as_dyadic_over(var)?;
+                if op != CompareOp::Eq {
+                    return None;
+                }
+                let var_info = collection.var_info.get(var.as_ref())?;
+                let other_info = collection.var_info.get(check.other.as_ref())?;
+                let other_idx = other_info.schema.attr_index(&other_attr)?;
+                let use_ = catalog.permanent_index(&var_info.relation, &[&var_attr])?;
+                Some(PermProbe {
+                    index: use_.index,
+                    other_col: check.other_col,
+                    other_rel: other_info.relation.clone(),
+                    other_attr: other_idx,
+                })
+            })
+        };
         // The membership filter is only consulted after an indirect-join
-        // probe; don't build the set for product stages or plain scans.
-        let cand_set: HashSet<ElemRef> = if eq_probe.is_some() {
+        // or permanent-index probe; don't build the set for product stages
+        // or plain scans.
+        let cand_set: HashSet<ElemRef> = if eq_probe.is_some() || perm_probe.is_some() {
             candidates.iter().copied().collect()
         } else {
             HashSet::new()
@@ -314,6 +354,7 @@ pub(crate) fn conjunction_assembly(
             cand_set,
             checks,
             eq_probe,
+            perm_probe,
         });
     }
 
@@ -340,7 +381,7 @@ pub(crate) fn apply_stage(
         vars.push(stage.var.clone());
         let mut next = RefRel::new(vars);
         for row in current.rows() {
-            let cands = stage.probe(row, structures, metrics, true);
+            let cands = stage.probe(row, structures, catalog, metrics, true)?;
             for &cand in cands {
                 if stage.admits(cand, row, collection, catalog, metrics)? {
                     let mut new_row = row.to_vec();
@@ -365,7 +406,7 @@ fn conjunction_refrel(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<RefRel, ExecError> {
-    let assembly = conjunction_assembly(plan, ci, all_vars, collection);
+    let assembly = conjunction_assembly(plan, ci, all_vars, collection, catalog);
     let structures = &collection.per_conjunction[ci];
     let mut current = base_refrel();
     for stage in &assembly.stages {

@@ -161,7 +161,7 @@ impl ConjStream {
         catalog: &Catalog,
         metrics: &Metrics,
     ) -> Result<ConjStream, ExecError> {
-        let assembly = conjunction_assembly(query_plan, ci, all_vars, collection);
+        let assembly = conjunction_assembly(query_plan, ci, all_vars, collection, catalog);
         debug_assert!(
             !assembly.stages.is_empty(),
             "a selection always has at least one free variable"
@@ -206,7 +206,7 @@ impl ConjStream {
             let Some(row) = self.prefix.row(self.row_idx) else {
                 return Ok(None);
             };
-            let cands = last.probe(row, structures, metrics, self.cand_idx == 0);
+            let cands = last.probe(row, structures, catalog, metrics, self.cand_idx == 0)?;
             while self.cand_idx < cands.len() {
                 let cand = cands[self.cand_idx];
                 self.cand_idx += 1;

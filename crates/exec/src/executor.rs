@@ -69,7 +69,11 @@ pub(crate) fn violated_extended_range(
             schema: catalog.relation(&range.relation)?.schema().clone(),
             range: range.clone(),
         };
-        let candidates = crate::collection::range_candidates(&info, catalog, &metrics)?;
+        let candidates =
+            match crate::collection::range_candidates_indexed(&info, catalog, &metrics)? {
+                Some(c) => c,
+                None => crate::collection::range_candidates(&info, catalog, &metrics)?,
+            };
         Ok(candidates.is_empty())
     };
 

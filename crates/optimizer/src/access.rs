@@ -1,0 +1,190 @@
+//! Shared access-path decisions: which permanent index serves a range or a
+//! join term, and the order a conjunction's combination stages assemble
+//! in.
+//!
+//! Planner (`used_indexes` in `explain()`), cost model (zeroed build/scan
+//! cost) and executor (index-backed collection/combination) must agree on
+//! these questions, so the answers live in one place: each caller supplies
+//! its own notion of "support variable" or index list and gets the same
+//! decision procedure.
+
+use std::sync::Arc;
+
+use pascalr_calculus::{Conjunction, Formula, Operand, RangeExpr, VarName};
+use pascalr_catalog::IndexDecl;
+use pascalr_relation::CompareOp;
+
+/// Collects the `(component, operand)` pairs of the top-level AND-ed
+/// equality conjuncts of a restriction formula over `var` — the
+/// `selected`-variable shape `rel[keyval]` reduces to.  Constants and
+/// `:param` placeholders alike: parameters are bound before execution, so
+/// the *shape* decides whether an index probe can serve the range.
+/// Duplicate components keep their first operand.
+pub fn eq_conjunct_operands(formula: &Formula, var: &str) -> Vec<(Arc<str>, Operand)> {
+    fn go(formula: &Formula, var: &str, out: &mut Vec<(Arc<str>, Operand)>) {
+        match formula {
+            Formula::Term(t) => {
+                if let Some((attr, CompareOp::Eq, operand)) = t.as_monadic_scalar(var) {
+                    if !out.iter().any(|(a, _)| a.as_ref() == attr.as_ref()) {
+                        out.push((attr, operand));
+                    }
+                }
+            }
+            Formula::And(parts) => {
+                for p in parts {
+                    go(p, var, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    go(formula, var, &mut out);
+    out
+}
+
+/// The declared indexes that can serve `range` for `var` by probe: every
+/// indexed component has an equality conjunct in the restriction.
+/// Declaration order is preserved; an unrestricted range is served by
+/// nothing.
+pub fn covering_range_indexes<'a>(
+    decls: impl IntoIterator<Item = &'a IndexDecl>,
+    range: &RangeExpr,
+    var: &str,
+) -> Vec<&'a IndexDecl> {
+    let Some(restriction) = &range.restriction else {
+        return Vec::new();
+    };
+    let eqs = eq_conjunct_operands(restriction, var);
+    if eqs.is_empty() {
+        return Vec::new();
+    }
+    decls
+        .into_iter()
+        .filter(|decl| {
+            decl.relation == range.relation.as_ref()
+                && decl
+                    .attributes
+                    .iter()
+                    .all(|a| eqs.iter().any(|(attr, _)| attr.as_ref() == a.as_str()))
+        })
+        .collect()
+}
+
+/// The variable order one conjunction's combination stages assemble in —
+/// the executor's ground truth, parameterized by the caller's support
+/// predicate (the executor passes "has a single list in this
+/// conjunction"; plan-time callers pass "the conjunction mentions the
+/// variable or a Strategy 4 derived predicate targets it here", which is
+/// how the executor's single lists come to exist).
+///
+/// Support variables come first, ordered so that each one after the first
+/// connects to an earlier one through a dyadic term whenever possible
+/// (keeps partial results joined instead of multiplied); the remaining
+/// variables follow in `all_vars` order.  For an equality join term, the
+/// *later* of its two variables in this order is the probed side — the
+/// side a covering permanent index lets the executor skip the indirect
+/// join for.
+pub fn assembly_order(
+    conj: &Conjunction,
+    all_vars: &[VarName],
+    is_support: impl Fn(&str) -> bool,
+) -> Vec<VarName> {
+    let mut support: Vec<VarName> = all_vars
+        .iter()
+        .filter(|v| is_support(v.as_ref()))
+        .cloned()
+        .collect();
+    let connected = |a: &VarName, b: &VarName| -> bool {
+        conj.terms
+            .iter()
+            .filter(|t| t.is_dyadic())
+            .any(|t| t.mentions(a) && t.mentions(b))
+    };
+    let mut order: Vec<VarName> = Vec::with_capacity(all_vars.len());
+    if !support.is_empty() {
+        // Start with the variable involved in the most dyadic terms.
+        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
+        order.push(support.remove(0));
+        while !support.is_empty() {
+            let next = support
+                .iter()
+                .position(|v| order.iter().any(|o| connected(o, v)))
+                .unwrap_or(0);
+            order.push(support.remove(next));
+        }
+    }
+    for var in all_vars {
+        if !order.iter().any(|v| v.as_ref() == var.as_ref()) {
+            order.push(var.clone());
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_calculus::Term;
+
+    fn eq_term(var: &str, attr: &str, value: i64) -> Formula {
+        Formula::Term(Term::cmp(
+            Operand::comp(var, attr),
+            CompareOp::Eq,
+            Operand::constant(value),
+        ))
+    }
+
+    #[test]
+    fn eq_conjuncts_collect_top_level_ands_first_wins() {
+        let f = Formula::and(vec![
+            eq_term("p", "pyear", 1977),
+            eq_term("p", "penr", 3),
+            eq_term("p", "pyear", 1975), // duplicate component: first wins
+            eq_term("q", "pyear", 1976), // other variable: ignored
+            // Under a (non-collapsing) disjunction: ignored.
+            Formula::or(vec![eq_term("p", "ptitle", 1), eq_term("p", "ptitle", 2)]),
+        ]);
+        let eqs = eq_conjunct_operands(&f, "p");
+        let attrs: Vec<&str> = eqs.iter().map(|(a, _)| a.as_ref()).collect();
+        assert_eq!(attrs, vec!["pyear", "penr"]);
+        assert_eq!(eqs[0].1, Operand::constant(1977i64));
+    }
+
+    #[test]
+    fn covering_indexes_require_every_component_restricted() {
+        let decls = vec![
+            IndexDecl {
+                name: "pyearidx".into(),
+                relation: "papers".into(),
+                attributes: vec!["pyear".into()],
+            },
+            IndexDecl {
+                name: "pairidx".into(),
+                relation: "papers".into(),
+                attributes: vec!["penr".into(), "pyear".into()],
+            },
+            IndexDecl {
+                name: "titleidx".into(),
+                relation: "papers".into(),
+                attributes: vec!["ptitle".into()],
+            },
+            IndexDecl {
+                name: "other".into(),
+                relation: "employees".into(),
+                attributes: vec!["pyear".into()],
+            },
+        ];
+        let range = RangeExpr::restricted(
+            "papers",
+            Formula::and(vec![eq_term("p", "pyear", 1977), eq_term("p", "penr", 3)]),
+        );
+        let names: Vec<&str> = covering_range_indexes(&decls, &range, "p")
+            .into_iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["pyearidx", "pairidx"]);
+        // Unrestricted ranges are never index-served.
+        assert!(covering_range_indexes(&decls, &RangeExpr::relation("papers"), "p").is_empty());
+    }
+}

@@ -14,7 +14,9 @@
 use serde::{Deserialize, Serialize};
 
 use pascalr_calculus::{Conjunction, Quantifier, RangeExpr, StandardizedSelection, Term, VarName};
+use pascalr_relation::CompareOp;
 
+use crate::access::{assembly_order, covering_range_indexes};
 use crate::selectivity::{dyadic_selectivity, monadic_selectivity, restriction_selectivity};
 use crate::view::StatsView;
 
@@ -111,6 +113,12 @@ pub struct SemijoinInfo {
     pub links: usize,
     /// The target variable the derived predicate applies to.
     pub target_var: VarName,
+    /// Index of the conjunction the step's terms were taken from.  The
+    /// executor builds a single list for the target variable in that
+    /// conjunction, which makes it a *support* variable of the stage
+    /// assembly — the model mirrors this when predicting the assembly
+    /// order (and therefore which side of an equality term is probed).
+    pub conjunction: usize,
 }
 
 /// Estimated output cardinality of one conjunction of the matrix.
@@ -144,6 +152,13 @@ pub fn range_rows_estimate(range: &RangeExpr, var: &str, stats: &StatsView) -> f
     }
 }
 
+/// Whether a permanent index can serve the restricted range by probe
+/// (mirrors the executor's `range_candidates_indexed` shape check via the
+/// shared [`covering_range_indexes`]).
+pub fn range_index_served(range: &RangeExpr, var: &str, stats: &StatsView) -> bool {
+    !covering_range_indexes(stats.indexes(), range, var).is_empty()
+}
+
 /// Per-conjunction effective candidate count for `var`: its range rows
 /// further restricted by the conjunction's monadic terms over it.
 fn effective_rows(var: &VarName, range: &RangeExpr, conj: &Conjunction, stats: &StatsView) -> f64 {
@@ -154,40 +169,23 @@ fn effective_rows(var: &VarName, range: &RangeExpr, conj: &Conjunction, stats: &
     rows.max(0.0)
 }
 
-/// Mirrors the executor's assembly order for one conjunction: support
-/// variables (those the conjunction mentions) sorted by descending dyadic
-/// degree, then greedily connected; expansion variables follow in
-/// declaration order.
-fn assembly_order(conj: &Conjunction, all_vars: &[VarName]) -> Vec<VarName> {
-    let mut support: Vec<VarName> = all_vars
-        .iter()
-        .filter(|v| conj.mentions(v))
-        .cloned()
-        .collect();
-    let connected = |a: &VarName, b: &VarName| -> bool {
-        conj.terms
-            .iter()
-            .filter(|t| t.is_dyadic())
-            .any(|t| t.mentions(a) && t.mentions(b))
-    };
-    let mut order: Vec<VarName> = Vec::with_capacity(all_vars.len());
-    if !support.is_empty() {
-        support.sort_by_key(|v| std::cmp::Reverse(conj.dyadic_terms_over(v).len()));
-        order.push(support.remove(0));
-        while !support.is_empty() {
-            let next = support
+/// The predicted assembly order of conjunction `ci`: the shared
+/// [`assembly_order`] with the plan-time support predicate — the executor
+/// builds a single list for every variable the conjunction mentions plus
+/// every Strategy 4 derived-predicate target in the conjunction, so those
+/// are the support variables here too.
+fn predicted_order(
+    conj: &Conjunction,
+    ci: usize,
+    all_vars: &[VarName],
+    steps: &[SemijoinInfo],
+) -> Vec<VarName> {
+    assembly_order(conj, all_vars, |v| {
+        conj.mentions(v)
+            || steps
                 .iter()
-                .position(|v| order.iter().any(|o| connected(o, v)))
-                .unwrap_or(0);
-            order.push(support.remove(next));
-        }
-    }
-    for var in all_vars {
-        if !order.iter().any(|v| v.as_ref() == var.as_ref()) {
-            order.push(var.clone());
-        }
-    }
-    order
+                .any(|s| s.conjunction == ci && s.target_var.as_ref() == v)
+    })
 }
 
 /// Predicts the cost of executing `prepared` (plus the given Strategy 4
@@ -227,15 +225,34 @@ pub fn estimate_plan(
 
     // --- Collection phase: scans and monadic filtering ------------------
     if features.parallel_scans {
-        // One scan per distinct relation (ranges and step ranges alike).
-        let mut seen: Vec<&str> = Vec::new();
-        for rel in ranges
+        // One scan per distinct relation (ranges and step ranges alike) —
+        // except relations whose every range lookup a permanent index
+        // serves by probe: those pay point reads for the estimated
+        // matches instead of a scan (the executor skips the scan too).
+        let lookups: Vec<(&str, &RangeExpr)> = ranges
             .iter()
-            .map(|(_, r)| r.relation.as_ref())
-            .chain(steps.iter().map(|s| s.range.relation.as_ref()))
-        {
-            if !seen.contains(&rel) {
-                seen.push(rel);
+            .map(|(v, r)| (v.as_ref(), r))
+            .chain(steps.iter().map(|s| (s.bound_var.as_ref(), &s.range)))
+            .collect();
+        let mut seen: Vec<&str> = Vec::new();
+        for &(_, range) in &lookups {
+            let rel = range.relation.as_ref();
+            if seen.contains(&rel) {
+                continue;
+            }
+            seen.push(rel);
+            let over_rel: Vec<&(&str, &RangeExpr)> = lookups
+                .iter()
+                .filter(|(_, r)| r.relation.as_ref() == rel)
+                .collect();
+            if over_rel
+                .iter()
+                .all(|(v, r)| range_index_served(r, v, stats))
+            {
+                for (v, r) in over_rel {
+                    cost.tuples_read += range_rows_estimate(r, v, stats);
+                }
+            } else {
                 cost.tuples_read += stats.cardinality(rel);
             }
         }
@@ -263,6 +280,52 @@ pub fn estimate_plan(
         }
     }
 
+    // Ephemeral index builds for equality join terms: the collection phase
+    // hashes the smaller side of every equality indirect join — unless a
+    // permanent index covers the side the combination phase will probe, in
+    // which case neither the index nor the join pairs are materialized
+    // (Section 3.2's omitted first step); the predicted build cost is
+    // zeroed accordingly.
+    for (ci, conj) in prepared.form.matrix.iter().enumerate() {
+        let order = predicted_order(conj, ci, &all_vars, steps);
+        for term in conj.terms.iter().filter(|t| t.is_dyadic()) {
+            let tvars: Vec<VarName> = term.vars().into_iter().collect();
+            if tvars.len() != 2 {
+                continue;
+            }
+            let Some((a_attr, op, _, b_attr)) = term.as_dyadic_over(&tvars[0]) else {
+                continue;
+            };
+            if op != CompareOp::Eq {
+                continue;
+            }
+            let (Some(range_a), Some(range_b)) = (range_of(&tvars[0]), range_of(&tvars[1])) else {
+                // One side is evaluated by a Strategy 4 step: no indirect
+                // join, no index.
+                continue;
+            };
+            let pos_a = order.iter().position(|v| v.as_ref() == tvars[0].as_ref());
+            let pos_b = order.iter().position(|v| v.as_ref() == tvars[1].as_ref());
+            let (probed_rel, probed_attr) = if pos_a > pos_b {
+                (range_a.relation.as_ref(), a_attr.as_ref())
+            } else {
+                (range_b.relation.as_ref(), b_attr.as_ref())
+            };
+            if stats.has_index_on(probed_rel, &[probed_attr]) {
+                continue;
+            }
+            let side = |var: &VarName, range: &RangeExpr| -> f64 {
+                if features.one_step {
+                    effective_rows(var, range, conj, stats)
+                } else {
+                    range_rows_estimate(range, var, stats)
+                }
+            };
+            // Hash entries materialized for the smaller side.
+            cost.intermediates += side(&tvars[0], range_a).min(side(&tvars[1], range_b));
+        }
+    }
+
     // --- Strategy 4 steps: value lists built during collection ----------
     for step in steps {
         let mut vl = range_rows_estimate(&step.range, &step.bound_var, stats);
@@ -283,7 +346,7 @@ pub fn estimate_plan(
     let mut per_conjunction = Vec::with_capacity(prepared.form.matrix.len());
     let mut union_rows = 0.0f64;
     for (ci, conj) in prepared.form.matrix.iter().enumerate() {
-        let order = assembly_order(conj, &all_vars);
+        let order = predicted_order(conj, ci, &all_vars, steps);
         let mut rows = 1.0f64;
         for (i, var) in order.iter().enumerate() {
             let Some(range) = range_of(var) else { continue };

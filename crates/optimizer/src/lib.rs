@@ -17,7 +17,10 @@
 //!   strategy features it predicts the paper's observable costs (tuples
 //!   read, comparisons, intermediate tuples, dereferences — the same
 //!   counters `pascalr-storage` records at runtime) by simulating the
-//!   combination-phase stage assembly numerically.
+//!   combination-phase stage assembly numerically;
+//! * [`access`] — the shared access-path decisions (which permanent index
+//!   serves a range or join term, and the conjunction assembly order)
+//!   that planner, cost model and executor must answer identically.
 //!
 //! The planner (one crate up) evaluates the model once per candidate
 //! strategy level and ordering and picks the cheapest; the estimates ride
@@ -27,10 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod access;
 pub mod cost;
 pub mod selectivity;
 pub mod view;
 
+pub use access::{assembly_order, covering_range_indexes, eq_conjunct_operands};
 pub use cost::{
     estimate_plan, ConjunctionEstimate, CostEstimate, CostWeights, PlanEstimate, SemijoinInfo,
     StrategyFeatures,

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use pascalr_catalog::{Catalog, RelationStats};
+use pascalr_catalog::{Catalog, IndexDecl, RelationStats};
 
 /// The statistics available to the optimizer for one planning pass.
 ///
@@ -15,10 +15,16 @@ use pascalr_catalog::{Catalog, RelationStats};
 /// optimizer deliberately behaves like a statistics-driven system, so its
 /// decisions change exactly when the stats epoch does, never silently in
 /// between.
+///
+/// The view also carries the catalog's **permanent index declarations**, so
+/// the cost model can zero out predicted index-build and scan cost for
+/// covered dyadic terms and index-served ranges (Section 3.2: "The first
+/// step can be omitted, if permanent indexes exist").
 #[derive(Debug, Clone, Default)]
 pub struct StatsView {
     analyzed: BTreeMap<String, Arc<RelationStats>>,
     live_cardinality: BTreeMap<String, u64>,
+    indexes: Vec<IndexDecl>,
 }
 
 impl StatsView {
@@ -34,6 +40,7 @@ impl StatsView {
                 view.analyzed.insert(name.to_string(), stats.clone());
             }
         }
+        view.indexes = catalog.indexes().cloned().collect();
         view
     }
 
@@ -70,6 +77,16 @@ impl StatsView {
             .and_then(|s| s.column(attr))
             .map(|c| c.distinct as f64)
     }
+
+    /// The permanent index declarations snapshotted from the catalog.
+    pub fn indexes(&self) -> &[IndexDecl] {
+        &self.indexes
+    }
+
+    /// Whether a permanent index exists on exactly `relation(attributes)`.
+    pub fn has_index_on(&self, relation: &str, attributes: &[&str]) -> bool {
+        self.indexes.iter().any(|i| i.covers(relation, attributes))
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +112,19 @@ mod tests {
         assert_eq!(view.cardinality("employees"), 6.0);
         assert_eq!(view.distinct("employees", "enr"), Some(6.0));
         assert_eq!(view.cardinality("papers"), 0.0);
+    }
+
+    #[test]
+    fn view_carries_the_permanent_index_declarations() {
+        let mut cat = figure1_sample_database().unwrap();
+        assert!(StatsView::from_catalog(&cat).indexes().is_empty());
+        cat.declare_index("enrindex", "employees", &["enr"])
+            .unwrap();
+        let view = StatsView::from_catalog(&cat);
+        assert_eq!(view.indexes().len(), 1);
+        assert!(view.has_index_on("employees", &["enr"]));
+        assert!(!view.has_index_on("employees", &["ename"]));
+        assert!(!view.has_index_on("papers", &["enr"]));
+        assert!(!StatsView::empty().has_index_on("employees", &["enr"]));
     }
 }

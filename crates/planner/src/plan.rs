@@ -174,6 +174,14 @@ pub struct QueryPlan {
     pub dropped_vars: Vec<VarName>,
     /// Free-form notes accumulated during planning (shown by `explain`).
     pub notes: Vec<String>,
+    /// Names of the permanent catalog indexes the plan relies on: indexes
+    /// that serve a restricted range by probe, or cover the probed side of
+    /// an equality join term so that no per-query index is built for it.
+    /// Informational (the executor consults the live catalog at run time);
+    /// shown by [`QueryPlan::explain`].  The plan epoch advances on every
+    /// `create_index`/`drop_index`, so a cached plan's list can never go
+    /// stale.
+    pub used_indexes: Vec<String>,
     /// Optional hint that the consumer intends to read at most this many
     /// result tuples.  A streaming executor may stop all remaining
     /// combination/construction work once the budget is reached; the hint
@@ -201,6 +209,7 @@ impl PartialEq for QueryPlan {
             && self.scan_order == other.scan_order
             && self.dropped_vars == other.dropped_vars
             && self.notes == other.notes
+            && self.used_indexes == other.used_indexes
             && self.row_budget == other.row_budget
     }
 }
@@ -288,6 +297,12 @@ impl QueryPlan {
                 .collect::<Vec<_>>()
                 .join(" -> ")
         ));
+        if !self.used_indexes.is_empty() {
+            out.push_str(&format!(
+                "permanent indexes: {}\n",
+                self.used_indexes.join(", ")
+            ));
+        }
         out.push_str(&format!(
             "combination output: {}\n",
             if self.combination_streams() {
@@ -426,6 +441,7 @@ impl QueryPlan {
             scan_order: self.scan_order.clone(),
             dropped_vars: self.dropped_vars.clone(),
             notes: self.notes.clone(),
+            used_indexes: self.used_indexes.clone(),
             row_budget: self.row_budget,
             // Binding substitutes constants without changing the plan
             // shape; the advisory estimates carry over unchanged.

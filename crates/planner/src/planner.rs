@@ -295,6 +295,87 @@ fn choose_scan_order(
     relations.into_iter().map(|(r, _)| r).collect()
 }
 
+/// Names of the permanent catalog indexes the plan's execution will rely
+/// on: indexes serving a restricted range by probe (the index-backed
+/// range path exists from Strategy 1 up — the baseline stays deliberately
+/// naive), and indexes covering the *probed* side of an equality join
+/// term — the side assembled later by the combination phase, whose
+/// indirect join the executor then skips.  Both decisions go through the
+/// shared `pascalr_optimizer::access` helpers so planner, cost model and
+/// executor agree.
+fn indexes_relied_on(
+    prepared: &StandardizedSelection,
+    steps: &[SemijoinStep],
+    derived_predicates: &[Vec<usize>],
+    strategy: StrategyLevel,
+    catalog: &Catalog,
+) -> Vec<String> {
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let decls: Vec<&pascalr_catalog::IndexDecl> = catalog.indexes().collect();
+
+    if strategy.parallel_scans() {
+        let mut serve_range = |var: &str, range: &pascalr_calculus::RangeExpr| {
+            // The executor probes the *first* covering declaration
+            // (`range_probe_key`); name exactly that one.
+            if let Some(decl) =
+                pascalr_optimizer::covering_range_indexes(decls.iter().copied(), range, var)
+                    .into_iter()
+                    .next()
+            {
+                used.insert(decl.name.clone());
+            }
+        };
+        for d in &prepared.free {
+            serve_range(&d.var, &d.range);
+        }
+        for p in &prepared.form.prefix {
+            serve_range(&p.var, &p.range);
+        }
+        for s in steps {
+            serve_range(&s.bound_var, &s.range);
+        }
+    }
+
+    let all_vars = prepared.all_vars();
+    for (ci, conj) in prepared.form.matrix.iter().enumerate() {
+        let order = pascalr_optimizer::assembly_order(conj, &all_vars, |v| {
+            conj.mentions(v)
+                || derived_predicates
+                    .get(ci)
+                    .is_some_and(|preds| preds.iter().any(|&s| steps[s].target_var.as_ref() == v))
+        });
+        for term in conj.terms.iter().filter(|t| t.is_dyadic()) {
+            let tvars: Vec<pascalr_calculus::VarName> = term.vars().into_iter().collect();
+            if tvars.len() != 2 {
+                continue;
+            }
+            let Some((a_attr, op, _, b_attr)) = term.as_dyadic_over(&tvars[0]) else {
+                continue;
+            };
+            if op != CompareOp::Eq {
+                continue;
+            }
+            let pos_a = order.iter().position(|v| v.as_ref() == tvars[0].as_ref());
+            let pos_b = order.iter().position(|v| v.as_ref() == tvars[1].as_ref());
+            let (probed_var, probed_attr) = if pos_a > pos_b {
+                (&tvars[0], a_attr)
+            } else {
+                (&tvars[1], b_attr)
+            };
+            let Some(range) = prepared.range_of(probed_var) else {
+                continue;
+            };
+            for decl in &decls {
+                if decl.covers(range.relation.as_ref(), &[probed_attr.as_ref()]) {
+                    used.insert(decl.name.clone());
+                }
+            }
+        }
+    }
+
+    used.into_iter().collect()
+}
+
 /// Builds the query plan for a selection at a strategy level.
 ///
 /// [`StrategyLevel::Auto`] runs the cost model over all five fixed levels
@@ -376,6 +457,7 @@ pub(crate) fn plan_fixed(
             monadic_filters: s.monadic_filters.clone(),
             links: s.links.len(),
             target_var: s.target_var.clone(),
+            conjunction: s.conjunction,
         })
         .collect();
     let prediction =
@@ -389,6 +471,14 @@ pub(crate) fn plan_fixed(
         auto_selected: false,
     });
 
+    let used_indexes = indexes_relied_on(
+        &prepared,
+        &semijoin_steps,
+        &derived_predicates,
+        strategy,
+        catalog,
+    );
+
     QueryPlan {
         strategy,
         original: selection.clone(),
@@ -399,6 +489,7 @@ pub(crate) fn plan_fixed(
         scan_order,
         dropped_vars,
         notes,
+        used_indexes,
         row_budget: None,
         estimates,
     }

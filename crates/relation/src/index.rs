@@ -72,6 +72,19 @@ impl HashIndex {
         Self::build(name, rel, on, |_| true)
     }
 
+    /// Adds one element to the index without rebuilding it: the incremental
+    /// maintenance step a *permanent* index performs on `rel :+ [tuple]`
+    /// (Example 3.1 keeps `enrindex` as a regular relation updated alongside
+    /// `employees`).  The reference must belong to `rel` and resolve to a
+    /// live element.
+    pub fn insert_ref(&mut self, rel: &Relation, elem: ElemRef) -> Result<(), RelationError> {
+        let tuple = rel.deref(elem)?;
+        let key = Key::new(self.on.iter().map(|&c| tuple.get(c).clone()).collect());
+        self.map.entry(key).or_default().push(elem);
+        self.entries += 1;
+        Ok(())
+    }
+
     /// Looks up the references of elements whose indexed components equal
     /// `key`.
     pub fn probe(&self, key: &Key) -> &[ElemRef] {
@@ -186,6 +199,27 @@ mod tests {
         assert_eq!(idx.entry_count(), 2);
         assert_eq!(idx.probe_value(&Value::int(10)).len(), 1);
         assert_eq!(idx.probe_value(&Value::int(11)).len(), 0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_a_full_rebuild() {
+        let mut tt = timetable();
+        let mut idx = HashIndex::build_full("ind_t_cnr", &tt, &["tcnr"]).unwrap();
+        let out = tt
+            .insert(Tuple::new(vec![
+                Value::int(4),
+                Value::int(10),
+                Value::int(5),
+            ]))
+            .unwrap();
+        idx.insert_ref(&tt, out.elem_ref()).unwrap();
+        let rebuilt = HashIndex::build_full("ind_t_cnr", &tt, &["tcnr"]).unwrap();
+        assert_eq!(idx.entry_count(), rebuilt.entry_count());
+        assert_eq!(idx.distinct_values(), rebuilt.distinct_values());
+        assert_eq!(idx.probe_value(&Value::int(10)).len(), 3);
+        // A dangling reference is rejected instead of silently indexed.
+        let bogus = ElemRef::new(tt.id(), crate::refs::RowId(99));
+        assert!(idx.insert_ref(&tt, bogus).is_err());
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Permanent-index end-to-end tests: maintained catalog indexes must never
+//! change *what* a query answers — only how much work answering costs.
+//!
+//! * proptest: on random university instances, every workload query at
+//!   every strategy level returns the same result multiset with and
+//!   without a full complement of permanent indexes;
+//! * regressions: insert-after-`create_index` visibility (incremental
+//!   maintenance), lazy rebuild after a mutable relation access
+//!   (stale-index path), `drop_index` re-planning exactly once, and the
+//!   malformed-declaration rejections;
+//! * acceptance: a repeated prepared query whose join term a permanent
+//!   index covers records **zero** collection-phase index builds (vs ≥ 1
+//!   per execution without the index), and `StrategyLevel::Auto` exploits
+//!   the indexes on an indexed workload with `explain()` naming them.
+
+use proptest::prelude::*;
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_workload::{all_queries, figure1_sample_database, generate, UniversityConfig};
+
+/// One single-component index per join/selection attribute of the
+/// university schema.
+const WORKLOAD_INDEXES: &[(&str, &str, &str)] = &[
+    ("idx_e_enr", "employees", "enr"),
+    ("idx_p_penr", "papers", "penr"),
+    ("idx_p_pyear", "papers", "pyear"),
+    ("idx_c_cnr", "courses", "cnr"),
+    ("idx_t_tenr", "timetable", "tenr"),
+    ("idx_t_tcnr", "timetable", "tcnr"),
+];
+
+fn sample_db() -> Database {
+    Database::from_catalog(figure1_sample_database().unwrap())
+}
+
+fn create_workload_indexes(db: &Database) {
+    for (name, relation, attr) in WORKLOAD_INDEXES {
+        db.create_index(name, relation, &[attr]).unwrap();
+    }
+}
+
+/// A join whose equality term a single-component index on `papers(penr)`
+/// covers: the combination phase probes the permanent index instead of
+/// building one per query.
+const PUBLISHED_QUERY: &str = "published := [<e.ename> OF EACH e IN employees: \
+                               SOME p IN papers (p.penr = e.enr)]";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Index-backed execution multiset-equals index-free execution for
+    /// random (instance, query, level) combinations.  Both sides
+    /// materialize duplicate-free relations, so set equality plus equal
+    /// cardinality is multiset equality.
+    #[test]
+    fn indexed_execution_matches_index_free_execution(
+        seed in 0u64..1024,
+        query_idx in 0usize..16,
+        level_idx in 0usize..5,
+    ) {
+        let config = UniversityConfig { seed, ..UniversityConfig::at_scale(1) };
+        let plain = Database::from_catalog(generate(&config).unwrap());
+        let indexed = plain.fork();
+        create_workload_indexes(&indexed);
+
+        let queries = all_queries();
+        let query = &queries[query_idx % queries.len()];
+        let level = StrategyLevel::ALL[level_idx];
+
+        let bare = plain.query_with(query.text, level).unwrap();
+        let backed = indexed.query_with(query.text, level).unwrap();
+        prop_assert!(
+            bare.result.set_eq(&backed.result),
+            "query {} at {level} (seed {seed}): {} rows without indexes, {} with",
+            query.id,
+            bare.result.cardinality(),
+            backed.result.cardinality()
+        );
+    }
+}
+
+#[test]
+fn covered_prepared_query_records_zero_collection_index_builds() {
+    let db = sample_db();
+    let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+    let prepared = session.prepare(PUBLISHED_QUERY).unwrap();
+
+    // Without a permanent index every execution hashes one side of the
+    // equality join.
+    let bare = prepared.execute().unwrap();
+    assert!(
+        bare.report.metrics.total().index_builds >= 1,
+        "the rebuild path builds a per-query index: {:?}",
+        bare.report.metrics.total()
+    );
+
+    // With the covering index: zero builds per execution, probes instead,
+    // identical result; the plan names the index it relies on.
+    db.create_index("penrindex", "papers", &["penr"]).unwrap();
+    for round in 0..3 {
+        let outcome = prepared.execute().unwrap();
+        let total = outcome.report.metrics.total();
+        assert_eq!(
+            total.index_builds, 0,
+            "round {round}: a covered term must not build an index: {total:?}"
+        );
+        assert!(total.index_probes > 0, "round {round}: {total:?}");
+        assert!(bare.result.set_eq(&outcome.result), "round {round}");
+        assert!(
+            outcome.plan.used_indexes.contains(&"penrindex".to_string()),
+            "{:?}",
+            outcome.plan.used_indexes
+        );
+        assert!(outcome
+            .plan
+            .explain()
+            .contains("permanent indexes: penrindex"));
+    }
+}
+
+#[test]
+fn inserts_after_create_index_are_visible_without_rebuilds() {
+    let db = sample_db();
+    db.create_index("penrindex", "papers", &["penr"]).unwrap();
+    let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+    let prepared = session.prepare(PUBLISHED_QUERY).unwrap();
+    let before = prepared.execute().unwrap();
+
+    // An employee who published nothing yet (the query result is keyed by
+    // ename; find an enr outside the current papers.penr set).
+    let (new_penr, year_ty_ok) = {
+        let catalog = db.catalog();
+        let published: std::collections::BTreeSet<i64> = catalog
+            .relation("papers")
+            .unwrap()
+            .tuples()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        let fresh = catalog
+            .relation("employees")
+            .unwrap()
+            .tuples()
+            .map(|t| t.get(0).as_int().unwrap())
+            .find(|enr| !published.contains(enr))
+            .expect("the sample database has unpublished employees");
+        (fresh, true)
+    }; // guard dropped before the next entry point
+    assert!(year_ty_ok);
+
+    db.insert_values(
+        "papers",
+        vec![
+            pascalr::Value::int(new_penr),
+            pascalr::Value::int(1979),
+            pascalr::Value::str("Fresh results"),
+        ],
+    )
+    .unwrap();
+
+    // The incrementally maintained index sees the new element: one more
+    // qualifying employee, still zero index builds (no stale rebuild).
+    let after = prepared.execute().unwrap();
+    assert_eq!(
+        after.result.cardinality(),
+        before.result.cardinality() + 1,
+        "the inserted paper must qualify its author"
+    );
+    assert_eq!(after.report.metrics.total().index_builds, 0);
+
+    // A mutable relation access drops the index to stale; the next use
+    // rebuilds it lazily — once, charged to that query — and stays
+    // correct.
+    {
+        let mut catalog = db.catalog_mut();
+        let _ = catalog.relation_mut("papers").unwrap();
+    }
+    let stale = prepared.execute().unwrap();
+    assert_eq!(stale.result.cardinality(), after.result.cardinality());
+    assert_eq!(
+        stale.report.metrics.total().index_builds,
+        1,
+        "the stale index rebuilds lazily on next use: {:?}",
+        stale.report.metrics.total()
+    );
+    let again = prepared.execute().unwrap();
+    assert_eq!(
+        again.report.metrics.total().index_builds,
+        0,
+        "the lazy rebuild happens at most once, not per execution"
+    );
+    assert_eq!(again.result.cardinality(), after.result.cardinality());
+}
+
+#[test]
+fn drop_index_replans_exactly_once_and_falls_back_to_rebuilds() {
+    let db = sample_db();
+    db.create_index("penrindex", "papers", &["penr"]).unwrap();
+    let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+    let prepared = session.prepare(PUBLISHED_QUERY).unwrap();
+    let covered = prepared.execute().unwrap();
+    assert_eq!(covered.report.metrics.total().index_builds, 0);
+    prepared.execute().unwrap();
+    let before = db.plan_cache_stats();
+
+    db.drop_index("penrindex").unwrap();
+    let dropped = prepared.execute().unwrap();
+    let after_drop = db.plan_cache_stats();
+    assert_eq!(
+        after_drop.misses,
+        before.misses + 1,
+        "dropping the index must re-plan the prepared query once"
+    );
+    assert!(
+        dropped.report.metrics.total().index_builds >= 1,
+        "without the index the per-query build is back: {:?}",
+        dropped.report.metrics.total()
+    );
+    assert!(dropped.plan.used_indexes.is_empty());
+    assert!(covered.result.set_eq(&dropped.result));
+
+    prepared.execute().unwrap();
+    assert_eq!(
+        db.plan_cache_stats().misses,
+        after_drop.misses,
+        "exactly once: the re-planned query hits the cache again"
+    );
+
+    // Dropping twice is an error.
+    assert!(db.drop_index("penrindex").is_err());
+}
+
+#[test]
+fn malformed_index_declarations_are_rejected_with_details() {
+    let db = sample_db();
+    // Duplicate attribute names in one declaration.
+    let err = db
+        .create_index("twice", "courses", &["cnr", "cnr"])
+        .unwrap_err();
+    assert!(err.to_string().contains("more than once"), "{err}");
+    // Two indexes over the identical (relation, attributes).
+    db.create_index("cnrindex", "courses", &["cnr"]).unwrap();
+    let err = db
+        .create_index("cnrindex2", "courses", &["cnr"])
+        .unwrap_err();
+    assert!(err.to_string().contains("already covers"), "{err}");
+    assert!(err.to_string().contains("cnrindex"), "{err}");
+    // Same name twice.
+    assert!(db.create_index("cnrindex", "timetable", &["tcnr"]).is_err());
+    // Unknown relation / component.
+    assert!(db.create_index("bad", "nosuch", &["cnr"]).is_err());
+    assert!(db.create_index("bad", "courses", &["nosuch"]).is_err());
+
+    // The dangling-declaration guard: redeclaring the indexed relation
+    // with a schema lacking the component is rejected until the index is
+    // dropped.
+    let schema = pascalr::RelationSchema::all_key(
+        "courses",
+        vec![pascalr::relation::Attribute::new(
+            "ctitle",
+            pascalr::ValueType::string(40),
+        )],
+    );
+    let err = {
+        let mut catalog = db.catalog_mut();
+        catalog.redeclare_relation(schema.clone()).unwrap_err()
+    };
+    assert!(err.to_string().contains("cnrindex"), "{err}");
+    db.drop_index("cnrindex").unwrap();
+    db.catalog_mut().redeclare_relation(schema).unwrap();
+}
+
+#[test]
+fn used_indexes_name_only_what_execution_actually_consults() {
+    // (a) Range-serving indexes: the baseline never takes the index-backed
+    // range path, so its plan must not claim the index; S3+ hoists the
+    // equality into the range and probes it.
+    let db = sample_db();
+    db.create_index("pyearindex", "papers", &["pyear"]).unwrap();
+    let text = "y77 := [<p.ptitle> OF EACH p IN papers: p.pyear = 1977]";
+    let s0 = db.query_with(text, StrategyLevel::S0Baseline).unwrap();
+    assert!(
+        s0.plan.used_indexes.is_empty(),
+        "{:?}",
+        s0.plan.used_indexes
+    );
+    assert_eq!(s0.report.metrics.total().index_probes, 0);
+    let s4 = db
+        .query_with(text, StrategyLevel::S4CollectionQuantifiers)
+        .unwrap();
+    assert!(s4.plan.used_indexes.contains(&"pyearindex".to_string()));
+    assert!(s4.report.metrics.total().index_probes > 0);
+    assert!(s0.result.set_eq(&s4.result));
+
+    // Two indexes covering the same restricted range: the executor probes
+    // the first covering declaration, and the plan names exactly that one.
+    db.create_index("pairindex", "papers", &["penr", "pyear"])
+        .unwrap();
+    let both = "one := [<p.ptitle> OF EACH p IN papers: \
+                (p.pyear = 1977) AND (p.penr = 3)]";
+    let outcome = db
+        .query_with(both, StrategyLevel::S4CollectionQuantifiers)
+        .unwrap();
+    assert_eq!(
+        outcome.plan.used_indexes,
+        vec!["pyearindex".to_string()],
+        "only the probed declaration is named"
+    );
+
+    // (b) Join indexes: only the *probed* side counts.  For
+    // `p.penr = e.enr` the combination assembles e first and probes p, so
+    // an index on employees(enr) is never consulted — the plan must not
+    // name it, and the ephemeral build is still paid.
+    let other = sample_db();
+    other
+        .create_index("enrindex", "employees", &["enr"])
+        .unwrap();
+    let session = other.session().with_strategy(StrategyLevel::S2OneStep);
+    let outcome = session.prepare(PUBLISHED_QUERY).unwrap().execute().unwrap();
+    assert!(
+        outcome.plan.used_indexes.is_empty(),
+        "an index on the build side is not used: {:?}",
+        outcome.plan.used_indexes
+    );
+    assert!(outcome.report.metrics.total().index_builds >= 1);
+}
+
+#[test]
+fn auto_exploits_permanent_indexes_and_explain_names_them() {
+    let db = Database::from_catalog(generate(&UniversityConfig::at_scale(2)).unwrap());
+    db.analyze().unwrap();
+    db.create_index("penrindex", "papers", &["penr"]).unwrap();
+    db.create_index("pyearindex", "papers", &["pyear"]).unwrap();
+    db.analyze().unwrap();
+
+    let text = "published77 := [<e.ename> OF EACH e IN employees: \
+                SOME p IN papers ((p.penr = e.enr) AND (p.pyear = 1977))]";
+    let outcome = db.query(text).unwrap(); // default strategy: Auto
+    let est = outcome.plan.estimates.as_ref().unwrap();
+    assert!(est.auto_selected);
+    assert!(
+        !outcome.plan.used_indexes.is_empty(),
+        "Auto must pick an index-exploiting plan on the indexed workload: {}",
+        outcome.plan.explain()
+    );
+    assert!(
+        outcome.plan.explain().contains("permanent indexes: "),
+        "{}",
+        outcome.plan.explain()
+    );
+    let total = outcome.report.metrics.total();
+    assert_eq!(total.index_builds, 0, "{total:?}");
+    assert!(total.index_probes > 0, "{total:?}");
+
+    // The result agrees with a fixed index-free level on a forked
+    // database — and the cost model really shifted: without the indexes
+    // the same query's Auto plan relies on none and predicts a strictly
+    // higher cost for the chosen shape (the zeroed build/scan cost is
+    // what steers Auto toward index-exploiting plans).
+    let bare = db.fork();
+    bare.drop_index("penrindex").unwrap();
+    bare.drop_index("pyearindex").unwrap();
+    let expected = bare.query_with(text, StrategyLevel::S2OneStep).unwrap();
+    assert!(expected.result.set_eq(&outcome.result));
+
+    let bare_auto = bare.query(text).unwrap();
+    assert!(bare_auto.plan.used_indexes.is_empty());
+    let bare_est = bare_auto.plan.estimates.as_ref().unwrap();
+    assert!(
+        est.total_cost < bare_est.total_cost,
+        "indexes must lower the predicted cost of the winning plan: \
+         {} (indexed) vs {} (bare)",
+        est.total_cost,
+        bare_est.total_cost
+    );
+}
