@@ -8,7 +8,7 @@ use pascalr_workload::query_by_id;
 
 fn with_empty_papers(scale: u32) -> Database {
     let db = scaled_db(scale);
-    db.catalog_mut().relation_mut("papers").unwrap().clear();
+    db.mutate(|c| c.relation_mut("papers").unwrap().clear());
     db
 }
 

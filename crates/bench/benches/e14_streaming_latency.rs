@@ -52,7 +52,11 @@ fn bench(c: &mut Criterion) {
     println!("\n=== E14: streaming-result latency (q01/q02, S4) ===");
     println!(
         "  large workload: scale {SCALE}, {} employees, {} result rows for q01",
-        large.catalog().relation("employees").unwrap().cardinality(),
+        large
+            .snapshot()
+            .relation("employees")
+            .unwrap()
+            .cardinality(),
         full
     );
     {

@@ -1,0 +1,149 @@
+//! E17 — snapshot-reader scalability: `rows()` drain throughput and tail
+//! latency with and without a concurrent writer, single- and
+//! multi-threaded.
+//!
+//! The catalog is versioned: every `Rows` cursor pins an immutable
+//! snapshot at creation and holds no lock while streaming, so reader
+//! latency should be unaffected by a writer continuously publishing new
+//! versions (statistics refreshes and index create/drop churn), and
+//! reader threads should scale without contending on anything but the
+//! plan cache.  The preamble prints a p50/p99 latency table over
+//! 0-vs-1-writer × 1-vs-4-reader configurations; the criterion group
+//! measures drain throughput for the same four configurations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pascalr::{Database, PreparedQuery, StrategyLevel};
+use pascalr_bench::{quick_criterion, scaled_db};
+use pascalr_workload::query_by_id;
+
+const SCALE: u32 = 8;
+const READER_THREADS: usize = 4;
+const PROBES: usize = 120; // latency samples per reader per configuration
+
+/// Background writer: each loop publishes at least two catalog versions —
+/// an ANALYZE of employees (stats epoch) and a scratch-index create/drop
+/// on papers (plan epoch, forcing cached readers to re-plan once).
+fn spawn_writer<'s>(scope: &'s std::thread::Scope<'s, '_>, db: &'s Database, stop: &'s AtomicBool) {
+    scope.spawn(move || {
+        while !stop.load(Ordering::Acquire) {
+            db.analyze_relation("employees").unwrap();
+            db.create_index("e17scratch", "papers", &["penr"]).unwrap();
+            db.drop_index("e17scratch").unwrap();
+        }
+    });
+}
+
+fn drain(q: &PreparedQuery) -> usize {
+    let mut n = 0;
+    for row in q.rows().unwrap() {
+        row.unwrap();
+        n += 1;
+    }
+    n
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+/// (p50, p99) of the full `rows()` open-drain-drop cycle across `readers`
+/// concurrent threads, optionally against one live writer.
+fn latency_profile(
+    q: &PreparedQuery,
+    db: &Database,
+    readers: usize,
+    with_writer: bool,
+) -> (Duration, Duration) {
+    let stop = AtomicBool::new(false);
+    let mut all: Vec<Duration> = Vec::with_capacity(readers * PROBES);
+    std::thread::scope(|scope| {
+        if with_writer {
+            spawn_writer(scope, db, &stop);
+        }
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut samples = Vec::with_capacity(PROBES);
+                    for _ in 0..PROBES {
+                        let t = Instant::now();
+                        let n = drain(q);
+                        samples.push(t.elapsed());
+                        assert!(n > 0, "q01 has results at every scale");
+                    }
+                    samples
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        stop.store(true, Ordering::Release);
+    });
+    all.sort();
+    (percentile(&all, 0.50), percentile(&all, 0.99))
+}
+
+fn bench(c: &mut Criterion) {
+    let db = scaled_db(SCALE);
+    let session = db
+        .session()
+        .with_strategy(StrategyLevel::S4CollectionQuantifiers);
+    let q = session.prepare(query_by_id("q01").unwrap().text).unwrap();
+    let result_rows = drain(&q);
+
+    println!("\n=== E17: snapshot readers (q01, S4, scale {SCALE}, {result_rows} result rows) ===");
+    println!("  rows() open-drain-drop latency:");
+    for readers in [1usize, READER_THREADS] {
+        for with_writer in [false, true] {
+            let (p50, p99) = latency_profile(&q, &db, readers, with_writer);
+            println!(
+                "    {readers} reader(s) / {} writer: p50 {p50:?}  p99 {p99:?}",
+                u8::from(with_writer)
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("e17_snapshot_readers");
+
+    group.bench_function("drain/1reader/0writers", |b| b.iter(|| drain(&q)));
+    group.bench_function(format!("drain/{READER_THREADS}readers/0writers"), |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..READER_THREADS {
+                    let q = &q;
+                    scope.spawn(move || drain(q));
+                }
+            })
+        })
+    });
+
+    // The same traffic against a writer continuously publishing versions.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        spawn_writer(scope, &db, &stop);
+        group.bench_function("drain/1reader/1writer", |b| b.iter(|| drain(&q)));
+        group.bench_function(format!("drain/{READER_THREADS}readers/1writer"), |b| {
+            b.iter(|| {
+                std::thread::scope(|inner| {
+                    for _ in 0..READER_THREADS {
+                        let q = &q;
+                        inner.spawn(move || drain(q));
+                    }
+                })
+            })
+        });
+        stop.store(true, Ordering::Release);
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     println!("\n=== E4 / Example 3.1: primary index construction ===");
     for scale in [1u32, 4, 16] {
         let db = scaled_db(scale);
-        let catalog = db.catalog();
+        let catalog = db.snapshot();
         let employees = catalog.relation("employees").unwrap();
         let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
         println!(
@@ -24,12 +24,12 @@ fn bench(c: &mut Criterion) {
     for scale in [1u32, 8] {
         let db = scaled_db(scale);
         group.bench_with_input(BenchmarkId::new("build_enrindex", scale), &db, |b, db| {
-            let catalog = db.catalog();
+            let catalog = db.snapshot();
             let employees = catalog.relation("employees").unwrap();
             b.iter(|| HashIndex::build_full("enrindex", employees, &["enr"]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("probe_enrindex", scale), &db, |b, db| {
-            let catalog = db.catalog();
+            let catalog = db.snapshot();
             let employees = catalog.relation("employees").unwrap();
             let idx = HashIndex::build_full("enrindex", employees, &["enr"]).unwrap();
             let n = employees.cardinality() as i64;

@@ -94,7 +94,7 @@ mod tests {
         let scaled = scaled_db(1);
         assert_eq!(
             scaled
-                .catalog()
+                .snapshot()
                 .relation("employees")
                 .unwrap()
                 .cardinality(),

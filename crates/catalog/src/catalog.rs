@@ -128,10 +128,23 @@ impl fmt::Debug for MaintainedIndex {
 }
 
 /// The database catalog.
+///
+/// # Copy-on-write cloning
+///
+/// `Catalog::clone` is **cheap**: relation variables live behind [`Arc`]s,
+/// so a clone shares every relation's element storage with the original.
+/// Mutating entry points ([`Catalog::relation_mut`], [`Catalog::insert`],
+/// ...) unshare only the relation they touch (via [`Arc::make_mut`]),
+/// leaving all other relations shared.  This is what makes the snapshot
+/// architecture work: a writer clones the current version, mutates its
+/// private copy, and publishes it, while pinned [`CatalogSnapshot`]
+/// readers keep streaming from the old version untouched.
+///
+/// [`CatalogSnapshot`]: crate::CatalogSnapshot
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     types: TypeRegistry,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     by_name: BTreeMap<String, RelId>,
     indexes: Vec<MaintainedIndex>,
     page_model: PageModel,
@@ -206,7 +219,7 @@ impl Catalog {
             return Err(CatalogError::DuplicateRelation { name });
         }
         let id = RelId(self.relations.len() as u32);
-        self.relations.push(Relation::with_id(schema, id));
+        self.relations.push(Arc::new(Relation::with_id(schema, id)));
         self.by_name.insert(name, id);
         self.epoch += 1;
         Ok(id)
@@ -224,7 +237,7 @@ impl Catalog {
 
     /// The relation with the given id.
     pub fn relation_by_id(&self, id: RelId) -> Option<&Relation> {
-        self.relations.get(id.0 as usize)
+        self.relations.get(id.0 as usize).map(|r| &**r)
     }
 
     /// The relation with the given name.
@@ -240,6 +253,10 @@ impl Catalog {
     /// — they rebuild lazily on their next use.  (Inserts through
     /// [`Catalog::insert`] / [`Catalog::insert_all`] maintain the indexes
     /// incrementally instead and never stale them.)
+    ///
+    /// Copy-on-write: if the relation's storage is shared with another
+    /// catalog version (a pinned snapshot or a fork), this unshares it —
+    /// the other version keeps the unmodified element set.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, CatalogError> {
         let id = self.relation_id(name)?;
         self.epoch += 1;
@@ -248,7 +265,7 @@ impl Catalog {
                 mi.invalidate();
             }
         }
-        Ok(&mut self.relations[id.0 as usize])
+        Ok(Arc::make_mut(&mut self.relations[id.0 as usize]))
     }
 
     /// Replaces an existing relation variable with a fresh, empty relation
@@ -281,7 +298,7 @@ impl Catalog {
             // Component positions may have moved: rebuild lazily.
             mi.invalidate();
         }
-        self.relations[id.0 as usize] = Relation::with_id(schema, id);
+        self.relations[id.0 as usize] = Arc::new(Relation::with_id(schema, id));
         self.epoch += 1;
         Ok(id)
     }
@@ -307,7 +324,7 @@ impl Catalog {
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), CatalogError> {
         let id = self.relation_id(relation)?;
         self.epoch += 1;
-        let outcome = self.relations[id.0 as usize].insert(tuple)?;
+        let outcome = Arc::make_mut(&mut self.relations[id.0 as usize]).insert(tuple)?;
         if outcome.was_inserted() {
             let rel = &self.relations[id.0 as usize];
             for mi in &self.indexes {
@@ -331,7 +348,7 @@ impl Catalog {
         self.epoch += 1;
         let mut added = 0;
         for tuple in tuples {
-            let outcome = self.relations[id.0 as usize].insert(tuple)?;
+            let outcome = Arc::make_mut(&mut self.relations[id.0 as usize]).insert(tuple)?;
             if outcome.was_inserted() {
                 added += 1;
                 let rel = &self.relations[id.0 as usize];

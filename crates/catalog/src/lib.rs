@@ -2,16 +2,24 @@
 //! named component types (TYPE section), relation variables (VAR section),
 //! permanent indexes, statistics, and cross-relation dereferencing of
 //! element references.
+//!
+//! Concurrency is snapshot-based: readers pin an immutable
+//! [`CatalogSnapshot`] (an `Arc` clone, no lock held while it is alive) and
+//! writers publish copy-on-write successor versions through a
+//! [`VersionedCatalog`] cell with a single atomic swap — see the
+//! [`snapshot`] module.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
 pub mod error;
+pub mod snapshot;
 pub mod stats;
 pub mod types;
 
 pub use catalog::{Catalog, IndexDecl, PermanentIndexUse};
 pub use error::CatalogError;
+pub use snapshot::{CatalogSnapshot, VersionedCatalog};
 pub use stats::{ColumnStats, Histogram, RelationStats};
 pub use types::TypeRegistry;

@@ -1,14 +1,11 @@
 //! The thread-safe [`Database`] handle.
 
-use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pascalr_calculus::{Params, Selection};
-use pascalr_catalog::{Catalog, CatalogError};
+use pascalr_catalog::{Catalog, CatalogError, CatalogSnapshot, VersionedCatalog};
 use pascalr_parser::{parse_database, parse_selection};
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
 use pascalr_relation::{Tuple, Value};
@@ -20,17 +17,30 @@ use crate::{ExecutionReport, PascalRError, QueryOutcome, Rows, Session};
 /// State shared by every clone of a [`Database`] handle.
 #[derive(Debug)]
 pub(crate) struct DbShared {
-    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) catalog: VersionedCatalog,
     pub(crate) plan_cache: PlanCache,
 }
 
 /// A PASCAL/R database: catalog plus query machinery.
 ///
 /// `Database` is a cheap-to-clone **shared handle**: every clone refers to
-/// the same catalog (behind a reader-writer lock) and the same plan cache,
-/// so a single database can serve concurrent sessions from many threads.
-/// Use [`Database::fork`] for the old deep-copy semantics (an independent
-/// database with its own catalog).
+/// the same versioned catalog and the same plan cache, so a single
+/// database can serve concurrent sessions from many threads.  Use
+/// [`Database::fork`] for an independent database pinned to the current
+/// state.
+///
+/// # Concurrency model
+///
+/// The catalog is stored as a chain of **immutable versions**.  Readers
+/// pin the current version with [`Database::snapshot`] — an `Arc` clone;
+/// no lock is held while the snapshot is alive — and every query entry
+/// point (including the streaming [`Rows`] cursors) does the same
+/// internally.  Writers ([`Database::mutate`], inserts, DDL, ANALYZE)
+/// build the next version copy-on-write and publish it with a single
+/// atomic swap; they never wait for readers, and readers never wait for
+/// them.  A pinned snapshot (or a `Rows` cursor mid-stream) keeps
+/// observing exactly the version it pinned, no matter what writers
+/// publish concurrently.
 ///
 /// The per-handle defaults (`default_strategy`, plan options) are *not*
 /// shared: changing them on one clone does not affect the others, which
@@ -43,48 +53,6 @@ pub struct Database {
     plan_options: PlanOptions,
 }
 
-/// Shared read access to the catalog, returned by [`Database::catalog`].
-/// Holding it blocks writers (inserts, DDL) but not other readers.
-pub struct CatalogRef<'a>(pub(crate) RwLockReadGuard<'a, Catalog>);
-
-impl Deref for CatalogRef<'_> {
-    type Target = Catalog;
-
-    fn deref(&self) -> &Catalog {
-        &self.0
-    }
-}
-
-impl fmt::Debug for CatalogRef<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        (**self).fmt(f)
-    }
-}
-
-/// Exclusive write access to the catalog, returned by
-/// [`Database::catalog_mut`].  Holding it blocks all other access.
-pub struct CatalogRefMut<'a>(RwLockWriteGuard<'a, Catalog>);
-
-impl Deref for CatalogRefMut<'_> {
-    type Target = Catalog;
-
-    fn deref(&self) -> &Catalog {
-        &self.0
-    }
-}
-
-impl DerefMut for CatalogRefMut<'_> {
-    fn deref_mut(&mut self) -> &mut Catalog {
-        &mut self.0
-    }
-}
-
-impl fmt::Debug for CatalogRefMut<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        (**self).fmt(f)
-    }
-}
-
 /// Hash of the query shape: parsed selection plus planning options.
 pub(crate) fn fingerprint(selection: &Selection, options: PlanOptions) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -93,18 +61,18 @@ pub(crate) fn fingerprint(selection: &Selection, options: PlanOptions) -> u64 {
     h.finish()
 }
 
-/// Executes an already-bound plan against a catalog snapshot and assembles
-/// the outcome.  This is the materializing face of the streaming cursor:
-/// `pascalr_exec::execute` drains an `ExecutionCursor` into a relation, so
-/// `execute()`-style entry points and [`crate::Rows`] share one execution
-/// path.
+/// Executes an already-bound plan against a pinned catalog snapshot and
+/// assembles the outcome.  This is the materializing face of the streaming
+/// cursor: `pascalr_exec::execute` drains an `ExecutionCursor` into a
+/// relation, so `execute()`-style entry points and [`crate::Rows`] share
+/// one execution path.
 pub(crate) fn execute_outcome(
-    catalog: &Catalog,
+    snapshot: &CatalogSnapshot,
     query_plan: Arc<QueryPlan>,
 ) -> Result<QueryOutcome, PascalRError> {
     let metrics = Metrics::new();
     let start = Instant::now();
-    let exec_result = pascalr_exec::execute(query_plan.clone(), catalog, &metrics)?;
+    let exec_result = pascalr_exec::execute(query_plan.clone(), snapshot, &metrics)?;
     let elapsed = start.elapsed();
     let fallback = exec_result
         .fallback
@@ -160,7 +128,7 @@ impl Database {
     pub fn from_catalog(catalog: Catalog) -> Self {
         Database {
             shared: Arc::new(DbShared {
-                catalog: RwLock::new(catalog),
+                catalog: VersionedCatalog::new(catalog),
                 plan_cache: PlanCache::default(),
             }),
             // Cost-based selection is the default: the planner picks the
@@ -173,15 +141,20 @@ impl Database {
         }
     }
 
-    /// Deep copy: an independent database whose catalog starts as a copy of
-    /// this one's current state (what `clone()` used to mean before
-    /// `Database` became a shared handle).  The fork has a fresh, empty plan
-    /// cache and inherits this handle's defaults.
+    /// An independent database pinned to this one's **current version**:
+    /// the fork starts from the same immutable catalog snapshot (an `Arc`
+    /// share, O(1) — relations are only copied when either side mutates
+    /// them), after which the two databases evolve separately.  The fork
+    /// has a fresh, empty plan cache and inherits this handle's defaults.
+    ///
+    /// This is what `clone()` used to mean before `Database` became a
+    /// shared handle, minus the eager deep copy: a fork taken while other
+    /// threads are writing pins one consistent published version rather
+    /// than a torn mixture.
     pub fn fork(&self) -> Database {
-        let snapshot = self.shared.catalog.read().clone();
         Database {
             shared: Arc::new(DbShared {
-                catalog: RwLock::new(snapshot),
+                catalog: VersionedCatalog::from_snapshot(self.snapshot()),
                 plan_cache: PlanCache::default(),
             }),
             default_strategy: self.default_strategy,
@@ -222,36 +195,40 @@ impl Database {
         Session::new(self)
     }
 
-    /// Shared read access to the catalog.
+    /// Pins the current catalog version and returns it as an immutable
+    /// [`CatalogSnapshot`].
     ///
-    /// The returned guard blocks writers while alive.  **Drop it before
-    /// calling any other `Database`/`Session`/`PreparedQuery` method on the
-    /// same thread** — not just mutating ones: every entry point takes the
-    /// same lock internally, and with a writer already waiting a second
-    /// read acquisition on the same thread can deadlock (the underlying
-    /// reader-writer lock may prefer writers).
-    pub fn catalog(&self) -> CatalogRef<'_> {
-        CatalogRef(self.shared.catalog.read())
+    /// This is an `Arc` clone: no lock is held while the snapshot is
+    /// alive, writers are never blocked by it, and the snapshot keeps
+    /// observing exactly the version it pinned regardless of concurrent
+    /// mutations.  Derefs to [`Catalog`] for all read-only inspection.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.shared.catalog.snapshot()
     }
 
-    /// Exclusive write access to the catalog (declaring additional
-    /// relations, permanent indexes, ...).  Any mutation performed through
-    /// the guard advances the catalog epoch and thereby invalidates cached
-    /// plans.  As with [`Database::catalog`], drop the guard before calling
-    /// any other method of this API on the same thread.
-    pub fn catalog_mut(&self) -> CatalogRefMut<'_> {
-        CatalogRefMut(self.shared.catalog.write())
+    /// Mutates the catalog through a closure and atomically publishes the
+    /// result as the next version (declaring additional relations,
+    /// permanent indexes, bulk loads, ...).
+    ///
+    /// The closure receives a private copy-on-write successor of the
+    /// current version; concurrent readers keep streaming from the
+    /// versions they pinned and observe the new state only when they take
+    /// their next [`Database::snapshot`].  Mutations advance the catalog
+    /// epoch and thereby invalidate cached plans.  Writers are serialized
+    /// with each other but never wait for readers.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        self.shared.catalog.mutate(f)
     }
 
     /// The catalog's current modification epoch (plan-cache invalidation
     /// counter).
     pub fn epoch(&self) -> u64 {
-        self.shared.catalog.read().epoch()
+        self.shared.catalog.snapshot().epoch()
     }
 
     /// The catalog's global stats epoch (advanced by every ANALYZE).
     pub fn stats_epoch(&self) -> u64 {
-        self.shared.catalog.read().stats_epoch()
+        self.shared.catalog.snapshot().stats_epoch()
     }
 
     /// ANALYZE every relation: computes cardinalities, per-column distinct
@@ -276,13 +253,15 @@ impl Database {
     /// assert!(outcome.plan.explain().contains("auto strategy selection"));
     /// ```
     pub fn analyze(&self) -> Result<(), PascalRError> {
-        self.shared.catalog.write().analyze_all()?;
+        self.shared.catalog.try_mutate(|c| c.analyze_all())?;
         Ok(())
     }
 
     /// ANALYZE a single relation (see [`Database::analyze`]).
     pub fn analyze_relation(&self, relation: &str) -> Result<(), PascalRError> {
-        self.shared.catalog.write().analyze_relation(relation)?;
+        self.shared
+            .catalog
+            .try_mutate(|c| c.analyze_relation(relation))?;
         Ok(())
     }
 
@@ -295,10 +274,10 @@ impl Database {
     ///
     /// Creating an index advances the plan epoch, so cached plans re-plan
     /// once and pick the index up; plain inserts afterwards maintain the
-    /// index without any extra re-planning.  Like every entry point, this
-    /// takes the catalog write lock internally — drop any guard returned
-    /// by [`Database::catalog`]/[`Database::catalog_mut`] on this thread
-    /// first, or the call deadlocks.
+    /// index without any extra re-planning.  Like every mutation this
+    /// publishes a new catalog version — snapshots and `Rows` cursors
+    /// pinned before the call keep executing against the un-indexed
+    /// version they pinned.
     ///
     /// ```
     /// use pascalr::Database;
@@ -324,8 +303,7 @@ impl Database {
     ) -> Result<(), PascalRError> {
         self.shared
             .catalog
-            .write()
-            .declare_index(name, relation, attributes)?;
+            .try_mutate(|c| c.declare_index(name, relation, attributes))?;
         Ok(())
     }
 
@@ -334,7 +312,7 @@ impl Database {
     /// the index — re-plans exactly once on its next use and falls back to
     /// per-query index construction.
     pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
-        self.shared.catalog.write().drop_index(name)?;
+        self.shared.catalog.try_mutate(|c| c.drop_index(name))?;
         Ok(())
     }
 
@@ -345,7 +323,9 @@ impl Database {
 
     /// Inserts one element (`rel :+ [tuple]`).
     pub fn insert(&self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
-        self.shared.catalog.write().insert(relation, tuple)?;
+        self.shared
+            .catalog
+            .try_mutate(|c| c.insert(relation, tuple))?;
         Ok(())
     }
 
@@ -360,13 +340,16 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, PascalRError> {
-        Ok(self.shared.catalog.write().insert_all(relation, tuples)?)
+        Ok(self
+            .shared
+            .catalog
+            .try_mutate(|c| c.insert_all(relation, tuples))?)
     }
 
     /// Builds an enumeration value (e.g. `professor`) from a declared
     /// enumeration type.
     pub fn enum_value(&self, type_name: &str, label: &str) -> Result<Value, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let ty = catalog
             .types()
             .enum_type(type_name)
@@ -379,7 +362,7 @@ impl Database {
 
     /// Parses a selection statement against this database's catalog.
     pub fn parse(&self, text: &str) -> Result<Selection, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         Ok(parse_selection(text, &catalog)?)
     }
 
@@ -451,7 +434,7 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<QueryOutcome, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         reject_unbound_params(&selection)?;
         let fp = fingerprint(&selection, options);
@@ -470,7 +453,7 @@ impl Database {
         strategy: StrategyLevel,
     ) -> Result<QueryOutcome, PascalRError> {
         reject_unbound_params(selection)?;
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let query_plan = Arc::new(plan(selection, &catalog, strategy, self.plan_options));
         execute_outcome(&catalog, query_plan)
     }
@@ -489,17 +472,18 @@ impl Database {
     /// preparing the query instead, or cap the cursor with
     /// [`Rows::with_row_budget`]).  No execution work happens until the
     /// first tuple is requested, and dropping the cursor early stops all
-    /// remaining work.  The cursor holds a catalog read-guard; see the
-    /// [`Rows`] docs for the deadlock hazard.
+    /// remaining work.  The cursor owns a pinned catalog snapshot — it
+    /// never blocks writers and keeps streaming from the version it
+    /// pinned; see the [`Rows`] docs.
     pub fn rows_selection(
         &self,
         selection: &Selection,
         strategy: StrategyLevel,
-    ) -> Result<Rows<'_>, PascalRError> {
+    ) -> Result<Rows, PascalRError> {
         reject_unbound_params(selection)?;
-        let guard = self.shared.catalog.read();
-        let query_plan = Arc::new(plan(selection, &guard, strategy, self.plan_options));
-        Ok(Rows::new(CatalogRef(guard), query_plan))
+        let snapshot = self.snapshot();
+        let query_plan = Arc::new(plan(selection, &snapshot, strategy, self.plan_options));
+        Ok(Rows::new(snapshot, query_plan))
     }
 
     /// Cached-path streaming text query (used by sessions): parse, fetch
@@ -509,13 +493,13 @@ impl Database {
         text: &str,
         strategy: StrategyLevel,
         options: PlanOptions,
-    ) -> Result<Rows<'_>, PascalRError> {
-        let guard = self.shared.catalog.read();
-        let selection = Arc::new(parse_selection(text, &guard)?);
+    ) -> Result<Rows, PascalRError> {
+        let snapshot = self.snapshot();
+        let selection = Arc::new(parse_selection(text, &snapshot)?);
         reject_unbound_params(&selection)?;
         let fp = fingerprint(&selection, options);
-        let query_plan = self.cached_plan(&guard, &selection, fp, strategy, options);
-        Ok(Rows::new(CatalogRef(guard), query_plan))
+        let query_plan = self.cached_plan(&snapshot, &selection, fp, strategy, options);
+        Ok(Rows::new(snapshot, query_plan))
     }
 
     /// Cached-path streaming text query with parameters bound per call.
@@ -525,22 +509,22 @@ impl Database {
         params: &Params,
         strategy: StrategyLevel,
         options: PlanOptions,
-    ) -> Result<Rows<'_>, PascalRError> {
-        let guard = self.shared.catalog.read();
-        let selection = Arc::new(parse_selection(text, &guard)?);
+    ) -> Result<Rows, PascalRError> {
+        let snapshot = self.snapshot();
+        let selection = Arc::new(parse_selection(text, &snapshot)?);
         let fp = fingerprint(&selection, options);
-        let query_plan = self.cached_plan(&guard, &selection, fp, strategy, options);
+        let query_plan = self.cached_plan(&snapshot, &selection, fp, strategy, options);
         let bound = if selection.param_names().is_empty() {
             query_plan
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        Ok(Rows::new(CatalogRef(guard), bound))
+        Ok(Rows::new(snapshot, bound))
     }
 
     /// One-shot parameterized text query (used by sessions): parse, fetch
     /// the placeholder-carrying plan from the cache, bind `params`, execute
-    /// — one catalog lock acquisition and one cache lookup per call.
+    /// — one snapshot pin and one cache lookup per call.
     pub(crate) fn query_params_with_options(
         &self,
         text: &str,
@@ -548,7 +532,7 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<QueryOutcome, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         let fp = fingerprint(&selection, options);
         let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
@@ -567,7 +551,7 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<String, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         let fp = fingerprint(&selection, options);
         let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
@@ -576,8 +560,10 @@ impl Database {
 
     /// Runs the same query at every strategy level and returns the outcomes
     /// in level order — the comparison the paper's Section 4 is about.
+    /// All five runs execute against one pinned snapshot, so concurrent
+    /// writers cannot skew the comparison.
     pub fn compare_strategies(&self, text: &str) -> Result<Vec<QueryOutcome>, PascalRError> {
-        let catalog = self.shared.catalog.read();
+        let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         reject_unbound_params(&selection)?;
         let fp = fingerprint(&selection, self.plan_options);

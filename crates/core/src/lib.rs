@@ -8,8 +8,12 @@
 //!   catalog plus a shared plan cache.  Declare a PASCAL/R database
 //!   (Figure 1 style), load elements, and evaluate selection expressions
 //!   with existential and universal quantifiers at any of the five strategy
-//!   levels the paper discusses.  Cloning a `Database` shares state; use
-//!   [`Database::fork`] for an independent deep copy.
+//!   levels the paper discusses.  The catalog is **versioned**: readers
+//!   pin an immutable [`CatalogSnapshot`] ([`Database::snapshot`]) and
+//!   writers publish copy-on-write successor versions
+//!   ([`Database::mutate`]) — readers and writers never block each other.
+//!   Cloning a `Database` shares state; use [`Database::fork`] for an
+//!   independent database pinned to the current version.
 //! * [`Session`] — per-connection defaults (strategy level, plan options)
 //!   over a shared database; the intended handle for one thread or
 //!   connection.
@@ -26,6 +30,8 @@
 //!   Dropping the cursor after `k` tuples stops all remaining work — the
 //!   PASCAL/R `FOR EACH` embedding the paper assumes, where a host
 //!   program consuming a prefix of the answer never pays for the rest.
+//!   Each cursor owns the catalog snapshot it pinned at creation: it
+//!   never blocks writers and streams a consistent version end to end.
 //!   The `execute()`-style entry points are thin wrappers that drain the
 //!   same cursor into a [`Relation`].
 //!
@@ -99,6 +105,15 @@
 //! [`Session::prepare`] for anything executed more than once.  Note that
 //! `Database::clone` now shares state (it used to deep-copy); call
 //! [`Database::fork`] where an independent copy is required.
+//!
+//! The guard-based catalog accessors are gone: where code previously
+//! called `db.catalog()` (a read guard) it now calls
+//! [`Database::snapshot`] — an owned, immutable [`CatalogSnapshot`] that
+//! derefs to [`Catalog`] — and where it called `db.catalog_mut()` (a
+//! write guard) it now passes a closure to [`Database::mutate`], which
+//! publishes the change as a new catalog version when the closure
+//! returns.  Snapshots can be held for as long as needed, across any
+//! other API call, without blocking anything.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -120,7 +135,7 @@ mod rows;
 mod session;
 
 pub use cache::CacheStats;
-pub use db::{CatalogRef, CatalogRefMut, Database};
+pub use db::Database;
 pub use prepared::PreparedQuery;
 pub use rows::{ExecutionOutcome, Rows};
 pub use session::Session;
@@ -136,6 +151,7 @@ pub use pascalr_storage as storage;
 pub use pascalr_calculus::{
     CalculusError, ComponentRef, Formula, Params, Quantifier, RangeDecl, RangeExpr,
 };
+pub use pascalr_catalog::{Catalog, CatalogSnapshot};
 pub use pascalr_planner::{
     ConjunctionEstimate, CostEstimate, CostWeights, PlanEstimates, PlanOptions, StrategyLevel,
 };
@@ -300,11 +316,14 @@ mod tests {
     #[test]
     fn declarations_and_inserts_round_trip() {
         let db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
-        assert_eq!(db.catalog().relation_count(), 4);
+        assert_eq!(db.snapshot().relation_count(), 4);
         let prof = db.enum_value("statustype", "professor").unwrap();
         db.insert_values("employees", vec![Value::int(7), Value::str("Turing"), prof])
             .unwrap();
-        assert_eq!(db.catalog().relation("employees").unwrap().cardinality(), 1);
+        assert_eq!(
+            db.snapshot().relation("employees").unwrap().cardinality(),
+            1
+        );
         assert!(db.enum_value("statustype", "dean").is_err());
         assert!(db.enum_value("nosuchtype", "x").is_err());
     }
@@ -364,7 +383,7 @@ mod tests {
     #[test]
     fn fallback_is_reported_in_the_outcome() {
         let db = sample_db();
-        db.catalog_mut().relation_mut("papers").unwrap().clear();
+        db.mutate(|c| c.relation_mut("papers").unwrap().clear());
         let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
         assert_eq!(outcome.result.cardinality(), 3);
         assert!(outcome.report.fallback.as_ref().unwrap().contains("papers"));
@@ -379,10 +398,10 @@ mod tests {
         assert!(!db.shares_state_with(&fork));
 
         // A mutation through one clone is visible through the other ...
-        clone.catalog_mut().relation_mut("papers").unwrap().clear();
-        assert!(db.catalog().relation("papers").unwrap().is_empty());
-        // ... but not through the fork.
-        assert!(!fork.catalog().relation("papers").unwrap().is_empty());
+        clone.mutate(|c| c.relation_mut("papers").unwrap().clear());
+        assert!(db.snapshot().relation("papers").unwrap().is_empty());
+        // ... but not through the fork, which pinned the earlier version.
+        assert!(!fork.snapshot().relation("papers").unwrap().is_empty());
 
         // Per-handle defaults are NOT shared.
         let mut other = db.clone();
@@ -612,7 +631,7 @@ mod tests {
             let session = db.session().with_strategy(level);
             let prepared = session.prepare(EXAMPLE_2_1_QUERY).unwrap();
             let outcome = prepared.execute().unwrap();
-            let expected = oracle_eval(prepared.selection(), &db.catalog()).unwrap();
+            let expected = oracle_eval(prepared.selection(), &db.snapshot()).unwrap();
             assert!(outcome.result.set_eq(&expected), "{level}");
             assert_eq!(prepared.strategy(), level);
             assert!(prepared.explain().contains("scan order"));

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use pascalr_calculus::{ParamName, Params, Selection};
 use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
 
-use crate::db::{execute_outcome, fingerprint, unbound_param_error, CatalogRef};
+use crate::db::{execute_outcome, fingerprint, unbound_param_error};
 use crate::{Database, PascalRError, QueryOutcome, Rows};
 
 /// A prepared query: the result of parsing, normalizing and planning a
@@ -52,7 +52,7 @@ impl PreparedQuery {
         // Plan eagerly so that preparation — not the first execution — pays
         // the planning cost; this also warms the shared plan cache.
         {
-            let catalog = prepared.db.shared.catalog.read();
+            let catalog = prepared.db.snapshot();
             let _ = prepared.db.cached_plan(
                 &catalog,
                 &prepared.selection,
@@ -88,7 +88,7 @@ impl PreparedQuery {
     /// Renders the current plan (re-planning first if the catalog changed
     /// since preparation).
     pub fn explain(&self) -> String {
-        let catalog = self.db.shared.catalog.read();
+        let catalog = self.db.snapshot();
         self.db
             .cached_plan(
                 &catalog,
@@ -107,7 +107,7 @@ impl PreparedQuery {
         if let Some(name) = self.param_names.first() {
             return Err(unbound_param_error(name));
         }
-        let catalog = self.db.shared.catalog.read();
+        let catalog = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &catalog,
             &self.selection,
@@ -124,7 +124,7 @@ impl PreparedQuery {
     /// constants without re-planning.  Extra bindings are ignored; missing
     /// ones are an error.
     pub fn execute_with(&self, params: &Params) -> Result<QueryOutcome, PascalRError> {
-        let catalog = self.db.shared.catalog.read();
+        let catalog = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &catalog,
             &self.selection,
@@ -150,31 +150,31 @@ impl PreparedQuery {
     /// requested, tuples are constructed one at a time, and dropping the
     /// cursor early — e.g. after `take(10)` or an existence check — stops
     /// all remaining collection/combination/construction work.  The cursor
-    /// holds a catalog read-guard for its lifetime; see the [`Rows`] docs
-    /// for the deadlock hazard.
-    pub fn rows(&self) -> Result<Rows<'_>, PascalRError> {
+    /// owns a pinned catalog snapshot — it never blocks writers and keeps
+    /// streaming from the version it pinned; see the [`Rows`] docs.
+    pub fn rows(&self) -> Result<Rows, PascalRError> {
         if let Some(name) = self.param_names.first() {
             return Err(unbound_param_error(name));
         }
-        let guard = self.db.shared.catalog.read();
+        let snapshot = self.db.snapshot();
         let query_plan = self.db.cached_plan(
-            &guard,
+            &snapshot,
             &self.selection,
             self.fingerprint,
             self.strategy,
             self.options,
         );
-        Ok(Rows::new(CatalogRef(guard), query_plan))
+        Ok(Rows::new(snapshot, query_plan))
     }
 
     /// Streams the prepared query with parameters bound, as a lazy
     /// [`Rows`] cursor (the streaming counterpart of
     /// [`PreparedQuery::execute_with`]).  Extra bindings are ignored;
     /// missing ones are an error.
-    pub fn rows_with(&self, params: &Params) -> Result<Rows<'_>, PascalRError> {
-        let guard = self.db.shared.catalog.read();
+    pub fn rows_with(&self, params: &Params) -> Result<Rows, PascalRError> {
+        let snapshot = self.db.snapshot();
         let query_plan = self.db.cached_plan(
-            &guard,
+            &snapshot,
             &self.selection,
             self.fingerprint,
             self.strategy,
@@ -185,7 +185,7 @@ impl PreparedQuery {
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        Ok(Rows::new(CatalogRef(guard), bound))
+        Ok(Rows::new(snapshot, bound))
     }
 
     /// The query-shape fingerprint used as part of the plan-cache key.

@@ -3,12 +3,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pascalr_catalog::CatalogSnapshot;
 use pascalr_exec::{ExecError, ExecutionCursor, Fallback};
 use pascalr_planner::{QueryPlan, StrategyLevel};
 use pascalr_relation::{RelationSchema, Tuple};
 use pascalr_storage::{Metrics, MetricsSnapshot};
-
-use crate::db::CatalogRef;
 
 /// Renders a runtime fallback for reports (shared by the streaming and
 /// materializing paths so both describe it identically).
@@ -60,18 +59,17 @@ pub struct ExecutionOutcome {
 /// remaining collection/combination/construction work** — `rows.take(10)`
 /// never pays for the eleventh tuple.
 ///
-/// # The held read-guard (deadlock hazard)
+/// # The pinned snapshot
 ///
-/// A `Rows` cursor holds **shared read access to the catalog** for its
-/// entire lifetime, exactly like [`Database::catalog`]: writers
-/// (inserts, DDL) block until it is dropped, and — as with the guard —
-/// you must drop the cursor before calling any other
-/// `Database`/`Session`/`PreparedQuery` method **on the same thread**,
-/// including read-only ones: every entry point takes the same lock
-/// internally, and with a writer already waiting a second read
-/// acquisition on the same thread can deadlock (the underlying
-/// reader-writer lock may prefer writers).  Consume the cursor, then
-/// act on the results.
+/// A `Rows` cursor **owns a pinned catalog snapshot**
+/// ([`Rows::snapshot`]): the immutable catalog version that was current
+/// when the cursor was created.  No lock is held while the cursor is
+/// alive — writers (inserts, DDL) proceed freely and publish new
+/// versions, and the cursor keeps streaming exactly the version it
+/// pinned, no matter how long it lives or which thread polls it.  `Rows`
+/// is `'static`: it can be stored in structs, sent across threads, or
+/// held across any other `Database`/`Session`/`PreparedQuery` call
+/// without restriction.
 ///
 /// # Example
 ///
@@ -94,26 +92,25 @@ pub struct ExecutionOutcome {
 /// let first = q.rows().unwrap().next().unwrap().unwrap();
 /// assert!(names.contains(&first));
 /// ```
-///
-/// [`Database::catalog`]: crate::Database::catalog
-pub struct Rows<'db> {
-    // Field order matters for drop safety only in that both borrow the
-    // same shared state; the cursor holds no reference into the guard —
-    // every `next()` passes the catalog explicitly.
-    guard: CatalogRef<'db>,
+pub struct Rows {
     cursor: ExecutionCursor,
     plan: Arc<QueryPlan>,
     started_at: Instant,
 }
 
-impl<'db> Rows<'db> {
-    pub(crate) fn new(guard: CatalogRef<'db>, plan: Arc<QueryPlan>) -> Rows<'db> {
+impl Rows {
+    pub(crate) fn new(snapshot: CatalogSnapshot, plan: Arc<QueryPlan>) -> Rows {
         Rows {
-            guard,
-            cursor: ExecutionCursor::new(plan.clone(), Metrics::new()),
+            cursor: ExecutionCursor::new(plan.clone(), snapshot, Metrics::new()),
             plan,
             started_at: Instant::now(),
         }
+    }
+
+    /// The catalog snapshot this cursor executes against — the version
+    /// pinned at creation, unaffected by concurrent mutations.
+    pub fn snapshot(&self) -> &CatalogSnapshot {
+        self.cursor.snapshot()
     }
 
     /// The plan this cursor was created with.  After a runtime fallback the
@@ -130,7 +127,7 @@ impl<'db> Rows<'db> {
     /// Caps how many tuples the cursor will produce; all remaining work
     /// stops once the budget is reached (like dropping the cursor there).
     /// Overrides the plan's [`QueryPlan::row_budget`] hint.
-    pub fn with_row_budget(mut self, budget: u64) -> Rows<'db> {
+    pub fn with_row_budget(mut self, budget: u64) -> Rows {
         self.cursor.set_row_budget(Some(budget));
         self
     }
@@ -139,7 +136,7 @@ impl<'db> Rows<'db> {
     /// assumption checks and the collection phase) if it has not happened
     /// yet, but constructs no tuple.
     pub fn schema(&mut self) -> Result<Arc<RelationSchema>, ExecError> {
-        self.cursor.start(&self.guard)?;
+        self.cursor.start()?;
         Ok(self
             .cursor
             .schema()
@@ -177,7 +174,7 @@ impl<'db> Rows<'db> {
     }
 }
 
-impl std::fmt::Debug for Rows<'_> {
+impl std::fmt::Debug for Rows {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Rows")
             .field("strategy", &self.plan.strategy)
@@ -186,10 +183,10 @@ impl std::fmt::Debug for Rows<'_> {
     }
 }
 
-impl Iterator for Rows<'_> {
+impl Iterator for Rows {
     type Item = Result<Tuple, ExecError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.cursor.next_tuple(&self.guard)
+        self.cursor.next_tuple()
     }
 }

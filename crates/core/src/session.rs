@@ -157,9 +157,10 @@ impl Session {
     /// No execution work happens until the first tuple is requested;
     /// dropping the cursor early stops all remaining work, so
     /// `session.rows(text)?.take(10)` pays for ten tuples, not for the
-    /// full answer relation.  The cursor holds a catalog read-guard for
-    /// its lifetime; see the [`Rows`] docs for the deadlock hazard.
-    pub fn rows(&self, text: &str) -> Result<Rows<'_>, PascalRError> {
+    /// full answer relation.  The cursor owns a pinned catalog snapshot —
+    /// it never blocks writers and keeps streaming from the version it
+    /// pinned; see the [`Rows`] docs.
+    pub fn rows(&self, text: &str) -> Result<Rows, PascalRError> {
         self.db
             .rows_text_with_options(text, self.strategy, self.options)
     }
@@ -168,7 +169,7 @@ impl Session {
     /// cache, `params` are bound per call, the result is a lazy [`Rows`]
     /// cursor.  For repeated execution, [`Session::prepare`] once and use
     /// [`PreparedQuery::rows_with`] instead.
-    pub fn rows_with_params(&self, text: &str, params: &Params) -> Result<Rows<'_>, PascalRError> {
+    pub fn rows_with_params(&self, text: &str, params: &Params) -> Result<Rows, PascalRError> {
         self.db
             .rows_params_with_options(text, params, self.strategy, self.options)
     }

@@ -20,17 +20,17 @@
 //!   elimination via borrowed projections ([`TupleCow`]) so duplicate rows
 //!   never clone a value.
 //!
-//! The cursor holds **no borrow of the catalog**: every call to
-//! [`ExecutionCursor::next_tuple`] takes the catalog as an argument, which
-//! lets callers embed the cursor next to the lock guard that protects the
-//! catalog (see the `Rows` type of the `pascalr` facade).  All calls must
-//! pass the same catalog the cursor was started against; the facade
-//! guarantees this by construction.
+//! The cursor **owns a pinned [`CatalogSnapshot`]**: every tuple it
+//! produces is computed against exactly the catalog version the cursor was
+//! created with, no matter how many writers publish new versions while the
+//! stream is alive.  Because a snapshot holds no lock, a long-lived cursor
+//! never blocks mutations — and nothing a caller does between `next_tuple`
+//! calls can change what the cursor observes.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use pascalr_catalog::Catalog;
+use pascalr_catalog::{Catalog, CatalogSnapshot};
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
 use pascalr_relation::{ElemRef, RelationSchema, Tuple, TupleCow};
 use pascalr_storage::{Metrics, Phase};
@@ -257,7 +257,8 @@ enum State {
     Done,
 }
 
-/// A lazy, resumable execution of one query plan.
+/// A lazy, resumable execution of one query plan against one pinned
+/// catalog snapshot.
 ///
 /// Create it with [`ExecutionCursor::new`], then call
 /// [`ExecutionCursor::next_tuple`] until it returns `None`.  See the
@@ -269,6 +270,7 @@ enum State {
 /// reporting what happened.
 pub struct ExecutionCursor {
     query_plan: Arc<QueryPlan>,
+    snapshot: CatalogSnapshot,
     metrics: Metrics,
     row_budget: Option<u64>,
     distinct: bool,
@@ -279,14 +281,20 @@ pub struct ExecutionCursor {
 }
 
 impl ExecutionCursor {
-    /// Creates a cursor for a plan.  No work happens until the first
-    /// [`ExecutionCursor::next_tuple`] (or [`ExecutionCursor::start`])
-    /// call.  The plan's [`QueryPlan::row_budget`] hint, if set, bounds how
-    /// many tuples the cursor will produce.
-    pub fn new(query_plan: Arc<QueryPlan>, metrics: Metrics) -> ExecutionCursor {
+    /// Creates a cursor for a plan over a pinned catalog snapshot.  No work
+    /// happens until the first [`ExecutionCursor::next_tuple`] (or
+    /// [`ExecutionCursor::start`]) call.  The plan's
+    /// [`QueryPlan::row_budget`] hint, if set, bounds how many tuples the
+    /// cursor will produce.
+    pub fn new(
+        query_plan: Arc<QueryPlan>,
+        snapshot: CatalogSnapshot,
+        metrics: Metrics,
+    ) -> ExecutionCursor {
         let row_budget = query_plan.row_budget;
         ExecutionCursor {
             query_plan,
+            snapshot,
             metrics,
             row_budget,
             distinct: true,
@@ -326,6 +334,11 @@ impl ExecutionCursor {
         &self.metrics
     }
 
+    /// The pinned catalog snapshot this cursor executes against.
+    pub fn snapshot(&self) -> &CatalogSnapshot {
+        &self.snapshot
+    }
+
     /// The runtime fallback taken, if any.  `None` until the cursor has
     /// started (fallbacks are detected on first use).
     pub fn fallback(&self) -> Option<&Fallback> {
@@ -347,7 +360,11 @@ impl ExecutionCursor {
     /// live or successfully finished cursor; called implicitly by the
     /// first [`ExecutionCursor::next_tuple`].  Fails if the cursor already
     /// terminated with an error before its result schema was computed.
-    pub fn start(&mut self, catalog: &Catalog) -> Result<(), ExecError> {
+    pub fn start(&mut self) -> Result<(), ExecError> {
+        // A cheap pin clone: lets the borrow of the catalog coexist with
+        // the mutable borrows of the cursor state below.
+        let snapshot = self.snapshot.clone();
+        let catalog: &Catalog = &snapshot;
         if !matches!(self.state, State::Unstarted) {
             // A cursor that died during start never computed a schema;
             // report that instead of pretending the start succeeded.
@@ -429,7 +446,7 @@ impl ExecutionCursor {
     /// Produces the next distinct result tuple, or `None` when the result
     /// is exhausted (or the row budget is reached).  After the first
     /// `Err`, the cursor is terminated and returns `None` forever.
-    pub fn next_tuple(&mut self, catalog: &Catalog) -> Option<Result<Tuple, ExecError>> {
+    pub fn next_tuple(&mut self) -> Option<Result<Tuple, ExecError>> {
         if let Some(budget) = self.row_budget {
             if self.produced >= budget {
                 self.state = State::Done;
@@ -437,16 +454,16 @@ impl ExecutionCursor {
             }
         }
         if matches!(self.state, State::Unstarted) {
-            if let Err(e) = self.start(catalog) {
+            if let Err(e) = self.start() {
                 return Some(Err(e));
             }
         }
         let item = match &mut self.state {
             State::Unstarted => unreachable!("started above"),
             State::Done => return None,
-            State::Draining(drain) => Self::pump_draining(drain, catalog, &self.metrics),
+            State::Draining(drain) => Self::pump_draining(drain, &self.snapshot, &self.metrics),
             State::Streaming(stream) => {
-                Self::pump_streaming(stream, &self.query_plan, catalog, &self.metrics)
+                Self::pump_streaming(stream, &self.query_plan, &self.snapshot, &self.metrics)
             }
         };
         match item {
@@ -549,20 +566,16 @@ mod tests {
     use pascalr_planner::StrategyLevel;
     use pascalr_workload::{figure1_sample_database, query_by_id};
 
-    fn cursor_for(
-        query: &str,
-        level: StrategyLevel,
-    ) -> (pascalr_catalog::Catalog, ExecutionCursor) {
-        let cat = figure1_sample_database().unwrap();
-        let sel = query_by_id(query).unwrap().parse(&cat).unwrap();
-        let p = Arc::new(plan(&sel, &cat, level, PlanOptions::default()));
-        let cursor = ExecutionCursor::new(p, Metrics::new());
-        (cat, cursor)
+    fn cursor_for(query: &str, level: StrategyLevel) -> ExecutionCursor {
+        let snap = CatalogSnapshot::new(figure1_sample_database().unwrap());
+        let sel = query_by_id(query).unwrap().parse(&snap).unwrap();
+        let p = Arc::new(plan(&sel, &snap, level, PlanOptions::default()));
+        ExecutionCursor::new(p, snap, Metrics::new())
     }
 
     #[test]
     fn an_unpolled_cursor_records_nothing() {
-        let (_cat, cursor) = cursor_for("ex2.1", StrategyLevel::S4CollectionQuantifiers);
+        let cursor = cursor_for("ex2.1", StrategyLevel::S4CollectionQuantifiers);
         assert!(cursor.metrics().snapshot().total().is_zero());
         assert!(cursor.schema().is_none());
         assert!(cursor.fallback().is_none());
@@ -573,15 +586,15 @@ mod tests {
     fn draining_matches_the_materializing_executor_for_quantified_plans() {
         // ex2.1 at S2 keeps its quantifier prefix: the cursor materializes
         // the combination result and streams only construction.
-        let (cat, mut cursor) = cursor_for("ex2.1", StrategyLevel::S2OneStep);
+        let mut cursor = cursor_for("ex2.1", StrategyLevel::S2OneStep);
         assert!(!cursor.query_plan().combination_streams());
         let mut streamed = Vec::new();
-        while let Some(item) = cursor.next_tuple(&cat) {
+        while let Some(item) = cursor.next_tuple() {
             streamed.push(item.unwrap());
         }
         assert_eq!(streamed.len(), 3, "Abel, Baker and Cohen qualify");
         // Exhausted cursors stay exhausted.
-        assert!(cursor.next_tuple(&cat).is_none());
+        assert!(cursor.next_tuple().is_none());
         assert_eq!(cursor.produced(), 3);
     }
 
@@ -590,7 +603,7 @@ mod tests {
         // A quantifier-free join: two free variables connected by a dyadic
         // equality term, so the conjunction's final stage is a join stage
         // that expands per produced tuple.
-        let cat = figure1_sample_database().unwrap();
+        let cat = CatalogSnapshot::new(figure1_sample_database().unwrap());
         let spec = pascalr_workload::QuerySpec {
             id: "pairs",
             name: "quantifier-free join",
@@ -606,12 +619,12 @@ mod tests {
             PlanOptions::default(),
         ));
         assert!(p.combination_streams());
-        let mut cursor = ExecutionCursor::new(p, Metrics::new());
-        let first = cursor.next_tuple(&cat).unwrap().unwrap();
+        let mut cursor = ExecutionCursor::new(p, cat, Metrics::new());
+        let first = cursor.next_tuple().unwrap().unwrap();
         assert_eq!(first.arity(), 2);
         let after_one = cursor.metrics().snapshot();
         let mut total = 1;
-        while let Some(item) = cursor.next_tuple(&cat) {
+        while let Some(item) = cursor.next_tuple() {
             item.unwrap();
             total += 1;
         }
@@ -634,15 +647,15 @@ mod tests {
 
     #[test]
     fn the_row_budget_terminates_the_stream() {
-        let (cat, mut cursor) = cursor_for("q01", StrategyLevel::S1Parallel);
+        let mut cursor = cursor_for("q01", StrategyLevel::S1Parallel);
         cursor.set_row_budget(Some(2));
-        assert!(cursor.next_tuple(&cat).is_some());
-        assert!(cursor.next_tuple(&cat).is_some());
-        assert!(cursor.next_tuple(&cat).is_none(), "budget reached");
+        assert!(cursor.next_tuple().is_some());
+        assert!(cursor.next_tuple().is_some());
+        assert!(cursor.next_tuple().is_none(), "budget reached");
         assert_eq!(cursor.produced(), 2);
 
         // The plan-level hint is honored too.
-        let cat = figure1_sample_database().unwrap();
+        let cat = CatalogSnapshot::new(figure1_sample_database().unwrap());
         let sel = query_by_id("q01").unwrap().parse(&cat).unwrap();
         let p = plan(
             &sel,
@@ -651,9 +664,9 @@ mod tests {
             PlanOptions::default(),
         )
         .with_row_budget(1);
-        let mut cursor = ExecutionCursor::new(Arc::new(p), Metrics::new());
+        let mut cursor = ExecutionCursor::new(Arc::new(p), cat, Metrics::new());
         let mut n = 0;
-        while cursor.next_tuple(&cat).is_some() {
+        while cursor.next_tuple().is_some() {
             n += 1;
         }
         assert_eq!(n, 1);
@@ -663,7 +676,7 @@ mod tests {
     fn a_failed_start_reports_errors_instead_of_panicking() {
         // A hand-built selection over a relation the catalog does not have:
         // the collection phase fails before a result schema exists.
-        let cat = figure1_sample_database().unwrap();
+        let cat = CatalogSnapshot::new(figure1_sample_database().unwrap());
         let sel = pascalr_calculus::Selection::new(
             "q",
             vec![pascalr_calculus::ComponentRef::new("x", "enr")],
@@ -679,27 +692,24 @@ mod tests {
             StrategyLevel::S1Parallel,
             PlanOptions::default(),
         ));
-        let mut cursor = ExecutionCursor::new(p, Metrics::new());
-        assert!(cursor.next_tuple(&cat).unwrap().is_err());
-        assert!(
-            cursor.next_tuple(&cat).is_none(),
-            "terminated after an error"
-        );
+        let mut cursor = ExecutionCursor::new(p, cat, Metrics::new());
+        assert!(cursor.next_tuple().unwrap().is_err());
+        assert!(cursor.next_tuple().is_none(), "terminated after an error");
         // Re-starting the dead cursor is an error, not a silent Ok with a
         // missing schema.
-        assert!(cursor.start(&cat).is_err());
+        assert!(cursor.start().is_err());
         assert!(cursor.schema().is_none());
     }
 
     #[test]
     fn start_is_idempotent_and_exposes_the_schema() {
-        let (cat, mut cursor) = cursor_for("q01", StrategyLevel::S4CollectionQuantifiers);
-        cursor.start(&cat).unwrap();
+        let mut cursor = cursor_for("q01", StrategyLevel::S4CollectionQuantifiers);
+        cursor.start().unwrap();
         let schema = cursor.schema().unwrap().clone();
         assert_eq!(schema.arity(), 2);
-        cursor.start(&cat).unwrap(); // no-op
+        cursor.start().unwrap(); // no-op
         assert_eq!(cursor.produced(), 0, "start constructs no tuple");
-        let all: Vec<_> = std::iter::from_fn(|| cursor.next_tuple(&cat)).collect();
+        let all: Vec<_> = std::iter::from_fn(|| cursor.next_tuple()).collect();
         assert!(all.iter().all(|r| r.is_ok()));
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use pascalr_calculus::Selection;
-use pascalr_catalog::Catalog;
+use pascalr_catalog::{Catalog, CatalogSnapshot};
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
 use pascalr_relation::Relation;
 use pascalr_storage::{Metrics, MetricsSnapshot};
@@ -94,29 +94,29 @@ pub(crate) fn violated_extended_range(
     Ok(None)
 }
 
-/// Executes a plan to completion against a catalog, recording metrics, and
-/// applying the runtime adaptations of Section 2 when an assumption of the
-/// standard form fails.
+/// Executes a plan to completion against a pinned catalog snapshot,
+/// recording metrics, and applying the runtime adaptations of Section 2
+/// when an assumption of the standard form fails.
 ///
 /// This is a thin materializing wrapper over [`ExecutionCursor`] — the
 /// streaming cursor is the **only** execution path; `execute` merely
 /// drains it into a [`Relation`].
 pub fn execute(
     query_plan: Arc<QueryPlan>,
-    catalog: &Catalog,
+    snapshot: &CatalogSnapshot,
     metrics: &Metrics,
 ) -> Result<ExecutionResult, ExecError> {
-    let mut cursor = ExecutionCursor::new(query_plan, metrics.clone());
+    let mut cursor = ExecutionCursor::new(query_plan, snapshot.clone(), metrics.clone());
     // The relation below deduplicates on insert; don't pay for a second
     // copy of the result set inside the cursor.
     cursor.set_distinct(false);
-    cursor.start(catalog)?;
+    cursor.start()?;
     let schema = cursor
         .schema()
         .expect("a successfully started cursor has a result schema")
         .clone();
     let mut relation = Relation::new(schema);
-    while let Some(item) = cursor.next_tuple(catalog) {
+    while let Some(item) = cursor.next_tuple() {
         let _ = relation.insert(item?);
     }
     metrics.record_structure_size("result", relation.cardinality() as u64);
@@ -130,13 +130,13 @@ pub fn execute(
 /// Convenience: plan and execute a selection in one call.
 pub fn plan_and_execute(
     selection: &Selection,
-    catalog: &Catalog,
+    snapshot: &CatalogSnapshot,
     strategy: StrategyLevel,
     options: PlanOptions,
     metrics: &Metrics,
 ) -> Result<(Arc<QueryPlan>, ExecutionResult), ExecError> {
-    let p = Arc::new(plan(selection, catalog, strategy, options));
-    let r = execute(p.clone(), catalog, metrics)?;
+    let p = Arc::new(plan(selection, snapshot, strategy, options));
+    let r = execute(p.clone(), snapshot, metrics)?;
     Ok((p, r))
 }
 
@@ -154,7 +154,7 @@ mod tests {
     /// level produces exactly the oracle's result for every workload query.
     #[test]
     fn all_strategies_agree_with_the_oracle_on_the_sample_database() {
-        let cat = figure1_sample_database().unwrap();
+        let cat = CatalogSnapshot::new(figure1_sample_database().unwrap());
         for q in all_queries() {
             let sel = q.parse(&cat).unwrap();
             let expected = oracle_eval(&sel, &cat).unwrap();
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn all_strategies_agree_with_the_oracle_on_a_generated_database() {
-        let cat = generate(&UniversityConfig::at_scale(1)).unwrap();
+        let cat = CatalogSnapshot::new(generate(&UniversityConfig::at_scale(1)).unwrap());
         for q in all_queries() {
             let sel = q.parse(&cat).unwrap();
             let expected = oracle_eval(&sel, &cat).unwrap();
@@ -206,6 +206,7 @@ mod tests {
         // return all employees; the adaptation must keep only professors.
         let mut cat = figure1_sample_database().unwrap();
         clear_relation(&mut cat, "papers").unwrap();
+        let cat = CatalogSnapshot::new(cat);
         let sel = pascalr_workload::query_by_id("ex2.1")
             .unwrap()
             .parse(&cat)
@@ -241,6 +242,7 @@ mod tests {
                 ]))
                 .unwrap();
         }
+        let cat = CatalogSnapshot::new(cat);
         let sel = pascalr_workload::query_by_id("ex2.1")
             .unwrap()
             .parse(&cat)
@@ -277,6 +279,7 @@ mod tests {
     fn empty_free_range_produces_an_empty_typed_result() {
         let mut cat = figure1_sample_database().unwrap();
         clear_relation(&mut cat, "employees").unwrap();
+        let cat = CatalogSnapshot::new(cat);
         let sel = pascalr_workload::query_by_id("ex2.1")
             .unwrap()
             .parse(&cat)
@@ -298,7 +301,7 @@ mod tests {
     fn metrics_show_the_expected_strategy_shape() {
         // Relation scans: S0 > S1 (= number of relations); combination
         // intermediates: S4 < S0.
-        let cat = figure1_sample_database().unwrap();
+        let cat = CatalogSnapshot::new(figure1_sample_database().unwrap());
         let sel = pascalr_workload::query_by_id("ex2.1")
             .unwrap()
             .parse(&cat)

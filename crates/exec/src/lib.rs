@@ -6,10 +6,13 @@
 //! adaptation for empty range relations.
 //!
 //! The single execution engine is the streaming [`ExecutionCursor`], which
-//! produces result tuples lazily and pipelines the construction phase (and,
-//! for plans without a quantifier prefix, the final combination pass)
-//! tuple-by-tuple.  [`execute`] is a thin materializing wrapper that drains
-//! the cursor into a [`pascalr_relation::Relation`].
+//! owns a pinned [`pascalr_catalog::CatalogSnapshot`], produces result
+//! tuples lazily, and pipelines the construction phase (and, for plans
+//! without a quantifier prefix, the final combination pass)
+//! tuple-by-tuple.  Because the cursor holds its own immutable snapshot,
+//! it never blocks writers and never observes concurrent catalog updates.
+//! [`execute`] is a thin materializing wrapper that drains the cursor into
+//! a [`pascalr_relation::Relation`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -7,9 +7,11 @@
 //! loop between the statistics `pascalr-catalog` computes (ANALYZE) and the
 //! planner's decisions:
 //!
-//! * [`StatsView`] — a read-only snapshot of the statistics relevant to one
+//! * [`StatsView`] — a read-only view of the statistics relevant to one
 //!   planning pass: cached ANALYZE results where they exist, live
-//!   cardinalities as the fallback;
+//!   cardinalities as the fallback.  It is built from the caller's pinned
+//!   catalog snapshot, so one planning pass costs against one consistent
+//!   catalog version even while writers publish new ones;
 //! * [`selectivity`] — per-term and per-restriction selectivity estimation
 //!   on top of [`pascalr_catalog::RelationStats`] (equality via distinct
 //!   counts, ranges via the equi-width histograms);

@@ -3,7 +3,10 @@
 //! range expressions, collection-phase quantifier evaluation) on top of the
 //! naive Palermo-style baseline — plus [`StrategyLevel::Auto`], the
 //! cost-based selection policy that picks among them using the catalog's
-//! ANALYZE statistics and the `pascalr-optimizer` cost model.
+//! ANALYZE statistics and the `pascalr-optimizer` cost model.  Planning
+//! reads statistics and index declarations through whatever `&Catalog` the
+//! caller passes — in the full system that is a pinned immutable snapshot,
+//! so a plan is always costed against one consistent catalog version.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -74,11 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(stats.misses, 2, "exactly one re-plan after the bump");
 
-    // `fork()` restores the old deep-copy semantics when an independent
-    // database is wanted.
+    // `fork()` gives an independent database pinned to the current
+    // version: an O(1) snapshot share, not a deep copy.
     let fork = db.fork();
-    fork.catalog_mut().relation_mut("papers")?.clear();
-    assert!(!db.catalog().relation("papers")?.is_empty());
+    fork.mutate(|c| c.relation_mut("papers").map(|r| r.clear()))?;
+    assert!(!db.snapshot().relation("papers")?.is_empty());
     println!("fork mutated independently; shared handle unaffected");
     Ok(())
 }

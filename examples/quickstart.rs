@@ -12,7 +12,7 @@ use pascalr_relation::Tuple;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the database of Figure 1 (TYPE and VAR sections).
     let db = Database::from_declarations(FIGURE_1_DECLARATIONS)?;
-    println!("Declared relations: {:?}", db.catalog().relation_names());
+    println!("Declared relations: {:?}", db.snapshot().relation_names());
 
     // 2. Load a small department: three professors, a technician, papers,
     //    courses and the weekly timetable.

@@ -92,7 +92,7 @@ fn analyze_handles_the_scale_24_university_workload_in_one_pass() {
     // in `pascalr-catalog`'s `compute_clones_at_most_two_values_per_column`.
     let db = Database::from_catalog(generate(&UniversityConfig::at_scale(24)).unwrap());
     db.analyze().unwrap();
-    let catalog = db.catalog();
+    let catalog = db.snapshot();
     for rel in ["employees", "papers", "courses", "timetable"] {
         let cached = catalog.cached_stats(rel).expect("analyzed");
         assert_eq!(
@@ -159,7 +159,7 @@ proptest! {
         let spec = &queries[query_idx % queries.len()];
         let sel = db.parse(spec.text).unwrap();
         let expected = {
-            let catalog = db.catalog();
+            let catalog = db.snapshot();
             oracle_eval(&sel, &catalog).unwrap()
         };
         let auto = db.query_selection(&sel, StrategyLevel::Auto).unwrap();

@@ -1,14 +1,23 @@
-//! Multi-threaded smoke test: several threads share one `Database` clone
+//! Multi-threaded correctness: several threads share one `Database` clone
 //! and run the paper's worked examples (2.1, 3.2, 4.5, 4.7) concurrently,
 //! through prepared queries, at every strategy level.  Every thread must see
 //! exactly the oracle's results, and the metrics aggregated across threads
 //! must be sane (every execution did real work).
+//!
+//! The second half is the reader/writer stress harness for the snapshot
+//! concurrency model: streaming `Rows` cursors pin an immutable catalog
+//! version, so readers mid-stream never block a writer, writers publish
+//! whole batches atomically, and every cursor yields exactly the answer of
+//! the version it pinned — no torn reads, no blocking, no locks held
+//! across the stream.
 
 use pascalr_repro::pascalr::{Database, PreparedQuery, StrategyLevel};
 use pascalr_repro::pascalr_workload::{figure1_sample_database, oracle_eval, paper_queries};
 
 const THREADS: usize = 4;
 const ROUNDS: usize = 3;
+
+const PROFS_QUERY: &str = "profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]";
 
 #[test]
 fn threads_sharing_one_database_agree_with_the_oracle() {
@@ -19,7 +28,7 @@ fn threads_sharing_one_database_agree_with_the_oracle() {
         .iter()
         .map(|q| {
             let sel = db.parse(q.text).unwrap();
-            (q.id, oracle_eval(&sel, &db.catalog()).unwrap())
+            (q.id, oracle_eval(&sel, &db.snapshot()).unwrap())
         })
         .collect();
 
@@ -103,9 +112,7 @@ fn threads_sharing_one_database_agree_with_the_oracle() {
 fn concurrent_readers_coexist_with_writers() {
     let db = Database::from_catalog(figure1_sample_database().unwrap());
     let session = db.session();
-    let stmt = session
-        .prepare("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
-        .unwrap();
+    let stmt = session.prepare(PROFS_QUERY).unwrap();
     let baseline = stmt.execute().unwrap().result.cardinality();
 
     std::thread::scope(|scope| {
@@ -141,4 +148,186 @@ fn concurrent_readers_coexist_with_writers() {
     // All writes landed and the final prepared execution sees them.
     let final_count = stmt.execute().unwrap().result.cardinality();
     assert_eq!(final_count, baseline + 10);
+}
+
+/// The acceptance property of the snapshot redesign, stated directly: a
+/// `Rows` stream opened *before* a concurrent insert (a) lets the writer
+/// complete while the stream is mid-flight — the cursor holds no lock —
+/// and (b) yields exactly the answer of the version it pinned.
+#[test]
+fn a_rows_stream_opened_before_an_insert_never_blocks_the_writer() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let db = Database::from_catalog(figure1_sample_database().unwrap());
+    let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+    let stmt = session.prepare(PROFS_QUERY).unwrap();
+
+    // Pin a cursor and begin streaming before any write happens.
+    let mut rows = stmt.rows().unwrap();
+    let pinned_employees = rows.snapshot().relation("employees").unwrap().cardinality();
+    let first = rows
+        .next()
+        .expect("the sample database has professors")
+        .unwrap();
+
+    // A writer inserts while the cursor is alive.  If the cursor held a
+    // lock, the insert would block and the channel would time out.
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        let db = db.clone();
+        scope.spawn(move || {
+            let prof = db.enum_value("statustype", "professor").unwrap();
+            for i in 0..5 {
+                db.insert_values(
+                    "employees",
+                    vec![
+                        pascalr_repro::pascalr::Value::int(70 + i),
+                        pascalr_repro::pascalr::Value::str(format!("Mid{i}")),
+                        prof.clone(),
+                    ],
+                )
+                .unwrap();
+            }
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the writer must not block behind an open Rows cursor");
+    });
+
+    // The stream keeps yielding exactly its pinned version: the three
+    // original professors, none of the five concurrent inserts.
+    let mut streamed: Vec<_> = rows.by_ref().map(|r| r.unwrap()).collect();
+    streamed.push(first);
+    assert_eq!(
+        streamed.len(),
+        3,
+        "the pinned snapshot has exactly the three original professors"
+    );
+    assert!(
+        !streamed.iter().any(|t| t.to_string().contains("Mid")),
+        "a concurrent insert leaked into a pinned stream: {streamed:?}"
+    );
+
+    // A cursor opened *now* pins the latest version and sees all of them.
+    let fresh: Vec<_> = stmt.rows().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(fresh.len(), 3 + 5);
+    assert_eq!(
+        db.snapshot().relation("employees").unwrap().cardinality(),
+        pinned_employees + 5
+    );
+}
+
+/// Mixed reader/writer stress: N readers stream full `Rows` cursors in a
+/// loop while one writer interleaves batched inserts (through a maintained
+/// permanent index) with index creation and drops.  Every pinned snapshot
+/// must be a whole number of published batches ahead of the baseline —
+/// `insert_all` publishes atomically, so a half-written batch is never
+/// observable — and every stream must yield exactly its snapshot's answer.
+#[test]
+fn readers_stream_consistent_snapshots_while_a_writer_inserts_and_rebuilds_indexes() {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    const STRESS_READERS: usize = 4;
+    const BATCH: usize = 8;
+    const WRITER_ROUNDS: usize = 8;
+
+    let db = Database::from_catalog(figure1_sample_database().unwrap());
+    // A permanent index maintained across every insert of the run.
+    db.create_index("enrindex", "employees", &["enr"]).unwrap();
+    let baseline_employees = db.snapshot().relation("employees").unwrap().cardinality();
+    let session = db.session().with_strategy(StrategyLevel::S2OneStep);
+    let stmt = session.prepare(PROFS_QUERY).unwrap();
+    let baseline_profs = stmt.execute().unwrap().result.cardinality();
+
+    let writer_done = AtomicBool::new(false);
+    let reader_iterations = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for reader in 0..STRESS_READERS {
+            let stmt = stmt.clone();
+            let writer_done = &writer_done;
+            let reader_iterations = &reader_iterations;
+            scope.spawn(move || loop {
+                // Read the flag *before* pinning so every reader is
+                // guaranteed one final pass over the fully-written state.
+                let last = writer_done.load(Ordering::Acquire);
+                let mut rows = stmt.rows().unwrap();
+                let employees = rows.snapshot().relation("employees").unwrap().cardinality();
+                let grown = employees - baseline_employees;
+                assert_eq!(
+                    grown % BATCH,
+                    0,
+                    "reader {reader} pinned a half-published batch \
+                     ({employees} employees)"
+                );
+                // Every inserted employee is a professor: the stream must
+                // produce exactly the pinned version's answer, however
+                // many versions the writer publishes meanwhile.
+                let streamed: Vec<_> = rows.by_ref().map(|r| r.unwrap()).collect();
+                assert_eq!(
+                    streamed.len(),
+                    baseline_profs + grown,
+                    "reader {reader}: stream disagrees with its own snapshot"
+                );
+                reader_iterations.fetch_add(1, Ordering::Relaxed);
+                if last {
+                    break;
+                }
+            });
+        }
+        {
+            let db = db.clone();
+            let writer_done = &writer_done;
+            scope.spawn(move || {
+                // Raise the flag even if the writer panics, so readers
+                // stop looping and the panic fails the test instead of
+                // hanging it.
+                struct SetOnDrop<'a>(&'a AtomicBool);
+                impl Drop for SetOnDrop<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(true, Ordering::Release);
+                    }
+                }
+                let _done = SetOnDrop(writer_done);
+                let prof = db.enum_value("statustype", "professor").unwrap();
+                for round in 0..WRITER_ROUNDS {
+                    // enr 30..=93: inside enumbertype's 1..99 subrange and
+                    // clear of the sample database's keys (10..=22).
+                    let base = 30 + (round * BATCH) as i64;
+                    let batch: Vec<_> = (0..BATCH as i64)
+                        .map(|i| {
+                            pascalr_repro::pascalr::Tuple::new(vec![
+                                pascalr_repro::pascalr::Value::int(base + i),
+                                pascalr_repro::pascalr::Value::str(format!("W{round}x{i}")),
+                                prof.clone(),
+                            ])
+                        })
+                        .collect();
+                    assert_eq!(db.insert_all("employees", batch).unwrap(), BATCH);
+                    // DDL mid-stream: build and drop a scratch index every
+                    // round so index (re)builds interleave with readers.
+                    let name = format!("scratch{round}");
+                    db.create_index(&name, "papers", &["penr"]).unwrap();
+                    db.drop_index(&name).unwrap();
+                }
+            });
+        }
+    });
+
+    assert!(
+        reader_iterations.load(Ordering::Relaxed) >= STRESS_READERS,
+        "every reader completed at least its final pass"
+    );
+    // Every batch landed, and the maintained index survived the churn: the
+    // final execution sees all writer rounds.
+    assert_eq!(
+        db.snapshot().relation("employees").unwrap().cardinality(),
+        baseline_employees + WRITER_ROUNDS * BATCH
+    );
+    assert_eq!(
+        stmt.execute().unwrap().result.cardinality(),
+        baseline_profs + WRITER_ROUNDS * BATCH
+    );
 }

@@ -11,7 +11,7 @@ use pascalr_workload::figure1_sample_database;
 #[test]
 fn figure1_schema_matches_the_paper() {
     let db = Database::from_declarations(FIGURE_1_DECLARATIONS).unwrap();
-    let cat = db.catalog();
+    let cat = db.snapshot();
     assert_eq!(
         cat.relation_names(),
         vec!["employees", "papers", "courses", "timetable"]

@@ -136,7 +136,7 @@ fn empty_relation_adaptation_of_example_2_2() {
     // E12: papers = [] — the answer must be exactly the professors, at every
     // strategy level, with the fallback reported.
     let db = sample_db();
-    db.catalog_mut().relation_mut("papers").unwrap().clear();
+    db.mutate(|c| c.relation_mut("papers").unwrap().clear());
     for level in StrategyLevel::ALL {
         let outcome = db.query_with(EXAMPLE_2_1_QUERY, level).unwrap();
         assert_eq!(outcome.result.cardinality(), 3, "{level}");

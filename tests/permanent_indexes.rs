@@ -129,7 +129,7 @@ fn inserts_after_create_index_are_visible_without_rebuilds() {
     // An employee who published nothing yet (the query result is keyed by
     // ename; find an enr outside the current papers.penr set).
     let (new_penr, year_ty_ok) = {
-        let catalog = db.catalog();
+        let catalog = db.snapshot();
         let published: std::collections::BTreeSet<i64> = catalog
             .relation("papers")
             .unwrap()
@@ -144,7 +144,7 @@ fn inserts_after_create_index_are_visible_without_rebuilds() {
             .find(|enr| !published.contains(enr))
             .expect("the sample database has unpublished employees");
         (fresh, true)
-    }; // guard dropped before the next entry point
+    };
     assert!(year_ty_ok);
 
     db.insert_values(
@@ -170,10 +170,9 @@ fn inserts_after_create_index_are_visible_without_rebuilds() {
     // A mutable relation access drops the index to stale; the next use
     // rebuilds it lazily — once, charged to that query — and stays
     // correct.
-    {
-        let mut catalog = db.catalog_mut();
+    db.mutate(|catalog| {
         let _ = catalog.relation_mut("papers").unwrap();
-    }
+    });
     let stale = prepared.execute().unwrap();
     assert_eq!(stale.result.cardinality(), after.result.cardinality());
     assert_eq!(
@@ -260,13 +259,13 @@ fn malformed_index_declarations_are_rejected_with_details() {
             pascalr::ValueType::string(40),
         )],
     );
-    let err = {
-        let mut catalog = db.catalog_mut();
-        catalog.redeclare_relation(schema.clone()).unwrap_err()
-    };
+    let err = db
+        .mutate(|catalog| catalog.redeclare_relation(schema.clone()))
+        .unwrap_err();
     assert!(err.to_string().contains("cnrindex"), "{err}");
     db.drop_index("cnrindex").unwrap();
-    db.catalog_mut().redeclare_relation(schema).unwrap();
+    db.mutate(|catalog| catalog.redeclare_relation(schema))
+        .unwrap();
 }
 
 #[test]

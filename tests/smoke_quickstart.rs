@@ -73,12 +73,12 @@ fn quickstart_database() -> Database {
 fn quickstart_flow_agrees_with_the_oracle_at_every_strategy_level() {
     let db = quickstart_database();
     assert_eq!(
-        db.catalog().relation_names(),
+        db.snapshot().relation_names(),
         vec!["employees", "papers", "courses", "timetable"]
     );
 
     let selection = db.parse(EXAMPLE_2_1_QUERY).unwrap();
-    let expected = oracle_eval(&selection, &db.catalog()).unwrap();
+    let expected = oracle_eval(&selection, &db.snapshot()).unwrap();
     assert!(
         expected.cardinality() > 0,
         "Example 2.1 must select someone"
@@ -105,7 +105,7 @@ fn analyze_plus_auto_picks_a_level_and_matches_the_oracle() {
     assert_eq!(db.default_strategy(), StrategyLevel::Auto);
 
     let selection = db.parse(EXAMPLE_2_1_QUERY).unwrap();
-    let expected = oracle_eval(&selection, &db.catalog()).unwrap();
+    let expected = oracle_eval(&selection, &db.snapshot()).unwrap();
     let outcome = db.query(EXAMPLE_2_1_QUERY).unwrap();
     assert!(
         expected.set_eq(&outcome.result),

@@ -22,7 +22,7 @@ fn sample_db() -> Database {
 
 /// Drains a cursor and checks the stream against the materialized result
 /// of the same query: same tuples, no duplicates, same cardinality.
-fn assert_stream_matches(rows: Rows<'_>, db: &Database, text: &str, level: StrategyLevel) {
+fn assert_stream_matches(rows: Rows, db: &Database, text: &str, level: StrategyLevel) {
     let streamed: Vec<Tuple> = rows.map(|r| r.expect("streamed tuple")).collect();
     let outcome = db.query_with(text, level).expect("materialized execution");
     let mut seen = HashSet::new();
@@ -71,7 +71,7 @@ fn rows_match_execute_under_the_lemma1_fallback() {
     // Empty `papers` triggers the AdaptedForEmptyRelations fallback at
     // every level; the stream must match and report it.
     let db = sample_db();
-    db.catalog_mut().relation_mut("papers").unwrap().clear();
+    db.mutate(|c| c.relation_mut("papers").unwrap().clear());
     let text = query_by_id("ex2.1").unwrap().text;
     for level in StrategyLevel::ALL {
         let session = db.session().with_strategy(level);
@@ -90,8 +90,7 @@ fn rows_match_execute_under_the_extended_range_fallback() {
     // Only a senior-level course left: the extended range of `c` is empty,
     // so Strategy 3/4 re-plan at S2 — through the streaming path too.
     let db = sample_db();
-    {
-        let mut catalog = db.catalog_mut();
+    db.mutate(|catalog| {
         let level_ty = catalog.types().enum_type("leveltype").unwrap().clone();
         let courses = catalog.relation_mut("courses").unwrap();
         courses.clear();
@@ -102,7 +101,7 @@ fn rows_match_execute_under_the_extended_range_fallback() {
                 pascalr_repro::pascalr::Value::str("Advanced"),
             ]))
             .unwrap();
-    }
+    });
     let text = query_by_id("ex2.1").unwrap().text;
     for level in [
         StrategyLevel::S3ExtendedRanges,
