@@ -1,0 +1,73 @@
+//! The index advisor (A012): notes when the probe side of an equality
+//! join is not covered by any permanent index.
+//!
+//! The advisor reasons over the standardized form the planner itself uses:
+//! for each DNF conjunction, the optimizer's assembly order decides which
+//! side of an equality join is *probed* (the later variable in the order).
+//! A permanent index covering the probed component lets the executor skip
+//! the indirect join entirely, so its absence is worth a note.
+
+use std::collections::BTreeSet;
+
+use pascalr_calculus::normalize::standardize;
+use pascalr_calculus::{Operand, Selection, SpanMap, Term};
+use pascalr_catalog::Catalog;
+use pascalr_optimizer::access::assembly_order;
+use pascalr_relation::CompareOp;
+
+use crate::diagnostic::{Code, Diagnostic};
+
+/// Appends A012 notes for uncovered equality-join probe sides.
+pub(crate) fn advise_indexes(
+    selection: &Selection,
+    catalog: &Catalog,
+    spans: &SpanMap,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let std_sel = standardize(selection);
+    let all_vars = std_sel.all_vars();
+    let mut noted: BTreeSet<(String, String)> = BTreeSet::new();
+    for conj in &std_sel.form.matrix {
+        let order = assembly_order(conj, &all_vars, |v| conj.mentions(v));
+        let position = |var: &str| order.iter().position(|v| v.as_ref() == var);
+        for term in &conj.terms {
+            let Term::Compare {
+                left: Operand::Component(a),
+                op: CompareOp::Eq,
+                right: Operand::Component(b),
+            } = term
+            else {
+                continue;
+            };
+            if a.var == b.var {
+                continue;
+            }
+            let (Some(pa), Some(pb)) = (position(&a.var), position(&b.var)) else {
+                continue;
+            };
+            let probed = if pa > pb { a } else { b };
+            let Some(range) = std_sel.range_of(&probed.var) else {
+                continue;
+            };
+            let rel = range.relation.as_ref();
+            if catalog
+                .indexes()
+                .any(|d| d.covers(rel, &[probed.attr.as_ref()]))
+            {
+                continue;
+            }
+            if !noted.insert((rel.to_string(), probed.attr.to_string())) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                Code::A012,
+                format!(
+                    "no permanent index covers {rel}({}) — the probe side of the \
+                     equality join ({term})",
+                    probed.attr
+                ),
+                spans.term_span(term),
+            ));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Structured diagnostics: severities, stable codes, messages and spans.
+
+use std::fmt;
+
+use pascalr_calculus::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The query is meaningful but something about it deserves attention
+    /// (e.g. an index that would help is missing).
+    Note,
+    /// The query is semantically suspect — it will run, but part of it is
+    /// provably useless (statically false terms, unused variables, ...).
+    Warning,
+    /// The query is ill-formed against the catalog: unknown names or
+    /// incomparable component types.  Execution will fail at runtime.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.  Codes are append-only: a code, once published,
+/// never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(clippy::doc_markdown)]
+pub enum Code {
+    /// Unknown relation in a range expression.
+    A001,
+    /// Unknown attribute or unbound range variable in a component access.
+    A002,
+    /// Comparison across incompatible component kinds (e.g. subrange vs.
+    /// packed-char).
+    A003,
+    /// Comparison across two different enumeration types.
+    A004,
+    /// Statically unsatisfiable term (contradicts the component's declared
+    /// domain); simplification rewrites it to `false`.
+    A005,
+    /// Domain-implied tautology (always holds over the declared domain);
+    /// simplification rewrites it to `true`.
+    A006,
+    /// Contradictory conjunction: the interval intersection of its monadic
+    /// constant terms is empty; simplification rewrites it to `false`.
+    A007,
+    /// Unused free range variable: declared but never referenced.
+    A008,
+    /// Quantifier whose body never mentions the bound variable (the
+    /// quantification degrades to a non-emptiness check on its range).
+    A009,
+    /// Duplicate range declaration (a free variable declared twice, or a
+    /// quantifier shadowing an enclosing declaration).
+    A010,
+    /// Implied predicate: a monadic restriction derived through the
+    /// transitive closure of equality join terms.
+    A011,
+    /// Index advisor: the probe side of an equality join is not covered by
+    /// any permanent index.
+    A012,
+}
+
+impl Code {
+    /// The code as a stable string (`"A001"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::A008 => "A008",
+            Code::A009 => "A009",
+            Code::A010 => "A010",
+            Code::A011 => "A011",
+            Code::A012 => "A012",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::A001 | Code::A002 | Code::A003 | Code::A004 => Severity::Error,
+            Code::A005 | Code::A006 | Code::A007 | Code::A008 | Code::A009 | Code::A010 => {
+                Severity::Warning
+            }
+            Code::A011 | Code::A012 => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity (always `self.code.severity()`).
+    pub severity: Severity,
+    /// Stable code.
+    pub code: Code,
+    /// Human-readable message.
+    pub message: String,
+    /// Source span of the offending construct, when the selection came from
+    /// source text parsed with span recording.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for a code (severity is derived from the code).
+    pub fn new(code: Code, message: impl Into<String>, span: Option<Span>) -> Diagnostic {
+        Diagnostic {
+            severity: code.severity(),
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Whether this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_code_and_optional_span() {
+        let d = Diagnostic::new(Code::A005, "term can never hold", None);
+        assert_eq!(d.to_string(), "warning[A005]: term can never hold");
+        let with_span = Diagnostic::new(
+            Code::A001,
+            "unknown relation 'employes'",
+            Some(Span {
+                start: 10,
+                end: 18,
+                line: 2,
+                col: 4,
+            }),
+        );
+        assert_eq!(
+            with_span.to_string(),
+            "error[A001] at 2:4: unknown relation 'employes'"
+        );
+        assert!(with_span.is_error());
+    }
+
+    #[test]
+    fn severities_are_fixed_per_code() {
+        assert_eq!(Code::A001.severity(), Severity::Error);
+        assert_eq!(Code::A007.severity(), Severity::Warning);
+        assert_eq!(Code::A012.severity(), Severity::Note);
+        assert_eq!(Code::A012.as_str(), "A012");
+    }
+}

@@ -1,0 +1,303 @@
+//! `pascalr-analysis`: static semantic analysis of PASCAL/R selections.
+//!
+//! The analyzer inspects a [`Selection`] against a [`Catalog`] *before*
+//! planning and produces structured [`Diagnostic`]s — each with a severity,
+//! a stable code (`A001`…`A012`), a message and, when the selection came
+//! from source text, a byte span.  Five analyses run in one walk:
+//!
+//! 1. **Name and type resolution** — unknown relations (`A001`), unknown
+//!    attributes or unbound range variables (`A002`), comparisons across
+//!    incompatible kinds (`A003`) or across different enumerations
+//!    (`A004`).
+//! 2. **Domain and interval reasoning** over the catalog's subrange and
+//!    enumeration declarations — statically unsatisfiable terms (`A005`),
+//!    domain-implied tautologies (`A006`) and contradictory conjunctions
+//!    (`A007`).  [`simplify`] rewrites these to `false`/`true` so the
+//!    planner emits trivially-empty or unrestricted plans.
+//! 3. **Quantifier hygiene** — unused free range variables (`A008`),
+//!    quantifiers whose body never mentions the bound variable (`A009`)
+//!    and duplicate or shadowing range declarations (`A010`).
+//! 4. **Implied predicates** (`A011`) — monadic restrictions propagated
+//!    through the transitive closure of equality join terms, giving the
+//!    planner extra index and selectivity opportunities.
+//! 5. **Index advisor** (`A012`) — a note when the probe side of an
+//!    equality join is not covered by any permanent index.
+//!
+//! The domain rewrites are sound because relation inserts validate every
+//! component against its declared type: no stored tuple can violate a
+//! subrange or enumeration bound, so a term contradicting the declaration
+//! is `false` for every tuple — in any formula context.
+
+#![forbid(unsafe_code)]
+
+mod advisor;
+mod analyze;
+pub mod diagnostic;
+
+use pascalr_calculus::{Selection, SpanMap};
+use pascalr_catalog::Catalog;
+
+pub use diagnostic::{Code, Diagnostic, Severity};
+
+/// Analyzes a selection against a catalog and reports every diagnostic,
+/// without changing the selection.
+///
+/// Pass the [`SpanMap`] returned by
+/// `pascalr_parser::parse_selection_spanned` to get source-located
+/// diagnostics; pass [`SpanMap::default()`] for a selection built
+/// programmatically.
+pub fn analyze(selection: &Selection, catalog: &Catalog, spans: &SpanMap) -> Vec<Diagnostic> {
+    let outcome = analyze::walk_selection(selection, catalog, spans);
+    let mut diags = outcome.diagnostics;
+    if !diags.iter().any(Diagnostic::is_error) {
+        advisor::advise_indexes(selection, catalog, spans, &mut diags);
+    }
+    diags
+}
+
+/// The result of [`simplify`]: the rewritten selection plus everything the
+/// analyzer noticed along the way.
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    /// The selection with all equivalence-preserving rewrites applied
+    /// (identical to the input when `changed` is false).
+    pub selection: Selection,
+    /// The diagnostics found during analysis, including advisor notes.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether any rewrite fired.
+    pub changed: bool,
+}
+
+impl Simplified {
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+}
+
+/// Analyzes a selection and applies every equivalence-preserving rewrite:
+/// statically unsatisfiable terms become `false`, domain tautologies become
+/// `true`, contradictory conjunctions collapse and equality-implied monadic
+/// restrictions are appended.
+///
+/// The rewritten selection is logically equivalent to the input over every
+/// database instance admitted by the catalog's domain declarations.  When
+/// the analysis finds errors (`A001`–`A004`) no rewrite is applied — the
+/// selection is returned unchanged alongside the diagnostics.
+pub fn simplify(selection: &Selection, catalog: &Catalog) -> Simplified {
+    let spans = SpanMap::default();
+    let outcome = analyze::walk_selection(selection, catalog, &spans);
+    let mut diags = outcome.diagnostics;
+    if diags.iter().any(Diagnostic::is_error) {
+        return Simplified {
+            selection: selection.clone(),
+            diagnostics: diags,
+            changed: false,
+        };
+    }
+    let rewritten = if outcome.changed {
+        outcome.rewritten
+    } else {
+        selection.clone()
+    };
+    advisor::advise_indexes(&rewritten, catalog, &spans, &mut diags);
+    Simplified {
+        selection: rewritten,
+        diagnostics: diags,
+        changed: outcome.changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascalr_calculus::Formula;
+    use pascalr_parser::{parse_selection, parse_selection_spanned};
+    use pascalr_workload::figure1_catalog;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn check(query: &str) -> Vec<Diagnostic> {
+        let cat = figure1_catalog();
+        let (sel, spans) = parse_selection_spanned(query, &cat).expect("query parses");
+        analyze(&sel, &cat, &spans)
+    }
+
+    fn simplified(query: &str) -> Simplified {
+        let cat = figure1_catalog();
+        let sel = parse_selection(query, &cat).expect("query parses");
+        simplify(&sel, &cat)
+    }
+
+    #[test]
+    fn a001_unknown_relation() {
+        let diags = check("x := [<e.ename> OF EACH e IN employes: (e.enr = 1)]");
+        assert_eq!(codes(&diags), vec![Code::A001]);
+        assert!(diags[0].message.contains("employes"), "{}", diags[0]);
+        assert!(diags[0].span.is_some(), "relation use has a source span");
+    }
+
+    #[test]
+    fn a002_unknown_attribute_and_unbound_variable() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees: (e.salary = 1)]");
+        assert_eq!(codes(&diags), vec![Code::A002]);
+        assert!(diags[0].message.contains("salary"), "{}", diags[0]);
+
+        let diags = check("x := [<e.ename> OF EACH e IN employees: (f.enr = 1)]");
+        assert_eq!(codes(&diags), vec![Code::A002]);
+        assert!(diags[0].message.contains("'f'"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn a003_incompatible_kinds() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees: (e.ename = 1)]");
+        assert_eq!(codes(&diags), vec![Code::A003]);
+        assert!(
+            diags[0].message.contains("string") && diags[0].message.contains("integer"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn a004_cross_enumeration_comparison() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees: (e.estatus = monday)]");
+        assert_eq!(codes(&diags), vec![Code::A004]);
+        assert!(
+            diags[0].message.contains("statustype") && diags[0].message.contains("daytype"),
+            "{}",
+            diags[0]
+        );
+    }
+
+    #[test]
+    fn a005_unsatisfiable_term_rewrites_to_false() {
+        // yeartype = 1900..1999, so pyear > 1999 can never hold.
+        let query = "x := [<p.ptitle> OF EACH p IN papers: (p.pyear > 1999)]";
+        let diags = check(query);
+        assert!(codes(&diags).contains(&Code::A005), "{diags:?}");
+
+        let s = simplified(query);
+        assert!(s.changed);
+        assert_eq!(s.selection.formula, Formula::falsity());
+    }
+
+    #[test]
+    fn a006_tautological_term_rewrites_to_true() {
+        let query = "x := [<p.ptitle> OF EACH p IN papers: (p.pyear <= 1999)]";
+        let diags = check(query);
+        assert!(codes(&diags).contains(&Code::A006), "{diags:?}");
+
+        let s = simplified(query);
+        assert!(s.changed);
+        assert_eq!(s.selection.formula, Formula::truth());
+    }
+
+    #[test]
+    fn a007_contradictory_conjunction_collapses() {
+        // Individually satisfiable, jointly empty: pyear > 1970 AND < 1965.
+        let query = "x := [<p.ptitle> OF EACH p IN papers: (p.pyear > 1970) AND (p.pyear < 1965)]";
+        let diags = check(query);
+        assert!(codes(&diags).contains(&Code::A007), "{diags:?}");
+
+        let s = simplified(query);
+        assert!(s.changed);
+        assert_eq!(s.selection.formula, Formula::falsity());
+    }
+
+    #[test]
+    fn a008_unused_free_variable() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees, EACH p IN papers: (e.enr = 1)]");
+        assert!(codes(&diags).contains(&Code::A008), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::A008 && d.message.contains("'p'")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn a009_quantifier_body_ignores_bound_variable() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees: SOME p IN papers (e.enr = 1)]");
+        assert!(codes(&diags).contains(&Code::A009), "{diags:?}");
+    }
+
+    #[test]
+    fn a010_duplicate_and_shadowing_declarations() {
+        let diags = check("x := [<e.ename> OF EACH e IN employees, EACH e IN papers: (e.enr = 1)]");
+        assert!(codes(&diags).contains(&Code::A010), "{diags:?}");
+
+        let diags = check("x := [<e.ename> OF EACH e IN employees: SOME e IN papers (e.penr = 1)]");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::A010 && d.message.contains("shadows")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn a011_implied_predicate_through_equality() {
+        let query = "x := [<e.ename> OF EACH e IN employees, EACH p IN papers: \
+                     (e.enr = p.penr) AND (e.enr = 5)]";
+        let diags = check(query);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::A011 && d.message.contains("p.penr = 5")),
+            "{diags:?}"
+        );
+
+        let s = simplified(query);
+        assert!(s.changed);
+        let rendered = s.selection.formula.to_string();
+        assert!(rendered.contains("p.penr = 5"), "{rendered}");
+    }
+
+    #[test]
+    fn a012_uncovered_probe_side_of_equality_join() {
+        // Figure 1 declares no permanent indexes, so the probe side of the
+        // join is uncovered whichever way the assembly order falls.
+        let diags =
+            check("x := [<e.ename> OF EACH e IN employees, EACH p IN papers: (e.enr = p.penr)]");
+        assert!(codes(&diags).contains(&Code::A012), "{diags:?}");
+    }
+
+    #[test]
+    fn errors_suppress_rewrites() {
+        let cat = figure1_catalog();
+        let sel = parse_selection(
+            "x := [<p.ptitle> OF EACH p IN papers: (p.pyear > 1999) AND (p.wrong = 1)]",
+            &cat,
+        )
+        .unwrap();
+        let s = simplify(&sel, &cat);
+        assert!(s.has_errors());
+        assert!(!s.changed);
+        assert_eq!(s.selection, sel);
+    }
+
+    #[test]
+    fn clean_queries_produce_no_warnings_or_errors() {
+        let diags = check(pascalr_parser::paper::EXAMPLE_2_1_QUERY);
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Note),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rewrites_apply_inside_quantifier_bodies_and_restrictions() {
+        // The contradiction sits inside a quantifier body: rewriting it to
+        // false turns `SOME p (...)` into `SOME p (false)`.
+        let query = "x := [<e.ename> OF EACH e IN employees: \
+                     SOME p IN papers ((e.enr = p.penr) AND (p.pyear > 1999))]";
+        let s = simplified(query);
+        assert!(s.changed, "{:?}", s.diagnostics);
+        let rendered = s.selection.formula.to_string();
+        assert!(rendered.contains("false"), "{rendered}");
+    }
+}

@@ -23,7 +23,7 @@ fn separated_evaluation(db: &Database, query: &str) -> usize {
             Some(acc) => pascalr::relation::algebra::union(&acc, &outcome.result, "acc").unwrap(),
         });
     }
-    total.map(|r| r.cardinality()).unwrap_or(0)
+    total.map_or(0, |r| r.cardinality())
 }
 
 fn bench(c: &mut Criterion) {
@@ -44,10 +44,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e11_existential_separation");
     group.bench_function("joint_s2", |b| {
-        b.iter(|| run(&db, query, StrategyLevel::S2OneStep))
+        b.iter(|| run(&db, query, StrategyLevel::S2OneStep));
     });
     group.bench_function("separated_per_conjunction", |b| {
-        b.iter(|| separated_evaluation(&db, query))
+        b.iter(|| separated_evaluation(&db, query));
     });
     group.finish();
 }

@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_empty_adaptation");
     for (name, db) in [("populated", &populated), ("papers_empty", &empty_papers)] {
         group.bench_with_input(BenchmarkId::new("example_2_1_s4", name), db, |b, db| {
-            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers))
+            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers));
         });
     }
     group.finish();

@@ -42,16 +42,16 @@ fn bench(c: &mut Criterion) {
             let outcome = prepared.execute().unwrap();
             assert_eq!(outcome.result.cardinality(), expected);
             outcome
-        })
+        });
     });
     group.bench_function("text_cached_plan/1thread", |b| {
-        b.iter(|| db.query(query).unwrap())
+        b.iter(|| db.query(query).unwrap());
     });
     group.bench_function("text_replan/1thread", |b| {
         b.iter(|| {
             db.query_selection(&selection, StrategyLevel::S4CollectionQuantifiers)
                 .unwrap()
-        })
+        });
     });
 
     // Multi-threaded: every iteration runs BATCH executions on each of
@@ -68,8 +68,8 @@ fn bench(c: &mut Criterion) {
                         }
                     });
                 }
-            })
-        })
+            });
+        });
     });
     group.bench_function(format!("text_cached_plan/{THREADS}threads"), |b| {
         b.iter(|| {
@@ -82,8 +82,8 @@ fn bench(c: &mut Criterion) {
                         }
                     });
                 }
-            })
-        })
+            });
+        });
     });
 
     // Parameter binding: one prepared statement, a rotating constant.
@@ -100,7 +100,7 @@ fn bench(c: &mut Criterion) {
             by_year
                 .execute_with(&pascalr::Params::new().set("year", year))
                 .unwrap()
-        })
+        });
     });
 
     group.finish();

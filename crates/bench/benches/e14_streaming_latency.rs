@@ -91,14 +91,14 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e14_streaming_latency");
 
     group.bench_function("figure1/first_tuple", |b| {
-        b.iter(|| small_q.rows().unwrap().next().unwrap().unwrap())
+        b.iter(|| small_q.rows().unwrap().next().unwrap().unwrap());
     });
     group.bench_function("figure1/materialize", |b| {
-        b.iter(|| small_q.execute().unwrap())
+        b.iter(|| small_q.execute().unwrap());
     });
 
     group.bench_function("large/first_tuple", |b| {
-        b.iter(|| large_q.rows().unwrap().next().unwrap().unwrap())
+        b.iter(|| large_q.rows().unwrap().next().unwrap().unwrap());
     });
     group.bench_function("large/take10", |b| {
         b.iter(|| {
@@ -106,22 +106,22 @@ fn bench(c: &mut Criterion) {
             let taken: Vec<_> = rows.take(10).collect();
             assert_eq!(taken.len(), 10);
             taken
-        })
+        });
     });
     group.bench_function("large/materialize", |b| {
         b.iter(|| {
             let outcome = large_q.execute().unwrap();
             assert_eq!(outcome.result.cardinality(), full);
             outcome
-        })
+        });
     });
 
     // The quantified contrast: streaming can only skip construction work.
     group.bench_function("large_quantified/first_tuple", |b| {
-        b.iter(|| large_quant.rows().unwrap().next().unwrap().unwrap())
+        b.iter(|| large_quant.rows().unwrap().next().unwrap().unwrap());
     });
     group.bench_function("large_quantified/materialize", |b| {
-        b.iter(|| large_quant.execute().unwrap())
+        b.iter(|| large_quant.execute().unwrap());
     });
 
     // Multi-threaded: THREADS threads sharing one prepared query, each
@@ -138,8 +138,8 @@ fn bench(c: &mut Criterion) {
                         }
                     });
                 }
-            })
-        })
+            });
+        });
     });
     group.bench_function(format!("large/materialize/{THREADS}threads"), |b| {
         b.iter(|| {
@@ -152,8 +152,8 @@ fn bench(c: &mut Criterion) {
                         }
                     });
                 }
-            })
-        })
+            });
+        });
     });
 
     group.finish();

@@ -83,23 +83,23 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e15_auto_strategy");
     for (name, db) in &autos {
         group.bench_with_input(BenchmarkId::new("auto", name), db, |b, db| {
-            b.iter(|| run(db, query, StrategyLevel::Auto))
+            b.iter(|| run(db, query, StrategyLevel::Auto));
         });
         group.bench_with_input(BenchmarkId::new("best_fixed_s4", name), db, |b, db| {
-            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers))
+            b.iter(|| run(db, query, StrategyLevel::S4CollectionQuantifiers));
         });
     }
     // The worst fixed level is only tractable on the toy regime.
     let (name, db) = &autos[0];
     group.bench_with_input(BenchmarkId::new("worst_fixed_s0", name), db, |b, db| {
-        b.iter(|| run(db, query, StrategyLevel::S0Baseline))
+        b.iter(|| run(db, query, StrategyLevel::S0Baseline));
     });
 
     // Planning cost of Auto (it costs all five candidates) on the uncached
     // path, versus a single fixed-level planning pass.
     let sel = db.parse(query).unwrap();
     group.bench_function("plan_auto_uncached", |b| {
-        b.iter(|| db.query_selection(&sel, StrategyLevel::Auto).unwrap())
+        b.iter(|| db.query_selection(&sel, StrategyLevel::Auto).unwrap());
     });
 
     // ANALYZE itself: the single-pass statistics computation on the

@@ -87,7 +87,7 @@ fn bench(c: &mut Criterion) {
                     let outcome = prepared.execute().unwrap();
                     assert_eq!(outcome.result.cardinality(), expected_rows);
                     outcome
-                })
+                });
             });
             group.bench_function(format!("{case}/{label}/{THREADS}threads"), |b| {
                 b.iter(|| {
@@ -101,8 +101,8 @@ fn bench(c: &mut Criterion) {
                                 }
                             });
                         }
-                    })
-                })
+                    });
+                });
             });
         }
     }

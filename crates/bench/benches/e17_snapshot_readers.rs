@@ -116,8 +116,8 @@ fn bench(c: &mut Criterion) {
                     let q = &q;
                     scope.spawn(move || drain(q));
                 }
-            })
-        })
+            });
+        });
     });
 
     // The same traffic against a writer continuously publishing versions.
@@ -132,8 +132,8 @@ fn bench(c: &mut Criterion) {
                         let q = &q;
                         inner.spawn(move || drain(q));
                     }
-                })
-            })
+                });
+            });
         });
         stop.store(true, Ordering::Release);
     });

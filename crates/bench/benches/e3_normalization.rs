@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_normalization");
     group.bench_function("standardize_example_2_1", |b| b.iter(|| standardize(&sel)));
     group.bench_function("adapt_for_empty_papers", |b| {
-        b.iter(|| adapt_selection_for_empty(&sel, &empty))
+        b.iter(|| adapt_selection_for_empty(&sel, &empty));
     });
     group.finish();
 }

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build_enrindex", scale), &db, |b, db| {
             let catalog = db.snapshot();
             let employees = catalog.relation("employees").unwrap();
-            b.iter(|| HashIndex::build_full("enrindex", employees, &["enr"]).unwrap())
+            b.iter(|| HashIndex::build_full("enrindex", employees, &["enr"]).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("probe_enrindex", scale), &db, |b, db| {
             let catalog = db.snapshot();
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                     hits += idx.probe_value(&pascalr_relation::Value::int(k)).len();
                 }
                 hits
-            })
+            });
         });
     }
     group.finish();

@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.bench_function("transform_only", |b| {
-        b.iter(|| extend_ranges(&std_sel, ExtendOptions::default()))
+        b.iter(|| extend_ranges(&std_sel, ExtendOptions::default()));
     });
     group.finish();
 }

@@ -36,10 +36,10 @@ fn bench(c: &mut Criterion) {
         // Ablation: the same query without Strategy 4 (quantifier evaluated
         // by projection/division over the full reference relation).
         group.bench_with_input(BenchmarkId::new("reduced_s4", id), &spec, |b, spec| {
-            b.iter(|| run(&db, spec.text, StrategyLevel::S4CollectionQuantifiers))
+            b.iter(|| run(&db, spec.text, StrategyLevel::S4CollectionQuantifiers));
         });
         group.bench_with_input(BenchmarkId::new("full_s2", id), &spec, |b, spec| {
-            b.iter(|| run(&db, spec.text, StrategyLevel::S2OneStep))
+            b.iter(|| run(&db, spec.text, StrategyLevel::S2OneStep));
         });
     }
     group.finish();

@@ -5,6 +5,8 @@
 //! quantities the paper argues about — relation scans, intermediate
 //! structure sizes, comparisons) and then lets Criterion measure wall time.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use pascalr::{Database, QueryOutcome, StrategyLevel};
 use pascalr_workload::{figure1_sample_database, generate, UniversityConfig};

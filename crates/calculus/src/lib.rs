@@ -14,11 +14,13 @@
 //!   executable for equivalence checking;
 //! * [`params`] — named parameter placeholders (`:name`) and their binding,
 //!   the basis of prepared queries;
+//! * [`span`] — source spans and the parser-populated side table that lets
+//!   diagnostics point at the offending token without storing positions in
+//!   the AST;
 //! * [`transform`] — extended range expressions (Strategy 3), separation of
 //!   conjunctions for existential queries, and quantifier swapping.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod error;
@@ -27,6 +29,7 @@ pub mod normalize;
 pub mod onesorted;
 pub mod params;
 pub mod semantics;
+pub mod span;
 pub mod transform;
 
 pub use ast::{
@@ -38,6 +41,7 @@ pub use lemma1::{adapt_formula_for_empty, adapt_selection_for_empty, Lemma1Rule}
 pub use normalize::{standardize, Conjunction, PrefixEntry, StandardForm, StandardizedSelection};
 pub use params::Params;
 pub use semantics::{eval_formula, eval_selection, Binding, Env, RelationProvider};
+pub use span::{Span, SpanMap};
 pub use transform::{
     extend_ranges, separate_existential, sink_variable, swap_adjacent_quantifiers, ExtendOptions,
     ExtendReport, ExtendedRangeAssumption, Hoist, HoistKind,

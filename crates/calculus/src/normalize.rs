@@ -115,7 +115,7 @@ impl Conjunction {
         !self.terms.is_empty()
             && self.terms.iter().all(|t| {
                 let vs = t.vars();
-                vs.len() == 1 && vs.iter().next().map(|v| v.as_ref()) == Some(var)
+                vs.len() == 1 && vs.iter().next().map(std::convert::AsRef::as_ref) == Some(var)
             })
     }
 
@@ -930,11 +930,9 @@ mod tests {
         for c in &std_sel.form.matrix {
             assert!(
                 c.terms.iter().any(|t| {
-                    t.as_monadic_constant("e")
-                        .map(|(attr, op, v)| {
-                            attr.as_ref() == "estatus" && op == CompareOp::Eq && v == Value::int(3)
-                        })
-                        .unwrap_or(false)
+                    t.as_monadic_constant("e").is_some_and(|(attr, op, v)| {
+                        attr.as_ref() == "estatus" && op == CompareOp::Eq && v == Value::int(3)
+                    })
                 }),
                 "every conjunction contains the professor test: {c}"
             );

@@ -425,7 +425,7 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.get("a"), Some(&Value::int(1)));
         assert!(p.get("zz").is_none());
-        let names: Vec<&str> = p.names().map(|n| n.as_ref()).collect();
+        let names: Vec<&str> = p.names().map(std::convert::AsRef::as_ref).collect();
         assert_eq!(names, vec!["a", "b"]);
         let display = p.to_string();
         assert!(display.contains(":a = 1"), "{display}");

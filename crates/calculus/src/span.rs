@@ -1,0 +1,156 @@
+//! Source spans for diagnostics.
+//!
+//! AST nodes are deliberately span-free: selections are hashed into plan
+//! fingerprints and compared structurally, so positions must not influence
+//! equality.  Instead the parser records a [`SpanMap`] *side table* keyed by
+//! the rendered content of each construct, and the analyzer looks spans up
+//! when it needs to point a diagnostic at the offending token.
+
+use std::fmt;
+
+use crate::ast::Term;
+
+/// A half-open byte range into the query source text, with the 1-based
+/// line/column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column of the first byte.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The canonical lookup key for a comparison term: its rendered form.
+///
+/// Both the parser (when recording) and the analyzer (when looking up) go
+/// through this function, so the two sides always agree on the key.
+pub fn term_key(term: &Term) -> String {
+    term.to_string()
+}
+
+/// Side table mapping query constructs to their source spans.
+///
+/// Keys are content-based (a term's rendered form, a `var.attr` pair, a
+/// variable or relation name), each paired with every span it occurred at in
+/// source order.  Lookups return the first occurrence — good enough for
+/// diagnostics, and immune to the AST rewrites between parse and analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanMap {
+    terms: Vec<(String, Span)>,
+    relations: Vec<(String, Span)>,
+    vars: Vec<(String, Span)>,
+    components: Vec<(String, Span)>,
+}
+
+impl SpanMap {
+    /// An empty span map (used when a selection was built programmatically
+    /// and no source text exists).
+    pub fn new() -> SpanMap {
+        SpanMap::default()
+    }
+
+    /// Records the span of a comparison term (key via [`term_key`]).
+    pub fn record_term(&mut self, key: String, span: Span) {
+        self.terms.push((key, span));
+    }
+
+    /// Records the span of a relation name occurrence.
+    pub fn record_relation(&mut self, name: &str, span: Span) {
+        self.relations.push((name.to_string(), span));
+    }
+
+    /// Records the span of a range variable declaration (free or bound).
+    pub fn record_var(&mut self, name: &str, span: Span) {
+        self.vars.push((name.to_string(), span));
+    }
+
+    /// Records the span of a `var.attr` component occurrence.
+    pub fn record_component(&mut self, var: &str, attr: &str, span: Span) {
+        self.components.push((format!("{var}.{attr}"), span));
+    }
+
+    /// The span of the first occurrence of a term.
+    pub fn term_span(&self, term: &Term) -> Option<Span> {
+        let key = term_key(term);
+        first(&self.terms, &key)
+    }
+
+    /// The span of the first occurrence of a relation name.
+    pub fn relation_span(&self, name: &str) -> Option<Span> {
+        first(&self.relations, name)
+    }
+
+    /// The span of the first declaration of a range variable.
+    pub fn var_span(&self, name: &str) -> Option<Span> {
+        first(&self.vars, name)
+    }
+
+    /// The span of the first occurrence of a `var.attr` component.
+    pub fn component_span(&self, var: &str, attr: &str) -> Option<Span> {
+        first(&self.components, &format!("{var}.{attr}"))
+    }
+
+    /// Whether the map holds no spans at all.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+            && self.relations.is_empty()
+            && self.vars.is_empty()
+            && self.components.is_empty()
+    }
+}
+
+fn first(entries: &[(String, Span)], key: &str) -> Option<Span> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, s)| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Operand, Term};
+    use pascalr_relation::{CompareOp, Value};
+
+    fn span(start: usize, end: usize) -> Span {
+        Span {
+            start,
+            end,
+            line: 1,
+            col: start + 1,
+        }
+    }
+
+    #[test]
+    fn lookups_return_the_first_occurrence() {
+        let mut map = SpanMap::new();
+        map.record_relation("employees", span(10, 19));
+        map.record_relation("employees", span(40, 49));
+        map.record_var("e", span(5, 6));
+        map.record_component("e", "ename", span(2, 9));
+        assert_eq!(map.relation_span("employees"), Some(span(10, 19)));
+        assert_eq!(map.var_span("e"), Some(span(5, 6)));
+        assert_eq!(map.component_span("e", "ename"), Some(span(2, 9)));
+        assert_eq!(map.relation_span("papers"), None);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn term_spans_are_keyed_by_rendered_form() {
+        let term = Term::Compare {
+            left: Operand::comp("e", "pyear"),
+            op: CompareOp::Gt,
+            right: Operand::constant(Value::int(1999)),
+        };
+        let mut map = SpanMap::new();
+        map.record_term(term_key(&term), span(20, 35));
+        assert_eq!(map.term_span(&term), Some(span(20, 35)));
+    }
+}

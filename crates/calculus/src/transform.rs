@@ -786,7 +786,7 @@ mod tests {
         assert!(extended_range_relations(&std_sel).is_empty());
         let (extended, _) = extend_ranges(&std_sel, ExtendOptions::default());
         let restricted = extended_range_relations(&extended);
-        let names: Vec<&str> = restricted.iter().map(|v| v.as_ref()).collect();
+        let names: Vec<&str> = restricted.iter().map(std::convert::AsRef::as_ref).collect();
         assert_eq!(names, vec!["c", "e", "p"]);
     }
 }

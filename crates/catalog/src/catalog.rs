@@ -450,7 +450,10 @@ impl Catalog {
             IndexDecl {
                 name: name.to_string(),
                 relation: relation.to_string(),
-                attributes: attributes.iter().map(|s| s.to_string()).collect(),
+                attributes: attributes
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect(),
             },
             built,
         ));
@@ -579,7 +582,7 @@ impl Catalog {
 
     /// The stats epoch at which a relation was last analyzed (0 if never).
     pub fn stats_epoch_of(&self, relation: &str) -> u64 {
-        self.stats_cache.get(relation).map(|c| c.epoch).unwrap_or(0)
+        self.stats_cache.get(relation).map_or(0, |c| c.epoch)
     }
 
     /// A fingerprint of the statistics a query over `relations` depends

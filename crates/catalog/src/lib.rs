@@ -9,8 +9,7 @@
 //! [`VersionedCatalog`] cell with a single atomic swap — see the
 //! [`snapshot`] module.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod error;

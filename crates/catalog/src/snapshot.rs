@@ -250,7 +250,7 @@ mod tests {
                 c.insert("numbers", Tuple::new(vec![Value::int(2)]))
                     .unwrap();
                 panic!("boom");
-            })
+            });
         }));
         assert!(panicked.is_err());
         assert!(before.ptr_eq(&cell.snapshot()));

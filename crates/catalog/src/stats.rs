@@ -146,7 +146,7 @@ impl RelationStats {
                 match mins[i] {
                     None => mins[i] = Some(v),
                     Some(m) => {
-                        if v.try_compare(m).map(|o| o.is_lt()).unwrap_or(false) {
+                        if v.try_compare(m).is_ok_and(std::cmp::Ordering::is_lt) {
                             mins[i] = Some(v);
                         }
                     }
@@ -154,7 +154,7 @@ impl RelationStats {
                 match maxs[i] {
                     None => maxs[i] = Some(v),
                     Some(m) => {
-                        if v.try_compare(m).map(|o| o.is_gt()).unwrap_or(false) {
+                        if v.try_compare(m).is_ok_and(std::cmp::Ordering::is_gt) {
                             maxs[i] = Some(v);
                         }
                     }
@@ -174,8 +174,8 @@ impl RelationStats {
                 clones += 1;
                 v.clone()
             });
-            let min_int = min_owned.as_ref().and_then(|v| v.as_int());
-            let max_int = max_owned.as_ref().and_then(|v| v.as_int());
+            let min_int = min_owned.as_ref().and_then(pascalr_relation::Value::as_int);
+            let max_int = max_owned.as_ref().and_then(pascalr_relation::Value::as_int);
             let histogram = match (min_int, max_int) {
                 (Some(lo), Some(hi)) => Histogram::build(lo, hi, &ints[i]),
                 _ => None,
@@ -185,8 +185,8 @@ impl RelationStats {
                 ColumnStats {
                     name: attr.name.to_string(),
                     distinct: distinct[i].len() as u64,
-                    min_display: min_owned.as_ref().map(|v| v.to_string()),
-                    max_display: max_owned.as_ref().map(|v| v.to_string()),
+                    min_display: min_owned.as_ref().map(std::string::ToString::to_string),
+                    max_display: max_owned.as_ref().map(std::string::ToString::to_string),
                     min_int,
                     max_int,
                     histogram,

@@ -44,7 +44,10 @@ impl TypeRegistry {
                 name: name.to_string(),
             });
         }
-        let ty = EnumType::new(name.to_string(), labels.iter().map(|s| s.to_string()));
+        let ty = EnumType::new(
+            name.to_string(),
+            labels.iter().map(std::string::ToString::to_string),
+        );
         self.enums.insert(name.to_string(), Arc::clone(&ty));
         self.named
             .insert(name.to_string(), ValueType::Enum(Arc::clone(&ty)));

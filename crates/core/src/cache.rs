@@ -92,7 +92,7 @@ impl PlanCache {
     /// miss; the caller's subsequent insert replaces the colliding entry.
     /// Prepared queries pass the same `Arc<Selection>` every time, so the
     /// shape check is normally a pointer comparison.
-    pub fn get(
+    pub(crate) fn get(
         &self,
         key: &PlanKey,
         selection: &Arc<Selection>,
@@ -115,7 +115,7 @@ impl PlanCache {
     /// invalidation); the common same-epoch insert skips the sweep.  The
     /// map is kept under [`PLAN_CACHE_CAP`] by uncounted arbitrary
     /// eviction.
-    pub fn insert(
+    pub(crate) fn insert(
         &self,
         key: PlanKey,
         selection: Arc<Selection>,
@@ -153,7 +153,9 @@ impl PlanCache {
         while map.entries.len() >= PLAN_CACHE_CAP {
             // Arbitrary eviction: with the cap this large, churn here means
             // the workload is one-shot texts, for which any victim is fine.
-            let victim = *map.entries.keys().next().expect("len checked");
+            let Some(victim) = map.entries.keys().next().copied() else {
+                break;
+            };
             map.entries.remove(&victim);
         }
         map.entries.insert(
@@ -167,7 +169,7 @@ impl PlanCache {
     }
 
     /// Current counter values and entry count.
-    pub fn stats(&self) -> CacheStats {
+    pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

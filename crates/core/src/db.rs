@@ -253,7 +253,9 @@ impl Database {
     /// assert!(outcome.plan.explain().contains("auto strategy selection"));
     /// ```
     pub fn analyze(&self) -> Result<(), PascalRError> {
-        self.shared.catalog.try_mutate(|c| c.analyze_all())?;
+        self.shared
+            .catalog
+            .try_mutate(pascalr_catalog::Catalog::analyze_all)?;
         Ok(())
     }
 
@@ -385,7 +387,12 @@ impl Database {
         options: PlanOptions,
     ) -> Arc<QueryPlan> {
         let stats_epoch = if strategy.is_auto() {
-            catalog.stats_fingerprint(selection.relations().iter().map(|r| r.as_ref()))
+            catalog.stats_fingerprint(
+                selection
+                    .relations()
+                    .iter()
+                    .map(std::convert::AsRef::as_ref),
+            )
         } else {
             0
         };

@@ -115,8 +115,7 @@
 //! returns.  Snapshots can be held for as long as needed, across any
 //! other API call, without blocking anything.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::sync::Arc;
@@ -140,6 +139,7 @@ pub use prepared::PreparedQuery;
 pub use rows::{ExecutionOutcome, Rows};
 pub use session::Session;
 
+pub use pascalr_analysis as analysis;
 pub use pascalr_calculus as calculus;
 pub use pascalr_catalog as catalog;
 pub use pascalr_exec as exec;
@@ -148,6 +148,7 @@ pub use pascalr_planner as planner;
 pub use pascalr_relation as relation;
 pub use pascalr_storage as storage;
 
+pub use pascalr_analysis::{Code, Diagnostic, Severity};
 pub use pascalr_calculus::{
     CalculusError, ComponentRef, Formula, Params, Quantifier, RangeDecl, RangeExpr,
 };

@@ -69,6 +69,20 @@ impl PreparedQuery {
         &self.selection
     }
 
+    /// Statically analyzes the prepared selection against the *current*
+    /// catalog and returns the semantic diagnostics (see
+    /// [`crate::Session::check`] for the source-text entry point with
+    /// spans; a prepared query analyzes its stored AST, so diagnostics
+    /// carry no spans).
+    pub fn diagnostics(&self) -> Vec<pascalr_analysis::Diagnostic> {
+        let catalog = self.db.snapshot();
+        pascalr_analysis::analyze(
+            &self.selection,
+            &catalog,
+            &pascalr_calculus::SpanMap::default(),
+        )
+    }
+
     /// The strategy level the query was prepared at.
     pub fn strategy(&self) -> StrategyLevel {
         self.strategy

@@ -137,11 +137,12 @@ impl Rows {
     /// yet, but constructs no tuple.
     pub fn schema(&mut self) -> Result<Arc<RelationSchema>, ExecError> {
         self.cursor.start()?;
-        Ok(self
-            .cursor
-            .schema()
-            .expect("a started cursor has a result schema")
-            .clone())
+        match self.cursor.schema() {
+            Some(schema) => Ok(schema.clone()),
+            None => Err(ExecError::PlanInvariant {
+                detail: "a successfully started cursor has no result schema".to_string(),
+            }),
+        }
     }
 
     /// Description of the runtime fallback taken, if any.  `None` until the

@@ -1,6 +1,8 @@
 //! Per-connection sessions.
 
+use pascalr_analysis::Diagnostic;
 use pascalr_calculus::{Params, Selection};
+use pascalr_parser::parse_selection_spanned;
 use pascalr_planner::{PlanOptions, StrategyLevel};
 
 use crate::{Database, PascalRError, PreparedQuery, QueryOutcome, Rows};
@@ -107,6 +109,34 @@ impl Session {
     /// [`Database::drop_index`]).
     pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
         self.db.drop_index(name)
+    }
+
+    /// Statically analyzes a statement against the current catalog without
+    /// planning or executing it, returning the semantic diagnostics —
+    /// errors (unknown names, incomparable types), warnings (statically
+    /// false terms, contradictory conjunctions, unused variables) and notes
+    /// (implied predicates, index advice), each with its stable code and a
+    /// source span into `text`.  An empty result means the statement is
+    /// semantically clean.
+    ///
+    /// Parse failures are reported as [`PascalRError`]; semantic problems
+    /// never are — `check` is the lint entry point, and even an erroneous
+    /// statement produces diagnostics, not an `Err`.
+    ///
+    /// ```
+    /// use pascalr::Database;
+    ///
+    /// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+    /// let diags = db
+    ///     .session()
+    ///     .check("x := [<p.ptitle> OF EACH p IN papers: p.pyear > 1999]")
+    ///     .unwrap();
+    /// assert!(diags.iter().any(|d| d.code == pascalr::analysis::Code::A005));
+    /// ```
+    pub fn check(&self, text: &str) -> Result<Vec<Diagnostic>, PascalRError> {
+        let catalog = self.db.snapshot();
+        let (selection, spans) = parse_selection_spanned(text, &catalog)?;
+        Ok(pascalr_analysis::analyze(&selection, &catalog, &spans))
     }
 
     /// Prepares a selection statement: parse, standard-form normalization

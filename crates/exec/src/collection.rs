@@ -271,11 +271,11 @@ pub(crate) fn range_candidates_indexed(
         metrics.record_index_build(Phase::Collection);
     }
     metrics.record_index_probes(Phase::Collection, 1);
-    let restriction = info
-        .range
-        .restriction
-        .as_ref()
-        .expect("an index-served range is restricted");
+    let Some(restriction) = info.range.restriction.as_ref() else {
+        // `range_probe_key` only returns a key for restricted ranges;
+        // without one there is nothing for the index to serve.
+        return Ok(None);
+    };
     let rel = catalog.relation(&info.relation)?;
     let provider = ExecProvider(catalog);
     let matches = use_.index.probe(&key);
@@ -599,7 +599,11 @@ pub fn run_collection(
 
         // Variables involved in this conjunction (through terms or derived
         // predicates).
-        let mut involved: Vec<String> = conj.vars().iter().map(|v| v.to_string()).collect();
+        let mut involved: Vec<String> = conj
+            .vars()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         for &s in &plan.derived_predicates[ci] {
             let tv = derived[s].target_var.to_string();
             if !involved.contains(&tv) && var_info.contains_key(&tv) {
@@ -675,8 +679,7 @@ pub fn run_collection(
                 structures
                     .single_lists
                     .get(left_var.as_ref())
-                    .map(Vec::as_slice)
-                    .unwrap_or_else(|| candidates[left_var.as_ref()].as_slice())
+                    .map_or_else(|| candidates[left_var.as_ref()].as_slice(), Vec::as_slice)
             } else {
                 candidates[left_var.as_ref()].as_slice()
             };
@@ -684,8 +687,7 @@ pub fn run_collection(
                 structures
                     .single_lists
                     .get(right_var.as_ref())
-                    .map(Vec::as_slice)
-                    .unwrap_or_else(|| candidates[right_var.as_ref()].as_slice())
+                    .map_or_else(|| candidates[right_var.as_ref()].as_slice(), Vec::as_slice)
             } else {
                 candidates[right_var.as_ref()].as_slice()
             };

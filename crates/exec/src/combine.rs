@@ -167,7 +167,7 @@ impl Stage {
             if record_probe {
                 metrics.record_index_probes(Phase::Combination, 1);
             }
-            return Ok(map.get(&row[p.other_col]).map(Vec::as_slice).unwrap_or(&[]));
+            return Ok(map.get(&row[p.other_col]).map_or(&[], Vec::as_slice));
         }
         if let Some(p) = &self.perm_probe {
             let rel = catalog.relation(&p.other_rel)?;
@@ -460,9 +460,25 @@ pub fn run_combination(
             }
             Quantifier::All => {
                 let divisor = &collection.candidates[entry.var.as_ref()];
-                let (quotient, checks) = total.divide_by(&entry.var, divisor);
-                metrics.record_comparisons(Phase::Combination, checks);
-                total = quotient;
+                if divisor.is_empty() {
+                    // `ALL v IN ∅ (...)` is vacuously true — an empty range
+                    // (e.g. an S3 complement hoist that excludes every
+                    // stored tuple) collapses everything inside this
+                    // quantifier to `true`, so every combination of the
+                    // remaining variables' candidates qualifies.  Division
+                    // would wrongly return only combinations present in
+                    // `total`.
+                    let mut vacuous = base_refrel();
+                    for v in &remaining {
+                        vacuous =
+                            vacuous.product_with(v.clone(), &collection.candidates[v.as_ref()]);
+                    }
+                    total = vacuous;
+                } else {
+                    let (quotient, checks) = total.divide_by(&entry.var, divisor);
+                    metrics.record_comparisons(Phase::Combination, checks);
+                    total = quotient;
+                }
             }
         }
         metrics.record_intermediate(Phase::Combination, total.len() as u64);

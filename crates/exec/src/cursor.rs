@@ -178,9 +178,13 @@ impl ConjStream {
                     .var_order
                     .iter()
                     .position(|o| o.as_ref() == v.as_ref())
-                    .expect("conjunction assembly covers every combination variable")
+                    .ok_or_else(|| ExecError::PlanInvariant {
+                        detail: format!(
+                            "conjunction assembly does not place combination variable '{v}'"
+                        ),
+                    })
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         Ok(ConjStream {
             ci,
             stages: assembly.stages,
@@ -201,7 +205,11 @@ impl ConjStream {
         metrics: &Metrics,
     ) -> Result<Option<Vec<ElemRef>>, ExecError> {
         let structures = &collection.per_conjunction[self.ci];
-        let last = self.stages.last().expect("at least one stage");
+        let Some(last) = self.stages.last() else {
+            // `open` asserts at least one stage; an empty stage list has
+            // nothing to expand.
+            return Ok(None);
+        };
         loop {
             let Some(row) = self.prefix.row(self.row_idx) else {
                 return Ok(None);
@@ -409,6 +417,19 @@ impl ExecutionCursor {
             }
         }
 
+        // Semantic short-circuit: a provably false matrix (the analyzer's
+        // domain rewrites collapse contradictory selections to `false`)
+        // yields the empty result without scanning a single tuple — only
+        // the result schema is computed.  The state is already `Done`.
+        if self.query_plan.prepared.form.matrix_is_false() {
+            let prepared_selection = self.query_plan.prepared.to_selection();
+            self.schema = Some(pascalr_calculus::semantics::result_schema(
+                &prepared_selection,
+                &ExecProvider(catalog),
+            )?);
+            return Ok(());
+        }
+
         let collection = run_collection(&self.query_plan, catalog, &self.metrics)?;
         let prepared_selection = self.query_plan.prepared.to_selection();
         self.schema = Some(pascalr_calculus::semantics::result_schema(
@@ -528,7 +549,11 @@ impl ExecutionCursor {
                     metrics,
                 )?);
             }
-            let conj = stream.current.as_mut().expect("opened above");
+            let Some(conj) = stream.current.as_mut() else {
+                // Just assigned above; loop back and open the next
+                // conjunction if it somehow is not.
+                continue;
+            };
             let Some(row) = conj.next_row(&stream.collection, catalog, metrics)? else {
                 metrics.record_structure_size(&format!("refrel_c{}", conj.ci + 1), conj.produced);
                 stream.current = None;
@@ -536,7 +561,7 @@ impl ExecutionCursor {
             };
             // Reorder into canonical column order and union across
             // conjunctions.
-            let canonical: Vec<ElemRef> = stream.reorder_row(&row);
+            let canonical: Vec<ElemRef> = conj.reorder.iter().map(|&i| row[i]).collect();
             if let Some(seen) = &mut stream.union_seen {
                 if !seen.insert(canonical.clone().into_boxed_slice()) {
                     continue;
@@ -547,16 +572,6 @@ impl ExecutionCursor {
                 return Ok(Some(tuple));
             }
         }
-    }
-}
-
-impl StreamState {
-    fn reorder_row(&self, row: &[ElemRef]) -> Vec<ElemRef> {
-        let conj = self
-            .current
-            .as_ref()
-            .expect("reordering an open conjunction");
-        conj.reorder.iter().map(|&i| row[i]).collect()
     }
 }
 
@@ -710,6 +725,6 @@ mod tests {
         cursor.start().unwrap(); // no-op
         assert_eq!(cursor.produced(), 0, "start constructs no tuple");
         let all: Vec<_> = std::iter::from_fn(|| cursor.next_tuple()).collect();
-        assert!(all.iter().all(|r| r.is_ok()));
+        assert!(all.iter().all(std::result::Result::is_ok));
     }
 }

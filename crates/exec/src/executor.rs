@@ -43,13 +43,12 @@ pub(crate) fn empty_referenced_relations(selection: &Selection, catalog: &Catalo
     let mut rels: BTreeSet<String> = selection
         .relations()
         .iter()
-        .map(|r| r.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     rels.retain(|r| {
         catalog
             .relation(r)
-            .map(|rel| rel.is_empty())
-            .unwrap_or(false)
+            .is_ok_and(pascalr_relation::Relation::is_empty)
     });
     rels.into_iter().collect()
 }
@@ -113,7 +112,9 @@ pub fn execute(
     cursor.start()?;
     let schema = cursor
         .schema()
-        .expect("a successfully started cursor has a result schema")
+        .ok_or_else(|| ExecError::PlanInvariant {
+            detail: "a successfully started cursor has no result schema".to_string(),
+        })?
         .clone();
     let mut relation = Relation::new(schema);
     while let Some(item) = cursor.next_tuple() {

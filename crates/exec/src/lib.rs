@@ -14,8 +14,7 @@
 //! [`execute`] is a thin materializing wrapper that drains the cursor into
 //! a [`pascalr_relation::Relation`].
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod collection;
 pub mod combine;

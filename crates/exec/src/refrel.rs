@@ -76,14 +76,14 @@ impl RefRel {
 
     /// Iterates over the tuples.
     pub fn rows(&self) -> impl Iterator<Item = &[ElemRef]> + '_ {
-        self.rows.iter().map(|r| r.as_ref())
+        self.rows.iter().map(std::convert::AsRef::as_ref)
     }
 
     /// The tuple at `idx` (insertion order), if in bounds.  Streaming
     /// cursors use this to resume iteration across calls without holding a
     /// borrowing iterator.
     pub fn row(&self, idx: usize) -> Option<&[ElemRef]> {
-        self.rows.get(idx).map(|r| r.as_ref())
+        self.rows.get(idx).map(std::convert::AsRef::as_ref)
     }
 
     /// Cartesian product with a unary column of candidate references for a
@@ -109,7 +109,10 @@ impl RefRel {
         let mapping: Vec<usize> = self
             .vars
             .iter()
-            .map(|v| other.col(v).expect("union over identical variable sets"))
+            .map(|v| match other.col(v) {
+                Some(i) => i,
+                None => unreachable!("union over identical variable sets"),
+            })
             .collect();
         for row in &other.rows {
             let new_row: Vec<ElemRef> = mapping.iter().map(|&i| row[i]).collect();
@@ -123,7 +126,10 @@ impl RefRel {
     pub fn project(&self, keep: &[VarName]) -> RefRel {
         let indices: Vec<usize> = keep
             .iter()
-            .map(|v| self.col(v).expect("projection onto existing variables"))
+            .map(|v| match self.col(v) {
+                Some(i) => i,
+                None => unreachable!("projection onto existing variables"),
+            })
             .collect();
         let mut out = RefRel::new(keep.to_vec());
         for row in &self.rows {
@@ -139,7 +145,9 @@ impl RefRel {
     /// Returns the quotient over the remaining variables together with the
     /// number of membership checks performed (for the metrics).
     pub fn divide_by(&self, var: &str, divisor: &[ElemRef]) -> (RefRel, u64) {
-        let div_col = self.col(var).expect("division column exists");
+        let Some(div_col) = self.col(var) else {
+            unreachable!("division column exists")
+        };
         let keep: Vec<VarName> = self
             .vars
             .iter()
@@ -148,7 +156,10 @@ impl RefRel {
             .collect();
         let keep_idx: Vec<usize> = keep
             .iter()
-            .map(|v| self.col(v).expect("kept column exists"))
+            .map(|v| match self.col(v) {
+                Some(i) => i,
+                None => unreachable!("kept column exists"),
+            })
             .collect();
 
         let required: HashSet<ElemRef> = divisor.iter().copied().collect();

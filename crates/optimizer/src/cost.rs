@@ -337,8 +337,7 @@ pub fn estimate_plan(
         cost.intermediates += vl;
         // The derived predicate is checked against the target's candidates.
         let target_rows = range_of(&step.target_var)
-            .map(|r| range_rows_estimate(r, &step.target_var, stats))
-            .unwrap_or(vl);
+            .map_or(vl, |r| range_rows_estimate(r, &step.target_var, stats));
         cost.comparisons += target_rows * step.links.max(1) as f64;
     }
 

@@ -29,8 +29,7 @@
 //! along on the plan so `explain()` can report estimated vs. actual
 //! cardinalities after execution.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod access;
 pub mod cost;

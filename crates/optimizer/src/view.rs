@@ -9,7 +9,7 @@ use pascalr_catalog::{Catalog, IndexDecl, RelationStats};
 ///
 /// For every declared relation the view carries the live cardinality (an
 /// O(1) read in this in-memory reproduction); relations that have been
-/// ANALYZEd additionally carry their cached [`RelationStats`] — distinct
+/// `ANALYZEd` additionally carry their cached [`RelationStats`] — distinct
 /// counts, min/max and histograms.  Where ANALYZE statistics exist they
 /// take precedence, *including their (possibly stale) cardinality*: the
 /// optimizer deliberately behaves like a statistics-driven system, so its
@@ -62,7 +62,7 @@ impl StatsView {
 
     /// The ANALYZE statistics for a relation, if it has been analyzed.
     pub fn stats(&self, relation: &str) -> Option<&RelationStats> {
-        self.analyzed.get(relation).map(|s| s.as_ref())
+        self.analyzed.get(relation).map(std::convert::AsRef::as_ref)
     }
 
     /// Whether the relation has ANALYZE statistics.

@@ -90,7 +90,8 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its source position (for error messages).
+/// A token with its source position (for error messages and diagnostic
+/// spans).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
@@ -99,6 +100,10 @@ pub struct Spanned {
     pub line: usize,
     /// 1-based column number.
     pub col: usize,
+    /// Byte offset of the first byte of the token in the source text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
 }
 
 /// A lexical error.
@@ -148,16 +153,30 @@ pub fn tokenize_declarations(input: &str) -> Result<Vec<Spanned>, LexError> {
 fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = input.chars().collect();
+    // Byte offset of each char (index i holds the offset of chars[i]; the
+    // final entry is the total byte length), so token spans can be reported
+    // in byte offsets into the original `&str`.
+    let mut offsets: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    let mut byte = 0;
+    for c in &chars {
+        offsets.push(byte);
+        byte += c.len_utf8();
+    }
+    offsets.push(byte);
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
 
+    // `$s`/`$e` are the char indices of the token's first char and one past
+    // its last char.
     macro_rules! push {
-        ($tok:expr) => {
+        ($tok:expr, $s:expr, $e:expr) => {
             tokens.push(Spanned {
                 token: $tok,
                 line,
                 col,
+                start: offsets[$s],
+                end: offsets[$e],
             })
         };
     }
@@ -229,6 +248,7 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
             }
             '\'' => {
                 let (start_line, start_col) = (line, col);
+                let tok_start = i;
                 i += 1;
                 col += 1;
                 let mut s = String::new();
@@ -255,7 +275,7 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
                     }
                     s.push(c);
                 }
-                push!(Token::Str(s));
+                push!(Token::Str(s), tok_start, i);
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -268,7 +288,7 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
                     line,
                     col,
                 })?;
-                push!(Token::Int(value));
+                push!(Token::Int(value), start, i);
                 col += i - start;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -277,12 +297,12 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                push!(Token::Ident(text));
+                push!(Token::Ident(text), start, i);
                 col += i - start;
             }
             ':' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    push!(Token::Assign);
+                    push!(Token::Assign, i, i + 2);
                     i += 2;
                     col += 2;
                 } else if i + 1 < chars.len() && chars[i + 1] == '+' {
@@ -304,94 +324,95 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
                     // Parameter placeholder `:name`: the colon is immediately
                     // followed by an identifier (a separating colon is always
                     // followed by whitespace or punctuation in this grammar).
+                    let tok_start = i;
                     let start = i + 1;
                     i += 1;
                     while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                         i += 1;
                     }
                     let text: String = chars[start..i].iter().collect();
-                    push!(Token::Param(text));
+                    push!(Token::Param(text), tok_start, i);
                     col += i - start + 1;
                 } else {
-                    push!(Token::Colon);
+                    push!(Token::Colon, i, i + 1);
                     i += 1;
                     col += 1;
                 }
             }
             ';' => {
-                push!(Token::Semicolon);
+                push!(Token::Semicolon, i, i + 1);
                 i += 1;
                 col += 1;
             }
             ',' => {
-                push!(Token::Comma);
+                push!(Token::Comma, i, i + 1);
                 i += 1;
                 col += 1;
             }
             '.' => {
                 if i + 1 < chars.len() && chars[i + 1] == '.' {
-                    push!(Token::DotDot);
+                    push!(Token::DotDot, i, i + 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Token::Dot);
+                    push!(Token::Dot, i, i + 1);
                     i += 1;
                     col += 1;
                 }
             }
             '(' => {
-                push!(Token::LParen);
+                push!(Token::LParen, i, i + 1);
                 i += 1;
                 col += 1;
             }
             ')' => {
-                push!(Token::RParen);
+                push!(Token::RParen, i, i + 1);
                 i += 1;
                 col += 1;
             }
             '[' => {
-                push!(Token::LBracket);
+                push!(Token::LBracket, i, i + 1);
                 i += 1;
                 col += 1;
             }
             ']' => {
-                push!(Token::RBracket);
+                push!(Token::RBracket, i, i + 1);
                 i += 1;
                 col += 1;
             }
             '<' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    push!(Token::LessEq);
+                    push!(Token::LessEq, i, i + 2);
                     i += 2;
                     col += 2;
                 } else if i + 1 < chars.len() && chars[i + 1] == '>' {
-                    push!(Token::NotEqual);
+                    push!(Token::NotEqual, i, i + 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Token::Less);
+                    push!(Token::Less, i, i + 1);
                     i += 1;
                     col += 1;
                 }
             }
             '>' => {
                 if i + 1 < chars.len() && chars[i + 1] == '=' {
-                    push!(Token::GreaterEq);
+                    push!(Token::GreaterEq, i, i + 2);
                     i += 2;
                     col += 2;
                 } else {
-                    push!(Token::Greater);
+                    push!(Token::Greater, i, i + 1);
                     i += 1;
                     col += 1;
                 }
             }
             '=' => {
-                push!(Token::Equal);
+                push!(Token::Equal, i, i + 1);
                 i += 1;
                 col += 1;
             }
             '@' => {
-                push!(Token::At);
+                push!(Token::At, i, i + 1);
                 i += 1;
                 col += 1;
             }
@@ -408,6 +429,8 @@ fn tokenize_with(input: &str, params: bool) -> Result<Vec<Spanned>, LexError> {
         token: Token::Eof,
         line,
         col,
+        start: input.len(),
+        end: input.len(),
     });
     Ok(tokens)
 }
@@ -494,6 +517,30 @@ mod tests {
         assert_eq!(spanned[0].line, 1);
         assert_eq!(spanned[1].line, 2);
         assert_eq!(spanned[1].col, 3);
+    }
+
+    #[test]
+    fn byte_offsets_slice_back_to_the_source() {
+        let input = "year := [<e.ename> OF EACH e IN employees: e.pyear >= 1977]";
+        for s in tokenize(input).unwrap() {
+            if s.token == Token::Eof {
+                assert_eq!(s.start, input.len());
+                continue;
+            }
+            let text = &input[s.start..s.end];
+            match &s.token {
+                Token::Ident(name) => assert_eq!(text, name),
+                Token::Int(v) => assert_eq!(text.parse::<i64>().unwrap(), *v),
+                Token::GreaterEq => assert_eq!(text, ">="),
+                _ => assert!(!text.is_empty()),
+            }
+        }
+        // Multi-byte characters inside strings keep byte offsets honest.
+        let input = "x := 'héllo'";
+        let spanned = tokenize(input).unwrap();
+        let s = &spanned[2];
+        assert_eq!(s.token, Token::Str("héllo".into()));
+        assert_eq!(&input[s.start..s.end], "'héllo'");
     }
 
     #[test]

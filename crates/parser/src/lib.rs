@@ -3,12 +3,13 @@
 //! selection statements (Examples 2.1–4.7) — lowering into the
 //! `pascalr-calculus` AST and the `pascalr-catalog` catalog.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod lexer;
 pub mod paper;
 pub mod parser;
 
 pub use lexer::{tokenize, LexError, Token};
-pub use parser::{parse_database, parse_formula, parse_selection, ParseError};
+pub use parser::{
+    parse_database, parse_formula, parse_selection, parse_selection_spanned, ParseError,
+};

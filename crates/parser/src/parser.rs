@@ -3,7 +3,10 @@
 
 use std::fmt;
 
-use pascalr_calculus::{ComponentRef, Formula, Operand, RangeDecl, RangeExpr, Selection};
+use pascalr_calculus::span::term_key;
+use pascalr_calculus::{
+    ComponentRef, Formula, Operand, RangeDecl, RangeExpr, Selection, Span, SpanMap, Term,
+};
 use pascalr_catalog::{Catalog, CatalogError};
 use pascalr_relation::{Attribute, CompareOp, RelationSchema, Value};
 
@@ -46,6 +49,7 @@ struct Parser<'a> {
     tokens: Vec<Spanned>,
     pos: usize,
     catalog: Option<&'a Catalog>,
+    spans: SpanMap,
 }
 
 impl<'a> Parser<'a> {
@@ -54,6 +58,7 @@ impl<'a> Parser<'a> {
             tokens: tokenize(input)?,
             pos: 0,
             catalog,
+            spans: SpanMap::new(),
         })
     }
 
@@ -64,7 +69,32 @@ impl<'a> Parser<'a> {
             tokens: tokenize_declarations(input)?,
             pos: 0,
             catalog: None,
+            spans: SpanMap::new(),
         })
+    }
+
+    /// The source span of the token at `idx`.
+    fn token_span(&self, idx: usize) -> Span {
+        let s = &self.tokens[idx.min(self.tokens.len() - 1)];
+        Span {
+            start: s.start,
+            end: s.end,
+            line: s.line,
+            col: s.col,
+        }
+    }
+
+    /// The span from the token at `start_tok` through the last token
+    /// consumed so far.
+    fn span_since(&self, start_tok: usize) -> Span {
+        let first = self.token_span(start_tok);
+        let last = self.token_span(self.pos.saturating_sub(1).max(start_tok));
+        Span {
+            start: first.start,
+            end: last.end.max(first.end),
+            line: first.line,
+            col: first.col,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -326,9 +356,12 @@ impl<'a> Parser<'a> {
         self.expect(&Token::Less)?;
         let mut components = Vec::new();
         loop {
+            let start_tok = self.pos;
             let var = self.expect_ident()?;
             self.expect(&Token::Dot)?;
             let attr = self.expect_ident()?;
+            self.spans
+                .record_component(&var, &attr, self.span_since(start_tok));
             components.push(ComponentRef::new(var, attr));
             if self.peek() == &Token::Comma {
                 self.advance();
@@ -341,7 +374,9 @@ impl<'a> Parser<'a> {
         let mut free = Vec::new();
         loop {
             self.expect_keyword("EACH")?;
+            let var_tok = self.pos;
             let var = self.expect_ident()?;
+            self.spans.record_var(&var, self.token_span(var_tok));
             self.expect_keyword("IN")?;
             let range = self.parse_range_expr(&var)?;
             free.push(RangeDecl::new(var, range));
@@ -391,7 +426,9 @@ impl<'a> Parser<'a> {
             };
             Ok(base)
         } else {
+            let rel_tok = self.pos;
             let rel = self.expect_ident()?;
+            self.spans.record_relation(&rel, self.token_span(rel_tok));
             Ok(RangeExpr::relation(rel))
         }
     }
@@ -431,7 +468,9 @@ impl<'a> Parser<'a> {
         if self.at_keyword("SOME") || self.at_keyword("ALL") {
             let is_some = self.at_keyword("SOME");
             self.advance();
+            let var_tok = self.pos;
             let var = self.expect_ident()?;
+            self.spans.record_var(&var, self.token_span(var_tok));
             self.expect_keyword("IN")?;
             let range = self.parse_range_expr(&var)?;
             let body = self.parse_not()?;
@@ -460,10 +499,14 @@ impl<'a> Parser<'a> {
             return Ok(inner);
         }
         // Otherwise it must be a comparison.
+        let start_tok = self.pos;
         let left = self.parse_operand()?;
         let op = self.parse_compare_op()?;
         let right = self.parse_operand()?;
-        Ok(Formula::compare(left, op, right))
+        let term = Term::cmp(left, op, right);
+        self.spans
+            .record_term(term_key(&term), self.span_since(start_tok));
+        Ok(Formula::Term(term))
     }
 
     fn parse_compare_op(&mut self) -> Result<CompareOp, ParseError> {
@@ -499,9 +542,12 @@ impl<'a> Parser<'a> {
             Token::Ident(name) => {
                 if self.peek_at(1) == &Token::Dot {
                     // var.attr
+                    let start_tok = self.pos;
                     self.advance();
                     self.advance();
                     let attr = self.expect_ident()?;
+                    self.spans
+                        .record_component(&name, &attr, self.span_since(start_tok));
                     Ok(Operand::comp(name, attr))
                 } else {
                     // A bare identifier: an enumeration label (e.g.
@@ -543,12 +589,22 @@ pub fn parse_database(input: &str) -> Result<Catalog, ParseError> {
 /// against an existing catalog (needed to resolve enumeration labels such as
 /// `professor`).
 pub fn parse_selection(input: &str, catalog: &Catalog) -> Result<Selection, ParseError> {
+    parse_selection_spanned(input, catalog).map(|(sel, _)| sel)
+}
+
+/// Like [`parse_selection`], but also returns the [`SpanMap`] side table
+/// mapping the selection's constructs back to byte spans in `input` —
+/// the basis of source-located diagnostics (see `pascalr-analysis`).
+pub fn parse_selection_spanned(
+    input: &str,
+    catalog: &Catalog,
+) -> Result<(Selection, SpanMap), ParseError> {
     let mut p = Parser::new(input, Some(catalog))?;
     let sel = p.parse_selection()?;
     if p.peek() != &Token::Eof {
         return Err(p.error(format!("unexpected trailing input '{}'", p.peek())));
     }
-    Ok(sel)
+    Ok((sel, p.spans))
 }
 
 /// Parses a bare formula (selection expression) against a catalog; useful for

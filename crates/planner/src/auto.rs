@@ -37,18 +37,13 @@ pub(crate) fn plan_auto(
     stats: &StatsView,
 ) -> QueryPlan {
     let weights = CostWeights::default();
-    let candidates: Vec<QueryPlan> = StrategyLevel::ALL
+    let mut candidates: Vec<QueryPlan> = StrategyLevel::ALL
         .iter()
         .map(|&level| plan_fixed(selection, catalog, level, options, stats))
         .collect();
     let costs: Vec<f64> = candidates
         .iter()
-        .map(|p| {
-            p.estimates
-                .as_ref()
-                .map(|e| e.total_cost)
-                .unwrap_or(f64::INFINITY)
-        })
+        .map(|p| p.estimates.as_ref().map_or(f64::INFINITY, |e| e.total_cost))
         .collect();
     let mut best = 0;
     for (i, &cost) in costs.iter().enumerate() {
@@ -62,7 +57,7 @@ pub(crate) fn plan_auto(
         .copied()
         .zip(costs.iter().copied())
         .collect();
-    let mut chosen = candidates.into_iter().nth(best).expect("five candidates");
+    let mut chosen = candidates.swap_remove(best);
     let rationale = {
         let parts: Vec<String> = table
             .iter()

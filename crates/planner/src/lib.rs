@@ -8,15 +8,16 @@
 //! caller passes — in the full system that is a pinned immutable snapshot,
 //! so a plan is always costed against one consistent catalog version.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod auto;
 pub mod plan;
 pub mod planner;
 pub mod strategy;
+pub mod verify;
 
 pub use pascalr_optimizer::{ConjunctionEstimate, CostEstimate, CostWeights};
 pub use plan::{DyadicLink, PlanEstimates, QueryPlan, SemijoinStep, ValueListMode};
 pub use planner::{plan, PlanOptions};
 pub use strategy::StrategyLevel;
+pub use verify::verify_plan;

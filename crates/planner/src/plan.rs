@@ -174,6 +174,12 @@ pub struct QueryPlan {
     pub dropped_vars: Vec<VarName>,
     /// Free-form notes accumulated during planning (shown by `explain`).
     pub notes: Vec<String>,
+    /// Rendered semantic diagnostics from the prepare-time analyzer
+    /// (`pascalr-analysis`), shown by [`QueryPlan::explain`] as `warning:`
+    /// lines.  Advisory only — excluded from plan equality, because a
+    /// parameterized plan and its inlined twin render the same diagnostic
+    /// with different constant text (`:year` vs `1977`).
+    pub warnings: Vec<String>,
     /// Names of the permanent catalog indexes the plan relies on: indexes
     /// that serve a restricted range by probe, or cover the probed side of
     /// an equality join term so that no per-query index is built for it.
@@ -196,9 +202,9 @@ pub struct QueryPlan {
 
 impl PartialEq for QueryPlan {
     /// Plans compare on everything that affects execution; the advisory
-    /// [`QueryPlan::estimates`] are excluded (a parameterized plan and its
-    /// inlined twin carry slightly different estimates but are the same
-    /// plan).
+    /// [`QueryPlan::estimates`] and [`QueryPlan::warnings`] are excluded
+    /// (a parameterized plan and its inlined twin carry slightly different
+    /// estimates and diagnostic renderings but are the same plan).
     fn eq(&self, other: &Self) -> bool {
         self.strategy == other.strategy
             && self.original == other.original
@@ -283,7 +289,11 @@ impl QueryPlan {
             }
         }
         if !self.dropped_vars.is_empty() {
-            let names: Vec<&str> = self.dropped_vars.iter().map(|v| v.as_ref()).collect();
+            let names: Vec<&str> = self
+                .dropped_vars
+                .iter()
+                .map(std::convert::AsRef::as_ref)
+                .collect();
             out.push_str(&format!(
                 "dropped quantified variables with no join terms: {}\n",
                 names.join(", ")
@@ -293,7 +303,7 @@ impl QueryPlan {
             "scan order: {}\n",
             self.scan_order
                 .iter()
-                .map(|r| r.as_ref())
+                .map(std::convert::AsRef::as_ref)
                 .collect::<Vec<_>>()
                 .join(" -> ")
         ));
@@ -344,6 +354,11 @@ impl QueryPlan {
                     table.join(", ")
                 ));
             }
+        }
+        // Rendered diagnostics carry their own severity prefix
+        // (`warning[A005]: ...`, `note[A012]: ...`).
+        for warning in &self.warnings {
+            out.push_str(&format!("{warning}\n"));
         }
         for note in &self.notes {
             out.push_str(&format!("note: {note}\n"));
@@ -441,6 +456,7 @@ impl QueryPlan {
             scan_order: self.scan_order.clone(),
             dropped_vars: self.dropped_vars.clone(),
             notes: self.notes.clone(),
+            warnings: self.warnings.clone(),
             used_indexes: self.used_indexes.clone(),
             row_budget: self.row_budget,
             // Binding substitutes constants without changing the plan

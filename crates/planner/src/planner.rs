@@ -27,7 +27,7 @@ use crate::plan::{DyadicLink, PlanEstimates, QueryPlan, SemijoinStep, ValueListM
 use crate::strategy::StrategyLevel;
 
 /// Options controlling planning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanOptions {
     /// Allow disjunctive restrictions in extended ranges (the paper's
     /// "conjunctive normal form" future-work mode; ablated in E7).
@@ -35,6 +35,24 @@ pub struct PlanOptions {
     /// Disable the cardinality-based scan ordering (ablation for E6): scan
     /// relations in declaration order instead.
     pub declaration_scan_order: bool,
+    /// Apply the prepare-time semantic rewrites of `pascalr-analysis`
+    /// before planning: statically unsatisfiable terms become `false`,
+    /// domain tautologies become `true`, contradictory conjunctions
+    /// collapse, and equality-implied monadic restrictions are appended.
+    /// On by default; turn off to plan the selection exactly as written
+    /// (ablation, or when diagnostics are unwanted).
+    pub semantic_rewrites: bool,
+}
+
+impl Default for PlanOptions {
+    /// Ablations off, semantic rewrites on.
+    fn default() -> Self {
+        PlanOptions {
+            disjunctive_range_extensions: false,
+            declaration_scan_order: false,
+            semantic_rewrites: true,
+        }
+    }
 }
 
 /// Chooses the value-list reduction for a single-link step.
@@ -159,11 +177,11 @@ fn derive_semijoin_steps(
 
             // Adopt the sunk prefix order, then peel the variable.
             *prepared = sunk;
-            let innermost = prepared
-                .form
-                .prefix
-                .pop()
-                .expect("prefix checked non-empty");
+            let Some(innermost) = prepared.form.prefix.pop() else {
+                // `sink_variable` placed the variable at `pos + 1 ==
+                // prefix.len()`, so the prefix cannot be empty here.
+                continue;
+            };
             debug_assert_eq!(innermost.var.as_ref(), var.as_ref());
 
             // Monadic filters over the variable in this conjunction move into
@@ -196,7 +214,7 @@ fn derive_semijoin_steps(
                 conjunction: ci,
                 consumes,
                 reduction,
-                produces: format!("sl_{}_via_{}", target_var, var),
+                produces: format!("sl_{target_var}_via_{var}"),
             };
             notes.push(format!(
                 "strategy 4: {} {} evaluated in the collection phase ({})",
@@ -390,11 +408,41 @@ pub fn plan(
     options: PlanOptions,
 ) -> QueryPlan {
     let stats = StatsView::from_catalog(catalog);
-    if strategy.is_auto() {
-        plan_auto(selection, catalog, options, &stats)
+
+    // Prepare-time semantic analysis: plan the *simplified* selection (the
+    // rewrites are equivalence-preserving given the catalog's domain
+    // declarations) and carry the rendered diagnostics on the plan.  The
+    // plan keeps the user's original selection in `original` — the
+    // simplification is a planning decision, not a reinterpretation.
+    let (effective, warnings) = if options.semantic_rewrites {
+        let simplified = pascalr_analysis::simplify(selection, catalog);
+        let warnings = simplified
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        (simplified.selection, warnings)
     } else {
-        plan_fixed(selection, catalog, strategy, options, &stats)
+        (selection.clone(), Vec::new())
+    };
+
+    let mut plan = if strategy.is_auto() {
+        plan_auto(&effective, catalog, options, &stats)
+    } else {
+        plan_fixed(&effective, catalog, strategy, options, &stats)
+    };
+    plan.original = selection.clone();
+    plan.warnings = warnings;
+
+    #[cfg(debug_assertions)]
+    if let Err(violations) = crate::verify::verify_plan(&plan, catalog) {
+        panic!(
+            "plan verifier rejected the plan for '{}':\n  {}",
+            plan.original.target,
+            violations.join("\n  ")
+        );
     }
+    plan
 }
 
 /// Builds the plan for one *fixed* strategy level against a prepared
@@ -489,6 +537,7 @@ pub(crate) fn plan_fixed(
         scan_order,
         dropped_vars,
         notes,
+        warnings: Vec::new(),
         used_indexes,
         row_budget: None,
         estimates,
@@ -675,7 +724,11 @@ mod tests {
     fn scan_order_prefers_small_relations_first() {
         let p = example_plan(StrategyLevel::S1Parallel);
         // Sample database cardinalities: courses 4 < papers 5 < employees 6 = timetable 6.
-        let order: Vec<&str> = p.scan_order.iter().map(|r| r.as_ref()).collect();
+        let order: Vec<&str> = p
+            .scan_order
+            .iter()
+            .map(std::convert::AsRef::as_ref)
+            .collect();
         assert_eq!(order[0], "courses");
         assert_eq!(order[1], "papers");
         assert_eq!(order.len(), 4);

@@ -1,0 +1,360 @@
+//! The plan verifier: structural invariant checks on every [`QueryPlan`],
+//! in the spirit of LLVM's IR verifier.
+//!
+//! The planner's transformations (standardization, range extension,
+//! semijoin peeling, index selection) each maintain invariants the
+//! executor relies on.  [`verify_plan`] re-checks them from scratch on the
+//! finished plan, so a planner bug surfaces at plan time as a precise
+//! message instead of as a wrong result or a panic deep in the executor.
+//! `plan()` runs the verifier after every planning pass under
+//! `debug_assertions` (debug builds, tests, and the CI release run with
+//! `-C debug-assertions`); release builds skip it.
+
+use std::collections::BTreeSet;
+
+use pascalr_catalog::Catalog;
+use pascalr_relation::CompareOp;
+
+use crate::plan::QueryPlan;
+
+/// Checks the structural invariants of a finished plan.  Returns every
+/// violation found (empty `Err` is never produced — `Ok(())` means the
+/// plan is well-formed).
+pub fn verify_plan(plan: &QueryPlan, catalog: &Catalog) -> Result<(), Vec<String>> {
+    let mut violations: Vec<String> = Vec::new();
+    let prepared = &plan.prepared;
+    let all_vars = prepared.all_vars();
+    let is_bound = |var: &str| all_vars.iter().any(|v| v.as_ref() == var);
+
+    // 1. The derived-predicate table is index-aligned with the matrix.
+    if plan.derived_predicates.len() != prepared.form.matrix.len() {
+        violations.push(format!(
+            "derived-predicate table has {} entries for {} matrix conjunction(s)",
+            plan.derived_predicates.len(),
+            prepared.form.matrix.len()
+        ));
+    }
+
+    // 2. No duplicate variable declarations (free + prefix).
+    let mut seen_vars: BTreeSet<&str> = BTreeSet::new();
+    for var in &all_vars {
+        if !seen_vars.insert(var.as_ref()) {
+            violations.push(format!("variable '{var}' is declared more than once"));
+        }
+    }
+
+    // 3. Every matrix term speaks only of declared variables, and every
+    //    prefix variable still occurs somewhere (vacuous ones must have
+    //    been dropped).
+    for (ci, conj) in prepared.form.matrix.iter().enumerate() {
+        for term in &conj.terms {
+            for var in term.vars() {
+                if !is_bound(var.as_ref()) {
+                    violations.push(format!(
+                        "conjunction #{} term ({term}) mentions undeclared variable '{var}'",
+                        ci + 1
+                    ));
+                }
+            }
+        }
+    }
+    for entry in &prepared.form.prefix {
+        let used = prepared.form.matrix.iter().any(|c| c.mentions(&entry.var))
+            || plan
+                .semijoin_steps
+                .iter()
+                .any(|s| s.target_var.as_ref() == entry.var.as_ref());
+        if !used {
+            violations.push(format!(
+                "prefix variable '{}' occurs in no conjunction and no semijoin step \
+                 (vacuous quantifiers must be dropped)",
+                entry.var
+            ));
+        }
+    }
+
+    // 4. Semijoin steps are internally consistent: valid conjunction index,
+    //    bound variable absent from prefix and matrix, target variable
+    //    declared, and `consumes` only references *earlier* steps whose
+    //    derived predicate targets this step's bound variable.
+    for (si, step) in plan.semijoin_steps.iter().enumerate() {
+        if step.conjunction >= prepared.form.matrix.len() {
+            violations.push(format!(
+                "semijoin step #{} references conjunction #{} of {}",
+                si + 1,
+                step.conjunction + 1,
+                prepared.form.matrix.len()
+            ));
+        }
+        if is_bound(step.bound_var.as_ref()) {
+            violations.push(format!(
+                "semijoin step #{} bound variable '{}' is still declared in the plan",
+                si + 1,
+                step.bound_var
+            ));
+        }
+        if let Some(conj) = prepared.form.matrix.get(step.conjunction) {
+            if conj.mentions(&step.bound_var) {
+                violations.push(format!(
+                    "semijoin step #{} bound variable '{}' still occurs in conjunction #{}",
+                    si + 1,
+                    step.bound_var,
+                    step.conjunction + 1
+                ));
+            }
+        }
+        if !is_bound(step.target_var.as_ref()) {
+            let is_later_bound = plan.semijoin_steps[si + 1..]
+                .iter()
+                .any(|later| later.bound_var.as_ref() == step.target_var.as_ref());
+            if !is_later_bound {
+                violations.push(format!(
+                    "semijoin step #{} targets undeclared variable '{}'",
+                    si + 1,
+                    step.target_var
+                ));
+            }
+        }
+        for &consumed in &step.consumes {
+            if consumed >= si {
+                violations.push(format!(
+                    "semijoin step #{} consumes step #{} which does not precede it",
+                    si + 1,
+                    consumed + 1
+                ));
+            } else if plan.semijoin_steps[consumed].target_var.as_ref() != step.bound_var.as_ref() {
+                violations.push(format!(
+                    "semijoin step #{} consumes step #{} whose predicate targets '{}', \
+                     not its bound variable '{}'",
+                    si + 1,
+                    consumed + 1,
+                    plan.semijoin_steps[consumed].target_var,
+                    step.bound_var
+                ));
+            }
+        }
+        if step.links.is_empty() {
+            violations.push(format!(
+                "semijoin step #{} has no dyadic link to its target",
+                si + 1
+            ));
+        }
+    }
+
+    // 5. The derived-predicate table only references real steps, each
+    //    assigned to the conjunction it was derived from.
+    for (ci, preds) in plan.derived_predicates.iter().enumerate() {
+        for &s in preds {
+            match plan.semijoin_steps.get(s) {
+                None => violations.push(format!(
+                    "conjunction #{} references semijoin step #{} of {}",
+                    ci + 1,
+                    s + 1,
+                    plan.semijoin_steps.len()
+                )),
+                Some(step) if step.conjunction != ci => violations.push(format!(
+                    "conjunction #{} applies semijoin step #{} derived from conjunction #{}",
+                    ci + 1,
+                    s + 1,
+                    step.conjunction + 1
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // 6. The scan order covers every range relation exactly once.
+    let mut expected: BTreeSet<&str> = BTreeSet::new();
+    for d in &prepared.free {
+        expected.insert(d.range.relation.as_ref());
+    }
+    for p in &prepared.form.prefix {
+        expected.insert(p.range.relation.as_ref());
+    }
+    for s in &plan.semijoin_steps {
+        expected.insert(s.range.relation.as_ref());
+    }
+    let mut scanned: BTreeSet<&str> = BTreeSet::new();
+    for rel in &plan.scan_order {
+        if !scanned.insert(rel.as_ref()) {
+            violations.push(format!("scan order lists relation '{rel}' twice"));
+        }
+    }
+    for rel in expected.difference(&scanned) {
+        violations.push(format!("scan order is missing range relation '{rel}'"));
+    }
+    for rel in scanned.difference(&expected) {
+        violations.push(format!(
+            "scan order lists relation '{rel}' which no range declaration uses"
+        ));
+    }
+
+    // 7. Every index the plan claims to rely on exists in the catalog and
+    //    covers either a restricted range's relation or the probed side of
+    //    an equality join the plan actually contains.
+    for name in &plan.used_indexes {
+        let Some(decl) = catalog.indexes().find(|d| &d.name == name) else {
+            violations.push(format!(
+                "plan relies on index '{name}' which the catalog does not declare"
+            ));
+            continue;
+        };
+        let serves_range = plan
+            .scan_order
+            .iter()
+            .any(|rel| rel.as_ref() == decl.relation);
+        if !serves_range {
+            violations.push(format!(
+                "plan relies on index '{name}' on relation '{}' which the plan never scans",
+                decl.relation
+            ));
+        }
+    }
+
+    // 8. Equality-join agreement with the optimizer's assembly order: for
+    //    every dyadic equality term, both sides must be placed by the order
+    //    the executor will use (the probed side is the later one).
+    for (ci, conj) in prepared.form.matrix.iter().enumerate() {
+        let order = pascalr_optimizer::assembly_order(conj, &all_vars, |v| {
+            conj.mentions(v)
+                || plan.derived_predicates.get(ci).is_some_and(|preds| {
+                    preds
+                        .iter()
+                        .any(|&s| plan.semijoin_steps[s].target_var.as_ref() == v)
+                })
+        });
+        for term in conj.terms.iter().filter(|t| t.is_dyadic()) {
+            let tvars: Vec<_> = term.vars().into_iter().collect();
+            if tvars.len() != 2 {
+                continue;
+            }
+            let Some((_, op, _, _)) = term.as_dyadic_over(&tvars[0]) else {
+                continue;
+            };
+            if op != CompareOp::Eq {
+                continue;
+            }
+            for v in &tvars {
+                if !order.iter().any(|o| o.as_ref() == v.as_ref()) {
+                    violations.push(format!(
+                        "conjunction #{} equality join ({term}): variable '{v}' is not \
+                         placed by the assembly order",
+                        ci + 1
+                    ));
+                }
+            }
+        }
+    }
+
+    // 9. The row budget survives into the plan unchanged only as a
+    //    non-zero bound (a zero budget would make every plan vacuously
+    //    empty — the API never produces one).
+    if plan.row_budget == Some(0) {
+        violations.push("plan carries a zero row budget".to_string());
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan, PlanOptions};
+    use crate::strategy::StrategyLevel;
+    use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+    use pascalr_parser::parse_selection;
+    use pascalr_workload::figure1_sample_database;
+
+    #[test]
+    fn well_formed_plans_verify_at_every_level() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        for level in StrategyLevel::ALL {
+            let p = plan(&sel, &cat, level, PlanOptions::default());
+            assert_eq!(verify_plan(&p, &cat), Ok(()), "{level}");
+        }
+    }
+
+    #[test]
+    fn corrupted_plans_are_rejected_with_precise_messages() {
+        let cat = figure1_sample_database().unwrap();
+        let sel = parse_selection(EXAMPLE_2_1_QUERY, &cat).unwrap();
+        let good = plan(
+            &sel,
+            &cat,
+            StrategyLevel::S4CollectionQuantifiers,
+            PlanOptions::default(),
+        );
+
+        // Truncate the derived-predicate table.
+        let mut p = good.clone();
+        p.derived_predicates.pop();
+        let errs = verify_plan(&p, &cat).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("derived-predicate table")),
+            "{errs:?}"
+        );
+
+        // Drop a scanned relation.
+        let mut p = good.clone();
+        p.scan_order.pop();
+        let errs = verify_plan(&p, &cat).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("scan order is missing")),
+            "{errs:?}"
+        );
+
+        // Claim a nonexistent index.
+        let mut p = good.clone();
+        p.used_indexes.push("no_such_index".to_string());
+        let errs = verify_plan(&p, &cat).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("'no_such_index'") && e.contains("does not declare")),
+            "{errs:?}"
+        );
+
+        // Point a semijoin step at a later step.
+        let mut p = good.clone();
+        if let Some(step) = p.semijoin_steps.first_mut() {
+            step.consumes.push(5);
+            let errs = verify_plan(&p, &cat).unwrap_err();
+            assert!(
+                errs.iter().any(|e| e.contains("does not precede")),
+                "{errs:?}"
+            );
+        }
+
+        // A zero row budget is structurally invalid.
+        let mut p = good.clone();
+        p.row_budget = Some(0);
+        let errs = verify_plan(&p, &cat).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("zero row budget")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn every_workload_query_verifies_at_every_level() {
+        let cat = figure1_sample_database().unwrap();
+        for q in pascalr_workload::all_queries() {
+            let sel = q.parse(&cat).unwrap();
+            for level in [
+                StrategyLevel::S0Baseline,
+                StrategyLevel::S1Parallel,
+                StrategyLevel::S2OneStep,
+                StrategyLevel::S3ExtendedRanges,
+                StrategyLevel::S4CollectionQuantifiers,
+                StrategyLevel::Auto,
+            ] {
+                let p = plan(&sel, &cat, level, PlanOptions::default());
+                assert_eq!(verify_plan(&p, &cat), Ok(()), "query {} at {level}", q.id);
+            }
+        }
+    }
+}

@@ -88,7 +88,7 @@ impl HashIndex {
     /// Looks up the references of elements whose indexed components equal
     /// `key`.
     pub fn probe(&self, key: &Key) -> &[ElemRef] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// Single-component probe convenience.
@@ -96,8 +96,7 @@ impl HashIndex {
         debug_assert_eq!(self.on.len(), 1, "probe_value needs a single-column index");
         self.map
             .get(&Key::new(vec![value.clone()]))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Number of `(value, reference)` entries in the index.

@@ -20,8 +20,7 @@
 //! Everything here is deliberately independent of the calculus, the planner
 //! and the executor; those layers build on this one.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod algebra;
 pub mod error;

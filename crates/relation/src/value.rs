@@ -57,7 +57,9 @@ impl EnumType {
 
     /// Returns the label at `ordinal`, if in range.
     pub fn label_of(&self, ordinal: u32) -> Option<&str> {
-        self.labels.get(ordinal as usize).map(|l| l.as_ref())
+        self.labels
+            .get(ordinal as usize)
+            .map(std::convert::AsRef::as_ref)
     }
 
     /// Number of labels in the enumeration.

@@ -2,8 +2,7 @@
 //! to reproduce the paper's cost arguments (relation reads, intermediate
 //! structure sizes, comparison counts) in measurable form.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod metrics;
 pub mod pages;

@@ -2,8 +2,7 @@
 //! and scaled variants), the paper's query suite plus an extended workload,
 //! and the brute-force oracle used to validate every execution strategy.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod oracle;
 pub mod queries;

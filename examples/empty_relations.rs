@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Now empty the papers relation: `ALL p IN papers (...)` is vacuously
     // true, so exactly the professors must qualify — no more, no fewer.
-    db.mutate(|c| c.relation_mut("papers").map(|r| r.clear()))?;
+    db.mutate(|c| c.relation_mut("papers").map(pascalr::Relation::clear))?;
     for level in StrategyLevel::ALL {
         let outcome = db.query_with(EXAMPLE_2_1_QUERY, level)?;
         println!(
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Emptying courses instead: the universal branch still applies, so only
     // Baker (who did not publish in 1977) qualifies.
     let db = Database::from_catalog(figure1_sample_database()?);
-    db.mutate(|c| c.relation_mut("courses").map(|r| r.clear()))?;
+    db.mutate(|c| c.relation_mut("courses").map(pascalr::Relation::clear))?;
     let outcome = db.query(EXAMPLE_2_1_QUERY)?;
     println!("\nWith courses = []:\n{}", outcome.result);
     Ok(())

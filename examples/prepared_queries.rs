@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `fork()` gives an independent database pinned to the current
     // version: an O(1) snapshot share, not a deep copy.
     let fork = db.fork();
-    fork.mutate(|c| c.relation_mut("papers").map(|r| r.clear()))?;
+    fork.mutate(|c| c.relation_mut("papers").map(pascalr::Relation::clear))?;
     assert!(!db.snapshot().relation("papers")?.is_empty());
     println!("fork mutated independently; shared handle unaffected");
     Ok(())

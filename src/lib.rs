@@ -8,5 +8,7 @@
 //! * [`pascalr_workload`] — the Figure 1 university database generator and
 //!   the paper's query suite.
 
+#![forbid(unsafe_code)]
+
 pub use pascalr;
 pub use pascalr_workload;

@@ -1,0 +1,183 @@
+//! Repo-level lint gate: the library code of the execution-critical crates
+//! (`pascalr-exec`, `pascalr` core, `pascalr-planner`) must not panic through
+//! `unwrap()`/`expect()` or leave debug printing behind.  Failures on those
+//! paths must surface as `ExecError`/`PascalRError` values (or a deliberate
+//! `unreachable!` with a proof in the message), and all user-visible output
+//! goes through the structured report types — never stdout.
+//!
+//! Test modules (`#[cfg(test)]`) and comments are exempt; this gate guards
+//! the code that runs in production, not the code that checks it.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Tokens banned from non-test library code.
+const BANNED: [&str; 4] = [".unwrap()", ".expect(", "dbg!(", "println!("];
+
+/// Crates whose `src/` trees are gated.
+const GATED_CRATES: [&str; 3] = ["crates/exec", "crates/core", "crates/planner"];
+
+/// A single banned-token occurrence.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    token: &'static str,
+    text: String,
+}
+
+/// Net brace depth contributed by one line.  Naive (ignores braces inside
+/// string literals), which is fine for this codebase and errs on the side of
+/// scanning *more* lines if it ever miscounts inside a test module.
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0;
+    for ch in line.chars() {
+        match ch {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Scans one source file, skipping comment lines and `#[cfg(test)]` modules.
+fn scan_file(path: &Path, violations: &mut Vec<Violation>) {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => panic!("cannot read {}: {e}", path.display()),
+    };
+    let mut in_test_mod = false;
+    let mut test_depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    for (idx, line) in src.lines().enumerate() {
+        if in_test_mod {
+            test_depth += brace_delta(line);
+            if test_depth <= 0 {
+                in_test_mod = false;
+            }
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") {
+                continue; // further attributes between the cfg and the item
+            }
+            pending_cfg_test = false;
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                let delta = brace_delta(line);
+                if delta > 0 {
+                    in_test_mod = true;
+                    test_depth = delta;
+                }
+                // `#[cfg(test)] mod tests;` (out-of-line) needs no skipping:
+                // the module lives in its own file under a tests/ path.
+                continue;
+            }
+            // The cfg guarded a non-module item (fn, use, ...): treat the
+            // single following item conservatively by still checking it —
+            // gated crates keep test-only items inside `mod tests`.
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for token in BANNED {
+            if line.contains(token) {
+                violations.push(Violation {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    token,
+                    text: trimmed.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => panic!("cannot list {}: {e}", dir.display()),
+    };
+    for entry in entries {
+        let path = entry.expect("readable directory entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+#[test]
+fn gated_crates_have_no_panicking_or_printing_library_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for krate in GATED_CRATES {
+        let src = root.join(krate).join("src");
+        assert!(src.is_dir(), "missing gated source tree {}", src.display());
+        let mut files = Vec::new();
+        rust_files(&src, &mut files);
+        assert!(!files.is_empty(), "no sources under {}", src.display());
+        for file in files {
+            scan_file(&file, &mut violations);
+        }
+    }
+    if !violations.is_empty() {
+        let mut msg = String::from(
+            "banned calls in non-test library code (return an error or use \
+             unreachable!/debug_assert with justification instead):\n",
+        );
+        for v in &violations {
+            let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
+            let _ = writeln!(
+                msg,
+                "  {}:{}: `{}` in `{}`",
+                rel.display(),
+                v.line,
+                v.token,
+                v.text
+            );
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn the_gate_itself_catches_violations() {
+    // Self-check: a synthetic source with each banned token in live code is
+    // flagged, while the same tokens under `#[cfg(test)]` or comments pass.
+    let dir = std::env::temp_dir().join("pascalr_repo_lints_selfcheck");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("sample.rs");
+    std::fs::write(
+        &file,
+        r#"
+fn live() {
+    let x = Some(1).unwrap();
+    let y = Some(2).expect("y");
+    dbg!(x);
+    println!("{y}");
+}
+// let z = Some(3).unwrap(); — a comment does not count
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let z = Some(3).unwrap();
+        println!("{z}");
+    }
+}
+"#,
+    )
+    .expect("write sample");
+    let mut violations = Vec::new();
+    scan_file(&file, &mut violations);
+    let tokens: Vec<&str> = violations.iter().map(|v| v.token).collect();
+    assert_eq!(tokens, [".unwrap()", ".expect(", "dbg!(", "println!("]);
+    assert!(violations.iter().all(|v| v.line < 8), "{tokens:?}");
+}

@@ -225,6 +225,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target of this group.
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
