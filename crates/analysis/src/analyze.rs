@@ -16,8 +16,8 @@
 //! rewrites sound in any formula context — under negation, inside
 //! disjunctions, in quantifier bodies and in range restrictions alike.
 
+use pascalr_sync::Arc;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 use pascalr_calculus::span::term_key;
 use pascalr_calculus::{

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
 use pascalr_bench::{
-    print_header, print_row, print_structures, quick_criterion, run, sample_db, scaled_db,
+    header_text, quick_criterion, row_text, run, sample_db, scaled_db, structures_text,
 };
 use pascalr_workload::query_by_id;
 
@@ -14,15 +14,18 @@ fn bench(c: &mut Criterion) {
     // Paper-style report on the Figure 1 instance.
     let db = sample_db();
     let outcome = run(&db, query, StrategyLevel::S2OneStep);
-    print_header(
-        "E2 / Figure 2: auxiliary structures of Example 2.2",
-        "single lists and indirect joins replace full records by references",
+    println!(
+        "{}",
+        header_text(
+            "E2 / Figure 2: auxiliary structures of Example 2.2",
+            "single lists and indirect joins replace full records by references",
+        )
     );
-    print_row(&outcome);
+    println!("{}", row_text(&outcome));
     println!("  single lists / indirect joins / value lists (sample database):");
-    print_structures(&outcome, "sl_");
-    print_structures(&outcome, "ij_");
-    print_structures(&outcome, "cand_");
+    println!("{}", structures_text(&outcome, "sl_"));
+    println!("{}", structures_text(&outcome, "ij_"));
+    println!("{}", structures_text(&outcome, "cand_"));
 
     // Structure sizes as the database grows (Strategy 4 keeps the
     // combination phase out of the picture so the collection structures are

@@ -3,16 +3,19 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
-use pascalr_bench::{print_header, print_row, quick_criterion, run, scaled_db};
+use pascalr_bench::{header_text, quick_criterion, row_text, run, scaled_db};
 use pascalr_workload::query_by_id;
 
 fn bench(c: &mut Criterion) {
     let query = query_by_id("ex3.2").unwrap().text;
 
     let db = scaled_db(2);
-    print_header(
-        "E5 / Example 3.2: sophomore-course x timetable subexpression",
-        "one-step evaluation (S2) restricts the indirect join by the monadic term",
+    println!(
+        "{}",
+        header_text(
+            "E5 / Example 3.2: sophomore-course x timetable subexpression",
+            "one-step evaluation (S2) restricts the indirect join by the monadic term",
+        )
     );
     for level in [
         StrategyLevel::S0Baseline,
@@ -20,7 +23,7 @@ fn bench(c: &mut Criterion) {
         StrategyLevel::S2OneStep,
     ] {
         let outcome = run(&db, query, level);
-        print_row(&outcome);
+        println!("{}", row_text(&outcome));
     }
 
     let mut group = c.benchmark_group("e5_subexpression");

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
-use pascalr_bench::{print_header, print_row, quick_criterion, run, scaled_db};
+use pascalr_bench::{header_text, quick_criterion, row_text, run, scaled_db};
 use pascalr_planner::PlanOptions;
 use pascalr_workload::query_by_id;
 
@@ -12,17 +12,17 @@ fn bench(c: &mut Criterion) {
     let query = query_by_id("ex2.1").unwrap().text;
     let db = scaled_db(1);
 
-    print_header(
+    println!("{}", header_text(
         "E6 / Examples 4.1-4.3: parallel evaluation and one-step nesting",
         "with Strategy 1 each relation is read no more than once; Strategy 2 shrinks indirect joins",
-    );
+    ));
     for level in [
         StrategyLevel::S0Baseline,
         StrategyLevel::S1Parallel,
         StrategyLevel::S2OneStep,
     ] {
         let outcome = run(&db, query, level);
-        print_row(&outcome);
+        println!("{}", row_text(&outcome));
     }
 
     // Ablation: cardinality-based scan order vs declaration order.

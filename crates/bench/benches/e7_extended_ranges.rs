@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
-use pascalr_bench::{print_header, print_row, quick_criterion, run, scaled_db};
+use pascalr_bench::{header_text, quick_criterion, row_text, run, scaled_db};
 use pascalr_calculus::{extend_ranges, standardize, ExtendOptions};
 use pascalr_workload::query_by_id;
 
@@ -11,13 +11,16 @@ fn bench(c: &mut Criterion) {
     let query = query_by_id("ex2.1").unwrap().text;
     let db = scaled_db(1);
 
-    print_header(
-        "E7 / Examples 4.4-4.5: extended range expressions",
-        "one conjunction fewer, smaller candidate sets, estatus tested once per element",
+    println!(
+        "{}",
+        header_text(
+            "E7 / Examples 4.4-4.5: extended range expressions",
+            "one conjunction fewer, smaller candidate sets, estatus tested once per element",
+        )
     );
     for level in [StrategyLevel::S2OneStep, StrategyLevel::S3ExtendedRanges] {
         let outcome = run(&db, query, level);
-        print_row(&outcome);
+        println!("{}", row_text(&outcome));
         println!(
             "    conjunctions in matrix: {}",
             outcome.plan.prepared.form.conjunction_count()

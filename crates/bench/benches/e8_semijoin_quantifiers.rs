@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pascalr::StrategyLevel;
-use pascalr_bench::{print_header, print_row, print_structures, quick_criterion, run, scaled_db};
+use pascalr_bench::{header_text, quick_criterion, row_text, run, scaled_db, structures_text};
 use pascalr_storage::Phase;
 use pascalr_workload::query_by_id;
 
@@ -12,16 +12,19 @@ fn bench(c: &mut Criterion) {
     let query = query_by_id("ex2.1").unwrap().text;
     let db = scaled_db(2);
 
-    print_header(
-        "E8 / Examples 4.6-4.7: collection-phase quantifier evaluation",
-        "value lists avoid building large reference relations just to reduce them again",
+    println!(
+        "{}",
+        header_text(
+            "E8 / Examples 4.6-4.7: collection-phase quantifier evaluation",
+            "value lists avoid building large reference relations just to reduce them again",
+        )
     );
     for level in [
         StrategyLevel::S3ExtendedRanges,
         StrategyLevel::S4CollectionQuantifiers,
     ] {
         let outcome = run(&db, query, level);
-        print_row(&outcome);
+        println!("{}", row_text(&outcome));
         let comb = outcome.report.metrics.phase(Phase::Combination);
         println!(
             "    combination-phase intermediates = {}, comparisons = {}",
@@ -29,8 +32,8 @@ fn bench(c: &mut Criterion) {
         );
         if level == StrategyLevel::S4CollectionQuantifiers {
             println!("    value lists (cset/tset/pset):");
-            print_structures(&outcome, "sl_e_via_");
-            print_structures(&outcome, "sl_t_via_");
+            println!("{}", structures_text(&outcome, "sl_e_via_"));
+            println!("{}", structures_text(&outcome, "sl_t_via_"));
         }
     }
 

@@ -4,32 +4,50 @@
 //! `EXPERIMENTS.md`: it prints the paper-style comparison rows once (the
 //! quantities the paper argues about — relation scans, intermediate
 //! structure sizes, comparisons) and then lets Criterion measure wall time.
+//!
+//! The text helpers here *format* those rows; the bench targets themselves
+//! do the printing, keeping this library free of stdout output (enforced by
+//! `tests/repo_lints.rs`).
 
 #![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
 
 use criterion::Criterion;
 use pascalr::{Database, QueryOutcome, StrategyLevel};
 use pascalr_workload::{figure1_sample_database, generate, UniversityConfig};
 
+/// Unwraps a harness setup step.  A bench body cannot return an error, and a
+/// broken fixture must abort the run loudly rather than measure garbage, so
+/// this is a deliberate panic with the failing step named.
+fn harness<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("bench harness setup failed ({what}): {e}"),
+    }
+}
+
 /// The Figure 1 department instance (tiny, exactly the paper's scale).
 pub fn sample_db() -> Database {
-    Database::from_catalog(figure1_sample_database().expect("static sample database"))
+    Database::from_catalog(harness("static sample database", figure1_sample_database()))
 }
 
 /// A generated university database at the given scale factor.
 pub fn scaled_db(scale: u32) -> Database {
-    Database::from_catalog(generate(&UniversityConfig::at_scale(scale)).expect("generator"))
+    Database::from_catalog(harness(
+        "generator",
+        generate(&UniversityConfig::at_scale(scale)),
+    ))
 }
 
 /// A generated database with custom selectivities.
 pub fn custom_db(config: &UniversityConfig) -> Database {
-    Database::from_catalog(generate(config).expect("generator"))
+    Database::from_catalog(harness("generator", generate(config)))
 }
 
 /// Runs one query at one strategy level.
 pub fn run(db: &Database, query: &str, level: StrategyLevel) -> QueryOutcome {
-    db.query_with(query, level)
-        .expect("workload query executes")
+    harness("workload query", db.query_with(query, level))
 }
 
 /// Criterion configured for short, low-variance runs: the interesting output
@@ -43,20 +61,24 @@ pub fn quick_criterion() -> Criterion {
         .configure_from_args()
 }
 
-/// Prints the standard comparison header.
-pub fn print_header(experiment: &str, claim: &str) {
-    println!("\n=== {experiment} ===");
-    println!("paper claim: {claim}");
-    println!(
+/// The standard comparison header (experiment banner, paper claim, column
+/// titles), ready to print.
+pub fn header_text(experiment: &str, claim: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n=== {experiment} ===");
+    let _ = writeln!(out, "paper claim: {claim}");
+    let _ = write!(
+        out,
         "{:<6} {:>6} {:>8} {:>10} {:>10} {:>14} {:>14}",
         "level", "rows", "scans", "max/rel", "tuples", "intermediate", "comparisons"
     );
+    out
 }
 
-/// Prints one comparison row from an outcome.
-pub fn print_row(outcome: &QueryOutcome) {
+/// One comparison row formatted from an outcome.
+pub fn row_text(outcome: &QueryOutcome) -> String {
     let t = outcome.report.metrics.total();
-    println!(
+    format!(
         "{:<6} {:>6} {:>8} {:>10} {:>10} {:>14} {:>14}",
         outcome.report.strategy.short_name(),
         outcome.result.cardinality(),
@@ -65,16 +87,23 @@ pub fn print_row(outcome: &QueryOutcome) {
         t.tuples_read,
         t.intermediate_tuples,
         t.comparisons,
-    );
+    )
 }
 
-/// Prints the recorded sizes of named intermediate structures.
-pub fn print_structures(outcome: &QueryOutcome, prefix_filter: &str) {
+/// The recorded sizes of named intermediate structures, one indented line
+/// per structure whose name starts with `prefix_filter` (empty string when
+/// nothing matched).
+pub fn structures_text(outcome: &QueryOutcome, prefix_filter: &str) -> String {
+    let mut out = String::new();
     for (name, size) in &outcome.report.metrics.structure_sizes {
         if name.starts_with(prefix_filter) {
-            println!("    {name:<24} {size:>8}");
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = write!(out, "    {name:<24} {size:>8}");
         }
     }
+    out
 }
 
 #[cfg(test)]
@@ -90,9 +119,11 @@ mod tests {
             StrategyLevel::S2OneStep,
         );
         assert!(outcome.result.cardinality() > 0);
-        print_header("smoke", "none");
-        print_row(&outcome);
-        print_structures(&outcome, "sl_");
+        assert!(header_text("smoke", "none").contains("=== smoke ==="));
+        assert!(!row_text(&outcome).is_empty());
+        // The structure report is filterable and each line is indented.
+        let structures = structures_text(&outcome, "sl_");
+        assert!(structures.lines().all(|l| l.starts_with("    ")));
         let scaled = scaled_db(1);
         assert_eq!(
             scaled

@@ -13,9 +13,9 @@
 //! dyadic comparisons) and whose variables are range-coupled: free,
 //! existentially quantified (`SOME`) or universally quantified (`ALL`).
 
+use pascalr_sync::Arc;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
 
 use pascalr_relation::{CompareOp, Value};
 use serde::{Deserialize, Serialize};
@@ -413,10 +413,13 @@ impl Formula {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Formula::truth(),
-            1 => flat.pop().expect("len checked"),
-            _ => Formula::And(flat),
+        match flat.pop() {
+            None => Formula::truth(),
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                Formula::And(flat)
+            }
         }
     }
 
@@ -429,10 +432,13 @@ impl Formula {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Formula::falsity(),
-            1 => flat.pop().expect("len checked"),
-            _ => Formula::Or(flat),
+        match flat.pop() {
+            None => Formula::falsity(),
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                Formula::Or(flat)
+            }
         }
     }
 

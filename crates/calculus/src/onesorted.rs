@@ -17,8 +17,8 @@
 //! many-sorted original is then checked by model enumeration in the test
 //! suites.
 
+use pascalr_sync::Arc;
 use std::fmt;
-use std::sync::Arc;
 
 #[cfg(test)]
 use pascalr_relation::Relation;

@@ -9,8 +9,8 @@
 //! make the equivalences of Section 2 (Lemma 1, standard form, extended
 //! ranges) checkable by model enumeration.
 
+use pascalr_sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use pascalr_relation::{Relation, RelationSchema, Tuple, Value};
 
@@ -241,16 +241,27 @@ pub fn eval_selection(
     // Pre-compute component indices for the projection.
     let mut comp_indices = Vec::with_capacity(selection.components.len());
     for comp in &selection.components {
-        let decl = selection
-            .free_decl(&comp.var)
-            .expect("checked by result_schema");
-        let rel = provider
-            .relation(&decl.range.relation)
-            .expect("checked by result_schema");
-        let idx = rel
-            .schema()
-            .attr_index(&comp.attr)
-            .expect("checked by result_schema");
+        // `result_schema` above validated every component, so these error
+        // paths are unreachable in practice — but they propagate cleanly
+        // rather than panicking if that invariant ever breaks.
+        let decl =
+            selection
+                .free_decl(&comp.var)
+                .ok_or_else(|| CalculusError::UnknownVariable {
+                    variable: comp.var.to_string(),
+                })?;
+        let rel = provider.relation(&decl.range.relation).ok_or_else(|| {
+            CalculusError::UnknownRelation {
+                relation: decl.range.relation.to_string(),
+            }
+        })?;
+        let idx =
+            rel.schema()
+                .attr_index(&comp.attr)
+                .ok_or_else(|| CalculusError::UnknownComponent {
+                    variable: comp.var.to_string(),
+                    attribute: comp.attr.to_string(),
+                })?;
         comp_indices.push((comp.var.to_string(), idx));
     }
 

@@ -232,11 +232,9 @@ pub fn extend_ranges(
                     .iter()
                     .map(|t| Formula::Term(t.negate()))
                     .collect();
-                let restriction = if negated.len() == 1 {
-                    negated.into_iter().next().expect("len checked")
-                } else {
-                    Formula::or(negated)
-                };
+                // `Formula::or` already collapses a singleton to its only
+                // element, so no special case is needed here.
+                let restriction = Formula::or(negated);
                 extend_var_range(&mut sel, var, restriction);
                 report.hoists.push(Hoist {
                     var: var.clone(),

@@ -7,9 +7,9 @@
 //! relations, and records which permanent indexes exist (Section 3.2: "The
 //! first step can be omitted, if permanent indexes exist.").
 
+use pascalr_sync::{Arc, Mutex};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
 
 use pascalr_relation::{
     ElemRef, HashIndex, Key, RelId, Relation, RelationError, RelationSchema, Tuple, Value,
@@ -82,14 +82,11 @@ impl MaintainedIndex {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Arc<HashIndex>>> {
-        self.cell.lock().unwrap_or_else(|poisoned| {
-            // A panic while holding the lock can at worst leave a stale
-            // index behind; drop it and let the next use rebuild.
-            let mut guard = poisoned.into_inner();
-            *guard = None;
-            guard
-        })
+    fn lock(&self) -> pascalr_sync::MutexGuard<'_, Option<Arc<HashIndex>>> {
+        // Non-poisoning facade lock: a panic while holding it happens only
+        // inside a `mutate` closure, whose whole catalog clone is discarded
+        // unpublished, so no partially maintained index can ever be seen.
+        self.cell.lock()
     }
 
     fn invalidate(&self) {

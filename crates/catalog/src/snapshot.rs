@@ -19,11 +19,11 @@
 //! pair its mutations produced, so plan caches and statistics consumers
 //! need no separate notion of "snapshot version".
 
+use pascalr_sync::Arc;
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use pascalr_sync::{Mutex, RwLock};
 
 use crate::catalog::Catalog;
 
@@ -188,6 +188,135 @@ impl fmt::Debug for VersionedCatalog {
     }
 }
 
+/// Exhaustive interleaving models of the failure paths, compiled only under
+/// `RUSTFLAGS="--cfg loom"` (see `tests/loom_models.rs` at the workspace
+/// root for the success-path models and the README's "Concurrency
+/// correctness" section for how to run them).
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use crate::CatalogError;
+    use pascalr_relation::{Attribute, RelationSchema, Tuple, Value, ValueType};
+    use pascalr_sync::{loom, thread};
+
+    fn catalog_with_numbers(values: &[i64]) -> Catalog {
+        let mut cat = Catalog::new();
+        let schema =
+            RelationSchema::all_key("numbers", vec![Attribute::new("n", ValueType::int())]);
+        cat.declare_relation(schema).expect("fresh catalog");
+        for v in values {
+            cat.insert("numbers", Tuple::new(vec![Value::int(*v)]))
+                .expect("distinct values");
+        }
+        cat
+    }
+
+    /// A failing `try_mutate` is invisible in every interleaving: no matter
+    /// when a concurrent reader pins its snapshot — before, during, or
+    /// after the failed mutation — it sees the original version, original
+    /// cardinality, original epoch.
+    #[test]
+    fn a_failed_try_mutate_is_never_observable() {
+        let stats = loom::model(|| {
+            let cell = Arc::new(VersionedCatalog::new(catalog_with_numbers(&[1])));
+            let base_epoch = cell.snapshot().plan_epoch();
+
+            let writer = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let result: Result<(), CatalogError> = cell.try_mutate(|c| {
+                        // A partial mutation (epoch bump + insert) that then
+                        // fails: the whole private clone must be discarded.
+                        c.insert("numbers", Tuple::new(vec![Value::int(2)]))?;
+                        c.insert("missing", Tuple::new(vec![Value::int(3)]))?;
+                        Ok(())
+                    });
+                    assert!(result.is_err());
+                })
+            };
+            let reader = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let snap = cell.snapshot();
+                    assert_eq!(
+                        snap.relation("numbers").expect("declared").cardinality(),
+                        1,
+                        "a failed mutation's insert leaked into a snapshot"
+                    );
+                    assert_eq!(
+                        snap.plan_epoch(),
+                        base_epoch,
+                        "a failed mutation's epoch bump leaked into a snapshot"
+                    );
+                })
+            };
+            writer.join().expect("writer");
+            reader.join().expect("reader");
+
+            let after = cell.snapshot();
+            assert_eq!(after.plan_epoch(), base_epoch, "no epoch bump leaked");
+            assert_eq!(
+                after.relation("numbers").expect("declared").cardinality(),
+                1
+            );
+        });
+        assert!(stats.complete, "schedule space exhausted");
+        assert!(
+            stats.iterations > 100,
+            "only {} interleavings",
+            stats.iterations
+        );
+    }
+
+    /// A failing `try_mutate` racing a succeeding `mutate`: whichever order
+    /// the writer lock serializes them in, the published history contains
+    /// only the successful mutation — the failure neither blocks the
+    /// success nor resurrects the pre-success version.
+    #[test]
+    fn a_failed_try_mutate_never_disturbs_a_concurrent_successful_mutate() {
+        let stats = loom::model(|| {
+            let cell = Arc::new(VersionedCatalog::new(catalog_with_numbers(&[1])));
+
+            let failer = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let result: Result<(), CatalogError> = cell.try_mutate(|c| {
+                        c.insert("missing", Tuple::new(vec![Value::int(9)]))?;
+                        Ok(())
+                    });
+                    assert!(result.is_err());
+                })
+            };
+            let succeeder = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    cell.mutate(|c| {
+                        c.insert("numbers", Tuple::new(vec![Value::int(2)]))
+                            .expect("insert");
+                    });
+                })
+            };
+            failer.join().expect("failer");
+            succeeder.join().expect("succeeder");
+
+            assert_eq!(
+                cell.snapshot()
+                    .relation("numbers")
+                    .expect("declared")
+                    .cardinality(),
+                2,
+                "the successful mutation survives regardless of interleaving"
+            );
+        });
+        assert!(stats.complete, "schedule space exhausted");
+        assert!(
+            stats.iterations > 100,
+            "only {} interleavings",
+            stats.iterations
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +420,7 @@ mod tests {
         // A writer publishes batches of 10 while readers pin snapshots:
         // every pinned cardinality must be a multiple of the batch size
         // (all-or-nothing publication), and monotone per reader.
-        let cell = std::sync::Arc::new(VersionedCatalog::new(catalog_with_numbers(&[])));
+        let cell = Arc::new(VersionedCatalog::new(catalog_with_numbers(&[])));
         const BATCH: usize = 10;
         const ROUNDS: i64 = 20;
 

@@ -12,8 +12,8 @@
 //! [`TypeRegistry`] stores these named types so that relation declarations
 //! (and the parser) can refer to them by name.
 
+use pascalr_sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use pascalr_relation::{EnumType, ValueType};
 

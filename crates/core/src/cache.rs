@@ -15,13 +15,13 @@
 //! mentions — so it re-plans once after *their* ANALYZE and is untouched by
 //! anyone else's.
 
+use pascalr_sync::atomic::{AtomicU64, Ordering};
+use pascalr_sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use parking_lot::RwLock;
 use pascalr_calculus::Selection;
 use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
+use pascalr_sync::RwLock;
 
 /// Cache key: query shape + strategy + catalog state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -176,6 +176,98 @@ impl PlanCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.plans.read().entries.len(),
         }
+    }
+}
+
+/// Exhaustive interleaving model of the epoch-invalidation race, compiled
+/// only under `RUSTFLAGS="--cfg loom"` (see the README's "Concurrency
+/// correctness" section).
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use pascalr_planner::plan;
+    use pascalr_sync::{loom, thread};
+    use pascalr_workload::figure1_sample_database;
+
+    /// A lookup racing a new-epoch publish never receives the superseded
+    /// plan: the epoch in the key pins every hit to the exact catalog
+    /// version it was built from, across all interleavings of the map lock
+    /// and the counter updates.  The relaxed hit/miss counters stay exact
+    /// under the thread-join happens-before edge.
+    #[test]
+    fn a_lookup_racing_an_epoch_publish_never_receives_a_stale_plan() {
+        // Parsing and planning are deterministic and epoch-independent, so
+        // the (expensive) fixture is built once outside the model and the
+        // iterations only exercise the cache itself.
+        let cat = figure1_sample_database().expect("static sample database");
+        let sel = Arc::new(
+            pascalr_workload::query_by_id("q01")
+                .expect("shipped query")
+                .parse(&cat)
+                .expect("shipped query parses"),
+        );
+        let strategy = StrategyLevel::S4CollectionQuantifiers;
+        let opts = PlanOptions::default();
+        let old_plan = Arc::new(plan(&sel, &cat, strategy, opts));
+        let new_plan = Arc::new(plan(&sel, &cat, strategy, opts));
+        let key_old = PlanKey {
+            fingerprint: 7,
+            strategy,
+            epoch: 1,
+            stats_epoch: 0,
+        };
+        let key_new = PlanKey {
+            epoch: 2,
+            ..key_old
+        };
+
+        let stats = loom::model(move || {
+            let cache = Arc::new(PlanCache::default());
+            cache.insert(key_old, sel.clone(), opts, old_plan.clone());
+
+            let publisher = {
+                let cache = Arc::clone(&cache);
+                let sel = sel.clone();
+                let new_plan = new_plan.clone();
+                thread::spawn(move || {
+                    cache.insert(key_new, sel, opts, new_plan);
+                })
+            };
+            let reader = {
+                let cache = Arc::clone(&cache);
+                let sel = sel.clone();
+                let old_plan = old_plan.clone();
+                let new_plan = new_plan.clone();
+                thread::spawn(move || {
+                    if let Some(p) = cache.get(&key_new, &sel, opts) {
+                        assert!(
+                            Arc::ptr_eq(&p, &new_plan),
+                            "current-epoch lookup served a superseded plan"
+                        );
+                        assert!(!Arc::ptr_eq(&p, &old_plan));
+                    }
+                })
+            };
+            publisher.join().expect("publisher");
+            reader.join().expect("reader");
+
+            // The joins give a happens-before edge over the relaxed
+            // counters: the totals must be exact now.
+            let got = cache.get(&key_new, &sel, opts).expect("published plan");
+            assert!(Arc::ptr_eq(&got, &new_plan));
+            let s = cache.stats();
+            assert_eq!(
+                s.hits + s.misses,
+                2,
+                "exactly the reader's lookup and this one were counted"
+            );
+        });
+        assert!(stats.complete, "schedule space exhausted");
+        assert!(
+            stats.iterations > 100,
+            "only {} interleavings",
+            stats.iterations
+        );
     }
 }
 

@@ -1,7 +1,7 @@
 //! The thread-safe [`Database`] handle.
 
+use pascalr_sync::Arc;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 use std::time::Instant;
 
 use pascalr_calculus::{Params, Selection};

@@ -117,8 +117,8 @@
 
 #![forbid(unsafe_code)]
 
+use pascalr_sync::Arc;
 use std::fmt;
-use std::sync::Arc;
 use std::time::Duration;
 
 use pascalr_catalog::CatalogError;

@@ -1,6 +1,6 @@
 //! Prepared queries: plan once, execute many times.
 
-use std::sync::Arc;
+use pascalr_sync::Arc;
 
 use pascalr_calculus::{ParamName, Params, Selection};
 use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};

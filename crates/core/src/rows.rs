@@ -1,6 +1,6 @@
 //! The streaming result API: lazy [`Rows`] cursors.
 
-use std::sync::Arc;
+use pascalr_sync::Arc;
 use std::time::{Duration, Instant};
 
 use pascalr_catalog::CatalogSnapshot;

@@ -16,8 +16,8 @@
 //! * `S3`+ — extended range expressions shrink the candidate sets;
 //! * `S4` — value lists evaluate quantifiers during collection.
 
+use pascalr_sync::Arc;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
 
 use pascalr_calculus::{
     eval_formula, Binding, Env, Quantifier, RangeExpr, RelationProvider, Term, VarName,

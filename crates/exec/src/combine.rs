@@ -7,8 +7,8 @@
 //! left, using projection for existential quantification and division for
 //! universal quantification."
 
+use pascalr_sync::Arc;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 use pascalr_calculus::{Conjunction, Quantifier, Term, VarName};
 use pascalr_catalog::Catalog;

@@ -27,8 +27,8 @@
 //! never blocks mutations — and nothing a caller does between `next_tuple`
 //! calls can change what the cursor observes.
 
+use pascalr_sync::Arc;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 use pascalr_catalog::{Catalog, CatalogSnapshot};
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};

@@ -1,8 +1,8 @@
 //! Plan execution: runtime assumption checks and the materializing
 //! entry points over the streaming [`ExecutionCursor`].
 
+use pascalr_sync::Arc;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 use pascalr_calculus::Selection;
 use pascalr_catalog::{Catalog, CatalogSnapshot};

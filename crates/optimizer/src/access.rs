@@ -8,7 +8,7 @@
 //! its own notion of "support variable" or index list and gets the same
 //! decision procedure.
 
-use std::sync::Arc;
+use pascalr_sync::Arc;
 
 use pascalr_calculus::{Conjunction, Formula, Operand, RangeExpr, VarName};
 use pascalr_catalog::IndexDecl;

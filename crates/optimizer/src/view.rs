@@ -1,7 +1,7 @@
 //! A read-only statistics snapshot for one planning pass.
 
+use pascalr_sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use pascalr_catalog::{Catalog, IndexDecl, RelationStats};
 

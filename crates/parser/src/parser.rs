@@ -128,7 +128,7 @@ impl<'a> Parser<'a> {
         t
     }
 
-    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+    fn expect_token(&mut self, expected: &Token) -> Result<(), ParseError> {
         if self.peek() == expected {
             self.advance();
             Ok(())
@@ -214,9 +214,9 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
             let name = self.expect_ident()?;
-            self.expect(&Token::Equal)?;
+            self.expect_token(&Token::Equal)?;
             self.parse_type_rhs(catalog, &name)?;
-            self.expect(&Token::Semicolon)?;
+            self.expect_token(&Token::Semicolon)?;
         }
         Ok(())
     }
@@ -239,7 +239,7 @@ impl<'a> Parser<'a> {
                     }
                     break;
                 }
-                self.expect(&Token::RParen)?;
+                self.expect_token(&Token::RParen)?;
                 let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 catalog
                     .types_mut()
@@ -250,7 +250,7 @@ impl<'a> Parser<'a> {
             Token::Int(min) => {
                 // Subrange: lo..hi
                 self.advance();
-                self.expect(&Token::DotDot)?;
+                self.expect_token(&Token::DotDot)?;
                 let max = self.expect_int()?;
                 catalog
                     .types_mut()
@@ -262,11 +262,11 @@ impl<'a> Parser<'a> {
                 // PACKED ARRAY [1..N] OF char
                 self.advance();
                 self.expect_keyword("ARRAY")?;
-                self.expect(&Token::LBracket)?;
+                self.expect_token(&Token::LBracket)?;
                 let lo = self.expect_int()?;
-                self.expect(&Token::DotDot)?;
+                self.expect_token(&Token::DotDot)?;
                 let hi = self.expect_int()?;
-                self.expect(&Token::RBracket)?;
+                self.expect_token(&Token::RBracket)?;
                 self.expect_keyword("OF")?;
                 self.expect_keyword("CHAR")?;
                 let len = (hi - lo + 1).max(0) as usize;
@@ -303,9 +303,9 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
             let rel_name = self.expect_ident()?;
-            self.expect(&Token::Colon)?;
+            self.expect_token(&Token::Colon)?;
             self.expect_keyword("RELATION")?;
-            self.expect(&Token::Less)?;
+            self.expect_token(&Token::Less)?;
             let mut key = Vec::new();
             loop {
                 key.push(self.expect_ident()?);
@@ -315,7 +315,7 @@ impl<'a> Parser<'a> {
                 }
                 break;
             }
-            self.expect(&Token::Greater)?;
+            self.expect_token(&Token::Greater)?;
             self.expect_keyword("OF")?;
             self.expect_keyword("RECORD")?;
             let mut attributes = Vec::new();
@@ -324,7 +324,7 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 let field = self.expect_ident()?;
-                self.expect(&Token::Colon)?;
+                self.expect_token(&Token::Colon)?;
                 let type_name = self.expect_ident()?;
                 let ty = catalog
                     .types()
@@ -336,7 +336,7 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_keyword("END")?;
-            self.expect(&Token::Semicolon)?;
+            self.expect_token(&Token::Semicolon)?;
             let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
             let schema = RelationSchema::new(rel_name, attributes, &key_refs)
                 .map_err(|e| self.error(e.to_string()))?;
@@ -351,14 +351,14 @@ impl<'a> Parser<'a> {
 
     fn parse_selection(&mut self) -> Result<Selection, ParseError> {
         let target = self.expect_ident()?;
-        self.expect(&Token::Assign)?;
-        self.expect(&Token::LBracket)?;
-        self.expect(&Token::Less)?;
+        self.expect_token(&Token::Assign)?;
+        self.expect_token(&Token::LBracket)?;
+        self.expect_token(&Token::Less)?;
         let mut components = Vec::new();
         loop {
             let start_tok = self.pos;
             let var = self.expect_ident()?;
-            self.expect(&Token::Dot)?;
+            self.expect_token(&Token::Dot)?;
             let attr = self.expect_ident()?;
             self.spans
                 .record_component(&var, &attr, self.span_since(start_tok));
@@ -369,7 +369,7 @@ impl<'a> Parser<'a> {
             }
             break;
         }
-        self.expect(&Token::Greater)?;
+        self.expect_token(&Token::Greater)?;
         self.expect_keyword("OF")?;
         let mut free = Vec::new();
         loop {
@@ -386,9 +386,9 @@ impl<'a> Parser<'a> {
             }
             break;
         }
-        self.expect(&Token::Colon)?;
+        self.expect_token(&Token::Colon)?;
         let formula = self.parse_formula()?;
-        self.expect(&Token::RBracket)?;
+        self.expect_token(&Token::RBracket)?;
         // Optional trailing semicolon.
         if self.peek() == &Token::Semicolon {
             self.advance();
@@ -404,9 +404,9 @@ impl<'a> Parser<'a> {
             let inner_var = self.expect_ident()?;
             self.expect_keyword("IN")?;
             let inner = self.parse_range_expr(&inner_var)?;
-            self.expect(&Token::Colon)?;
+            self.expect_token(&Token::Colon)?;
             let mut restriction = self.parse_formula()?;
-            self.expect(&Token::RBracket)?;
+            self.expect_token(&Token::RBracket)?;
             // The restriction is written in terms of the inner variable; the
             // enclosing query refers to the outer variable.  Rename if they
             // differ (the paper writes both styles).
@@ -495,7 +495,7 @@ impl<'a> Parser<'a> {
             // comparison that happened to be parenthesized; the former is the
             // only grammar we need because comparisons never produce bare
             // parenthesized operands.
-            self.expect(&Token::RParen)?;
+            self.expect_token(&Token::RParen)?;
             return Ok(inner);
         }
         // Otherwise it must be a comparison.

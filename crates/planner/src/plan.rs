@@ -7,8 +7,8 @@
 //! falling back to an adapted plan (empty range relations, empty extended
 //! ranges).
 
+use pascalr_sync::Arc;
 use std::fmt;
-use std::sync::Arc;
 
 use pascalr_calculus::{
     CalculusError, ExtendReport, ParamName, Params, Quantifier, RangeExpr, RelName, Selection,

@@ -13,8 +13,8 @@
 //! All operations produce *detached* result relations (set semantics, key =
 //! all components) and never mutate their inputs.
 
+use pascalr_sync::Arc;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 
 use crate::error::RelationError;
 use crate::relation::Relation;

@@ -7,8 +7,8 @@
 //! lookup structure used for both purposes; the executor additionally keeps
 //! the paper's "index as a reference relation" view for display.
 
+use pascalr_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use crate::error::RelationError;
 use crate::refs::ElemRef;

@@ -14,9 +14,9 @@
 //! element leaves a tombstone so that dangling references are detected
 //! rather than silently resolving to a different element.
 
+use pascalr_sync::Arc;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 
 use crate::error::RelationError;
 use crate::refs::{ElemRef, RelId, RowId};
@@ -140,9 +140,11 @@ impl Relation {
         self.schema.check_tuple(&tuple)?;
         let key = self.schema.key_of(&tuple);
         if let Some(&row) = self.key_index.get(&key) {
-            let existing = self.rows[row.0 as usize]
-                .as_ref()
-                .expect("key index points at live row");
+            let Some(existing) = self.rows[row.0 as usize].as_ref() else {
+                // Deletion removes the key-index entry in the same step that
+                // tombstones the row, so an entry never points at a tombstone.
+                unreachable!("key index points at live row");
+            };
             if *existing == tuple {
                 return Ok(InsertOutcome::AlreadyPresent(ElemRef::new(self.id, row)));
             }

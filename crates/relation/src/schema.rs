@@ -16,8 +16,8 @@
 //! this: an ordered list of named, typed components and the indices of the
 //! key components.
 
+use pascalr_sync::Arc;
 use std::fmt;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

@@ -13,9 +13,9 @@
 //! is totally ordered within its own type, and comparing values of different
 //! types is a (checked) type error.
 
+use pascalr_sync::Arc;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 

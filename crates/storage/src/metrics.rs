@@ -6,12 +6,45 @@
 //! all of these through a [`Metrics`] handle that is cheap to clone and
 //! thread-safe, so that benches can attribute work to the three phases of
 //! the evaluation procedure (collection, combination, construction).
+//!
+//! # Atomic ordering policy
+//!
+//! Every atomic access in this module is `Ordering::Relaxed`, deliberately:
+//!
+//! * The atomics are **pure statistics accumulators**.  Nothing is
+//!   published *through* them: no thread reads a counter to decide whether
+//!   another thread's writes to unrelated memory are visible, so none of
+//!   the acquire/release edges that stronger orderings buy would ever be
+//!   relied upon.  Relaxed still guarantees per-counter atomicity and
+//!   modification-order consistency, which is exactly the contract a
+//!   `fetch_add` tally needs.
+//! * Cross-counter exactness is provided by *join/scope edges, not
+//!   orderings*: callers that assert on totals (tests, benches, the
+//!   oracle) read a [`MetricsSnapshot`] after joining the worker threads,
+//!   and thread join is already a happens-before edge for every Relaxed
+//!   write the worker made.  A snapshot taken concurrently with live
+//!   recorders is documented as a monotone point-in-time sample
+//!   ([`Metrics::snapshot`]), so it needs no seq-cst totality either.
+//! * [`Metrics::reset`] is likewise Relaxed and documented as requiring
+//!   quiescence: resetting while recorders are live zeroes each counter
+//!   atomically but not the set of counters as a unit — the same unit of
+//!   consistency every multi-counter operation here has.
+//!
+//! Policy for future changes: a counter that stays a statistic may be
+//! added as Relaxed with no further comment, but any atomic whose value is
+//! *read to make a cross-thread decision* (a stop flag, an epoch gate, a
+//! once-guard) must use acquire/release (or stronger) and carry a comment
+//! naming the write it synchronizes with.  The loom model suite
+//! (`RUSTFLAGS="--cfg loom" cargo test`) is the place to prove such an
+//! addition right: under `--cfg loom` these atomics compile to the
+//! vendored model checker's and every access becomes an explored
+//! schedulable point.
 
+use pascalr_sync::atomic::{AtomicU64, Ordering};
+use pascalr_sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pascalr_sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// The phase of the evaluation procedure a measurement belongs to.
@@ -240,7 +273,15 @@ impl Metrics {
             .insert(name.to_string(), size);
     }
 
-    /// Takes a consistent snapshot of every counter.
+    /// Takes a point-in-time copy of every counter.
+    ///
+    /// Each counter is read atomically and every counter is monotone, but
+    /// the snapshot is not a cross-counter atomic cut: a snapshot taken
+    /// while recorders are live may see counter A from before an event and
+    /// counter B from after it.  Callers that assert exact cross-counter
+    /// totals (tests, benches, the oracle) take the snapshot after joining
+    /// the recording threads, which makes it exact — see the module-level
+    /// atomic ordering policy.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut per_phase = BTreeMap::new();
         for phase in Phase::ALL {
@@ -254,6 +295,11 @@ impl Metrics {
     }
 
     /// Resets every counter to zero.
+    ///
+    /// Intended for quiescent handles (between bench iterations, between
+    /// oracle runs).  Resetting while recorders are live zeroes each
+    /// counter atomically but races with in-flight increments — some may
+    /// land before the reset, some after.
     pub fn reset(&self) {
         for phase in Phase::ALL {
             let c = self.cells(phase);

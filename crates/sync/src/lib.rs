@@ -1,0 +1,109 @@
+//! The workspace's single doorway to synchronization primitives.
+//!
+//! Every pascalr crate that holds a lock, an atomic, or spawns a thread
+//! imports it from here — never from `std::sync` or `parking_lot`
+//! directly (`tests/repo_lints.rs` enforces this at CI time).  The payoff
+//! is a compile-time switch:
+//!
+//! * **Normally** the facade re-exports the production primitives:
+//!   [`std::sync::Arc`], `parking_lot`'s `Mutex`/`RwLock` (non-poisoning
+//!   guards) and `std`'s atomics and threads.  Zero overhead — every item
+//!   is a plain re-export.
+//! * **Under `RUSTFLAGS="--cfg loom"`** the same names come from the
+//!   vendored `loom` model checker instead, whose primitives make every
+//!   acquire/release/atomic-op a *schedulable point*.  `loom::model`
+//!   then explores the distinct thread interleavings of a test body
+//!   exhaustively (with bounded preemptions), turning the stress-sampled
+//!   concurrency invariants of this workspace into checked ones.  See
+//!   `tests/loom_models.rs` for the model suite and the README's
+//!   "Concurrency correctness" section for how to run it.
+//!
+//! `Arc` is identical (`std::sync::Arc`) in both modes, so holding an
+//! `Arc` in a public type never changes that type's API across cfgs.
+
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+#[cfg(not(loom))]
+pub use std::sync::{MutexGuard, Weak};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic integer and bool types plus [`atomic::Ordering`].
+///
+/// Under `--cfg loom` every operation on these types is a schedulable
+/// point of the model checker.
+pub mod atomic {
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawn, join and yield.
+///
+/// Under `--cfg loom`, threads spawned inside a `loom::model` body become
+/// managed threads of the model's schedule.
+pub mod thread {
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(loom)]
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// The vendored model checker itself (`pascalr_sync::loom::model`,
+/// `Builder`, `Stats`), re-exported so model tests need no direct `loom`
+/// dependency.  Only present under `RUSTFLAGS="--cfg loom"`.
+#[cfg(loom)]
+pub use ::loom;
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+    use super::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn facade_primitives_roundtrip() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+
+        let rw = RwLock::new(String::from("a"));
+        rw.write().push('b');
+        assert_eq!(rw.read().as_str(), "ab");
+
+        let a = AtomicU64::new(5);
+        a.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+
+        let arc = Arc::new(3);
+        assert_eq!(*Arc::clone(&arc), 3);
+    }
+
+    #[test]
+    fn threads_spawn_and_join() {
+        let shared = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                super::thread::spawn(move || {
+                    shared.fetch_add(1, Ordering::SeqCst);
+                    super::thread::yield_now();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(shared.load(Ordering::SeqCst), 4);
+    }
+}

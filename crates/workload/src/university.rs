@@ -17,7 +17,8 @@
 use pascalr_catalog::{Catalog, CatalogError};
 use pascalr_parser::paper::FIGURE_1_DECLARATIONS;
 use pascalr_parser::parse_database;
-use pascalr_relation::{Attribute, RelationSchema, Tuple, Value, ValueType};
+use pascalr_relation::{Attribute, EnumType, RelationSchema, Tuple, Value, ValueType};
+use pascalr_sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -118,8 +119,13 @@ pub mod level {
 
 /// Parses the paper's verbatim Figure 1 declaration into an (empty) catalog.
 pub fn figure1_catalog() -> Catalog {
-    parse_database(FIGURE_1_DECLARATIONS)
-        .expect("the Figure 1 declaration shipped with the crate must parse")
+    match parse_database(FIGURE_1_DECLARATIONS) {
+        Ok(cat) => cat,
+        // The declaration text is a compile-time constant covered by the
+        // parser's round-trip tests; failing to parse it is a shipped bug,
+        // not a runtime condition.
+        Err(e) => unreachable!("the Figure 1 declaration shipped with the crate must parse: {e}"),
+    }
 }
 
 /// Populates the verbatim Figure 1 catalog with the small department instance
@@ -128,9 +134,9 @@ pub fn figure1_catalog() -> Catalog {
 /// `1..99` subranges.
 pub fn figure1_sample_database() -> Result<Catalog, CatalogError> {
     let mut cat = figure1_catalog();
-    let status_ty = cat.types().enum_type("statustype").unwrap().clone();
-    let level_ty = cat.types().enum_type("leveltype").unwrap().clone();
-    let day_ty = cat.types().enum_type("daytype").unwrap().clone();
+    let status_ty = required_enum(&cat, "statustype")?;
+    let level_ty = required_enum(&cat, "leveltype")?;
+    let day_ty = required_enum(&cat, "daytype")?;
 
     let employees = [
         (10, "Abel", status::PROFESSOR),
@@ -207,107 +213,84 @@ pub fn figure1_sample_database() -> Result<Catalog, CatalogError> {
 
 /// Builds the Figure 1 schema with subranges wide enough for `max_id`
 /// distinct employee/course numbers.
-fn scaled_schema_catalog(max_id: i64) -> Catalog {
+fn scaled_schema_catalog(max_id: i64) -> Result<Catalog, CatalogError> {
     let mut cat = Catalog::new();
     let types = cat.types_mut();
-    let status_ty = types
-        .declare_enum(
-            "statustype",
-            &["student", "technician", "assistant", "professor"],
-        )
-        .expect("fresh registry");
-    types
-        .declare_string("nametype", 10)
-        .expect("fresh registry");
-    types
-        .declare_string("titletype", 40)
-        .expect("fresh registry");
-    types.declare_string("roomtype", 5).expect("fresh registry");
-    types
-        .declare_subrange("yeartype", 1900, 1999)
-        .expect("fresh registry");
-    types
-        .declare_subrange("timetype", 8_000_900, 18_002_000)
-        .expect("fresh registry");
-    let day_ty = types
-        .declare_enum(
-            "daytype",
-            &["monday", "tuesday", "wednesday", "thursday", "friday"],
-        )
-        .expect("fresh registry");
-    let level_ty = types
-        .declare_enum("leveltype", &["freshman", "sophomore", "junior", "senior"])
-        .expect("fresh registry");
+    let status_ty = types.declare_enum(
+        "statustype",
+        &["student", "technician", "assistant", "professor"],
+    )?;
+    types.declare_string("nametype", 10)?;
+    types.declare_string("titletype", 40)?;
+    types.declare_string("roomtype", 5)?;
+    types.declare_subrange("yeartype", 1900, 1999)?;
+    types.declare_subrange("timetype", 8_000_900, 18_002_000)?;
+    let day_ty = types.declare_enum(
+        "daytype",
+        &["monday", "tuesday", "wednesday", "thursday", "friday"],
+    )?;
+    let level_ty =
+        types.declare_enum("leveltype", &["freshman", "sophomore", "junior", "senior"])?;
     let id_max = max_id.max(99);
-    types
-        .declare_subrange("enumbertype", 1, id_max)
-        .expect("fresh registry");
-    types
-        .declare_subrange("cnumbertype", 1, id_max)
-        .expect("fresh registry");
+    types.declare_subrange("enumbertype", 1, id_max)?;
+    types.declare_subrange("cnumbertype", 1, id_max)?;
 
     let enumber = ValueType::subrange(1, id_max);
     let cnumber = ValueType::subrange(1, id_max);
 
-    cat.declare_relation(
-        RelationSchema::new(
-            "employees",
-            vec![
-                Attribute::new("enr", enumber.clone()),
-                Attribute::new("ename", ValueType::string(10)),
-                Attribute::new("estatus", ValueType::Enum(status_ty)),
-            ],
-            &["enr"],
-        )
-        .expect("static schema"),
-    )
-    .expect("fresh catalog");
+    cat.declare_relation(RelationSchema::new(
+        "employees",
+        vec![
+            Attribute::new("enr", enumber.clone()),
+            Attribute::new("ename", ValueType::string(10)),
+            Attribute::new("estatus", ValueType::Enum(status_ty)),
+        ],
+        &["enr"],
+    )?)?;
 
-    cat.declare_relation(
-        RelationSchema::new(
-            "papers",
-            vec![
-                Attribute::new("penr", enumber.clone()),
-                Attribute::new("pyear", ValueType::subrange(1900, 1999)),
-                Attribute::new("ptitle", ValueType::string(40)),
-            ],
-            &["ptitle", "penr"],
-        )
-        .expect("static schema"),
-    )
-    .expect("fresh catalog");
+    cat.declare_relation(RelationSchema::new(
+        "papers",
+        vec![
+            Attribute::new("penr", enumber.clone()),
+            Attribute::new("pyear", ValueType::subrange(1900, 1999)),
+            Attribute::new("ptitle", ValueType::string(40)),
+        ],
+        &["ptitle", "penr"],
+    )?)?;
 
-    cat.declare_relation(
-        RelationSchema::new(
-            "courses",
-            vec![
-                Attribute::new("cnr", cnumber.clone()),
-                Attribute::new("clevel", ValueType::Enum(level_ty)),
-                Attribute::new("ctitle", ValueType::string(40)),
-            ],
-            &["cnr"],
-        )
-        .expect("static schema"),
-    )
-    .expect("fresh catalog");
+    cat.declare_relation(RelationSchema::new(
+        "courses",
+        vec![
+            Attribute::new("cnr", cnumber.clone()),
+            Attribute::new("clevel", ValueType::Enum(level_ty)),
+            Attribute::new("ctitle", ValueType::string(40)),
+        ],
+        &["cnr"],
+    )?)?;
 
-    cat.declare_relation(
-        RelationSchema::new(
-            "timetable",
-            vec![
-                Attribute::new("tenr", enumber),
-                Attribute::new("tcnr", cnumber),
-                Attribute::new("tday", ValueType::Enum(day_ty)),
-                Attribute::new("ttime", ValueType::subrange(8_000_900, 18_002_000)),
-                Attribute::new("troom", ValueType::string(5)),
-            ],
-            &["tenr", "tcnr", "tday"],
-        )
-        .expect("static schema"),
-    )
-    .expect("fresh catalog");
+    cat.declare_relation(RelationSchema::new(
+        "timetable",
+        vec![
+            Attribute::new("tenr", enumber),
+            Attribute::new("tcnr", cnumber),
+            Attribute::new("tday", ValueType::Enum(day_ty)),
+            Attribute::new("ttime", ValueType::subrange(8_000_900, 18_002_000)),
+            Attribute::new("troom", ValueType::string(5)),
+        ],
+        &["tenr", "tcnr", "tday"],
+    )?)?;
 
-    cat
+    Ok(cat)
+}
+
+/// Looks up a declared enum type by name.
+fn required_enum(cat: &Catalog, name: &str) -> Result<Arc<EnumType>, CatalogError> {
+    cat.types()
+        .enum_type(name)
+        .cloned()
+        .ok_or_else(|| CatalogError::UnknownType {
+            name: name.to_string(),
+        })
 }
 
 /// Generates a populated university database for the given configuration.
@@ -318,12 +301,12 @@ pub fn generate(config: &UniversityConfig) -> Result<Catalog, CatalogError> {
     let timetable = config.timetable_count();
     let max_id = (employees.max(courses) as i64) + 1;
 
-    let mut cat = scaled_schema_catalog(max_id);
+    let mut cat = scaled_schema_catalog(max_id)?;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let status_ty = cat.types().enum_type("statustype").unwrap().clone();
-    let level_ty = cat.types().enum_type("leveltype").unwrap().clone();
-    let day_ty = cat.types().enum_type("daytype").unwrap().clone();
+    let status_ty = required_enum(&cat, "statustype")?;
+    let level_ty = required_enum(&cat, "leveltype")?;
+    let day_ty = required_enum(&cat, "daytype")?;
 
     // Employees: enr 1..=employees.
     for enr in 1..=employees {

@@ -1,21 +1,51 @@
-//! Repo-level lint gate: the library code of the execution-critical crates
-//! (`pascalr-exec`, `pascalr` core, `pascalr-planner`) must not panic through
-//! `unwrap()`/`expect()` or leave debug printing behind.  Failures on those
-//! paths must surface as `ExecError`/`PascalRError` values (or a deliberate
-//! `unreachable!` with a proof in the message), and all user-visible output
-//! goes through the structured report types — never stdout.
+//! Repo-level lint gates over the workspace's library source code.
 //!
-//! Test modules (`#[cfg(test)]`) and comments are exempt; this gate guards
-//! the code that runs in production, not the code that checks it.
+//! Two gates, both scanning non-test library code only (test modules,
+//! `tests/`, benches and examples are exempt):
+//!
+//! 1. **No panicking or printing library code** — anywhere in the
+//!    workspace: failures must surface as error values (or a deliberate
+//!    `unreachable!` with a proof in the message), and all user-visible
+//!    output goes through the structured report types, never stdout.
+//! 2. **No direct synchronization imports** — every lock, atomic and
+//!    thread primitive comes from the `pascalr-sync` facade, so that
+//!    `RUSTFLAGS="--cfg loom"` swaps the whole workspace onto the vendored
+//!    loom model checker.  A direct `std::sync` or `parking_lot` import
+//!    outside `crates/sync` (the facade itself) and `vendor/` would escape
+//!    the model checker's schedule and silently weaken the model suite,
+//!    so it fails CI.
+//!
+//! Both gates are self-testing: a seeded violation file must be flagged,
+//! which proves the scanner bites before we trust a clean report.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Tokens banned from non-test library code.
-const BANNED: [&str; 4] = [".unwrap()", ".expect(", "dbg!(", "println!("];
+/// Tokens banned from non-test library code everywhere in the workspace.
+const BANNED_PANICS: [&str; 4] = [".unwrap()", ".expect(", "dbg!(", "println!("];
 
-/// Crates whose `src/` trees are gated.
-const GATED_CRATES: [&str; 3] = ["crates/exec", "crates/core", "crates/planner"];
+/// Tokens banned outside the `pascalr-sync` facade: synchronization must
+/// go through the facade so `--cfg loom` can swap the backend.
+const BANNED_SYNC: [&str; 2] = ["std::sync", "parking_lot"];
+
+/// Crates whose `src/` trees are scanned (every workspace library crate;
+/// `src` is the root facade crate).
+const LIB_CRATES: [&str; 14] = [
+    "crates/analysis",
+    "crates/bench",
+    "crates/calculus",
+    "crates/catalog",
+    "crates/core",
+    "crates/exec",
+    "crates/optimizer",
+    "crates/parser",
+    "crates/planner",
+    "crates/relation",
+    "crates/storage",
+    "crates/sync",
+    "crates/workload",
+    ".",
+];
 
 /// A single banned-token occurrence.
 struct Violation {
@@ -40,12 +70,19 @@ fn brace_delta(line: &str) -> i64 {
     delta
 }
 
-/// Scans one source file, skipping comment lines and `#[cfg(test)]` modules.
-fn scan_file(path: &Path, violations: &mut Vec<Violation>) {
+/// Scans one source file for `tokens`, skipping comment lines and
+/// `#[cfg(test)]` modules.
+fn scan_file(path: &Path, tokens: &[&'static str], violations: &mut Vec<Violation>) {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => panic!("cannot read {}: {e}", path.display()),
     };
+    scan_source(path, &src, tokens, violations);
+}
+
+/// Token scan over in-memory source (separated out so the self-tests can
+/// feed synthetic files through the exact production scanner).
+fn scan_source(path: &Path, src: &str, tokens: &[&'static str], violations: &mut Vec<Violation>) {
     let mut in_test_mod = false;
     let mut test_depth: i64 = 0;
     let mut pending_cfg_test = false;
@@ -58,7 +95,7 @@ fn scan_file(path: &Path, violations: &mut Vec<Violation>) {
             continue;
         }
         let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
             pending_cfg_test = true;
             continue;
         }
@@ -84,7 +121,7 @@ fn scan_file(path: &Path, violations: &mut Vec<Violation>) {
         if trimmed.starts_with("//") {
             continue;
         }
-        for token in BANNED {
+        for token in tokens {
             if line.contains(token) {
                 violations.push(Violation {
                     file: path.to_path_buf(),
@@ -114,25 +151,23 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     out.sort();
 }
 
-#[test]
-fn gated_crates_have_no_panicking_or_printing_library_code() {
+/// Runs `tokens` over the `src/` tree of every crate in `crates`, and
+/// panics with a per-site report when anything is flagged.
+fn run_gate(crates: &[&str], tokens: &[&'static str], advice: &str) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut violations = Vec::new();
-    for krate in GATED_CRATES {
+    for krate in crates {
         let src = root.join(krate).join("src");
         assert!(src.is_dir(), "missing gated source tree {}", src.display());
         let mut files = Vec::new();
         rust_files(&src, &mut files);
         assert!(!files.is_empty(), "no sources under {}", src.display());
         for file in files {
-            scan_file(&file, &mut violations);
+            scan_file(&file, tokens, &mut violations);
         }
     }
     if !violations.is_empty() {
-        let mut msg = String::from(
-            "banned calls in non-test library code (return an error or use \
-             unreachable!/debug_assert with justification instead):\n",
-        );
+        let mut msg = format!("banned tokens in non-test library code ({advice}):\n");
         for v in &violations {
             let rel = v.file.strip_prefix(root).unwrap_or(&v.file);
             let _ = writeln!(
@@ -149,15 +184,33 @@ fn gated_crates_have_no_panicking_or_printing_library_code() {
 }
 
 #[test]
-fn the_gate_itself_catches_violations() {
+fn no_panicking_or_printing_library_code_workspace_wide() {
+    run_gate(
+        &LIB_CRATES,
+        &BANNED_PANICS,
+        "return an error or use unreachable!/debug_assert with justification instead",
+    );
+}
+
+#[test]
+fn all_synchronization_goes_through_the_pascalr_sync_facade() {
+    let gated: Vec<&str> = LIB_CRATES
+        .iter()
+        .copied()
+        .filter(|krate| *krate != "crates/sync")
+        .collect();
+    run_gate(
+        &gated,
+        &BANNED_SYNC,
+        "import locks/atomics/threads from pascalr_sync so --cfg loom can model-check them",
+    );
+}
+
+#[test]
+fn the_panic_gate_catches_violations() {
     // Self-check: a synthetic source with each banned token in live code is
     // flagged, while the same tokens under `#[cfg(test)]` or comments pass.
-    let dir = std::env::temp_dir().join("pascalr_repo_lints_selfcheck");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let file = dir.join("sample.rs");
-    std::fs::write(
-        &file,
-        r#"
+    let sample = r#"
 fn live() {
     let x = Some(1).unwrap();
     let y = Some(2).expect("y");
@@ -172,12 +225,49 @@ mod tests {
         println!("{z}");
     }
 }
-"#,
-    )
-    .expect("write sample");
+"#;
     let mut violations = Vec::new();
-    scan_file(&file, &mut violations);
+    scan_source(
+        Path::new("sample.rs"),
+        sample,
+        &BANNED_PANICS,
+        &mut violations,
+    );
     let tokens: Vec<&str> = violations.iter().map(|v| v.token).collect();
     assert_eq!(tokens, [".unwrap()", ".expect(", "dbg!(", "println!("]);
     assert!(violations.iter().all(|v| v.line < 8), "{tokens:?}");
+}
+
+#[test]
+fn the_sync_facade_gate_catches_violations() {
+    // Self-check with a seeded direct import of each banned backend: the
+    // `use` lines and a fully qualified path must all be flagged; the
+    // facade import and commented/test occurrences must not.
+    let sample = r#"
+use std::sync::Arc;
+use parking_lot::Mutex;
+use pascalr_sync::RwLock;
+
+fn live() {
+    let _flag = std::sync::atomic::AtomicBool::new(false);
+}
+// std::sync::Mutex in a comment does not count
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc; // test code is exempt
+}
+"#;
+    let mut violations = Vec::new();
+    scan_source(
+        Path::new("seeded.rs"),
+        sample,
+        &BANNED_SYNC,
+        &mut violations,
+    );
+    let flagged: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.token)).collect();
+    assert_eq!(
+        flagged,
+        [(2, "std::sync"), (3, "parking_lot"), (7, "std::sync")],
+        "exactly the seeded live imports are flagged"
+    );
 }

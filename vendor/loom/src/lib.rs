@@ -1,0 +1,270 @@
+//! Offline stand-in for [`loom`](https://docs.rs/loom): a deterministic
+//! model checker for concurrent Rust.
+//!
+//! [`model`] runs a closure many times, exploring the distinct thread
+//! interleavings of its lock, atomic and thread operations with a
+//! depth-first search over *schedulable points*.  Every `Mutex`/`RwLock`
+//! acquire and release, every atomic operation, and every spawn/join/yield
+//! is a point where the scheduler may switch threads; the search enumerates
+//! the scheduling decisions (with a bounded number of *preemptive* switches,
+//! see [`Builder::preemption_bound`]) until the whole tree is exhausted.
+//!
+//! Differences from the real crate, in the spirit of `vendor/README.md`
+//! (exactly the surface this workspace needs, nothing more):
+//!
+//! * Execution is *sequentially consistent*: the checker explores
+//!   interleavings of whole operations but does not model the C11 weak
+//!   memory orderings the real loom simulates.  `Ordering` arguments are
+//!   accepted and forwarded to the underlying `std` atomics.
+//! * `loom::sync::Arc` is plain `std::sync::Arc` (the real crate also
+//!   tracks causality through `Arc` and checks for leaks).
+//! * Threads are real OS threads serialized by a cooperative scheduler
+//!   (the real crate uses generators), so models run everywhere stable
+//!   Rust runs.
+//! * [`model`] returns [`Stats`] describing the exploration (iteration
+//!   count and completeness) instead of `()` so tests can assert the state
+//!   space was actually covered.
+//! * `Mutex::lock`/`RwLock::read`/`RwLock::write` return guards directly
+//!   (parking_lot style, matching the `pascalr-sync` facade) rather than
+//!   `LockResult`s.
+//!
+//! Outside of [`model`] every primitive falls back to its plain `std`
+//! behaviour, so code built with `--cfg loom` still works when executed
+//! without a model harness (e.g. ordinary unit tests in the same build).
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use rt::Scheduler;
+
+/// Result of a [`model`] exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of distinct interleavings (executions) explored.
+    pub iterations: usize,
+    /// `true` when the search exhausted the whole (preemption-bounded)
+    /// scheduling tree; `false` when it stopped at
+    /// [`Builder::max_iterations`].
+    pub complete: bool,
+}
+
+/// Configuration for a model exploration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution — a
+    /// switch away from a thread that could have kept running.  Voluntary
+    /// switches (blocking on a lock, yielding, finishing) are always
+    /// unlimited.  `None` removes the bound (full exhaustive search).
+    ///
+    /// The default of `2` is the classic context-bounding result: almost
+    /// all real synchronization bugs manifest within two preemptions,
+    /// while the state space stays small enough to enumerate.
+    pub preemption_bound: Option<usize>,
+    /// Upper bound on scheduling decisions recorded in one execution;
+    /// exceeding it fails the model (it almost always means an unbounded
+    /// spin loop in the model body).
+    pub max_branches: usize,
+    /// Upper bound on explored interleavings before giving up with
+    /// `Stats::complete == false`.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            max_branches: 20_000,
+            max_iterations: 500_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explores `f` under every schedule the configuration allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any interleaving panics (assertion failure in the model
+    /// body, deadlock, or a run exceeding [`Builder::max_branches`]),
+    /// reporting which interleaving failed.
+    pub fn check<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut path = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let sched = Arc::new(Scheduler::new(
+                path,
+                self.preemption_bound,
+                self.max_branches,
+            ));
+            let root_out = Arc::new(StdMutex::new(None));
+            let root = {
+                let sched = Arc::clone(&sched);
+                let f = Arc::clone(&f);
+                let out = Arc::clone(&root_out);
+                std::thread::spawn(move || rt::run_managed(sched, 0, move || f(), &out))
+            };
+            sched.wait_execution_end();
+            let _ = root.join();
+            for handle in sched.take_handles() {
+                let _ = handle.join();
+            }
+            if let Some(msg) = sched.failure() {
+                panic!("loom model failed on interleaving {iterations}: {msg}");
+            }
+            path = sched.take_path();
+            if !rt::backtrack(&mut path) {
+                return Stats {
+                    iterations,
+                    complete: true,
+                };
+            }
+            if iterations >= self.max_iterations {
+                return Stats {
+                    iterations,
+                    complete: false,
+                };
+            }
+        }
+    }
+}
+
+/// Explores `f` under every schedule the default [`Builder`] allows.
+///
+/// See [`Builder::check`]; the real loom's `model` returns `()`, this
+/// stand-in returns the exploration [`Stats`].
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::*;
+
+    #[test]
+    fn atomic_increments_commute() {
+        let stats = model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            counter.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(stats.complete);
+        assert!(stats.iterations > 1, "at least two interleavings explored");
+    }
+
+    #[test]
+    fn lost_update_is_found() {
+        // A classic racy read-modify-write: the checker must find the
+        // interleaving where both threads read 0 and the final value is 1.
+        let failed = std::panic::catch_unwind(|| {
+            model(|| {
+                let cell = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&cell);
+                let t = thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = cell.load(Ordering::SeqCst);
+                cell.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(cell.load(Ordering::SeqCst), 2);
+            });
+        });
+        assert!(failed.is_err(), "the lost update must be discovered");
+    }
+
+    #[test]
+    fn mutex_protects_read_modify_write() {
+        let stats = model(|| {
+            let cell = Arc::new(Mutex::new(0usize));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || {
+                let mut guard = c2.lock();
+                *guard += 1;
+            });
+            {
+                let mut guard = cell.lock();
+                *guard += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*cell.lock(), 2);
+        });
+        assert!(stats.complete);
+        assert!(stats.iterations > 1);
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks() {
+        let failed = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let _gb = b.lock();
+                let _ga = a.lock();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            });
+        });
+        let msg = failed.expect_err("the AB/BA deadlock must be discovered");
+        let text = msg.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            text.contains("deadlock"),
+            "failure names the deadlock: {text}"
+        );
+    }
+
+    #[test]
+    fn yielding_spin_loop_terminates() {
+        let stats = model(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                f2.store(1, Ordering::SeqCst);
+            });
+            while flag.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+            t.join().unwrap();
+        });
+        assert!(stats.complete, "a yielding wait loop must not diverge");
+    }
+
+    #[test]
+    fn primitives_work_outside_a_model() {
+        let m = Mutex::new(5usize);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 1);
+        let t = thread::spawn(|| 7usize);
+        assert_eq!(t.join().unwrap(), 7);
+    }
+}

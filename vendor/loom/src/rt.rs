@@ -1,0 +1,405 @@
+//! The model-checking runtime: a cooperative scheduler that serializes the
+//! threads of one execution and drives a depth-first search over the
+//! scheduling decisions taken at schedulable points.
+//!
+//! Exactly one managed thread runs at a time.  At every schedulable point
+//! the running thread re-enters the scheduler, which consults the recorded
+//! exploration path: the prefix already explored is replayed, the first
+//! fresh decision records a new branch (all runnable threads, first choice
+//! taken), and [`backtrack`] advances the last branch to its next untried
+//! choice between executions.  Threads are real OS threads parked on a
+//! condvar while not scheduled, so the model body runs ordinary Rust.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Identifier of a managed thread within one execution (dense, 0 = root).
+pub(crate) type Tid = usize;
+
+/// Identifier of something a thread can block on: a lock, or a thread
+/// being joined.
+pub(crate) type ResourceId = u64;
+
+/// Allocator for lock resource ids (process-global; ids only need to be
+/// unique, not stable across executions).
+static NEXT_RESOURCE: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn alloc_resource_id() -> ResourceId {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The resource a joiner of thread `tid` blocks on.  Join resources live
+/// in the top of the id space, disjoint from the counter-allocated locks.
+pub(crate) fn join_resource(tid: Tid) -> ResourceId {
+    u64::MAX - tid as u64
+}
+
+/// Run state of one managed thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Schedulable.
+    Runnable,
+    /// Voluntarily yielded: schedulable, but skipped for one scheduling
+    /// decision so a `yield_now` spin loop always lets its peers progress
+    /// (this is what bounds such loops during exploration).
+    Yielded,
+    /// Waiting for a resource to be released.
+    Blocked(ResourceId),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+/// One recorded scheduling decision with more than one possible choice.
+#[derive(Debug, Clone)]
+pub(crate) struct Branch {
+    /// The threads that were schedulable at this point, in decision order
+    /// (the previously running thread first — continuing is explored before
+    /// preempting).
+    choices: Vec<Tid>,
+    /// Index of the choice taken in the current execution.
+    index: usize,
+}
+
+/// Advances `path` to the next unexplored interleaving; `false` when the
+/// whole tree has been visited.
+pub(crate) fn backtrack(path: &mut Vec<Branch>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.index + 1 < last.choices.len() {
+            last.index += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Panic payload used to unwind a managed thread once the execution has
+/// already failed elsewhere (deadlock, or another thread's panic); the
+/// thread wrapper swallows it rather than reporting a second failure.
+struct FailurePropagation;
+
+struct State {
+    threads: Vec<Status>,
+    /// The one thread allowed to run.
+    active: Tid,
+    /// Exploration path: replayed prefix + branches recorded this run.
+    path: Vec<Branch>,
+    /// Position of the next decision in `path`.
+    pos: usize,
+    /// Preemptive switches taken so far in this execution.
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    max_branches: usize,
+    /// First failure observed (assertion panic, deadlock, branch overflow).
+    failure: Option<String>,
+    /// OS handles of the helper threads spawned during this execution.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+enum Pick {
+    Next(Tid),
+    AllFinished,
+    Failed,
+}
+
+/// The per-execution scheduler.
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(
+        path: Vec<Branch>,
+        preemption_bound: Option<usize>,
+        max_branches: usize,
+    ) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![Status::Runnable],
+                active: 0,
+                path,
+                pos: 0,
+                preemptions: 0,
+                preemption_bound,
+                max_branches,
+                failure: None,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a newly spawned managed thread, returning its tid.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut s = self.lock();
+        s.threads.push(Status::Runnable);
+        s.threads.len() - 1
+    }
+
+    pub(crate) fn add_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().handles.push(handle);
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.lock().handles)
+    }
+
+    pub(crate) fn take_path(&self) -> Vec<Branch> {
+        std::mem::take(&mut self.lock().path)
+    }
+
+    pub(crate) fn failure(&self) -> Option<String> {
+        self.lock().failure.clone()
+    }
+
+    pub(crate) fn is_finished(&self, tid: Tid) -> bool {
+        self.lock().threads[tid] == Status::Finished
+    }
+
+    /// Marks every thread blocked on `rid` runnable again (they re-contend
+    /// for the resource when scheduled).
+    pub(crate) fn unblock(&self, rid: ResourceId) {
+        let mut s = self.lock();
+        for status in &mut s.threads {
+            if *status == Status::Blocked(rid) {
+                *status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Records an execution failure (first one wins) and wakes every
+    /// parked thread so it can unwind.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut s = self.lock();
+        if s.failure.is_none() {
+            s.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling (unmanaged, harness) thread until the execution
+    /// completes or fails.
+    pub(crate) fn wait_execution_end(&self) {
+        let mut s = self.lock();
+        loop {
+            if s.failure.is_some() || s.threads.iter().all(|t| *t == Status::Finished) {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Parks the calling managed thread until it is first scheduled.
+    /// Returns `false` when the execution failed before that happened.
+    fn wait_until_active(&self, tid: Tid) -> bool {
+        let mut s = self.lock();
+        loop {
+            if s.failure.is_some() {
+                return false;
+            }
+            if s.active == tid && s.threads[tid] == Status::Runnable {
+                return true;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The schedulable point: the active thread `me` re-enters the
+    /// scheduler with its new status, a successor is chosen (replaying or
+    /// extending the exploration path), and the call returns once `me` is
+    /// scheduled again.  With `Status::Finished` the call returns
+    /// immediately after handing the baton on.
+    pub(crate) fn switch(&self, me: Tid, status: Status) {
+        let mut s = self.lock();
+        if s.failure.is_some() {
+            drop(s);
+            propagate_failure();
+            return;
+        }
+        debug_assert_eq!(s.active, me, "only the active thread may schedule");
+        s.threads[me] = status;
+        if status == Status::Finished {
+            // Wake joiners of this thread.
+            let rid = join_resource(me);
+            for st in &mut s.threads {
+                if *st == Status::Blocked(rid) {
+                    *st = Status::Runnable;
+                }
+            }
+        }
+        match Self::pick(&mut s, me) {
+            Pick::AllFinished => {
+                self.cv.notify_all();
+            }
+            Pick::Failed => {
+                self.cv.notify_all();
+                drop(s);
+                propagate_failure();
+            }
+            Pick::Next(next) => {
+                s.active = next;
+                self.cv.notify_all();
+                if next == me || status == Status::Finished {
+                    return;
+                }
+                loop {
+                    s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+                    if s.failure.is_some() {
+                        drop(s);
+                        propagate_failure();
+                        return;
+                    }
+                    if s.active == me && s.threads[me] == Status::Runnable {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Chooses the next thread to run.  Decisions with a single possible
+    /// choice are taken silently; genuine choices consume or extend the
+    /// exploration path.
+    fn pick(s: &mut State, me: Tid) -> Pick {
+        let mut runnable: Vec<Tid> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == Status::Runnable)
+            .map(|(tid, _)| tid)
+            .collect();
+        if runnable.is_empty() {
+            // Only yielded threads left (if any): give them their turn back.
+            for (tid, st) in s.threads.iter_mut().enumerate() {
+                if *st == Status::Yielded {
+                    *st = Status::Runnable;
+                    runnable.push(tid);
+                }
+            }
+        }
+        if runnable.is_empty() {
+            if s.threads.iter().all(|t| *t == Status::Finished) {
+                return Pick::AllFinished;
+            }
+            s.failure = Some(format!(
+                "deadlock: every unfinished thread is blocked ({:?})",
+                s.threads
+            ));
+            return Pick::Failed;
+        }
+        let me_runnable = runnable.contains(&me);
+        let bound_hit = s
+            .preemption_bound
+            .is_some_and(|bound| s.preemptions >= bound);
+        let choices: Vec<Tid> = if me_runnable && bound_hit {
+            vec![me]
+        } else if me_runnable {
+            let mut c = vec![me];
+            c.extend(runnable.iter().copied().filter(|&t| t != me));
+            c
+        } else {
+            runnable
+        };
+        let chosen = if choices.len() == 1 {
+            choices[0]
+        } else if s.pos < s.path.len() {
+            let branch = &s.path[s.pos];
+            debug_assert_eq!(
+                branch.choices, choices,
+                "replay diverged: the model body must be deterministic"
+            );
+            let chosen = branch.choices[branch.index];
+            s.pos += 1;
+            chosen
+        } else {
+            if s.path.len() >= s.max_branches {
+                s.failure = Some(format!(
+                    "execution exceeded {} scheduling decisions — \
+                     an unbounded loop in the model body?",
+                    s.max_branches
+                ));
+                return Pick::Failed;
+            }
+            s.path.push(Branch {
+                choices: choices.clone(),
+                index: 0,
+            });
+            s.pos += 1;
+            choices[0]
+        };
+        if me_runnable && chosen != me {
+            s.preemptions += 1;
+        }
+        // A step is about to run: previously yielded threads become
+        // ordinary candidates again at the next decision.
+        for st in &mut s.threads {
+            if *st == Status::Yielded {
+                *st = Status::Runnable;
+            }
+        }
+        Pick::Next(chosen)
+    }
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's scheduler context, when it is a managed thread of
+/// a running model.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, Tid)> {
+    CONTEXT.with(|ctx| ctx.borrow().clone())
+}
+
+/// Body of every managed OS thread: installs the context, waits to be
+/// scheduled, runs `f`, stores the result and hands the baton on.  A panic
+/// in `f` fails the whole execution (unless it is the failure-propagation
+/// unwind itself).
+pub(crate) fn run_managed<T, F>(sched: Arc<Scheduler>, tid: Tid, f: F, out: &Mutex<Option<T>>)
+where
+    F: FnOnce() -> T,
+{
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = Some((Arc::clone(&sched), tid)));
+    if !sched.wait_until_active(tid) {
+        return;
+    }
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => {
+            *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+            sched.switch(tid, Status::Finished);
+        }
+        Err(payload) => {
+            if !payload.is::<FailurePropagation>() {
+                sched.fail(describe_panic(&payload));
+            }
+        }
+    }
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = None);
+}
+
+/// Unwinds the calling managed thread after the execution failed.  During
+/// an already-running unwind (guard drops) it returns instead, so release
+/// paths never double-panic.
+fn propagate_failure() {
+    if std::thread::panicking() {
+        return;
+    }
+    panic::panic_any(FailurePropagation);
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}

@@ -1,0 +1,451 @@
+//! Model-aware synchronization primitives: `Mutex`, `RwLock`, `Arc` and
+//! atomics.
+//!
+//! Under a running [`model`](crate::model) every acquire, release and
+//! atomic operation is a schedulable point; whether an acquire can proceed
+//! is decided by a registry the scheduler controls, so lock contention and
+//! blocking are fully explored.  Outside a model the primitives devolve to
+//! their plain `std` counterparts.
+//!
+//! Data is always kept behind the corresponding `std` lock as well: once
+//! the registry grants an acquire the inner lock is uncontended (only one
+//! managed thread runs at a time), and outside a model the inner lock *is*
+//! the synchronization, so the types stay `Send`/`Sync`-correct in both
+//! modes.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+use crate::rt::{self, ResourceId, Status, Tid};
+
+pub use std::sync::Arc;
+
+/// Atomic types whose every operation is a schedulable point under a
+/// model.
+pub mod atomic {
+    use crate::rt::{self, Status};
+
+    pub use std::sync::atomic::Ordering;
+
+    /// An atomic fence; a schedulable point under a model.
+    pub fn fence(order: Ordering) {
+        if let Some((sched, me)) = rt::current() {
+            sched.switch(me, Status::Runnable);
+        }
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! atomic_type {
+        ($(#[$doc:meta])* $name:ident, $std:path, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic holding `value`.
+                pub const fn new(value: $prim) -> $name {
+                    $name { inner: <$std>::new(value) }
+                }
+
+                fn point(&self) {
+                    if let Some((sched, me)) = rt::current() {
+                        sched.switch(me, Status::Runnable);
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.load(order)
+                }
+
+                /// Stores `value`.
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    self.point();
+                    self.inner.store(value, order);
+                }
+
+                /// Swaps in `value`, returning the previous value.
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.swap(value, order)
+                }
+
+                /// Stores `new` when the current value is `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak variant of [`Self::compare_exchange`] (never
+                /// spuriously fails in this stand-in).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_type!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    atomic_type!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_type!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    macro_rules! atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Adds to the value, returning the previous value.
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.fetch_add(value, order)
+                }
+
+                /// Subtracts from the value, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.fetch_sub(value, order)
+                }
+
+                /// Bitwise-ors into the value, returning the previous value.
+                pub fn fetch_or(&self, value: $prim, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.fetch_or(value, order)
+                }
+
+                /// Maximum of the value and `value`, returning the previous
+                /// value.
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    self.point();
+                    self.inner.fetch_max(value, order)
+                }
+            }
+        };
+    }
+
+    atomic_arith!(AtomicU64, u64);
+    atomic_arith!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Bitwise-ors into the value, returning the previous value.
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            self.point();
+            self.inner.fetch_or(value, order)
+        }
+    }
+}
+
+fn recover<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutual exclusion with model-explored contention.
+pub struct Mutex<T: ?Sized> {
+    rid: ResourceId,
+    /// The managed owner under a model (`None` = free).  Outside a model
+    /// the inner `std` lock is authoritative and this is ignored.
+    owner: StdMutex<Option<Tid>>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            rid: rt::alloc_resource_id(),
+            owner: StdMutex::new(None),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        recover(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex (a schedulable point; blocking is explored).
+    /// Never poisons, parking_lot style.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((sched, me)) = rt::current() {
+            sched.switch(me, Status::Runnable);
+            loop {
+                {
+                    let mut owner = recover(self.owner.lock());
+                    if owner.is_none() {
+                        *owner = Some(me);
+                        break;
+                    }
+                }
+                sched.switch(me, Status::Blocked(self.rid));
+            }
+        }
+        MutexGuard {
+            lock: self,
+            inner: ManuallyDrop::new(recover(self.data.lock())),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.data.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data.try_lock() {
+            Ok(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock *before* telling the scheduler: the release
+        // schedulable point may run another thread, which must be able to
+        // acquire immediately.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if let Some((sched, me)) = rt::current() {
+            *recover(self.lock.owner.lock()) = None;
+            sched.unblock(self.lock.rid);
+            sched.switch(me, Status::Runnable);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Managed reader/writer registry of a [`RwLock`].
+#[derive(Default)]
+struct RwState {
+    writer: bool,
+    readers: usize,
+}
+
+/// Reader-writer lock with model-explored contention.
+pub struct RwLock<T: ?Sized> {
+    rid: ResourceId,
+    rw: StdMutex<RwState>,
+    data: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            rid: rt::alloc_resource_id(),
+            rw: StdMutex::new(RwState::default()),
+            data: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        recover(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access (a schedulable point).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some((sched, me)) = rt::current() {
+            sched.switch(me, Status::Runnable);
+            loop {
+                {
+                    let mut rw = recover(self.rw.lock());
+                    if !rw.writer {
+                        rw.readers += 1;
+                        break;
+                    }
+                }
+                sched.switch(me, Status::Blocked(self.rid));
+            }
+        }
+        RwLockReadGuard {
+            lock: self,
+            inner: ManuallyDrop::new(recover(self.data.read())),
+        }
+    }
+
+    /// Acquires exclusive write access (a schedulable point).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some((sched, me)) = rt::current() {
+            sched.switch(me, Status::Runnable);
+            loop {
+                {
+                    let mut rw = recover(self.rw.lock());
+                    if !rw.writer && rw.readers == 0 {
+                        rw.writer = true;
+                        break;
+                    }
+                }
+                sched.switch(me, Status::Blocked(self.rid));
+            }
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: ManuallyDrop::new(recover(self.data.write())),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.data.get_mut())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data.try_read() {
+            Ok(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+/// Shared read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if let Some((sched, me)) = rt::current() {
+            {
+                let mut rw = recover(self.lock.rw.lock());
+                rw.readers -= 1;
+                if rw.readers > 0 {
+                    return;
+                }
+            }
+            sched.unblock(self.lock.rid);
+            sched.switch(me, Status::Runnable);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if let Some((sched, me)) = rt::current() {
+            recover(self.lock.rw.lock()).writer = false;
+            sched.unblock(self.lock.rid);
+            sched.switch(me, Status::Runnable);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}

@@ -1,0 +1,83 @@
+//! Model-aware thread spawn, join and yield.
+//!
+//! Under a running [`model`](crate::model) spawned closures become managed
+//! threads of the current execution: spawn and join are schedulable
+//! points, and `yield_now` deprioritizes the caller for one scheduling
+//! decision (which is what lets bounded spin loops terminate during
+//! exploration).  Outside a model everything devolves to `std::thread`.
+
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::rt::{self, join_resource, Scheduler, Status, Tid};
+
+/// Handle to a spawned thread; joining is a schedulable point under a
+/// model.
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: Tid,
+        result: Arc<StdMutex<Option<T>>>,
+        sched: Arc<Scheduler>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.  Mirrors
+    /// `std::thread::JoinHandle::join`; under a model a panicking thread
+    /// fails the whole execution before any joiner observes an `Err`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model { tid, result, sched } => {
+                let (current, me) =
+                    rt::current().expect("a model thread can only be joined from inside the model");
+                debug_assert!(Arc::ptr_eq(&current, &sched));
+                current.switch(me, Status::Runnable);
+                while !sched.is_finished(tid) {
+                    current.switch(me, Status::Blocked(join_resource(tid)));
+                }
+                let value = result.lock().unwrap_or_else(PoisonError::into_inner).take();
+                Ok(value.expect("a finished model thread always stores its result"))
+            }
+        }
+    }
+}
+
+/// Spawns a thread.  Under a model the new thread joins the current
+/// execution's schedule; the spawn itself is a schedulable point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let result = Arc::new(StdMutex::new(None));
+            let handle = {
+                let sched = Arc::clone(&sched);
+                let result = Arc::clone(&result);
+                std::thread::spawn(move || {
+                    let out = Arc::clone(&result);
+                    rt::run_managed(sched, tid, f, &out);
+                })
+            };
+            sched.add_handle(handle);
+            sched.switch(me, Status::Runnable);
+            JoinHandle(Inner::Model { tid, result, sched })
+        }
+    }
+}
+
+/// Yields the current thread.  Under a model this is a schedulable point
+/// that skips the caller for one decision; outside it is
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some((sched, me)) => sched.switch(me, Status::Yielded),
+    }
+}
