@@ -47,6 +47,7 @@ pub use diagnostic::{Code, Diagnostic, Severity};
 /// diagnostics; pass [`SpanMap::default()`] for a selection built
 /// programmatically.
 pub fn analyze(selection: &Selection, catalog: &Catalog, spans: &SpanMap) -> Vec<Diagnostic> {
+    let _span = pascalr_obs::span!("analyze");
     let outcome = analyze::walk_selection(selection, catalog, spans);
     let mut diags = outcome.diagnostics;
     if !diags.iter().any(Diagnostic::is_error) {

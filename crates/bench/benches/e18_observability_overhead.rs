@@ -1,0 +1,89 @@
+//! E18 — observability overhead: the cost of the always-compiled
+//! instrumentation (span sites, registry counters, latency histograms)
+//! with collection *disabled* — the default — and the marginal cost of
+//! turning tracing on, at 1 and 4 query threads.
+//!
+//! Every span site guards itself with one relaxed load of the global
+//! consumer count, and the registry records through pre-resolved
+//! `Arc<Counter>`/`Arc<Histogram>` handles with relaxed atomics, so the
+//! disabled path is designed to stay under 3% of query time.  The
+//! preamble prints per-query times for disabled vs enabled tracing and
+//! the relative delta; the criterion group measures the same four
+//! configurations so regressions show up in `--save-baseline` diffs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pascalr::{Database, StrategyLevel};
+use pascalr_bench::{quick_criterion, scaled_db};
+use pascalr_workload::query_by_id;
+
+const SCALE: u32 = 4;
+const THREADS: [usize; 2] = [1, 4];
+const PROBE_ITERS: usize = 200; // per thread, for the preamble table
+
+fn query_text() -> &'static str {
+    query_by_id("q02").expect("workload query q02").text
+}
+
+/// Runs `iters` queries on each of `threads` threads against `db` and
+/// returns the mean per-query wall time in nanoseconds.
+fn per_query_nanos(db: &Database, threads: usize, iters: usize) -> f64 {
+    let text = query_text();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let db = db.clone();
+            scope.spawn(move || {
+                let q = db
+                    .session()
+                    .with_strategy(StrategyLevel::S4CollectionQuantifiers)
+                    .prepare(text)
+                    .expect("prepares");
+                for _ in 0..iters {
+                    q.execute().expect("executes");
+                }
+            });
+        }
+    });
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E18: observability overhead (disabled vs enabled tracing) ===");
+    println!("target: the disabled path (default) stays within 3% of query time");
+    println!(
+        "{:<9} {:>16} {:>16} {:>10}",
+        "threads", "disabled ns/q", "enabled ns/q", "delta"
+    );
+    for &threads in &THREADS {
+        let db = scaled_db(SCALE);
+        per_query_nanos(&db, threads, PROBE_ITERS / 4); // warm the plan cache
+        let disabled = per_query_nanos(&db, threads, PROBE_ITERS);
+        db.set_query_tracing(true);
+        let enabled = per_query_nanos(&db, threads, PROBE_ITERS);
+        println!(
+            "{threads:<9} {disabled:>16.0} {enabled:>16.0} {:>9.1}%",
+            (enabled - disabled) / disabled * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("e18_observability_overhead");
+    for &threads in &THREADS {
+        for (mode, tracing) in [("disabled", false), ("enabled", true)] {
+            let db = scaled_db(SCALE);
+            db.set_query_tracing(tracing);
+            group.bench_with_input(BenchmarkId::new(mode, threads), &threads, |b, &threads| {
+                b.iter(|| per_query_nanos(&db, threads, 8));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -15,11 +15,11 @@
 //! mentions — so it re-plans once after *their* ANALYZE and is untouched by
 //! anyone else's.
 
-use pascalr_sync::atomic::{AtomicU64, Ordering};
 use pascalr_sync::Arc;
 use std::collections::HashMap;
 
 use pascalr_calculus::Selection;
+use pascalr_obs::{Counter, Gauge};
 use pascalr_planner::{PlanOptions, QueryPlan, StrategyLevel};
 use pascalr_sync::RwLock;
 
@@ -50,6 +50,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of cached plans evicted because the catalog epoch moved on.
     pub invalidations: u64,
+    /// Number of cached plans evicted by the capacity cap.
+    pub evictions: u64,
     /// Number of plans currently cached.
     pub entries: usize,
 }
@@ -72,13 +74,30 @@ struct PlanMap {
     epoch: u64,
 }
 
-/// The cache itself: a lock-guarded map plus lock-free counters.
-#[derive(Debug, Default)]
+/// The cache itself: a lock-guarded map plus lock-free counters.  The
+/// counters are [`pascalr_obs::Counter`] handles so a `Database` can alias
+/// them into its metrics [`pascalr_obs::Registry`]; `Default` builds
+/// standalone (unregistered) handles for direct use in tests and models.
+#[derive(Debug)]
 pub(crate) struct PlanCache {
     plans: RwLock<PlanMap>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries_gauge: Arc<Gauge>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_counters(
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Gauge::new()),
+        )
+    }
 }
 
 /// Upper bound on cached plans.  A read-only workload of ever-distinct
@@ -87,6 +106,25 @@ pub(crate) struct PlanCache {
 const PLAN_CACHE_CAP: usize = 1024;
 
 impl PlanCache {
+    /// Builds a cache whose counters are the given handles, so the owner
+    /// can expose the same values through its metrics registry.
+    pub(crate) fn with_counters(
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        invalidations: Arc<Counter>,
+        evictions: Arc<Counter>,
+        entries_gauge: Arc<Gauge>,
+    ) -> Self {
+        PlanCache {
+            plans: RwLock::new(PlanMap::default()),
+            hits,
+            misses,
+            invalidations,
+            evictions,
+            entries_gauge,
+        }
+    }
+
     /// Looks up a plan, recording a hit or miss.  A fingerprint collision
     /// (entry present but for a different selection/options) counts as a
     /// miss; the caller's subsequent insert replaces the colliding entry.
@@ -104,17 +142,17 @@ impl PlanCache {
                 .then(|| entry.plan.clone())
         });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
         found
     }
 
     /// Inserts a freshly built plan.  When the catalog epoch changed since
     /// the last insert, every stale entry is swept out (and counted as an
     /// invalidation); the common same-epoch insert skips the sweep.  The
-    /// map is kept under [`PLAN_CACHE_CAP`] by uncounted arbitrary
-    /// eviction.
+    /// map is kept under [`PLAN_CACHE_CAP`] by arbitrary eviction, counted
+    /// separately from invalidations.
     pub(crate) fn insert(
         &self,
         key: PlanKey,
@@ -128,7 +166,7 @@ impl PlanCache {
             map.entries.retain(|k, _| k.epoch == key.epoch);
             let evicted = (before - map.entries.len()) as u64;
             if evicted > 0 {
-                self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+                self.invalidations.add(evicted);
             }
             map.epoch = key.epoch;
         }
@@ -148,7 +186,7 @@ impl PlanCache {
             .collect();
         for k in stale {
             map.entries.remove(&k);
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.invalidations.inc();
         }
         while map.entries.len() >= PLAN_CACHE_CAP {
             // Arbitrary eviction: with the cap this large, churn here means
@@ -157,6 +195,7 @@ impl PlanCache {
                 break;
             };
             map.entries.remove(&victim);
+            self.evictions.inc();
         }
         map.entries.insert(
             key,
@@ -166,14 +205,16 @@ impl PlanCache {
                 plan,
             },
         );
+        self.entries_gauge.set(map.entries.len() as u64);
     }
 
     /// Current counter values and entry count.
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
             entries: self.plans.read().entries.len(),
         }
     }

@@ -2,7 +2,7 @@
 
 use pascalr_sync::Arc;
 use std::hash::{Hash, Hasher};
-use std::time::Instant;
+use std::time::Duration;
 
 use pascalr_calculus::{Params, Selection};
 use pascalr_catalog::{Catalog, CatalogError, CatalogSnapshot, VersionedCatalog};
@@ -12,6 +12,7 @@ use pascalr_relation::{Tuple, Value};
 use pascalr_storage::Metrics;
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::obs::{DbObs, QueryObs, SlowQuery};
 use crate::{ExecutionReport, PascalRError, QueryOutcome, Rows, Session};
 
 /// State shared by every clone of a [`Database`] handle.
@@ -19,6 +20,25 @@ use crate::{ExecutionReport, PascalRError, QueryOutcome, Rows, Session};
 pub(crate) struct DbShared {
     pub(crate) catalog: VersionedCatalog,
     pub(crate) plan_cache: PlanCache,
+    pub(crate) obs: DbObs,
+}
+
+/// Builds the shared state for a new database: one observability hub and a
+/// plan cache whose counters alias into its registry.
+fn new_shared(catalog: VersionedCatalog) -> DbShared {
+    let obs = DbObs::new();
+    let plan_cache = PlanCache::with_counters(
+        obs.cache_hits.clone(),
+        obs.cache_misses.clone(),
+        obs.cache_invalidations.clone(),
+        obs.cache_evictions.clone(),
+        obs.cache_entries.clone(),
+    );
+    DbShared {
+        catalog,
+        plan_cache,
+        obs,
+    }
 }
 
 /// A PASCAL/R database: catalog plus query machinery.
@@ -67,13 +87,24 @@ pub(crate) fn fingerprint(selection: &Selection, options: PlanOptions) -> u64 {
 /// relation, so `execute()`-style entry points and [`crate::Rows`] share
 /// one execution path.
 pub(crate) fn execute_outcome(
+    db: &Database,
     snapshot: &CatalogSnapshot,
     query_plan: Arc<QueryPlan>,
+    qobs: QueryObs,
 ) -> Result<QueryOutcome, PascalRError> {
     let metrics = Metrics::new();
-    let start = Instant::now();
+    let exec_start = pascalr_obs::now();
     let exec_result = pascalr_exec::execute(query_plan.clone(), snapshot, &metrics)?;
-    let elapsed = start.elapsed();
+    let elapsed = exec_start.elapsed();
+    let total = qobs.elapsed();
+    let span_tree = db.shared.obs.record_query(
+        &query_plan,
+        total,
+        exec_result.relation.cardinality() as u64,
+        None,
+        &exec_result.metrics,
+        qobs.finish_tree(total),
+    );
     let fallback = exec_result
         .fallback
         .as_ref()
@@ -89,6 +120,7 @@ pub(crate) fn execute_outcome(
             metrics: exec_result.metrics,
             elapsed,
             fallback,
+            span_tree,
         },
     })
 }
@@ -127,10 +159,7 @@ impl Database {
     /// `pascalr-workload`'s generator).
     pub fn from_catalog(catalog: Catalog) -> Self {
         Database {
-            shared: Arc::new(DbShared {
-                catalog: VersionedCatalog::new(catalog),
-                plan_cache: PlanCache::default(),
-            }),
+            shared: Arc::new(new_shared(VersionedCatalog::new(catalog))),
             // Cost-based selection is the default: the planner picks the
             // cheapest of the five fixed levels per query (exactly S4-like
             // until statistics or cardinalities say otherwise).  The paper
@@ -153,10 +182,7 @@ impl Database {
     /// than a torn mixture.
     pub fn fork(&self) -> Database {
         Database {
-            shared: Arc::new(DbShared {
-                catalog: VersionedCatalog::from_snapshot(self.snapshot()),
-                plan_cache: PlanCache::default(),
-            }),
+            shared: Arc::new(new_shared(VersionedCatalog::from_snapshot(self.snapshot()))),
             default_strategy: self.default_strategy,
             plan_options: self.plan_options,
         }
@@ -203,6 +229,7 @@ impl Database {
     /// observing exactly the version it pinned regardless of concurrent
     /// mutations.  Derefs to [`Catalog`] for all read-only inspection.
     pub fn snapshot(&self) -> CatalogSnapshot {
+        self.shared.obs.snapshot_pins.inc();
         self.shared.catalog.snapshot()
     }
 
@@ -217,7 +244,22 @@ impl Database {
     /// epoch and thereby invalidate cached plans.  Writers are serialized
     /// with each other but never wait for readers.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
-        self.shared.catalog.mutate(f)
+        let result = self.shared.catalog.mutate(f);
+        self.shared.obs.epoch_publishes.inc();
+        result
+    }
+
+    /// `try_mutate` that counts the epoch publish when the closure
+    /// succeeds (a failed closure publishes nothing).
+    fn try_mutate_counted<R, E>(
+        &self,
+        f: impl FnOnce(&mut Catalog) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let result = self.shared.catalog.try_mutate(f);
+        if result.is_ok() {
+            self.shared.obs.epoch_publishes.inc();
+        }
+        result
     }
 
     /// The catalog's current modification epoch (plan-cache invalidation
@@ -253,17 +295,15 @@ impl Database {
     /// assert!(outcome.plan.explain().contains("auto strategy selection"));
     /// ```
     pub fn analyze(&self) -> Result<(), PascalRError> {
-        self.shared
-            .catalog
-            .try_mutate(pascalr_catalog::Catalog::analyze_all)?;
+        self.try_mutate_counted(pascalr_catalog::Catalog::analyze_all)?;
+        self.shared.obs.analyze_runs.inc();
         Ok(())
     }
 
     /// ANALYZE a single relation (see [`Database::analyze`]).
     pub fn analyze_relation(&self, relation: &str) -> Result<(), PascalRError> {
-        self.shared
-            .catalog
-            .try_mutate(|c| c.analyze_relation(relation))?;
+        self.try_mutate_counted(|c| c.analyze_relation(relation))?;
+        self.shared.obs.analyze_runs.inc();
         Ok(())
     }
 
@@ -303,9 +343,7 @@ impl Database {
         relation: &str,
         attributes: &[&str],
     ) -> Result<(), PascalRError> {
-        self.shared
-            .catalog
-            .try_mutate(|c| c.declare_index(name, relation, attributes))?;
+        self.try_mutate_counted(|c| c.declare_index(name, relation, attributes))?;
         Ok(())
     }
 
@@ -314,20 +352,84 @@ impl Database {
     /// the index — re-plans exactly once on its next use and falls back to
     /// per-query index construction.
     pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
-        self.shared.catalog.try_mutate(|c| c.drop_index(name))?;
+        self.try_mutate_counted(|c| c.drop_index(name))?;
         Ok(())
     }
 
-    /// Counters of the shared plan cache.
+    /// Counters of the shared plan cache.  A thin view over the same
+    /// counters the metrics registry exposes as
+    /// `pascalr_plan_cache_*`.
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.shared.plan_cache.stats()
     }
 
+    /// This database's metrics registry: counters, gauges and latency
+    /// histograms shared by every clone of the handle.
+    ///
+    /// ```
+    /// use pascalr::Database;
+    ///
+    /// let db = Database::from_catalog(pascalr_workload::figure1_sample_database().unwrap());
+    /// db.query("profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]")
+    ///     .unwrap();
+    /// assert_eq!(db.metrics_registry().counter_total("pascalr_queries_total"), 1);
+    /// ```
+    pub fn metrics_registry(&self) -> &pascalr_obs::Registry {
+        self.shared.obs.registry()
+    }
+
+    /// The registry rendered in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.shared.obs.registry().render_prometheus()
+    }
+
+    /// The registry rendered as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.shared.obs.registry().to_json()
+    }
+
+    /// Turns per-query span collection on or off (off by default).  When
+    /// on, every query's report carries its span tree
+    /// ([`ExecutionReport::span_tree`]) and `explain_analyzed` renders
+    /// per-stage wall times.  Shared by every clone of the handle.
+    pub fn set_query_tracing(&self, enabled: bool) {
+        self.shared.obs.set_tracing(enabled);
+    }
+
+    /// Whether per-query span collection is on.
+    pub fn query_tracing(&self) -> bool {
+        self.shared.obs.tracing_enabled()
+    }
+
+    /// Sets the slow-query threshold (`None` disables the log, the
+    /// default).  Queries whose total wall time **exceeds** the threshold
+    /// are captured — statement text, span tree, metrics snapshot — in a
+    /// bounded ring of the most recent
+    /// [`crate::obs::SLOW_QUERY_LOG_CAP`] entries.  Setting a threshold
+    /// implies span collection, so captures carry their trees.
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        self.shared.obs.set_slow_threshold(threshold);
+    }
+
+    /// The current slow-query threshold (`None` = log disabled).
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.shared.obs.slow_threshold()
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.obs.slow_queries()
+    }
+
+    /// Empties the slow-query log (the `pascalr_slow_queries_total`
+    /// counter is cumulative and unaffected).
+    pub fn clear_slow_queries(&self) {
+        self.shared.obs.clear_slow_queries();
+    }
+
     /// Inserts one element (`rel :+ [tuple]`).
     pub fn insert(&self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
-        self.shared
-            .catalog
-            .try_mutate(|c| c.insert(relation, tuple))?;
+        self.try_mutate_counted(|c| c.insert(relation, tuple))?;
         Ok(())
     }
 
@@ -342,10 +444,7 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, PascalRError> {
-        Ok(self
-            .shared
-            .catalog
-            .try_mutate(|c| c.insert_all(relation, tuples))?)
+        Ok(self.try_mutate_counted(|c| c.insert_all(relation, tuples))?)
     }
 
     /// Builds an enumeration value (e.g. `professor`) from a declared
@@ -441,12 +540,13 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<QueryOutcome, PascalRError> {
+        let qobs = self.begin_query();
         let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         reject_unbound_params(&selection)?;
         let fp = fingerprint(&selection, options);
         let query_plan = self.cached_plan(&catalog, &selection, fp, strategy, options);
-        execute_outcome(&catalog, query_plan)
+        execute_outcome(self, &catalog, query_plan, qobs)
     }
 
     /// Evaluates an already-parsed selection at an explicit strategy level.
@@ -460,9 +560,10 @@ impl Database {
         strategy: StrategyLevel,
     ) -> Result<QueryOutcome, PascalRError> {
         reject_unbound_params(selection)?;
+        let qobs = self.begin_query();
         let catalog = self.snapshot();
         let query_plan = Arc::new(plan(selection, &catalog, strategy, self.plan_options));
-        execute_outcome(&catalog, query_plan)
+        execute_outcome(self, &catalog, query_plan, qobs)
     }
 
     /// Produces the plan (without executing it) for a selection statement.
@@ -488,9 +589,10 @@ impl Database {
         strategy: StrategyLevel,
     ) -> Result<Rows, PascalRError> {
         reject_unbound_params(selection)?;
+        let qobs = self.begin_query();
         let snapshot = self.snapshot();
         let query_plan = Arc::new(plan(selection, &snapshot, strategy, self.plan_options));
-        Ok(Rows::new(snapshot, query_plan))
+        Ok(Rows::new(self, snapshot, query_plan, qobs))
     }
 
     /// Cached-path streaming text query (used by sessions): parse, fetch
@@ -501,12 +603,13 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<Rows, PascalRError> {
+        let qobs = self.begin_query();
         let snapshot = self.snapshot();
         let selection = Arc::new(parse_selection(text, &snapshot)?);
         reject_unbound_params(&selection)?;
         let fp = fingerprint(&selection, options);
         let query_plan = self.cached_plan(&snapshot, &selection, fp, strategy, options);
-        Ok(Rows::new(snapshot, query_plan))
+        Ok(Rows::new(self, snapshot, query_plan, qobs))
     }
 
     /// Cached-path streaming text query with parameters bound per call.
@@ -517,6 +620,7 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<Rows, PascalRError> {
+        let qobs = self.begin_query();
         let snapshot = self.snapshot();
         let selection = Arc::new(parse_selection(text, &snapshot)?);
         let fp = fingerprint(&selection, options);
@@ -526,7 +630,7 @@ impl Database {
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        Ok(Rows::new(snapshot, bound))
+        Ok(Rows::new(self, snapshot, bound, qobs))
     }
 
     /// One-shot parameterized text query (used by sessions): parse, fetch
@@ -539,6 +643,7 @@ impl Database {
         strategy: StrategyLevel,
         options: PlanOptions,
     ) -> Result<QueryOutcome, PascalRError> {
+        let qobs = self.begin_query();
         let catalog = self.snapshot();
         let selection = Arc::new(parse_selection(text, &catalog)?);
         let fp = fingerprint(&selection, options);
@@ -548,7 +653,7 @@ impl Database {
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        execute_outcome(&catalog, bound)
+        execute_outcome(self, &catalog, bound, qobs)
     }
 
     /// `explain` with explicit planning options (used by sessions).
@@ -577,9 +682,10 @@ impl Database {
         StrategyLevel::ALL
             .iter()
             .map(|&level| {
+                let qobs = self.begin_query();
                 let query_plan =
                     self.cached_plan(&catalog, &selection, fp, level, self.plan_options);
-                execute_outcome(&catalog, query_plan)
+                execute_outcome(self, &catalog, query_plan, qobs)
             })
             .collect()
     }

@@ -129,15 +129,19 @@ use pascalr_storage::MetricsSnapshot;
 
 mod cache;
 mod db;
+pub mod obs;
 mod prepared;
 mod rows;
 mod session;
 
 pub use cache::CacheStats;
 pub use db::Database;
+pub use obs::SlowQuery;
 pub use prepared::PreparedQuery;
 pub use rows::{ExecutionOutcome, Rows};
 pub use session::Session;
+
+pub use pascalr_obs::{SpanNode, SpanTree};
 
 pub use pascalr_analysis as analysis;
 pub use pascalr_calculus as calculus;
@@ -220,6 +224,12 @@ pub struct ExecutionReport {
     /// Description of the runtime fallback, if one was taken (empty range
     /// relation or empty extended range).
     pub fallback: Option<String>,
+    /// The query's span tree — per-stage wall times for parse, plan and
+    /// the execution phases — when span collection was active (see
+    /// [`Database::set_query_tracing`]).  The root span covers the whole
+    /// query, so its duration is ≥ [`ExecutionReport::elapsed`], which
+    /// times execution only.
+    pub span_tree: Option<SpanTree>,
 }
 
 impl ExecutionReport {
@@ -256,14 +266,38 @@ impl QueryOutcome {
     /// The plan explanation *plus* the optimizer's estimated cardinalities
     /// checked against what actually happened: per-conjunction estimated
     /// rows next to the `refrel_c<i>` sizes the executor recorded, and the
-    /// estimated result cardinality next to the actual one.
+    /// estimated result cardinality next to the actual one — followed by
+    /// measured wall times ("timing:" lines).  With query tracing on
+    /// ([`Database::set_query_tracing`]) the timing section is the full
+    /// span tree (parse / plan / execute and the execution phases, each
+    /// with its own duration); otherwise it is the single execution
+    /// total.
     pub fn explain_analyzed(&self) -> String {
         let mut out = self.plan.explain();
         out.push_str(&render_estimated_vs_actual(
             &self.plan,
             &self.report.metrics,
         ));
+        out.push_str(&render_timing(&self.report));
         out
+    }
+}
+
+/// Renders the "timing:" section of [`QueryOutcome::explain_analyzed`]:
+/// the span tree when one was collected, the execution total otherwise.
+fn render_timing(report: &ExecutionReport) -> String {
+    match &report.span_tree {
+        Some(tree) => {
+            let mut out = format!("timing: total {:?}\n", tree.root.duration);
+            for child in &tree.root.children {
+                out.push_str(&child.render(1));
+            }
+            out
+        }
+        None => format!(
+            "timing: execution {:?} (enable query tracing for per-stage times)\n",
+            report.elapsed
+        ),
     }
 }
 

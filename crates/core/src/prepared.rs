@@ -121,6 +121,7 @@ impl PreparedQuery {
         if let Some(name) = self.param_names.first() {
             return Err(unbound_param_error(name));
         }
+        let qobs = self.db.begin_query();
         let catalog = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &catalog,
@@ -129,7 +130,7 @@ impl PreparedQuery {
             self.strategy,
             self.options,
         );
-        execute_outcome(&catalog, query_plan)
+        execute_outcome(&self.db, &catalog, query_plan, qobs)
     }
 
     /// Executes the prepared query with parameters bound.  The cached plan
@@ -138,6 +139,7 @@ impl PreparedQuery {
     /// constants without re-planning.  Extra bindings are ignored; missing
     /// ones are an error.
     pub fn execute_with(&self, params: &Params) -> Result<QueryOutcome, PascalRError> {
+        let qobs = self.db.begin_query();
         let catalog = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &catalog,
@@ -151,7 +153,7 @@ impl PreparedQuery {
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        execute_outcome(&catalog, bound)
+        execute_outcome(&self.db, &catalog, bound, qobs)
     }
 
     /// Streams the prepared query as a lazy [`Rows`] cursor.  Fails with an
@@ -170,6 +172,7 @@ impl PreparedQuery {
         if let Some(name) = self.param_names.first() {
             return Err(unbound_param_error(name));
         }
+        let qobs = self.db.begin_query();
         let snapshot = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &snapshot,
@@ -178,7 +181,7 @@ impl PreparedQuery {
             self.strategy,
             self.options,
         );
-        Ok(Rows::new(snapshot, query_plan))
+        Ok(Rows::new(&self.db, snapshot, query_plan, qobs))
     }
 
     /// Streams the prepared query with parameters bound, as a lazy
@@ -186,6 +189,7 @@ impl PreparedQuery {
     /// [`PreparedQuery::execute_with`]).  Extra bindings are ignored;
     /// missing ones are an error.
     pub fn rows_with(&self, params: &Params) -> Result<Rows, PascalRError> {
+        let qobs = self.db.begin_query();
         let snapshot = self.db.snapshot();
         let query_plan = self.db.cached_plan(
             &snapshot,
@@ -199,7 +203,7 @@ impl PreparedQuery {
         } else {
             Arc::new(query_plan.bind_params(params)?)
         };
-        Ok(Rows::new(snapshot, bound))
+        Ok(Rows::new(&self.db, snapshot, bound, qobs))
     }
 
     /// The query-shape fingerprint used as part of the plan-cache key.

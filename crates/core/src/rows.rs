@@ -1,13 +1,18 @@
 //! The streaming result API: lazy [`Rows`] cursors.
 
 use pascalr_sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pascalr_catalog::CatalogSnapshot;
 use pascalr_exec::{ExecError, ExecutionCursor, Fallback};
+use pascalr_obs::clock::Tick;
+use pascalr_obs::{Collector, SpanTree};
 use pascalr_planner::{QueryPlan, StrategyLevel};
 use pascalr_relation::{RelationSchema, Tuple};
 use pascalr_storage::{Metrics, MetricsSnapshot};
+
+use crate::obs::QueryObs;
+use crate::Database;
 
 /// Renders a runtime fallback for reports (shared by the streaming and
 /// materializing paths so both describe it identically).
@@ -42,8 +47,12 @@ pub struct ExecutionOutcome {
     /// Number of distinct result tuples produced before the cursor
     /// stopped.
     pub rows_emitted: u64,
-    /// Wall-clock time between cursor creation and [`Rows::finish`].
+    /// Wall-clock time between the entry point that created the cursor
+    /// (parse/plan included for text paths) and [`Rows::finish`].
     pub elapsed: Duration,
+    /// The query's span tree, when span collection was active (see
+    /// [`Database::set_query_tracing`]).
+    pub span_tree: Option<SpanTree>,
 }
 
 /// A lazy, streaming result cursor: an iterator of
@@ -95,16 +104,54 @@ pub struct ExecutionOutcome {
 pub struct Rows {
     cursor: ExecutionCursor,
     plan: Arc<QueryPlan>,
-    started_at: Instant,
+    started_at: Tick,
+    obs: Option<RowsObs>,
+}
+
+/// Observability carried by a live cursor: the owning database (to record
+/// into its registry when the cursor ends) and the detached span collector
+/// that is re-entered around each poll.
+struct RowsObs {
+    db: Database,
+    collector: Option<Collector>,
+    first_tuple: Option<Duration>,
 }
 
 impl Rows {
-    pub(crate) fn new(snapshot: CatalogSnapshot, plan: Arc<QueryPlan>) -> Rows {
+    pub(crate) fn new(
+        db: &Database,
+        snapshot: CatalogSnapshot,
+        plan: Arc<QueryPlan>,
+        qobs: QueryObs,
+    ) -> Rows {
+        let (collector, started_at) = qobs.into_parts();
         Rows {
             cursor: ExecutionCursor::new(plan.clone(), snapshot, Metrics::new()),
             plan,
-            started_at: Instant::now(),
+            started_at,
+            obs: Some(RowsObs {
+                db: db.clone(),
+                collector,
+                first_tuple: None,
+            }),
         }
+    }
+
+    /// Record this query into the owning database's registry exactly once
+    /// (first of [`Rows::finish`] / drop wins); returns the span tree.
+    fn record(&mut self) -> Option<SpanTree> {
+        let obs = self.obs.take()?;
+        let total = self.started_at.elapsed();
+        let tree = obs.collector.map(|c| c.finish("query", total));
+        let metrics = self.cursor.metrics().snapshot();
+        obs.db.shared.obs.record_query(
+            &self.plan,
+            total,
+            self.cursor.produced(),
+            obs.first_tuple,
+            &metrics,
+            tree,
+        )
     }
 
     /// The catalog snapshot this cursor executes against — the version
@@ -164,14 +211,29 @@ impl Rows {
 
     /// Ends the cursor (dropping any unproduced tuples and stopping their
     /// work) and reports what it did.
-    pub fn finish(self) -> ExecutionOutcome {
+    pub fn finish(mut self) -> ExecutionOutcome {
+        let strategy = self.plan.strategy;
+        let fallback = self.fallback();
+        let metrics = self.metrics();
+        let rows_emitted = self.rows_emitted();
+        let elapsed = self.started_at.elapsed();
+        let span_tree = self.record();
         ExecutionOutcome {
-            strategy: self.plan.strategy,
-            fallback: self.fallback(),
-            metrics: self.metrics(),
-            rows_emitted: self.rows_emitted(),
-            elapsed: self.started_at.elapsed(),
+            strategy,
+            fallback,
+            metrics,
+            rows_emitted,
+            elapsed,
+            span_tree,
         }
+    }
+}
+
+impl Drop for Rows {
+    fn drop(&mut self) {
+        // A cursor dropped mid-stream still records what it did (the
+        // metrics snapshot covers only work actually performed).
+        let _ = self.record();
     }
 }
 
@@ -188,6 +250,23 @@ impl Iterator for Rows {
     type Item = Result<Tuple, ExecError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.cursor.next_tuple()
+        let item = match self.obs.as_ref().and_then(|o| o.collector.as_ref()) {
+            Some(collector) => {
+                // Re-enter the query's collector for the duration of this
+                // poll only: the cursor may be polled from any thread, and
+                // a thread-local scope must never outlive the call.
+                let _scope = collector.enter();
+                self.cursor.next_tuple()
+            }
+            None => self.cursor.next_tuple(),
+        };
+        if matches!(item, Some(Ok(_))) {
+            if let Some(obs) = self.obs.as_mut() {
+                if obs.first_tuple.is_none() {
+                    obs.first_tuple = Some(self.started_at.elapsed());
+                }
+            }
+        }
+        item
     }
 }

@@ -525,6 +525,7 @@ pub fn run_collection(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<CollectionOutput, ExecError> {
+    let _span = pascalr_obs::span!("collection");
     // Resolve combination-phase variables first: which ranges a permanent
     // index can serve decides the scan accounting below.
     let all_vars: Vec<VarName> = plan.prepared.all_vars();
@@ -569,6 +570,7 @@ pub fn run_collection(
     // Candidates per combination-phase variable.
     let mut candidates = BTreeMap::new();
     for var in &all_vars {
+        let _span = pascalr_obs::span!("collect_candidates", var = var.as_ref());
         let info = &var_info[var.as_ref()];
         let indexed = if use_index_ranges {
             range_candidates_indexed(info, catalog, metrics)?
@@ -588,6 +590,7 @@ pub fn run_collection(
     // lists so their derived predicates can restrict them).
     let mut derived: Vec<DerivedCheck> = Vec::new();
     for step in &plan.semijoin_steps {
+        let _span = pascalr_obs::span!("collect_derived", var = step.bound_var.as_ref());
         let check = build_derived_check(step, &derived, catalog, metrics)?;
         derived.push(check);
     }
@@ -595,6 +598,7 @@ pub fn run_collection(
     // Per-conjunction single lists and indirect joins.
     let mut per_conjunction = Vec::with_capacity(plan.prepared.form.matrix.len());
     for (ci, conj) in plan.prepared.form.matrix.iter().enumerate() {
+        let _span = pascalr_obs::span!("collect_structures", conjunction = ci + 1);
         let mut structures = ConjStructures::default();
 
         // Variables involved in this conjunction (through terms or derived

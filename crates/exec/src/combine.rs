@@ -374,6 +374,7 @@ pub(crate) fn apply_stage(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<RefRel, ExecError> {
+    let _span = pascalr_obs::span!("stage", var = stage.var.as_ref());
     let next = if stage.is_product() {
         current.product_with(stage.var.clone(), &stage.candidates)
     } else {
@@ -424,6 +425,7 @@ pub fn run_combination(
     catalog: &Catalog,
     metrics: &Metrics,
 ) -> Result<RefRel, ExecError> {
+    let _span = pascalr_obs::span!("combination");
     let free_vars: Vec<VarName> = plan.prepared.free.iter().map(|d| d.var.clone()).collect();
     let prefix_vars: Vec<VarName> = plan
         .prepared
@@ -441,6 +443,7 @@ pub fn run_combination(
         // Matrix is `false`: no tuple qualifies.
     } else {
         for ci in 0..plan.prepared.form.matrix.len() {
+            let _span = pascalr_obs::span!("conjunction", index = ci + 1);
             let conj_rel = conjunction_refrel(plan, ci, &all_vars, collection, catalog, metrics)?;
             metrics.record_structure_size(&format!("refrel_c{}", ci + 1), conj_rel.len() as u64);
             total.union_in(&conj_rel);

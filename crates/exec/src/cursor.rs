@@ -161,6 +161,7 @@ impl ConjStream {
         catalog: &Catalog,
         metrics: &Metrics,
     ) -> Result<ConjStream, ExecError> {
+        let _span = pascalr_obs::span!("open_stream", conjunction = ci + 1);
         let assembly = conjunction_assembly(query_plan, ci, all_vars, collection, catalog);
         debug_assert!(
             !assembly.stages.is_empty(),

@@ -105,6 +105,7 @@ pub fn execute(
     snapshot: &CatalogSnapshot,
     metrics: &Metrics,
 ) -> Result<ExecutionResult, ExecError> {
+    let _span = pascalr_obs::span!("execute");
     let mut cursor = ExecutionCursor::new(query_plan, snapshot.clone(), metrics.clone());
     // The relation below deduplicates on insert; don't pay for a second
     // copy of the result set inside the cursor.

@@ -1,0 +1,153 @@
+//! Monotonic, mockable wall-clock used by every timing site in the
+//! engine.
+//!
+//! Library crates never call `std::time::Instant` directly
+//! (`tests/repo_lints.rs` enforces this) — they take a [`Tick`] from
+//! [`now`] and later ask it for [`Tick::elapsed`]. This buys two things:
+//!
+//! * **Determinism on demand.** Tests can [`mock::freeze`] the clock and
+//!   [`mock::MockClock::advance`] it manually, making latency-threshold
+//!   behaviour (the slow-query log) exactly reproducible.
+//! * **Inertness under `--cfg loom`.** Model-checked builds replace the
+//!   clock with a zero-width stub that always reports
+//!   [`Duration::ZERO`]: no `Instant` syscalls, no statics, no extra
+//!   schedulable points inside a model.
+
+use std::time::Duration;
+
+#[cfg(not(loom))]
+use pascalr_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::time::Instant;
+
+/// A point in monotonic time, captured by [`now`].
+#[derive(Copy, Clone, Debug)]
+pub struct Tick(TickInner);
+
+#[cfg(not(loom))]
+#[derive(Copy, Clone, Debug)]
+enum TickInner {
+    /// Anchored to the real monotonic clock.
+    Real(Instant),
+    /// Anchored to the mock clock's nanosecond counter.
+    Manual(u64),
+}
+
+#[cfg(loom)]
+#[derive(Copy, Clone, Debug)]
+struct TickInner;
+
+/// Capture the current monotonic time.
+#[must_use]
+pub fn now() -> Tick {
+    #[cfg(not(loom))]
+    {
+        if mock::MOCK_ACTIVE.load(Ordering::Relaxed) {
+            Tick(TickInner::Manual(mock::MOCK_NANOS.load(Ordering::Relaxed)))
+        } else {
+            Tick(TickInner::Real(Instant::now()))
+        }
+    }
+    #[cfg(loom)]
+    {
+        Tick(TickInner)
+    }
+}
+
+impl Tick {
+    /// Wall-clock time elapsed since this tick was captured.
+    ///
+    /// Mixing anchors (a real tick read while the mock clock is active,
+    /// or vice versa) saturates to zero rather than panicking.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        #[cfg(not(loom))]
+        {
+            match self.0 {
+                TickInner::Real(at) => {
+                    if mock::MOCK_ACTIVE.load(Ordering::Relaxed) {
+                        Duration::ZERO
+                    } else {
+                        at.elapsed()
+                    }
+                }
+                TickInner::Manual(at) => Duration::from_nanos(
+                    mock::MOCK_NANOS.load(Ordering::Relaxed).saturating_sub(at),
+                ),
+            }
+        }
+        #[cfg(loom)]
+        {
+            Duration::ZERO
+        }
+    }
+}
+
+/// Deterministic manual clock for tests.
+///
+/// Absent under `--cfg loom` (where the clock is a compile-time zero).
+#[cfg(not(loom))]
+pub mod mock {
+    use super::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    pub(super) static MOCK_ACTIVE: AtomicBool = AtomicBool::new(false);
+    pub(super) static MOCK_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    /// Guard that keeps the process clock frozen to a manual counter.
+    ///
+    /// While alive, [`super::now`] reads the manual counter instead of
+    /// `Instant::now()`; dropping the guard restores the real clock.
+    /// The mock is process-global — tests that freeze the clock must not
+    /// run concurrently with tests asserting real latencies.
+    #[derive(Debug)]
+    pub struct MockClock(());
+
+    /// Freeze the clock at zero nanoseconds and return the control guard.
+    #[must_use]
+    pub fn freeze() -> MockClock {
+        MOCK_NANOS.store(0, Ordering::Relaxed);
+        MOCK_ACTIVE.store(true, Ordering::Relaxed);
+        MockClock(())
+    }
+
+    impl MockClock {
+        /// Advance the frozen clock by `delta`.
+        pub fn advance(&self, delta: Duration) {
+            MOCK_NANOS.fetch_add(delta.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    impl Drop for MockClock {
+        fn drop(&mut self) {
+            MOCK_ACTIVE.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_moves_forward() {
+        let t = now();
+        // Monotonic clocks never go backwards; elapsed is always valid.
+        let _ = t.elapsed();
+        assert!(t.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn mock_clock_advances_exactly() {
+        let t_real = now();
+        let clock = mock::freeze();
+        let t = now();
+        assert_eq!(t.elapsed(), Duration::ZERO);
+        clock.advance(Duration::from_micros(5));
+        assert_eq!(t.elapsed(), Duration::from_micros(5));
+        // A real-anchored tick read under the mock saturates to zero.
+        assert_eq!(t_real.elapsed(), Duration::ZERO);
+        drop(clock);
+        assert!(now().elapsed() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,269 @@
+//! A small parser/validator for the Prometheus text exposition format
+//! (version 0.0.4), used by CI and the integration tests to prove that
+//! [`crate::Registry::render_prometheus`] emits a page a real scraper
+//! would accept.
+//!
+//! It checks the structural rules that matter: every sample belongs to
+//! an announced family (`# HELP` + `# TYPE` pair, in that order), sample
+//! values parse as floats, histogram families expose `_bucket`/`_sum`/
+//! `_count` series with cumulative non-decreasing bucket counts, and the
+//! mandatory `le="+Inf"` bucket equals `_count`.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Sample name as written (may carry `_bucket`/`_sum`/`_count`).
+    pub name: String,
+    /// Label key/value pairs, in written order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed sample value.
+    pub value: f64,
+}
+
+/// One metric family: the `# HELP`/`# TYPE` header plus its samples.
+#[derive(Clone, Debug)]
+pub struct Family {
+    /// Family name.
+    pub name: String,
+    /// Declared type (`counter`, `gauge`, `histogram`, …).
+    pub kind: String,
+    /// Help text.
+    pub help: String,
+    /// Samples in written order.
+    pub samples: Vec<Sample>,
+}
+
+/// A fully parsed exposition page.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// Families in written order.
+    pub families: Vec<Family>,
+}
+
+impl Exposition {
+    /// Look up a family by name.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for part in text.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("label without '=': {part:?}"))?;
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value: {part:?}"))?;
+        labels.push((key.trim().to_owned(), value.to_owned()));
+    }
+    Ok(labels)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_text) = match line.find('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        None => line
+            .split_once(' ')
+            .ok_or_else(|| format!("sample without value: {line:?}"))?,
+    };
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+            (name, parse_labels(body)?)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    let value: f64 = value_text
+        .trim()
+        .parse()
+        .map_err(|_| format!("unparseable sample value in {line:?}"))?;
+    Ok(Sample {
+        name: name.trim().to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn base_family(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = sample_name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    sample_name
+}
+
+fn validate_histogram(family: &Family) -> Result<(), String> {
+    let name = &family.name;
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    let mut count: Option<f64> = None;
+    let mut saw_sum = false;
+    for sample in &family.samples {
+        if sample.name == format!("{name}_bucket") {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{name}: bucket without le label"))?;
+            let bound = if le.1 == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.1.parse()
+                    .map_err(|_| format!("{name}: unparseable le {:?}", le.1))?
+            };
+            buckets.push((bound, sample.value));
+        } else if sample.name == format!("{name}_count") {
+            count = Some(sample.value);
+        } else if sample.name == format!("{name}_sum") {
+            saw_sum = true;
+        }
+    }
+    if !saw_sum {
+        return Err(format!("{name}: histogram without _sum"));
+    }
+    let count = count.ok_or_else(|| format!("{name}: histogram without _count"))?;
+    let inf = buckets
+        .iter()
+        .find(|(bound, _)| bound.is_infinite())
+        .ok_or_else(|| format!("{name}: histogram without le=\"+Inf\" bucket"))?;
+    if (inf.1 - count).abs() > f64::EPSILON {
+        return Err(format!("{name}: +Inf bucket {} != _count {count}", inf.1));
+    }
+    for window in buckets.windows(2) {
+        if window[0].0 >= window[1].0 {
+            return Err(format!("{name}: bucket bounds not increasing"));
+        }
+        if window[0].1 > window[1].1 {
+            return Err(format!("{name}: bucket counts not cumulative"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse and validate an exposition page; returns the parsed families or
+/// a description of the first structural violation.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+    let mut families: Vec<Family> = Vec::new();
+    for raw_line in text.lines() {
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed HELP line: {line:?}"))?;
+            helps.insert(name.to_owned(), help.to_owned());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("unknown metric type {kind:?} for {name}"));
+            }
+            let help = helps
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("TYPE before HELP for {name}"))?;
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("duplicate family {name}"));
+            }
+            families.push(Family {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+                help,
+                samples: Vec::new(),
+            });
+        } else if line.starts_with('#') {
+            // Other comments are legal and ignored.
+        } else {
+            let sample = parse_sample(line)?;
+            let family_name = base_family(&sample.name).to_owned();
+            let family = families
+                .iter_mut()
+                .rfind(|f| f.name == family_name || f.name == sample.name)
+                .ok_or_else(|| format!("sample {:?} outside any announced family", sample.name))?;
+            family.samples.push(sample);
+        }
+    }
+    for family in &families {
+        if family.samples.is_empty() {
+            return Err(format!(
+                "family {} announced but has no samples",
+                family.name
+            ));
+        }
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(Exposition { families })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_histograms() {
+        let page = "\
+# HELP demo_total Things done.
+# TYPE demo_total counter
+demo_total{kind=\"a\"} 3
+demo_total{kind=\"b\"} 1
+# HELP demo_entries Resident entries.
+# TYPE demo_entries gauge
+demo_entries 7
+# HELP demo_latency Latency.
+# TYPE demo_latency histogram
+demo_latency_bucket{le=\"1\"} 1
+demo_latency_bucket{le=\"3\"} 4
+demo_latency_bucket{le=\"+Inf\"} 5
+demo_latency_sum 42
+demo_latency_count 5
+";
+        let expo = parse(page).expect("page parses");
+        assert_eq!(expo.families.len(), 3);
+        let counter = expo.family("demo_total").expect("counter family");
+        assert_eq!(counter.kind, "counter");
+        assert_eq!(counter.samples.len(), 2);
+        assert_eq!(counter.samples[0].labels, vec![("kind".into(), "a".into())]);
+        let histogram = expo.family("demo_latency").expect("histogram family");
+        assert_eq!(histogram.samples.len(), 5);
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(parse("demo_total 1\n").is_err(), "sample without family");
+        assert!(
+            parse("# HELP x h\n# TYPE x counter\n").is_err(),
+            "family without samples"
+        );
+        assert!(
+            parse("# HELP x h\n# TYPE x histogram\nx_bucket{le=\"1\"} 2\nx_bucket{le=\"+Inf\"} 1\nx_sum 1\nx_count 1\n")
+                .is_err(),
+            "non-cumulative buckets"
+        );
+        assert!(
+            parse("# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 1\nx_sum 1\nx_count 2\n")
+                .is_err(),
+            "+Inf != count"
+        );
+        assert!(
+            parse("# HELP x h\n# TYPE x flavour\nx 1\n").is_err(),
+            "unknown type"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Engine-wide observability for the PASCAL/R reproduction: structured
+//! tracing spans, a metrics registry with log-bucketed latency
+//! histograms, and a mockable monotonic clock.
+//!
+//! The paper states its argument in observable counters (tuples read,
+//! intermediates, comparisons per phase — `pascalr-storage`'s
+//! `Metrics`); this crate extends that discipline from counts to
+//! **time**: wall-clock spans over parse → analyze → plan → execute,
+//! engine-wide latency distributions, and per-query slow-execution
+//! capture. Three layers:
+//!
+//! * [`span!`] / [`mod@span`] — cheap structured spans with a
+//!   thread-local parent stack, a per-query [`Collector`] folding into a
+//!   [`SpanTree`], and a process-global subscriber registry (the
+//!   vendored `tracing` stand-in). Disabled cost: one relaxed load.
+//! * [`mod@metrics`] — [`Registry`] of monotone [`Counter`]s,
+//!   [`Gauge`]s and HDR-style log-bucketed [`Histogram`]s with
+//!   [`Registry::render_prometheus`] and [`Registry::to_json`] export.
+//! * [`mod@clock`] — the only place in the workspace allowed to touch
+//!   `std::time::Instant` (`tests/repo_lints.rs` enforces it);
+//!   mockable for deterministic tests, inert under `--cfg loom`.
+//!
+//! `pascalr` (the core crate) owns the engine's registry and wires the
+//! spans; see the README's "Observability" section for the span taxonomy
+//! and metric table.
+
+pub mod clock;
+pub mod expo;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+
+pub use clock::{now, Tick};
+pub use metrics::{Counter, Gauge, Histogram, Registry, RegistryBuilder};
+pub use ring::{RingLog, RingSink};
+pub use span::{
+    enabled, register_subscriber, Collector, CollectorScope, FieldValue, SpanEvent, SpanGuard,
+    SpanNode, SpanTree, Subscriber, SubscriberHandle,
+};

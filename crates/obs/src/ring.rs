@@ -1,0 +1,157 @@
+//! Bounded ring buffers: the lock-free-ish [`RingSink`] span-event
+//! subscriber and the generic [`RingLog`] used for the slow-query log.
+
+use pascalr_sync::atomic::{AtomicU64, Ordering};
+use pascalr_sync::Mutex;
+use std::collections::VecDeque;
+
+use crate::span::{SpanEvent, Subscriber};
+
+/// A fixed-capacity span-event sink: writers claim a slot with one
+/// relaxed `fetch_add` (no shared lock, no contention on a global
+/// queue) and overwrite the oldest event once the ring wraps. Each slot
+/// has its own tiny mutex so concurrent writers to *different* slots
+/// never serialize — "lock-free-ish": the hot path is the atomic
+/// sequence claim.
+#[derive(Debug)]
+pub struct RingSink {
+    slots: Vec<Mutex<Option<(u64, SpanEvent)>>>,
+    next: AtomicU64,
+}
+
+impl RingSink {
+    /// Create a sink holding the most recent `capacity` events
+    /// (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of events ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut tagged: Vec<(u64, SpanEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().clone())
+            .collect();
+        tagged.sort_by_key(|(sequence, _)| *sequence);
+        tagged.into_iter().map(|(_, event)| event).collect()
+    }
+}
+
+impl Subscriber for RingSink {
+    fn event(&self, event: &SpanEvent) {
+        let sequence = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(sequence % self.slots.len() as u64) as usize];
+        *slot.lock() = Some((sequence, event.clone()));
+    }
+}
+
+/// A bounded FIFO log retaining the most recent `capacity` entries.
+/// Push evicts the oldest entry once full. Used for the slow-query log.
+#[derive(Debug)]
+pub struct RingLog<T> {
+    capacity: usize,
+    total: AtomicU64,
+    entries: Mutex<VecDeque<T>>,
+}
+
+impl<T> RingLog<T> {
+    /// Create a log retaining at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingLog {
+            capacity,
+            total: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Append an entry, evicting the oldest when full.
+    pub fn push(&self, entry: T) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever pushed (including evicted ones).
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Drop all retained entries (the total keeps counting).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+impl<T: Clone> RingLog<T> {
+    /// Snapshot the retained entries, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<T> {
+        self.entries.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ring_sink_wraps_keeping_newest() {
+        let sink = RingSink::with_capacity(4);
+        for id in 0..10u64 {
+            sink.event(&SpanEvent::Close {
+                id,
+                duration: Duration::ZERO,
+            });
+        }
+        assert_eq!(sink.total_recorded(), 10);
+        let ids: Vec<u64> = sink.events().iter().map(SpanEvent::id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_log_evicts_oldest() {
+        let log = RingLog::new(3);
+        assert!(log.is_empty());
+        for value in 0..5 {
+            log.push(value);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_pushed(), 5);
+        assert_eq!(log.snapshot(), vec![2, 3, 4]);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total_pushed(), 5);
+    }
+}

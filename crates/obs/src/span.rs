@@ -1,0 +1,478 @@
+//! Structured spans: the `span!` macro, per-thread span stacks, the
+//! per-query [`Collector`], and assembled [`SpanTree`]s.
+//!
+//! The fast path is the whole design: [`enabled`] is **one relaxed
+//! load**, and the [`crate::span!`] macro evaluates its field
+//! expressions only after that load says somebody is listening, so a
+//! query running with tracing disabled performs no allocation and no
+//! branch beyond the load at each instrumented site (measured by
+//! `e18_observability_overhead`).
+//!
+//! When enabled, every site emits a [`SpanEvent::Open`] (with the parent
+//! taken from a thread-local span stack) and, on guard drop, a
+//! [`SpanEvent::Close`] carrying the measured wall-clock duration.
+//! Events flow to the thread-local [`Collector`] installed by the query
+//! entry point (if any) and to every globally registered
+//! [`Subscriber`]. A collector is later folded into a [`SpanTree`] —
+//! one tree per query, rooted at a synthesized `"query"` span.
+//!
+//! Under `--cfg loom` the whole module is inert: [`enabled`] is a
+//! compile-time `false`, collectors install nothing, and trees come back
+//! empty. Spans are instrumentation, not synchronization.
+
+#[cfg(not(loom))]
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+use pascalr_sync::{Arc, Mutex};
+pub use tracing::{FieldValue, SpanEvent, Subscriber, SubscriberId};
+
+#[cfg(not(loom))]
+use crate::clock;
+use crate::clock::Tick;
+
+/// Open a timed span: `span!("plan", strategy = 2u64)`.
+///
+/// Expands to an expression yielding a [`SpanGuard`]; the span closes
+/// (and its duration is recorded) when the guard drops. Field
+/// expressions are evaluated **only** when tracing is enabled, so the
+/// disabled cost is a single relaxed load. Bind the result —
+/// `let _span = span!(…);` — or the span closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::span::enabled() {
+            $crate::span::open(
+                $name,
+                vec![$((stringify!($key), $crate::span::FieldValue::from($value))),*],
+            )
+        } else {
+            $crate::span::SpanGuard::disabled()
+        }
+    };
+}
+
+#[cfg(not(loom))]
+thread_local! {
+    /// Stack of currently open span ids on this thread (for parenting).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Collector installed by the innermost active query, if any.
+    static COLLECTOR: RefCell<Option<Arc<CollectorInner>>> = const { RefCell::new(None) };
+}
+
+/// Is any consumer (global subscriber or installed collector)
+/// listening? One relaxed load; compile-time `false` under `--cfg loom`.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(not(loom))]
+    {
+        tracing::consumer_count() > 0
+    }
+    #[cfg(loom)]
+    {
+        false
+    }
+}
+
+#[cfg(not(loom))]
+fn emit(event: &SpanEvent) {
+    COLLECTOR.with(|c| {
+        if let Some(inner) = c.borrow().as_ref() {
+            inner.events.lock().push(event.clone());
+        }
+    });
+    tracing::dispatch(event);
+}
+
+/// Open a span unconditionally. Prefer the [`crate::span!`] macro, which
+/// performs the [`enabled`] check first.
+#[must_use]
+pub fn open(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+    #[cfg(not(loom))]
+    {
+        let id = tracing::next_span_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        emit(&SpanEvent::Open {
+            id,
+            parent,
+            name,
+            fields,
+        });
+        SpanGuard {
+            open: Some((id, clock::now())),
+            _not_send: PhantomData,
+        }
+    }
+    #[cfg(loom)]
+    {
+        let _ = (name, fields);
+        SpanGuard::disabled()
+    }
+}
+
+/// RAII guard for an open span; closes the span (recording its duration)
+/// on drop. `!Send`: a span belongs to the thread that opened it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<(u64, Tick)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// The no-op guard the [`crate::span!`] macro yields when tracing is
+    /// disabled. Zero cost on drop.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        SpanGuard {
+            open: None,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(not(loom))]
+        if let Some((id, start)) = self.open.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Scoped usage drops guards LIFO; tolerate out-of-order
+                // drops rather than corrupting unrelated spans' parents.
+                if stack.last() == Some(&id) {
+                    stack.pop();
+                } else {
+                    stack.retain(|&open| open != id);
+                }
+            });
+            emit(&SpanEvent::Close {
+                id,
+                duration: start.elapsed(),
+            });
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+/// Per-query event buffer. The owning query installs it on whichever
+/// thread is about to run instrumented code ([`Collector::enter`]) and
+/// finally folds the buffered events into a [`SpanTree`]
+/// ([`Collector::finish`]). Cloneable across threads (a streaming
+/// `Rows` may migrate); event order within one query is total because a
+/// query runs on one thread at a time.
+#[derive(Clone, Debug, Default)]
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+impl Collector {
+    /// Create an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install this collector as the current thread's event sink until
+    /// the returned scope guard drops. Nested queries stack: the guard
+    /// restores the previously installed collector.
+    #[must_use]
+    pub fn enter(&self) -> CollectorScope {
+        #[cfg(not(loom))]
+        {
+            let prev = COLLECTOR.with(|c| c.borrow_mut().replace(Arc::clone(&self.inner)));
+            tracing::add_consumer();
+            CollectorScope {
+                prev,
+                active: true,
+                _not_send: PhantomData,
+            }
+        }
+        #[cfg(loom)]
+        {
+            CollectorScope {
+                _not_send: PhantomData,
+            }
+        }
+    }
+
+    /// Number of events buffered so far.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    /// Fold the buffered events into a span tree rooted at a synthesized
+    /// span named `root_name` with duration `total`. Spans whose parent
+    /// never reached this collector hang off the root.
+    #[must_use]
+    pub fn finish(self, root_name: &'static str, total: Duration) -> SpanTree {
+        let events = std::mem::take(&mut *self.inner.events.lock());
+        SpanTree::assemble(root_name, total, &events)
+    }
+}
+
+/// Scope during which a [`Collector`] is the thread's event sink.
+#[derive(Debug)]
+pub struct CollectorScope {
+    #[cfg(not(loom))]
+    prev: Option<Arc<CollectorInner>>,
+    #[cfg(not(loom))]
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CollectorScope {
+    fn drop(&mut self) {
+        #[cfg(not(loom))]
+        if self.active {
+            COLLECTOR.with(|c| *c.borrow_mut() = self.prev.take());
+            tracing::remove_consumer();
+        }
+    }
+}
+
+/// One node of an assembled [`SpanTree`].
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Static span name (taxonomy key).
+    pub name: &'static str,
+    /// Structured fields recorded at open time.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Measured wall-clock duration ([`Duration::ZERO`] if never closed).
+    pub duration: Duration,
+    /// Whether a matching close event was observed.
+    pub closed: bool,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Sum of the direct children's durations.
+    #[must_use]
+    pub fn child_duration_sum(&self) -> Duration {
+        self.children.iter().map(|c| c.duration).sum()
+    }
+
+    /// Renders this node and its subtree, indented two spaces per level
+    /// starting at `depth`.
+    #[must_use]
+    pub fn render(&self, depth: usize) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, depth);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.name);
+        for (key, value) in &self.fields {
+            let _ = write!(out, " {key}={value}");
+        }
+        let _ = writeln!(out, " .. {:?}", self.duration);
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    fn well_formed(&self) -> bool {
+        self.closed
+            && self.child_duration_sum() <= self.duration
+            && self.children.iter().all(SpanNode::well_formed)
+    }
+
+    fn count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::count).sum::<usize>()
+    }
+
+    /// Depth-first search for the first node named `name`.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// The span tree of one query: a synthesized root covering the whole
+/// query, with the measured engine spans nested beneath it.
+#[derive(Clone, Debug)]
+pub struct SpanTree {
+    /// The synthesized root node.
+    pub root: SpanNode,
+}
+
+impl SpanTree {
+    fn assemble(root_name: &'static str, total: Duration, events: &[SpanEvent]) -> SpanTree {
+        struct Slot {
+            node: SpanNode,
+            children: Vec<usize>,
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut top_level: Vec<usize> = Vec::new();
+        for event in events {
+            match event {
+                SpanEvent::Open {
+                    id,
+                    parent,
+                    name,
+                    fields,
+                } => {
+                    let slot = slots.len();
+                    index.insert(*id, slot);
+                    slots.push(Slot {
+                        node: SpanNode {
+                            name,
+                            fields: fields.clone(),
+                            duration: Duration::ZERO,
+                            closed: false,
+                            children: Vec::new(),
+                        },
+                        children: Vec::new(),
+                    });
+                    match parent.and_then(|p| index.get(&p).copied()) {
+                        Some(parent_slot) => slots[parent_slot].children.push(slot),
+                        None => top_level.push(slot),
+                    }
+                }
+                SpanEvent::Close { id, duration } => {
+                    if let Some(&slot) = index.get(id) {
+                        slots[slot].node.duration = *duration;
+                        slots[slot].node.closed = true;
+                    }
+                }
+            }
+        }
+        fn build(slots: &[Slot], slot: usize) -> SpanNode {
+            let mut node = slots[slot].node.clone();
+            node.children = slots[slot]
+                .children
+                .iter()
+                .map(|&c| build(slots, c))
+                .collect();
+            node
+        }
+        let children: Vec<SpanNode> = top_level.iter().map(|&s| build(&slots, s)).collect();
+        SpanTree {
+            root: SpanNode {
+                name: root_name,
+                fields: Vec::new(),
+                duration: total,
+                closed: true,
+                children,
+            },
+        }
+    }
+
+    /// Indented text rendering (one line per span).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out
+    }
+
+    /// Total number of spans including the root.
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.root.count()
+    }
+
+    /// Every span closed, and every parent's duration bounds the sum of
+    /// its children's durations ("parents outlive children").
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.root.well_formed()
+    }
+}
+
+/// Register a global subscriber; events from all threads flow to it
+/// until the returned handle drops.
+pub fn register_subscriber(subscriber: Arc<dyn Subscriber>) -> SubscriberHandle {
+    SubscriberHandle {
+        id: tracing::register(subscriber),
+    }
+}
+
+/// RAII registration of a global [`Subscriber`] (unregisters on drop).
+#[derive(Debug)]
+pub struct SubscriberHandle {
+    id: SubscriberId,
+}
+
+impl Drop for SubscriberHandle {
+    fn drop(&mut self) {
+        tracing::unregister(self.id);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_macro_is_inert_without_consumers() {
+        // No collector installed on this thread, and even if another test
+        // has a consumer registered, an unbound collector sees nothing.
+        let collector = Collector::new();
+        {
+            let _span = crate::span!("never", x = 1u64);
+        }
+        assert_eq!(collector.event_count(), 0);
+    }
+
+    #[test]
+    fn collector_builds_nested_tree() {
+        let collector = Collector::new();
+        {
+            let _scope = collector.enter();
+            let _outer = crate::span!("outer", n = 2u64);
+            {
+                let _inner = crate::span!("inner");
+            }
+            {
+                let _inner = crate::span!("inner");
+            }
+        }
+        let tree = collector.finish("query", Duration::from_secs(1));
+        assert!(tree.is_well_formed(), "tree:\n{}", tree.render());
+        assert_eq!(tree.span_count(), 4);
+        let outer = tree.root.find("outer").expect("outer span");
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.fields, vec![("n", FieldValue::U64(2))]);
+        assert!(outer.child_duration_sum() <= outer.duration);
+    }
+
+    #[test]
+    fn nested_collector_scopes_restore_previous() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let _sa = a.enter();
+        {
+            let _sb = b.enter();
+            let _span = crate::span!("inner_only");
+        }
+        let _span = crate::span!("outer_only");
+        drop(_sa);
+        let ta = a.finish("query", Duration::ZERO);
+        let tb = b.finish("query", Duration::ZERO);
+        assert!(ta.root.find("outer_only").is_some());
+        assert!(ta.root.find("inner_only").is_none());
+        assert!(tb.root.find("inner_only").is_some());
+    }
+}

@@ -200,6 +200,7 @@ pub fn estimate_plan(
     features: StrategyFeatures,
     stats: &StatsView,
 ) -> PlanEstimate {
+    let _span = pascalr_obs::span!("estimate");
     // Variable -> range map over the combination variables (free + prefix).
     let ranges: Vec<(VarName, RangeExpr)> = prepared
         .free

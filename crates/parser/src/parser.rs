@@ -599,6 +599,7 @@ pub fn parse_selection_spanned(
     input: &str,
     catalog: &Catalog,
 ) -> Result<(Selection, SpanMap), ParseError> {
+    let _span = pascalr_obs::span!("parse", bytes = input.len());
     let mut p = Parser::new(input, Some(catalog))?;
     let sel = p.parse_selection()?;
     if p.peek() != &Token::Eof {

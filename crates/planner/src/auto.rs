@@ -39,7 +39,10 @@ pub(crate) fn plan_auto(
     let weights = CostWeights::default();
     let mut candidates: Vec<QueryPlan> = StrategyLevel::ALL
         .iter()
-        .map(|&level| plan_fixed(selection, catalog, level, options, stats))
+        .map(|&level| {
+            let _span = pascalr_obs::span!("price_candidate", level = level.short_name());
+            plan_fixed(selection, catalog, level, options, stats)
+        })
         .collect();
     let costs: Vec<f64> = candidates
         .iter()

@@ -407,6 +407,7 @@ pub fn plan(
     strategy: StrategyLevel,
     options: PlanOptions,
 ) -> QueryPlan {
+    let _span = pascalr_obs::span!("plan", strategy = strategy.short_name());
     let stats = StatsView::from_catalog(catalog);
 
     // Prepare-time semantic analysis: plan the *simplified* selection (the

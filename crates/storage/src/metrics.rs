@@ -373,11 +373,15 @@ impl MetricsSnapshot {
     }
 
     /// Renders a compact multi-line report (used by examples and benches).
+    /// Streams every line into one output `String` — no intermediate
+    /// per-line allocations.
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         let total = self.total();
-        out.push_str(&format!(
-            "scans={} tuples_read={} pages_read={} index_builds={} index_probes={} intermediate={} comparisons={} derefs={}\n",
+        let _ = writeln!(
+            out,
+            "scans={} tuples_read={} pages_read={} index_builds={} index_probes={} intermediate={} comparisons={} derefs={}",
             total.relation_scans,
             total.tuples_read,
             total.pages_read,
@@ -386,38 +390,41 @@ impl MetricsSnapshot {
             total.intermediate_tuples,
             total.comparisons,
             total.dereferences,
-        ));
+        );
         for phase in Phase::ALL {
             let c = self.phase(phase);
             if !c.is_zero() {
-                out.push_str(&format!(
-                    "  [{}] scans={} tuples={} intermediate={} comparisons={}\n",
+                let _ = writeln!(
+                    out,
+                    "  [{}] scans={} tuples={} pages={} index_probes={} intermediate={} comparisons={}",
                     phase.name(),
                     c.relation_scans,
                     c.tuples_read,
+                    c.pages_read,
+                    c.index_probes,
                     c.intermediate_tuples,
                     c.comparisons
-                ));
+                );
             }
         }
         if !self.relation_scan_counts.is_empty() {
             out.push_str("  scans per relation: ");
-            let parts: Vec<String> = self
-                .relation_scan_counts
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect();
-            out.push_str(&parts.join(", "));
+            for (index, (k, v)) in self.relation_scan_counts.iter().enumerate() {
+                if index > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}={v}");
+            }
             out.push('\n');
         }
         if !self.structure_sizes.is_empty() {
             out.push_str("  intermediate structures: ");
-            let parts: Vec<String> = self
-                .structure_sizes
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect();
-            out.push_str(&parts.join(", "));
+            for (index, (k, v)) in self.structure_sizes.iter().enumerate() {
+                if index > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}={v}");
+            }
             out.push('\n');
         }
         out
@@ -517,6 +524,10 @@ mod tests {
         m.record_structure_size("sl_csoph", 2);
         let text = m.snapshot().render();
         assert!(text.contains("[collection]"));
+        assert!(
+            text.contains("pages=1") && text.contains("index_probes=0"),
+            "per-phase lines carry page and index-probe counts: {text}"
+        );
         assert!(text.contains("courses=1"));
         assert!(text.contains("sl_csoph=2"));
     }

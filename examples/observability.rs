@@ -1,0 +1,51 @@
+//! Observability tour: query tracing with span trees, timed
+//! EXPLAIN ANALYZE, the slow-query log, and the metrics registry's
+//! Prometheus/JSON renderings.
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use std::time::Duration;
+
+use pascalr::{Database, StrategyLevel};
+use pascalr_parser::paper::EXAMPLE_2_1_QUERY;
+use pascalr_workload::figure1_sample_database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::from_catalog(figure1_sample_database()?);
+
+    // 1. Span trees: turn on tracing and every outcome carries the tree.
+    db.set_query_tracing(true);
+    let outcome = db.query_with(EXAMPLE_2_1_QUERY, StrategyLevel::S4CollectionQuantifiers)?;
+    println!("== span tree ==");
+    if let Some(tree) = &outcome.report.span_tree {
+        print!("{}", tree.render());
+    }
+
+    // 2. Timed EXPLAIN ANALYZE: per-stage wall times under the plan.
+    println!("\n== explain analyze ==");
+    println!("{}", outcome.explain_analyzed());
+
+    // 3. The slow-query log: a zero threshold captures everything, which
+    //    is handy for a demo; production code would pass milliseconds.
+    db.set_slow_query_threshold(Some(Duration::ZERO));
+    db.query(EXAMPLE_2_1_QUERY)?;
+    println!("== slow queries ==");
+    for slow in db.slow_queries() {
+        println!(
+            "{:?} at {} emitting {} rows: {}",
+            slow.elapsed,
+            slow.strategy.short_name(),
+            slow.rows_emitted,
+            slow.query
+        );
+    }
+
+    // 4. The registry: every engine counter, gauge and latency histogram,
+    //    rendered in the Prometheus exposition format (or JSON via
+    //    `Database::metrics_json`).
+    println!("\n== metrics ==");
+    print!("{}", db.render_prometheus());
+    Ok(())
+}

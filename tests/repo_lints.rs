@@ -1,6 +1,6 @@
 //! Repo-level lint gates over the workspace's library source code.
 //!
-//! Two gates, both scanning non-test library code only (test modules,
+//! Three gates, all scanning non-test library code only (test modules,
 //! `tests/`, benches and examples are exempt):
 //!
 //! 1. **No panicking or printing library code** — anywhere in the
@@ -14,6 +14,9 @@
 //!    outside `crates/sync` (the facade itself) and `vendor/` would escape
 //!    the model checker's schedule and silently weaken the model suite,
 //!    so it fails CI.
+//! 3. **No direct `std::time::Instant`** — wall-clock reads come from
+//!    `pascalr_obs::clock` (the only crate allowed to touch `Instant`),
+//!    which is mockable in tests and inert under `--cfg loom`.
 //!
 //! Both gates are self-testing: a seeded violation file must be flagged,
 //! which proves the scanner bites before we trust a clean report.
@@ -28,15 +31,21 @@ const BANNED_PANICS: [&str; 4] = [".unwrap()", ".expect(", "dbg!(", "println!("]
 /// go through the facade so `--cfg loom` can swap the backend.
 const BANNED_SYNC: [&str; 2] = ["std::sync", "parking_lot"];
 
+/// Tokens banned outside `crates/obs`: timing goes through
+/// `pascalr_obs::clock` so tests can freeze/advance it and `--cfg loom`
+/// builds stay deterministic.
+const BANNED_TIME: [&str; 1] = ["std::time::Instant"];
+
 /// Crates whose `src/` trees are scanned (every workspace library crate;
 /// `src` is the root facade crate).
-const LIB_CRATES: [&str; 14] = [
+const LIB_CRATES: [&str; 15] = [
     "crates/analysis",
     "crates/bench",
     "crates/calculus",
     "crates/catalog",
     "crates/core",
     "crates/exec",
+    "crates/obs",
     "crates/optimizer",
     "crates/parser",
     "crates/planner",
@@ -203,6 +212,49 @@ fn all_synchronization_goes_through_the_pascalr_sync_facade() {
         &gated,
         &BANNED_SYNC,
         "import locks/atomics/threads from pascalr_sync so --cfg loom can model-check them",
+    );
+}
+
+#[test]
+fn all_wall_clock_reads_go_through_the_obs_clock() {
+    let gated: Vec<&str> = LIB_CRATES
+        .iter()
+        .copied()
+        .filter(|krate| *krate != "crates/obs")
+        .collect();
+    run_gate(
+        &gated,
+        &BANNED_TIME,
+        "read the clock via pascalr_obs::clock (mockable, inert under --cfg loom)",
+    );
+}
+
+#[test]
+fn the_time_gate_catches_violations() {
+    // Self-check: a live `Instant` read is flagged; `Duration` uses,
+    // comments and test modules are not.
+    let sample = r#"
+use std::time::Instant;
+
+fn live() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+// std::time::Instant in a comment does not count
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let _ = std::time::Instant::now();
+    }
+}
+"#;
+    let mut violations = Vec::new();
+    scan_source(Path::new("timed.rs"), sample, &BANNED_TIME, &mut violations);
+    let flagged: Vec<usize> = violations.iter().map(|v| v.line).collect();
+    assert_eq!(
+        flagged,
+        [2, 5],
+        "exactly the import and the live read are flagged"
     );
 }
 

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `tracing` crate family.
+//!
+//! The real `tracing` + `tracing-core` pair is unreachable (no network
+//! route to crates.io), so this stub provides the minimal structured-
+//! tracing core the workspace needs: span open/close [`SpanEvent`]s with
+//! typed [`FieldValue`]s, a process-global [`Subscriber`] registry, a
+//! monotone span-id allocator, and a relaxed consumer count that lets
+//! instrumentation sites decide "is anyone listening?" with a single
+//! atomic load.
+//!
+//! The ergonomic layer — the `span!` macro, thread-local span stacks,
+//! per-query collectors, span trees — lives in `crates/obs`
+//! (`pascalr-obs`), which is the only crate that depends on this stub.
+//! Like the other `vendor/` stand-ins this crate is exempt from the
+//! workspace lint gates and deliberately uses `std::sync` directly: its
+//! statics must be const-constructible, which the loom primitives behind
+//! the `pascalr-sync` facade are not. Nothing in here is ever used as a
+//! synchronization protocol by the engine — the dispatcher state is
+//! internal plumbing, and the engine only observes it through the
+//! `pascalr-obs` API (which is inert under `--cfg loom`).
+//!
+//! Swapping in the real crates later: `pascalr_obs::span!` maps onto
+//! `tracing::info_span!`, [`Subscriber`] onto `tracing::Subscriber`, and
+//! this file disappears.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+
+/// A typed value attached to a span field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// Boolean field.
+    Bool(bool),
+    /// Owned string field.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured tracing event: a span opening (with its parent link and
+/// fields) or a span closing (with its measured wall-clock duration).
+#[derive(Clone, Debug)]
+pub enum SpanEvent {
+    /// A span was entered.
+    Open {
+        /// Process-unique span id (from [`next_span_id`]).
+        id: u64,
+        /// Enclosing span on the same logical execution, if any.
+        parent: Option<u64>,
+        /// Static span name (the taxonomy key, e.g. `"plan"`).
+        name: &'static str,
+        /// Structured fields recorded at open time.
+        fields: Vec<(&'static str, FieldValue)>,
+    },
+    /// A span was closed.
+    Close {
+        /// Id of the span that closed.
+        id: u64,
+        /// Wall-clock time the span was open.
+        duration: Duration,
+    },
+}
+
+impl SpanEvent {
+    /// The span id this event refers to.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            SpanEvent::Open { id, .. } | SpanEvent::Close { id, .. } => *id,
+        }
+    }
+}
+
+/// A consumer of span events registered with [`register`].
+///
+/// Implementations must be cheap and non-blocking: `event` runs inline at
+/// every instrumentation site while at least one consumer is active.
+pub trait Subscriber: Send + Sync {
+    /// Receive one span event.
+    fn event(&self, event: &SpanEvent);
+}
+
+/// Opaque handle identifying a registered subscriber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubscriberId(u64);
+
+/// How many consumers (global subscribers + externally counted
+/// thread-local collectors) are currently listening. Instrumentation
+/// fast-paths gate on `consumer_count() > 0` — one relaxed load.
+static CONSUMERS: AtomicUsize = AtomicUsize::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SUBSCRIBER_ID: AtomicU64 = AtomicU64::new(1);
+#[allow(clippy::type_complexity)]
+static SUBSCRIBERS: RwLock<Vec<(SubscriberId, Arc<dyn Subscriber>)>> = RwLock::new(Vec::new());
+
+/// Number of active consumers. A single `Relaxed` load.
+#[must_use]
+pub fn consumer_count() -> usize {
+    CONSUMERS.load(Ordering::Relaxed)
+}
+
+/// Declare an external consumer (e.g. a thread-local collector) active.
+pub fn add_consumer() {
+    CONSUMERS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Declare an external consumer gone.
+pub fn remove_consumer() {
+    CONSUMERS.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Allocate a process-unique span id.
+#[must_use]
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Register a global subscriber; it receives every event from every
+/// thread until [`unregister`]ed.
+pub fn register(subscriber: Arc<dyn Subscriber>) -> SubscriberId {
+    let id = SubscriberId(NEXT_SUBSCRIBER_ID.fetch_add(1, Ordering::Relaxed));
+    SUBSCRIBERS
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push((id, subscriber));
+    add_consumer();
+    id
+}
+
+/// Remove a previously registered subscriber. Unknown ids are ignored
+/// (double-unregister is harmless).
+pub fn unregister(id: SubscriberId) {
+    let mut subs = SUBSCRIBERS.write().unwrap_or_else(PoisonError::into_inner);
+    let before = subs.len();
+    subs.retain(|(sid, _)| *sid != id);
+    if subs.len() < before {
+        remove_consumer();
+    }
+}
+
+/// Fan one event out to every registered subscriber.
+///
+/// Callers should gate on [`consumer_count`] first; with no subscribers
+/// this still takes the read lock, which the `pascalr-obs` fast path
+/// never reaches.
+pub fn dispatch(event: &SpanEvent) {
+    let subs = SUBSCRIBERS.read().unwrap_or_else(PoisonError::into_inner);
+    for (_, sub) in subs.iter() {
+        sub.event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Sink(Mutex<Vec<u64>>);
+    impl Subscriber for Sink {
+        fn event(&self, event: &SpanEvent) {
+            self.0.lock().unwrap().push(event.id());
+        }
+    }
+
+    #[test]
+    fn register_dispatch_unregister_roundtrip() {
+        let sink = Arc::new(Sink(Mutex::new(Vec::new())));
+        let before = consumer_count();
+        let id = register(sink.clone());
+        assert_eq!(consumer_count(), before + 1);
+        dispatch(&SpanEvent::Close {
+            id: 7,
+            duration: Duration::from_nanos(1),
+        });
+        unregister(id);
+        unregister(id); // double unregister must not underflow
+        assert_eq!(consumer_count(), before);
+        assert_eq!(*sink.0.lock().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_monotone() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert!(b > a);
+    }
+}
