@@ -22,10 +22,14 @@ use crate::types::TypeRegistry;
 
 /// One cached ANALYZE result: the statistics plus the value of the global
 /// stats epoch at the time they were computed.
+///
+/// `pub(crate)` so the persistence codec ([`crate::persist`]) can encode
+/// and restore cache entries with their exact epochs — plan-cache keys
+/// must match across a reopen.
 #[derive(Debug, Clone)]
-struct CachedStats {
-    stats: Arc<RelationStats>,
-    epoch: u64,
+pub(crate) struct CachedStats {
+    pub(crate) stats: Arc<RelationStats>,
+    pub(crate) epoch: u64,
 }
 
 /// Declaration of a permanent index kept by the system.
@@ -69,8 +73,8 @@ pub struct PermanentIndexUse {
 /// [`Catalog::permanent_index`] lookup.  Inserts through
 /// [`Catalog::insert`] / [`Catalog::insert_all`] maintain a live index
 /// incrementally and never invalidate it.
-struct MaintainedIndex {
-    decl: IndexDecl,
+pub(crate) struct MaintainedIndex {
+    pub(crate) decl: IndexDecl,
     cell: Mutex<Option<Arc<HashIndex>>>,
 }
 
@@ -140,14 +144,21 @@ impl fmt::Debug for MaintainedIndex {
 /// [`CatalogSnapshot`]: crate::CatalogSnapshot
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    types: TypeRegistry,
-    relations: Vec<Arc<Relation>>,
-    by_name: BTreeMap<String, RelId>,
-    indexes: Vec<MaintainedIndex>,
-    page_model: PageModel,
-    epoch: u64,
-    stats_epoch: u64,
-    stats_cache: BTreeMap<String, CachedStats>,
+    // Fields are `pub(crate)` (not private) so the persistence codec in
+    // `crate::persist` can rebuild a catalog slot-for-slot on recovery,
+    // including state no public mutator can set exactly (epochs, cached
+    // stats entries, ghost relation slots left by `drop_relation`).
+    pub(crate) types: TypeRegistry,
+    pub(crate) relations: Vec<Arc<Relation>>,
+    pub(crate) by_name: BTreeMap<String, RelId>,
+    pub(crate) indexes: Vec<MaintainedIndex>,
+    pub(crate) page_model: PageModel,
+    pub(crate) epoch: u64,
+    pub(crate) stats_epoch: u64,
+    pub(crate) stats_cache: BTreeMap<String, CachedStats>,
+    /// Real per-relation heap page counts, installed by the persistent
+    /// backend at open/checkpoint time; empty on the in-memory backend.
+    pub(crate) real_pages: BTreeMap<String, u64>,
 }
 
 impl Catalog {
@@ -300,14 +311,38 @@ impl Catalog {
         Ok(id)
     }
 
-    /// Names of all declared relations, in declaration order.
-    pub fn relation_names(&self) -> Vec<&str> {
-        self.relations.iter().map(|r| r.name()).collect()
+    /// Drops a relation variable: its name stops resolving, its permanent
+    /// indexes are removed, and its cached statistics are discarded.
+    ///
+    /// The [`RelId`] slot is retained (holding a fresh empty relation) so
+    /// ids of the remaining relations stay stable and `Ref` components
+    /// pointing into the dropped relation dangle detectably instead of
+    /// resolving to an unrelated relation. Advances the plan epoch.
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), CatalogError> {
+        let id = self.relation_id(name)?;
+        let schema = self.relations[id.0 as usize].schema().clone();
+        self.by_name.remove(name);
+        self.indexes.retain(|mi| mi.decl.relation != name);
+        self.stats_cache.remove(name);
+        self.real_pages.remove(name);
+        self.relations[id.0 as usize] = Arc::new(Relation::with_id(schema, id));
+        self.epoch += 1;
+        Ok(())
     }
 
-    /// Number of declared relations.
+    /// Names of all declared relations, in declaration order. Slots left
+    /// behind by [`Catalog::drop_relation`] are skipped.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations
+            .iter()
+            .filter(|r| self.by_name.get(r.name()).copied() == Some(r.id()))
+            .map(|r| r.name())
+            .collect()
+    }
+
+    /// Number of declared relations (dropped ones excluded).
     pub fn relation_count(&self) -> usize {
-        self.relations.len()
+        self.by_name.len()
     }
 
     /// Inserts an element into a named relation (`rel :+ [tuple]`).
@@ -560,9 +595,9 @@ impl Catalog {
     /// so per-relation staleness stays observable).
     pub fn analyze_all(&mut self) -> Result<(), CatalogError> {
         let names: Vec<String> = self
-            .relations
-            .iter()
-            .map(|r| r.name().to_string())
+            .relation_names()
+            .into_iter()
+            .map(str::to_string)
             .collect();
         for name in names {
             self.analyze_relation(&name)?;
@@ -595,18 +630,45 @@ impl Catalog {
             .unwrap_or(0)
     }
 
-    /// Computes statistics for every relation.
+    /// Computes statistics for every relation (dropped slots excluded).
     pub fn all_stats(&self) -> BTreeMap<String, RelationStats> {
         self.relations
             .iter()
+            .filter(|r| self.by_name.get(r.name()).copied() == Some(r.id()))
             .map(|r| (r.name().to_string(), RelationStats::compute(r)))
             .collect()
     }
 
-    /// Number of pages the named relation occupies under the page model.
+    /// Number of pages the named relation occupies.
+    ///
+    /// When the persistent backend is active, this is the **real** page
+    /// count of the relation's heap extent as measured at the last
+    /// checkpoint (see [`Catalog::set_real_page_counts`]); otherwise — on
+    /// the in-memory backend, or for tuples inserted since that
+    /// checkpoint — it falls back to the [`PageModel`] estimate.
     pub fn pages_of(&self, relation: &str) -> Result<u64, CatalogError> {
         let rel = self.relation(relation)?;
+        if let Some(&pages) = self.real_pages.get(relation) {
+            return Ok(pages);
+        }
         Ok(self.page_model.pages_for(rel.cardinality() as u64))
+    }
+
+    /// Installs the persistent backend's measured per-relation heap page
+    /// counts and its measured blocking factor, making the backend the one
+    /// source of truth for page-level costing ([`Catalog::pages_of`] and
+    /// [`PageModel::tuples_per_page`]). Called by the engine at open and
+    /// after each checkpoint; never advances the plan epoch on its own —
+    /// callers decide whether re-costing should invalidate cached plans.
+    pub fn set_real_page_counts(
+        &mut self,
+        pages: BTreeMap<String, u64>,
+        tuples_per_page: Option<u64>,
+    ) {
+        self.real_pages = pages;
+        if let Some(bf) = tuples_per_page {
+            self.page_model.tuples_per_page = bf.max(1);
+        }
     }
 }
 

@@ -13,12 +13,14 @@
 
 pub mod catalog;
 pub mod error;
+pub mod persist;
 pub mod snapshot;
 pub mod stats;
 pub mod types;
 
 pub use catalog::{Catalog, IndexDecl, PermanentIndexUse};
 pub use error::CatalogError;
+pub use persist::{decode_checkpoint, encode_checkpoint, RelationRecords, WalOp};
 pub use snapshot::{CatalogSnapshot, VersionedCatalog};
 pub use stats::{ColumnStats, Histogram, RelationStats};
 pub use types::TypeRegistry;

@@ -178,6 +178,29 @@ impl VersionedCatalog {
         *self.current.write() = Arc::new(next);
         Ok(result)
     }
+
+    /// Like [`VersionedCatalog::try_mutate`], but runs `after` between
+    /// `f` succeeding and the new version being published — still under
+    /// the writer lock, with no reader able to see the new version yet.
+    ///
+    /// This is the *write-ahead* hook: the durable engine logs the
+    /// mutation's WAL record in `after`, so a mutation becomes visible to
+    /// readers only once its redo record is on disk. If `after` fails,
+    /// nothing is published and nothing was observable — the same
+    /// all-or-nothing guarantee as a failing `f` (a torn WAL tail from a
+    /// crash inside `after` replays as a no-op).
+    pub fn try_mutate_then<R, E>(
+        &self,
+        f: impl FnOnce(&mut Catalog) -> Result<R, E>,
+        after: impl FnOnce(&Catalog, &R) -> Result<(), E>,
+    ) -> Result<R, E> {
+        let _writer = self.writer.lock();
+        let mut next = Catalog::clone(&self.current.read());
+        let result = f(&mut next)?;
+        after(&next, &result)?;
+        *self.current.write() = Arc::new(next);
+        Ok(result)
+    }
 }
 
 impl fmt::Debug for VersionedCatalog {

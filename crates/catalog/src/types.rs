@@ -65,6 +65,19 @@ impl TypeRegistry {
         self.declare_alias(name, ValueType::string(max_len))
     }
 
+    /// Reinstalls a `(name, type)` entry exactly as it was registered,
+    /// for the persistence codec: an enum alias keeps pointing at a type
+    /// whose own registry name may differ from the entry name, which no
+    /// public `declare_*` method can reproduce.
+    pub(crate) fn restore(&mut self, name: &str, ty: ValueType) {
+        if let ValueType::Enum(e) = &ty {
+            self.enums
+                .entry(e.name.to_string())
+                .or_insert_with(|| Arc::clone(e));
+        }
+        self.named.insert(name.to_string(), ty);
+    }
+
     /// Declares an arbitrary alias.
     pub fn declare_alias(&mut self, name: &str, ty: ValueType) -> Result<(), CatalogError> {
         if self.named.contains_key(name) {

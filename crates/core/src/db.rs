@@ -1,15 +1,23 @@
 //! The thread-safe [`Database`] handle.
 
+use pascalr_sync::atomic::{AtomicBool, Ordering};
 use pascalr_sync::Arc;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
 use pascalr_calculus::{Params, Selection};
-use pascalr_catalog::{Catalog, CatalogError, CatalogSnapshot, VersionedCatalog};
+use pascalr_catalog::{
+    decode_checkpoint, encode_checkpoint, Catalog, CatalogError, CatalogSnapshot, VersionedCatalog,
+    WalOp,
+};
 use pascalr_parser::{parse_database, parse_selection};
 use pascalr_planner::{plan, PlanOptions, QueryPlan, StrategyLevel};
-use pascalr_relation::{Tuple, Value};
-use pascalr_storage::Metrics;
+use pascalr_relation::{RelationSchema, Tuple, Value};
+use pascalr_storage::{
+    DiskFs, HeapOptions, MemoryBackend, Metrics, SlottedHeapBackend, StorageBackend, StorageError,
+    StorageFs,
+};
 
 use crate::cache::{CacheStats, PlanCache, PlanKey};
 use crate::obs::{DbObs, QueryObs, SlowQuery};
@@ -21,12 +29,29 @@ pub(crate) struct DbShared {
     pub(crate) catalog: VersionedCatalog,
     pub(crate) plan_cache: PlanCache,
     pub(crate) obs: DbObs,
+    /// Where (and whether) this database's state survives a restart.
+    pub(crate) backend: Arc<dyn StorageBackend>,
+    /// Set when a non-logged [`Database::mutate`] could not be
+    /// checkpointed on a persistent backend: appending further WAL
+    /// records would make the redo log inconsistent with the last
+    /// durable checkpoint, so logged mutators refuse until a
+    /// [`Database::checkpoint`] succeeds.
+    durability_poisoned: AtomicBool,
 }
 
-/// Builds the shared state for a new database: one observability hub and a
-/// plan cache whose counters alias into its registry.
+/// Builds the shared state for a new in-memory database: one observability
+/// hub and a plan cache whose counters alias into its registry.
 fn new_shared(catalog: VersionedCatalog) -> DbShared {
-    let obs = DbObs::new();
+    shared_with_backend(catalog, DbObs::new(), Arc::new(MemoryBackend))
+}
+
+/// Assembles the shared state around an already-created backend (whose
+/// counters are registered in `obs`'s registry).
+fn shared_with_backend(
+    catalog: VersionedCatalog,
+    obs: DbObs,
+    backend: Arc<dyn StorageBackend>,
+) -> DbShared {
     let plan_cache = PlanCache::with_counters(
         obs.cache_hits.clone(),
         obs.cache_misses.clone(),
@@ -38,7 +63,36 @@ fn new_shared(catalog: VersionedCatalog) -> DbShared {
         catalog,
         plan_cache,
         obs,
+        backend,
+        durability_poisoned: AtomicBool::new(false),
     }
+}
+
+/// Writes a full checkpoint of `catalog` through `backend` and installs
+/// the backend's measured page counts back into the catalog, making the
+/// real blocking factor the source of truth for page-level costing.
+fn checkpoint_catalog(
+    backend: &dyn StorageBackend,
+    catalog: &mut Catalog,
+) -> Result<(), StorageError> {
+    let (meta, relations) = encode_checkpoint(catalog);
+    backend.checkpoint(&meta, &relations)?;
+    install_real_pages(backend, catalog);
+    Ok(())
+}
+
+/// Copies the backend's per-relation heap page counts and measured
+/// blocking factor into the catalog (no-op for in-memory backends).
+fn install_real_pages(backend: &dyn StorageBackend, catalog: &mut Catalog) {
+    if !backend.is_persistent() {
+        return;
+    }
+    let pages: BTreeMap<String, u64> = catalog
+        .relation_names()
+        .iter()
+        .filter_map(|n| backend.page_count(n).map(|p| ((*n).to_string(), p)))
+        .collect();
+    catalog.set_real_page_counts(pages, backend.tuples_per_page());
 }
 
 /// A PASCAL/R database: catalog plus query machinery.
@@ -155,6 +209,114 @@ impl Database {
         Ok(Database::from_catalog(parse_database(text)?))
     }
 
+    /// Opens (or creates) a **persistent** database rooted at `path`.
+    ///
+    /// State lives in a slotted-heap backend under the directory: a
+    /// checkpointed page file per generation, a write-ahead log of every
+    /// mutation since, and an atomically-replaced `meta.bin` commit
+    /// point.  Opening replays the redo log over the last checkpoint, so
+    /// the catalog — relations, permanent indexes, ANALYZE statistics and
+    /// both plan epochs — comes back exactly as it was: a reopened
+    /// database serves the same plans without re-ANALYZE.
+    ///
+    /// ```no_run
+    /// use pascalr::Database;
+    ///
+    /// let db = Database::open("/var/lib/pascalr/db").unwrap();
+    /// assert!(db.persistent());
+    /// ```
+    pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self, PascalRError> {
+        Database::open_with(path, HeapOptions::default())
+    }
+
+    /// [`Database::open`] with explicit storage options (buffer-pool
+    /// capacity, fsync policy).
+    pub fn open_with(
+        path: impl Into<std::path::PathBuf>,
+        options: HeapOptions,
+    ) -> Result<Self, PascalRError> {
+        let fs = DiskFs::open(path)?;
+        Database::open_on(Arc::new(fs), options)
+    }
+
+    /// Opens a persistent database on an explicit filesystem — the seam
+    /// crash-recovery tests use with [`pascalr_storage::MemFs`], whose
+    /// snapshot/truncate fault injection simulates kills at arbitrary WAL
+    /// prefixes.  [`Database::open`] is the `DiskFs` convenience wrapper.
+    pub fn open_on(fs: Arc<dyn StorageFs>, options: HeapOptions) -> Result<Self, PascalRError> {
+        let obs = DbObs::new();
+        let backend: Arc<SlottedHeapBackend> =
+            Arc::new(SlottedHeapBackend::new(fs, options, obs.storage.clone()));
+        let catalog = match backend.open_checkpoint()? {
+            Some(data) => {
+                let mut cat = decode_checkpoint(&data.meta, &data.relations)?;
+                let replayed = !data.wal_records.is_empty();
+                for record in &data.wal_records {
+                    WalOp::decode(record)?.apply(&mut cat)?;
+                }
+                if replayed || data.torn_tail {
+                    // Compact the replayed state into a fresh checkpoint so
+                    // the next recovery starts from it (and the page counts
+                    // below reflect the replayed inserts).
+                    checkpoint_catalog(backend.as_ref(), &mut cat)?;
+                } else {
+                    install_real_pages(backend.as_ref(), &mut cat);
+                }
+                cat
+            }
+            None => {
+                // Fresh database: the backend contract requires a
+                // checkpoint before the first WAL append.
+                let mut cat = Catalog::new();
+                checkpoint_catalog(backend.as_ref(), &mut cat)?;
+                cat
+            }
+        };
+        Ok(Database {
+            shared: Arc::new(shared_with_backend(
+                VersionedCatalog::new(catalog),
+                obs,
+                backend,
+            )),
+            default_strategy: StrategyLevel::Auto,
+            plan_options: PlanOptions::default(),
+        })
+    }
+
+    /// Whether this database survives a process restart (opened via
+    /// [`Database::open`] rather than created in memory).
+    pub fn persistent(&self) -> bool {
+        self.shared.backend.is_persistent()
+    }
+
+    /// Forces a full checkpoint on a persistent database: every
+    /// relation's tuples are packed into slotted heap pages, the catalog
+    /// metadata (types, schemas, indexes, statistics, epochs) is written
+    /// alongside, the commit point is replaced atomically, and the WAL is
+    /// rotated empty.  Also refreshes the catalog's real page counts, so
+    /// subsequent scans are costed with the measured blocking factor.
+    /// A no-op on in-memory databases.
+    pub fn checkpoint(&self) -> Result<(), PascalRError> {
+        if !self.persistent() {
+            return Ok(());
+        }
+        let backend = Arc::clone(&self.shared.backend);
+        self.shared
+            .catalog
+            .try_mutate(|c| checkpoint_catalog(backend.as_ref(), c))?;
+        self.shared
+            .durability_poisoned
+            .store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Forces buffered WAL records to durable storage regardless of the
+    /// configured [`pascalr_storage::FsyncPolicy`] (a no-op on in-memory
+    /// databases and when nothing is buffered).
+    pub fn sync_wal(&self) -> Result<(), PascalRError> {
+        Ok(self.shared.backend.sync()?)
+    }
+
     /// Wraps an existing catalog (e.g. one produced by
     /// `pascalr-workload`'s generator).
     pub fn from_catalog(catalog: Catalog) -> Self {
@@ -243,19 +405,75 @@ impl Database {
     /// their next [`Database::snapshot`].  Mutations advance the catalog
     /// epoch and thereby invalidate cached plans.  Writers are serialized
     /// with each other but never wait for readers.
+    ///
+    /// On a **persistent** database an arbitrary closure has no redo
+    /// record, so the mutation is made durable by a full checkpoint
+    /// before it is published.  If that checkpoint fails, the mutation is
+    /// still published in memory but durability is *poisoned*: logged
+    /// mutators (inserts, DDL, ANALYZE) return an error until a
+    /// [`Database::checkpoint`] succeeds, because appending their redo
+    /// records to a log that does not contain this closure's effects
+    /// would recover to an inconsistent state.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
-        let result = self.shared.catalog.mutate(f);
+        let result = if self.persistent() {
+            let backend = Arc::clone(&self.shared.backend);
+            self.shared.catalog.mutate(|c| {
+                let r = f(c);
+                let healthy = checkpoint_catalog(backend.as_ref(), c).is_ok();
+                self.shared
+                    .durability_poisoned
+                    .store(!healthy, Ordering::Release);
+                r
+            })
+        } else {
+            self.shared.catalog.mutate(f)
+        };
         self.shared.obs.epoch_publishes.inc();
         result
     }
 
-    /// `try_mutate` that counts the epoch publish when the closure
-    /// succeeds (a failed closure publishes nothing).
-    fn try_mutate_counted<R, E>(
+    /// The error logged mutators fail with while durability is poisoned.
+    fn poisoned_error() -> PascalRError {
+        PascalRError::Storage(StorageError::Unsupported {
+            detail: "a non-logged mutation could not be checkpointed; \
+                     call Database::checkpoint() to restore durability"
+                .to_string(),
+        })
+    }
+
+    /// Builds the WAL record for a mutation — only on persistent
+    /// databases, so the in-memory path never pays for the clone.
+    fn wal_op(&self, make: impl FnOnce() -> WalOp) -> Option<WalOp> {
+        self.persistent().then(make)
+    }
+
+    /// Runs a loggable catalog mutation.  On a persistent database the
+    /// mutation's redo record is appended to the WAL *after* the closure
+    /// succeeds and *before* the new version is published — readers can
+    /// only ever observe states whose redo records are on disk (to the
+    /// degree the fsync policy promises).  A failed append publishes
+    /// nothing.
+    fn logged_mutate<R>(
         &self,
-        f: impl FnOnce(&mut Catalog) -> Result<R, E>,
-    ) -> Result<R, E> {
-        let result = self.shared.catalog.try_mutate(f);
+        op: Option<WalOp>,
+        f: impl FnOnce(&mut Catalog) -> Result<R, CatalogError>,
+    ) -> Result<R, PascalRError> {
+        let result = match op {
+            Some(op) => {
+                if self.shared.durability_poisoned.load(Ordering::Acquire) {
+                    return Err(Self::poisoned_error());
+                }
+                let backend = Arc::clone(&self.shared.backend);
+                self.shared.catalog.try_mutate_then(
+                    |c| f(c).map_err(PascalRError::Catalog),
+                    |_, _| Ok(backend.log(&op.encode())?),
+                )
+            }
+            None => self
+                .shared
+                .catalog
+                .try_mutate(|c| f(c).map_err(PascalRError::Catalog)),
+        };
         if result.is_ok() {
             self.shared.obs.epoch_publishes.inc();
         }
@@ -295,14 +513,18 @@ impl Database {
     /// assert!(outcome.plan.explain().contains("auto strategy selection"));
     /// ```
     pub fn analyze(&self) -> Result<(), PascalRError> {
-        self.try_mutate_counted(pascalr_catalog::Catalog::analyze_all)?;
+        let op = self.wal_op(|| WalOp::AnalyzeAll);
+        self.logged_mutate(op, pascalr_catalog::Catalog::analyze_all)?;
         self.shared.obs.analyze_runs.inc();
         Ok(())
     }
 
     /// ANALYZE a single relation (see [`Database::analyze`]).
     pub fn analyze_relation(&self, relation: &str) -> Result<(), PascalRError> {
-        self.try_mutate_counted(|c| c.analyze_relation(relation))?;
+        let op = self.wal_op(|| WalOp::AnalyzeRelation {
+            name: relation.to_string(),
+        });
+        self.logged_mutate(op, |c| c.analyze_relation(relation))?;
         self.shared.obs.analyze_runs.inc();
         Ok(())
     }
@@ -343,7 +565,12 @@ impl Database {
         relation: &str,
         attributes: &[&str],
     ) -> Result<(), PascalRError> {
-        self.try_mutate_counted(|c| c.declare_index(name, relation, attributes))?;
+        let op = self.wal_op(|| WalOp::DeclareIndex {
+            name: name.to_string(),
+            relation: relation.to_string(),
+            attributes: attributes.iter().map(|a| (*a).to_string()).collect(),
+        });
+        self.logged_mutate(op, |c| c.declare_index(name, relation, attributes))?;
         Ok(())
     }
 
@@ -352,7 +579,10 @@ impl Database {
     /// the index — re-plans exactly once on its next use and falls back to
     /// per-query index construction.
     pub fn drop_index(&self, name: &str) -> Result<(), PascalRError> {
-        self.try_mutate_counted(|c| c.drop_index(name))?;
+        let op = self.wal_op(|| WalOp::DropIndex {
+            name: name.to_string(),
+        });
+        self.logged_mutate(op, |c| c.drop_index(name))?;
         Ok(())
     }
 
@@ -429,7 +659,11 @@ impl Database {
 
     /// Inserts one element (`rel :+ [tuple]`).
     pub fn insert(&self, relation: &str, tuple: Tuple) -> Result<(), PascalRError> {
-        self.try_mutate_counted(|c| c.insert(relation, tuple))?;
+        let op = self.wal_op(|| WalOp::Insert {
+            relation: relation.to_string(),
+            tuple: tuple.clone(),
+        });
+        self.logged_mutate(op, |c| c.insert(relation, tuple))?;
         Ok(())
     }
 
@@ -444,7 +678,54 @@ impl Database {
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, PascalRError> {
-        Ok(self.try_mutate_counted(|c| c.insert_all(relation, tuples))?)
+        let tuples: Vec<Tuple> = tuples.into_iter().collect();
+        let op = self.wal_op(|| WalOp::InsertAll {
+            relation: relation.to_string(),
+            tuples: tuples.clone(),
+        });
+        self.logged_mutate(op, |c| c.insert_all(relation, tuples))
+    }
+
+    /// Declares a new relation variable (VAR section entry).  Advances
+    /// the plan epoch; on a persistent database the declaration is
+    /// WAL-logged like every other mutation.
+    pub fn declare_relation(
+        &self,
+        schema: impl Into<Arc<RelationSchema>>,
+    ) -> Result<(), PascalRError> {
+        let schema = schema.into();
+        let op = self.wal_op(|| WalOp::DeclareRelation {
+            schema: schema.clone(),
+        });
+        self.logged_mutate(op, |c| c.declare_relation(schema))?;
+        Ok(())
+    }
+
+    /// Redeclares an existing relation variable under a new schema: the
+    /// relation is emptied and its permanent indexes must not index
+    /// components the new schema lacks.
+    pub fn redeclare_relation(
+        &self,
+        schema: impl Into<Arc<RelationSchema>>,
+    ) -> Result<(), PascalRError> {
+        let schema = schema.into();
+        let op = self.wal_op(|| WalOp::RedeclareRelation {
+            schema: schema.clone(),
+        });
+        self.logged_mutate(op, |c| c.redeclare_relation(schema))?;
+        Ok(())
+    }
+
+    /// Drops a relation variable: its elements, permanent indexes and
+    /// cached statistics are removed.  References held by other
+    /// relations' `Ref` components keep their identity semantics — the
+    /// dropped relation's id is never reused.
+    pub fn drop_relation(&self, name: &str) -> Result<(), PascalRError> {
+        let op = self.wal_op(|| WalOp::DropRelation {
+            name: name.to_string(),
+        });
+        self.logged_mutate(op, |c| c.drop_relation(name))?;
+        Ok(())
     }
 
     /// Builds an enumeration value (e.g. `professor`) from a declared

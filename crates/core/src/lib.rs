@@ -125,7 +125,7 @@ use pascalr_catalog::CatalogError;
 use pascalr_exec::ExecError;
 use pascalr_parser::ParseError;
 use pascalr_planner::QueryPlan;
-use pascalr_storage::MetricsSnapshot;
+use pascalr_storage::{MetricsSnapshot, StorageError};
 
 mod cache;
 mod db;
@@ -163,6 +163,7 @@ pub use pascalr_planner::{
 pub use pascalr_relation::{
     CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value, ValueType,
 };
+pub use pascalr_storage::{DiskFs, FsyncPolicy, HeapOptions, MemFs, StorageBackend, StorageFs};
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -175,6 +176,8 @@ pub enum PascalRError {
     Exec(ExecError),
     /// Calculus error (unbound parameter, invalid transformation, ...).
     Calculus(CalculusError),
+    /// Storage error (I/O failure, corrupt checkpoint or WAL, ...).
+    Storage(StorageError),
 }
 
 impl fmt::Display for PascalRError {
@@ -184,6 +187,7 @@ impl fmt::Display for PascalRError {
             PascalRError::Catalog(e) => write!(f, "{e}"),
             PascalRError::Exec(e) => write!(f, "{e}"),
             PascalRError::Calculus(e) => write!(f, "{e}"),
+            PascalRError::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -208,6 +212,11 @@ impl From<ExecError> for PascalRError {
 impl From<CalculusError> for PascalRError {
     fn from(e: CalculusError) -> Self {
         PascalRError::Calculus(e)
+    }
+}
+impl From<StorageError> for PascalRError {
+    fn from(e: StorageError) -> Self {
+        PascalRError::Storage(e)
     }
 }
 

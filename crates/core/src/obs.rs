@@ -23,7 +23,7 @@ use pascalr_obs::{
     SpanTree,
 };
 use pascalr_planner::{QueryPlan, StrategyLevel};
-use pascalr_storage::MetricsSnapshot;
+use pascalr_storage::{MetricsSnapshot, PoolCounters, StorageCounters};
 
 use crate::Database;
 
@@ -74,6 +74,11 @@ pub(crate) struct DbObs {
     pub(crate) cache_invalidations: Arc<Counter>,
     pub(crate) cache_evictions: Arc<Counter>,
     pub(crate) cache_entries: Arc<Gauge>,
+    /// The storage engine's counters — buffer-pool traffic, WAL volume,
+    /// recovery replays, checkpoints.  The same `Arc` handles are given to
+    /// the [`pascalr_storage::StorageBackend`], so the backend ticks
+    /// directly into this registry.
+    pub(crate) storage: StorageCounters,
     tracing_enabled: AtomicBool,
     slow_threshold_nanos: AtomicU64,
     slow_log: RingLog<SlowQuery>,
@@ -135,6 +140,36 @@ impl DbObs {
             "Cached plans evicted by the capacity cap.",
         );
         let cache_entries = b.gauge("pascalr_plan_cache_entries", "Plans currently cached.");
+        let storage = StorageCounters {
+            pool: PoolCounters {
+                hits: b.counter(
+                    "pascalr_buffer_pool_hits_total",
+                    "Buffer-pool page requests served from a resident frame.",
+                ),
+                misses: b.counter(
+                    "pascalr_buffer_pool_misses_total",
+                    "Buffer-pool page requests that read the filesystem.",
+                ),
+                evictions: b.counter(
+                    "pascalr_buffer_pool_evictions_total",
+                    "Buffer-pool frames evicted to make room.",
+                ),
+            },
+            wal_appends: b.counter(
+                "pascalr_wal_appends_total",
+                "Write-ahead-log records appended.",
+            ),
+            wal_bytes: b.counter(
+                "pascalr_wal_bytes_total",
+                "Write-ahead-log bytes appended (frame headers included).",
+            ),
+            wal_fsyncs: b.counter("pascalr_wal_fsyncs_total", "Write-ahead-log fsyncs issued."),
+            recovery_replays: b.counter(
+                "pascalr_recovery_replays_total",
+                "WAL records replayed during redo recovery on open.",
+            ),
+            checkpoints: b.counter("pascalr_checkpoints_total", "Checkpoints written."),
+        };
         DbObs {
             registry: b.build(),
             queries_total,
@@ -151,6 +186,7 @@ impl DbObs {
             cache_invalidations,
             cache_evictions,
             cache_entries,
+            storage,
             tracing_enabled: AtomicBool::new(false),
             slow_threshold_nanos: AtomicU64::new(THRESHOLD_DISABLED),
             slow_log: RingLog::new(SLOW_QUERY_LOG_CAP),

@@ -1,0 +1,146 @@
+//! The backend-generic **read seam** between the executor and storage.
+//!
+//! Every tuple the collection phase touches flows through a
+//! [`StorageReader`]: full scans, reference dereferences and
+//! permanent-index probes.  The reader wraps the pinned catalog snapshot
+//! the cursor already owns — tuples live in the catalog's in-memory
+//! relations regardless of which [`pascalr_storage::StorageBackend`]
+//! persists them — but it is the single place where read-side accounting
+//! is grounded:
+//!
+//! * **Page accounting** asks [`pascalr_catalog::Catalog::pages_of`], so a
+//!   database opened on a persistent backend charges scans with the *real*
+//!   heap page counts the backend measured, while the in-memory default
+//!   keeps the paper's analytical [`pascalr_storage::PageModel`].
+//! * A future backend that pages tuples in lazily only has to change this
+//!   module — the phase code above it is already backend-generic.
+
+use pascalr_catalog::{Catalog, PermanentIndexUse};
+use pascalr_relation::{ElemRef, Relation, Tuple};
+use pascalr_storage::{Metrics, Phase};
+
+use crate::error::ExecError;
+
+/// Read access to the stored relations for one query execution, pinned to
+/// one immutable catalog version.
+///
+/// `Copy` on purpose: the reader is a borrow, cheap to pass by value
+/// through the collection-phase helpers.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageReader<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> StorageReader<'a> {
+    /// Wraps a pinned catalog version.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        StorageReader { catalog }
+    }
+
+    /// The underlying catalog version (for schema/type lookups that are
+    /// not tuple reads).
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Resolves a relation by name, mapping the catalog's miss to the
+    /// executor's [`ExecError::UnknownRelation`].
+    pub fn relation(&self, name: &str) -> Result<&'a Relation, ExecError> {
+        self.catalog
+            .relation(name)
+            .map_err(|_| ExecError::UnknownRelation {
+                relation: name.to_string(),
+            })
+    }
+
+    /// Full scan: every live element of `relation` with its reference, in
+    /// storage order.
+    pub fn scan(&self, relation: &'a Relation) -> impl Iterator<Item = (ElemRef, &'a Tuple)> + 'a {
+        relation.iter()
+    }
+
+    /// Point read: dereferences one element reference.
+    pub fn deref(&self, relation: &'a Relation, r: ElemRef) -> Result<&'a Tuple, ExecError> {
+        Ok(relation.deref(r)?)
+    }
+
+    /// The maintained permanent index on exactly `relation(attributes)`,
+    /// if one is declared (see [`Catalog::permanent_index`]).
+    pub fn permanent_index(
+        &self,
+        relation: &str,
+        attributes: &[&str],
+    ) -> Option<PermanentIndexUse> {
+        self.catalog.permanent_index(relation, attributes)
+    }
+
+    /// Records one full scan of `relation` against `metrics`, charging the
+    /// tuple count and the **page count the storage layer reports**: real
+    /// heap pages when a persistent backend measured them, the analytical
+    /// page model otherwise.
+    pub fn record_scan(
+        &self,
+        metrics: &Metrics,
+        phase: Phase,
+        relation: &str,
+    ) -> Result<(), ExecError> {
+        let rel = self.relation(relation)?;
+        let tuples = rel.cardinality() as u64;
+        let pages = self
+            .catalog
+            .pages_of(relation)
+            .unwrap_or_else(|_| self.catalog.page_model().pages_for(tuples));
+        metrics.record_scan(phase, relation, tuples, pages);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample() -> Catalog {
+        pascalr_workload::figure1_sample_database().unwrap()
+    }
+
+    #[test]
+    fn reader_resolves_scans_and_derefs() {
+        let cat = sample();
+        let reader = StorageReader::new(&cat);
+        let rel = reader.relation("employees").unwrap();
+        let scanned: Vec<_> = reader.scan(rel).collect();
+        assert_eq!(scanned.len(), rel.cardinality());
+        let (r, t) = scanned[0];
+        assert_eq!(reader.deref(rel, r).unwrap(), t);
+        assert!(matches!(
+            reader.relation("nosuch"),
+            Err(ExecError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn scan_accounting_prefers_real_page_counts() {
+        let mut cat = sample();
+        let reader = StorageReader::new(&cat);
+        let metrics = Metrics::new();
+        reader
+            .record_scan(&metrics, Phase::Collection, "employees")
+            .unwrap();
+        let modeled = cat
+            .page_model()
+            .pages_for(cat.relation("employees").unwrap().cardinality() as u64);
+        assert_eq!(metrics.snapshot().total().pages_read, modeled);
+
+        // A persistent backend's measured page counts take over.
+        let mut real = BTreeMap::new();
+        real.insert("employees".to_string(), 7u64);
+        cat.set_real_page_counts(real, Some(3));
+        let reader = StorageReader::new(&cat);
+        let metrics = Metrics::new();
+        reader
+            .record_scan(&metrics, Phase::Collection, "employees")
+            .unwrap();
+        assert_eq!(metrics.snapshot().total().pages_read, 7);
+    }
+}

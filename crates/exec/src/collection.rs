@@ -27,6 +27,7 @@ use pascalr_planner::{DyadicLink, QueryPlan, SemijoinStep, ValueListMode};
 use pascalr_relation::{CompareOp, ElemRef, Key, Relation, RelationSchema, Tuple, Value};
 use pascalr_storage::{Metrics, Phase};
 
+use crate::access::StorageReader;
 use crate::error::ExecError;
 
 /// Adapter exposing the catalog to the calculus semantics (for range
@@ -159,12 +160,12 @@ pub struct CollectionOutput {
     pub derived: Vec<DerivedCheck>,
 }
 
-fn resolve_var(var: &VarName, range: &RangeExpr, catalog: &Catalog) -> Result<VarInfo, ExecError> {
-    let rel = catalog
-        .relation(&range.relation)
-        .map_err(|_| ExecError::UnknownRelation {
-            relation: range.relation.to_string(),
-        })?;
+fn resolve_var(
+    var: &VarName,
+    range: &RangeExpr,
+    reader: StorageReader<'_>,
+) -> Result<VarInfo, ExecError> {
+    let rel = reader.relation(&range.relation)?;
     Ok(VarInfo {
         var: var.clone(),
         relation: Arc::from(rel.name()),
@@ -181,16 +182,17 @@ fn resolve_var(var: &VarName, range: &RangeExpr, catalog: &Catalog) -> Result<Va
 /// checks** (and tests probing planner range extensions) need to answer
 /// "is this — possibly extended — range empty right now?" without running
 /// a whole collection phase; pass a throwaway [`Metrics`] handle when the
-/// probe should not be charged to the query.
+/// probe should not be charged to the query.  All tuple reads go through
+/// the backend-generic [`StorageReader`] seam.
 pub fn range_candidates(
     info: &VarInfo,
-    catalog: &Catalog,
+    reader: StorageReader<'_>,
     metrics: &Metrics,
 ) -> Result<Vec<ElemRef>, ExecError> {
-    let rel = catalog.relation(&info.relation)?;
-    let provider = ExecProvider(catalog);
+    let rel = reader.relation(&info.relation)?;
+    let provider = ExecProvider(reader.catalog());
     let mut out = Vec::new();
-    for (r, t) in rel.iter() {
+    for (r, t) in reader.scan(rel) {
         let keep = match &info.range.restriction {
             None => true,
             Some(restriction) => {
@@ -221,10 +223,13 @@ pub fn range_candidates(
 /// was judged index-servable always probes here.  Returns the indexed
 /// component names and the probe key; shape-only — the physical index is
 /// fetched (and lazily rebuilt) by [`range_candidates_indexed`].
-pub(crate) fn range_probe_key(info: &VarInfo, catalog: &Catalog) -> Option<(Vec<String>, Key)> {
+pub(crate) fn range_probe_key(
+    info: &VarInfo,
+    reader: StorageReader<'_>,
+) -> Option<(Vec<String>, Key)> {
     let restriction = info.range.restriction.as_ref()?;
     let eqs = pascalr_optimizer::eq_conjunct_operands(restriction, info.var.as_ref());
-    let decls: Vec<&pascalr_catalog::IndexDecl> = catalog.indexes().collect();
+    let decls: Vec<&pascalr_catalog::IndexDecl> = reader.catalog().indexes().collect();
     for decl in pascalr_optimizer::covering_range_indexes(
         decls.iter().copied(),
         &info.range,
@@ -257,14 +262,14 @@ pub(crate) fn range_probe_key(info: &VarInfo, catalog: &Catalog) -> Option<(Vec<
 /// index build.
 pub(crate) fn range_candidates_indexed(
     info: &VarInfo,
-    catalog: &Catalog,
+    reader: StorageReader<'_>,
     metrics: &Metrics,
 ) -> Result<Option<Vec<ElemRef>>, ExecError> {
-    let Some((attrs, key)) = range_probe_key(info, catalog) else {
+    let Some((attrs, key)) = range_probe_key(info, reader) else {
         return Ok(None);
     };
     let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-    let Some(use_) = catalog.permanent_index(&info.relation, &attr_refs) else {
+    let Some(use_) = reader.permanent_index(&info.relation, &attr_refs) else {
         return Ok(None);
     };
     if use_.rebuilt {
@@ -276,8 +281,8 @@ pub(crate) fn range_candidates_indexed(
         // without one there is nothing for the index to serve.
         return Ok(None);
     };
-    let rel = catalog.relation(&info.relation)?;
-    let provider = ExecProvider(catalog);
+    let rel = reader.relation(&info.relation)?;
+    let provider = ExecProvider(reader.catalog());
     let matches = use_.index.probe(&key);
     // Point reads through the index: one element (and page) per match.
     metrics.record_tuple_reads(
@@ -287,7 +292,7 @@ pub(crate) fn range_candidates_indexed(
     );
     let mut out = Vec::new();
     for &r in matches {
-        let tuple = rel.deref(r)?;
+        let tuple = reader.deref(rel, r)?;
         metrics.record_comparisons(Phase::Collection, 1);
         let mut env = Env::new();
         env.insert(
@@ -310,7 +315,7 @@ fn monadic_holds(
     var: &str,
     tuple: &Tuple,
     schema: &RelationSchema,
-    catalog: &Catalog,
+    reader: StorageReader<'_>,
 ) -> Result<bool, ExecError> {
     if let Some((attr, op, constant)) = term.as_monadic_constant(var) {
         let idx = schema
@@ -331,7 +336,7 @@ fn monadic_holds(
             tuple: tuple.clone(),
         },
     );
-    let provider = ExecProvider(catalog);
+    let provider = ExecProvider(reader.catalog());
     Ok(eval_formula(
         &pascalr_calculus::Formula::Term(term.clone()),
         &provider,
@@ -350,21 +355,15 @@ fn monadic_holds(
 /// probes but zero builds and `explain_analyzed()` stays truthful.
 fn record_scans(
     plan: &QueryPlan,
-    catalog: &Catalog,
+    reader: StorageReader<'_>,
     metrics: &Metrics,
     index_served: &BTreeSet<String>,
 ) -> Result<(), ExecError> {
-    let page_model = catalog.page_model();
+    // Page counts come from the storage layer's view of the relation: the
+    // persistent backend's measured heap pages when one is active, the
+    // analytical page model otherwise (see `StorageReader::record_scan`).
     let scan = |relation: &str| -> Result<(), ExecError> {
-        let rel = catalog.relation(relation)?;
-        let tuples = rel.cardinality() as u64;
-        metrics.record_scan(
-            Phase::Collection,
-            relation,
-            tuples,
-            page_model.pages_for(tuples),
-        );
-        Ok(())
+        reader.record_scan(metrics, Phase::Collection, relation)
     };
 
     if plan.strategy.parallel_scans() {
@@ -412,17 +411,17 @@ fn record_scans(
 fn build_derived_check(
     step: &SemijoinStep,
     earlier: &[DerivedCheck],
-    catalog: &Catalog,
+    reader: StorageReader<'_>,
     metrics: &Metrics,
 ) -> Result<DerivedCheck, ExecError> {
-    let info = resolve_var(&step.bound_var, &step.range, catalog)?;
+    let info = resolve_var(&step.bound_var, &step.range, reader)?;
     // Steps exist only at Strategy 4: a covering permanent index serves
     // the (extended) range by probe instead of a scan.
-    let candidates = match range_candidates_indexed(&info, catalog, metrics)? {
+    let candidates = match range_candidates_indexed(&info, reader, metrics)? {
         Some(c) => c,
-        None => range_candidates(&info, catalog, metrics)?,
+        None => range_candidates(&info, reader, metrics)?,
     };
-    let rel = catalog.relation(&info.relation)?;
+    let rel = reader.relation(&info.relation)?;
 
     // Project the retained elements onto the linked bound components.
     let mut bound_indices = Vec::with_capacity(step.links.len());
@@ -438,10 +437,10 @@ fn build_derived_check(
 
     let mut values: Vec<Box<[Value]>> = Vec::new();
     'outer: for r in candidates {
-        let tuple = rel.deref(r)?;
+        let tuple = reader.deref(rel, r)?;
         for m in &step.monadic_filters {
             metrics.record_comparisons(Phase::Collection, 1);
-            if !monadic_holds(m, &step.bound_var, tuple, &info.schema, catalog)? {
+            if !monadic_holds(m, &step.bound_var, tuple, &info.schema, reader)? {
                 continue 'outer;
             }
         }
@@ -526,6 +525,8 @@ pub fn run_collection(
     metrics: &Metrics,
 ) -> Result<CollectionOutput, ExecError> {
     let _span = pascalr_obs::span!("collection");
+    // Every tuple read below goes through the backend-generic seam.
+    let reader = StorageReader::new(catalog);
     // Resolve combination-phase variables first: which ranges a permanent
     // index can serve decides the scan accounting below.
     let all_vars: Vec<VarName> = plan.prepared.all_vars();
@@ -538,12 +539,12 @@ pub fn run_collection(
                 detail: format!("variable {var} has no range"),
             })?
             .clone();
-        var_info.insert(var.to_string(), resolve_var(var, &range, catalog)?);
+        var_info.insert(var.to_string(), resolve_var(var, &range, reader)?);
     }
     let step_infos: Vec<VarInfo> = plan
         .semijoin_steps
         .iter()
-        .map(|s| resolve_var(&s.bound_var, &s.range, catalog))
+        .map(|s| resolve_var(&s.bound_var, &s.range, reader))
         .collect::<Result<_, _>>()?;
 
     // Index-backed range lookups are part of the parallel repertoire
@@ -554,7 +555,7 @@ pub fn run_collection(
     if use_index_ranges {
         let mut fully_served: BTreeMap<String, bool> = BTreeMap::new();
         for info in var_info.values().chain(step_infos.iter()) {
-            let servable = range_probe_key(info, catalog).is_some();
+            let servable = range_probe_key(info, reader).is_some();
             fully_served
                 .entry(info.relation.to_string())
                 .and_modify(|all| *all &= servable)
@@ -565,7 +566,7 @@ pub fn run_collection(
             .filter_map(|(rel, all)| all.then_some(rel))
             .collect();
     }
-    record_scans(plan, catalog, metrics, &index_served)?;
+    record_scans(plan, reader, metrics, &index_served)?;
 
     // Candidates per combination-phase variable.
     let mut candidates = BTreeMap::new();
@@ -573,13 +574,13 @@ pub fn run_collection(
         let _span = pascalr_obs::span!("collect_candidates", var = var.as_ref());
         let info = &var_info[var.as_ref()];
         let indexed = if use_index_ranges {
-            range_candidates_indexed(info, catalog, metrics)?
+            range_candidates_indexed(info, reader, metrics)?
         } else {
             None
         };
         let cands = match indexed {
             Some(c) => c,
-            None => range_candidates(info, catalog, metrics)?,
+            None => range_candidates(info, reader, metrics)?,
         };
         metrics.record_intermediate(Phase::Collection, cands.len() as u64);
         metrics.record_structure_size(&format!("cand_{var}"), cands.len() as u64);
@@ -591,7 +592,7 @@ pub fn run_collection(
     let mut derived: Vec<DerivedCheck> = Vec::new();
     for step in &plan.semijoin_steps {
         let _span = pascalr_obs::span!("collect_derived", var = step.bound_var.as_ref());
-        let check = build_derived_check(step, &derived, catalog, metrics)?;
+        let check = build_derived_check(step, &derived, reader, metrics)?;
         derived.push(check);
     }
 
@@ -620,7 +621,7 @@ pub fn run_collection(
             let Some(info) = var_info.get(var) else {
                 continue;
             };
-            let rel = catalog.relation(&info.relation)?;
+            let rel = reader.relation(&info.relation)?;
             let monadic: Vec<&Term> = conj.monadic_terms_over(var);
             let checks: Vec<&DerivedCheck> = plan.derived_predicates[ci]
                 .iter()
@@ -629,11 +630,11 @@ pub fn run_collection(
                 .collect();
             let mut list = Vec::new();
             for &r in &candidates[var] {
-                let tuple = rel.deref(r)?;
+                let tuple = reader.deref(rel, r)?;
                 let mut keep = true;
                 for m in &monadic {
                     metrics.record_comparisons(Phase::Collection, 1);
-                    if !monadic_holds(m, var, tuple, &info.schema, catalog)? {
+                    if !monadic_holds(m, var, tuple, &info.schema, reader)? {
                         keep = false;
                         break;
                     }
@@ -673,8 +674,8 @@ pub fn run_collection(
                 // needs to be materialized.
                 continue;
             };
-            let left_rel = catalog.relation(&left_info.relation)?;
-            let right_rel = catalog.relation(&right_info.relation)?;
+            let left_rel = reader.relation(&left_info.relation)?;
+            let right_rel = reader.relation(&right_info.relation)?;
 
             // Strategy 2: the one-step evaluation restricts the indirect
             // join by the conjunction's monadic terms (single lists);
@@ -736,7 +737,7 @@ pub fn run_collection(
                         (right_info, right_attr.as_ref())
                     };
                     if let Some(use_) =
-                        catalog.permanent_index(&probed_info.relation, &[probed_attr])
+                        reader.permanent_index(&probed_info.relation, &[probed_attr])
                     {
                         if use_.rebuilt {
                             metrics.record_index_build(Phase::Collection);
@@ -762,11 +763,11 @@ pub fn run_collection(
                     };
                 let mut index: HashMap<&Value, Vec<ElemRef>> = HashMap::new();
                 for &b in build_refs {
-                    let t = build_rel.deref(b)?;
+                    let t = reader.deref(build_rel, b)?;
                     index.entry(t.get(build_idx)).or_default().push(b);
                 }
                 for &p in probe_refs {
-                    let pt = probe_rel.deref(p)?;
+                    let pt = reader.deref(probe_rel, p)?;
                     metrics.record_index_probes(Phase::Collection, 1);
                     if let Some(matches) = index.get(pt.get(probe_idx)) {
                         for &b in matches {
@@ -776,10 +777,10 @@ pub fn run_collection(
                 }
             } else {
                 for &l in left_refs {
-                    let lt = left_rel.deref(l)?;
+                    let lt = reader.deref(left_rel, l)?;
                     let lv = lt.get(left_idx);
                     for &r in right_refs {
-                        let rt = right_rel.deref(r)?;
+                        let rt = reader.deref(right_rel, r)?;
                         metrics.record_comparisons(Phase::Collection, 1);
                         if op.eval(lv, rt.get(right_idx))? {
                             pairs.push((l, r));

@@ -61,18 +61,19 @@ pub(crate) fn violated_extended_range(
     catalog: &Catalog,
 ) -> Result<Option<String>, ExecError> {
     let metrics = Metrics::new(); // throwaway: assumption checking is not charged
+    let reader = crate::access::StorageReader::new(catalog);
     let check_range = |var: &str, range: &pascalr_calculus::RangeExpr| -> Result<bool, ExecError> {
         let info = crate::collection::VarInfo {
             var: pascalr_calculus::VarName::from(var),
             relation: Arc::from(range.relation.as_ref()),
-            schema: catalog.relation(&range.relation)?.schema().clone(),
+            schema: reader.relation(&range.relation)?.schema().clone(),
             range: range.clone(),
         };
-        let candidates =
-            match crate::collection::range_candidates_indexed(&info, catalog, &metrics)? {
-                Some(c) => c,
-                None => crate::collection::range_candidates(&info, catalog, &metrics)?,
-            };
+        let candidates = match crate::collection::range_candidates_indexed(&info, reader, &metrics)?
+        {
+            Some(c) => c,
+            None => crate::collection::range_candidates(&info, reader, &metrics)?,
+        };
         Ok(candidates.is_empty())
     };
 

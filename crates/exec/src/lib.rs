@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod access;
 pub mod collection;
 pub mod combine;
 pub mod cursor;
@@ -23,6 +24,7 @@ pub mod error;
 pub mod executor;
 pub mod refrel;
 
+pub use access::StorageReader;
 pub use collection::{CollectionOutput, ConjStructures, DerivedCheck, IndirectJoin, VarInfo};
 pub use cursor::ExecutionCursor;
 pub use error::ExecError;

@@ -94,6 +94,51 @@ impl Relation {
         Ok(rel)
     }
 
+    /// Reconstructs a relation from an exact slot image (live tuples and
+    /// `None` tombstones), keeping every tuple at its original [`RowId`].
+    ///
+    /// This is the storage-recovery constructor: a reopened database must
+    /// deserialize heap pages back into a relation whose `ElemRef`s —
+    /// stored inside other relations as [`Value::Ref`] components — still
+    /// point at the right rows, so slot positions (including tombstones)
+    /// are preserved rather than compacted.
+    ///
+    /// [`Value::Ref`]: crate::value::Value::Ref
+    pub fn from_slots(
+        schema: Arc<RelationSchema>,
+        id: RelId,
+        slots: Vec<Option<Tuple>>,
+    ) -> Result<Self, RelationError> {
+        let mut key_index = HashMap::new();
+        let mut live = 0;
+        for (i, slot) in slots.iter().enumerate() {
+            let Some(tuple) = slot else { continue };
+            schema.check_tuple(tuple)?;
+            let key = schema.key_of(tuple);
+            if key_index.insert(key, RowId(i as u32)).is_some() {
+                return Err(RelationError::KeyViolation {
+                    relation: schema.name.to_string(),
+                    key: schema.key_of(tuple).to_string(),
+                });
+            }
+            live += 1;
+        }
+        Ok(Relation {
+            schema,
+            id,
+            rows: slots,
+            key_index,
+            live,
+        })
+    }
+
+    /// The exact slot image (live tuples and `None` tombstones) in
+    /// [`RowId`] order — the inverse of [`Relation::from_slots`], used
+    /// when the storage backend checkpoints this relation.
+    pub fn slots(&self) -> &[Option<Tuple>] {
+        &self.rows
+    }
+
     /// The schema of this relation.
     pub fn schema(&self) -> &Arc<RelationSchema> {
         &self.schema
@@ -502,6 +547,35 @@ mod tests {
             .unwrap();
         assert_eq!(rel.cardinality(), 5);
         assert!(rel.contains(&Tuple::new(vec![Value::int(3)])));
+    }
+
+    #[test]
+    fn from_slots_preserves_row_ids_and_tombstones() {
+        let mut rel = employees();
+        let key = rel.schema().make_key(vec![Value::int(10)]).unwrap();
+        assert!(rel.delete_key(&key));
+        let slots = rel.slots().to_vec();
+        let restored = Relation::from_slots(rel.schema().clone(), rel.id(), slots).unwrap();
+        assert_eq!(restored.cardinality(), 1);
+        assert_eq!(restored.slot_count(), 2);
+        // The surviving tuple keeps its original RowId (slot 1).
+        let (elem, tuple) = restored.iter().next().unwrap();
+        assert_eq!(elem, ElemRef::new(rel.id(), RowId(1)));
+        assert_eq!(tuple.values()[1], Value::str("Highman"));
+        // And is findable through the rebuilt key index.
+        let key20 = restored.schema().make_key(vec![Value::int(20)]).unwrap();
+        assert!(restored.select_by_key(&key20).is_some());
+        assert!(restored.select_by_key(&key).is_none());
+    }
+
+    #[test]
+    fn from_slots_rejects_duplicate_keys_and_bad_tuples() {
+        let rel = employees();
+        let dup = rel.slots()[0].clone();
+        let slots = vec![rel.slots()[0].clone(), dup];
+        assert!(Relation::from_slots(rel.schema().clone(), rel.id(), slots).is_err());
+        let bad = vec![Some(Tuple::new(vec![Value::int(1)]))];
+        assert!(Relation::from_slots(rel.schema().clone(), rel.id(), bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! A small fixed-capacity buffer pool over [`StorageFs`] page files.
+//!
+//! The pool caches whole [`PAGE_SIZE`] frames keyed by `(file, page_no)`,
+//! with clock (second-chance) eviction and dirty tracking: evicting a
+//! dirty frame writes it back through the filesystem first. Access is
+//! closure-scoped — [`BufferPool::with_page`] pins the frame for exactly
+//! the closure's lifetime, so pins can never leak — and every hit, miss
+//! and eviction ticks a shared [`Counter`] so cache behaviour shows up in
+//! the engine's metrics registry.
+
+use std::collections::HashMap;
+
+use pascalr_obs::Counter;
+use pascalr_sync::{Arc, Mutex};
+
+use crate::error::StorageError;
+use crate::fs::StorageFs;
+use crate::slotted::PAGE_SIZE;
+
+/// Shared counters the pool ticks; hand the same `Arc`s to a metrics
+/// registry to expose them.
+#[derive(Debug, Clone)]
+pub struct PoolCounters {
+    /// Page requests served from a resident frame.
+    pub hits: Arc<Counter>,
+    /// Page requests that had to read the filesystem.
+    pub misses: Arc<Counter>,
+    /// Frames evicted to make room (dirty ones are written back first).
+    pub evictions: Arc<Counter>,
+}
+
+impl PoolCounters {
+    /// Counters not attached to any registry (tests, standalone use).
+    pub fn detached() -> PoolCounters {
+        PoolCounters {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    file: Arc<str>,
+    page_no: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    referenced: bool,
+    occupied: bool,
+}
+
+impl Frame {
+    fn empty() -> Frame {
+        Frame {
+            file: Arc::from(""),
+            page_no: 0,
+            data: Vec::new(),
+            dirty: false,
+            referenced: false,
+            occupied: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    frames: Vec<Frame>,
+    /// `(file, page_no)` → frame index for resident pages.
+    map: HashMap<(Arc<str>, u64), usize>,
+    /// Clock hand for second-chance eviction.
+    hand: usize,
+}
+
+/// Fixed-capacity page cache with clock eviction and dirty write-back.
+#[derive(Debug)]
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    counters: PoolCounters,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` frames (clamped to ≥ 1).
+    pub fn new(capacity: usize, counters: PoolCounters) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            inner: Mutex::new(PoolInner {
+                frames: (0..capacity).map(|_| Frame::empty()).collect(),
+                map: HashMap::new(),
+                hand: 0,
+            }),
+            capacity,
+            counters,
+        }
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of frames currently holding a page.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// The pool's shared counters.
+    pub fn counters(&self) -> &PoolCounters {
+        &self.counters
+    }
+
+    /// Pin page `page_no` of `file` and run `f` over its bytes. Loads the
+    /// page through `fs` on a miss, evicting (with write-back) if the pool
+    /// is full. The pin lasts exactly as long as `f` runs.
+    pub fn with_page<R>(
+        &self,
+        fs: &dyn StorageFs,
+        file: &Arc<str>,
+        page_no: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, StorageError> {
+        let mut inner = self.inner.lock();
+        let idx = self.frame_for(&mut inner, fs, file, page_no, true)?;
+        inner.frames[idx].referenced = true;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Install `data` as page `page_no` of `file` and mark the frame
+    /// dirty. The bytes reach the filesystem on eviction or
+    /// [`BufferPool::flush`] — callers decide the durability point.
+    pub fn write_page(
+        &self,
+        fs: &dyn StorageFs,
+        file: &Arc<str>,
+        page_no: u64,
+        data: &[u8],
+    ) -> Result<(), StorageError> {
+        if data.len() != PAGE_SIZE {
+            return Err(StorageError::corrupt(format!(
+                "buffered page write of {} byte(s), expected {PAGE_SIZE}",
+                data.len()
+            )));
+        }
+        let mut inner = self.inner.lock();
+        let idx = self.frame_for(&mut inner, fs, file, page_no, false)?;
+        let frame = &mut inner.frames[idx];
+        frame.data.clear();
+        frame.data.extend_from_slice(data);
+        frame.dirty = true;
+        frame.referenced = true;
+        Ok(())
+    }
+
+    /// Write every dirty frame back through `fs` (without evicting).
+    /// Durability still requires the caller to `fs.sync(...)` the file.
+    pub fn flush(&self, fs: &dyn StorageFs) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        for frame in &mut inner.frames {
+            if frame.occupied && frame.dirty {
+                fs.write_at(&frame.file, frame.page_no * PAGE_SIZE as u64, &frame.data)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every frame belonging to `file` without writing it back —
+    /// used when a checkpoint generation's files are deleted.
+    pub fn discard_file(&self, file: &str) {
+        let mut inner = self.inner.lock();
+        inner.map.retain(|(f, _), _| &**f != file);
+        for frame in &mut inner.frames {
+            if frame.occupied && &*frame.file == file {
+                *frame = Frame::empty();
+            }
+        }
+    }
+
+    /// Find (or load) the frame for `(file, page_no)`. `load` controls
+    /// whether a miss reads the page from `fs` or starts from a zeroed
+    /// frame (for fresh writes).
+    fn frame_for(
+        &self,
+        inner: &mut PoolInner,
+        fs: &dyn StorageFs,
+        file: &Arc<str>,
+        page_no: u64,
+        load: bool,
+    ) -> Result<usize, StorageError> {
+        let key = (Arc::clone(file), page_no);
+        if let Some(&idx) = inner.map.get(&key) {
+            self.counters.hits.inc();
+            return Ok(idx);
+        }
+        self.counters.misses.inc();
+        let idx = self.victim(inner, fs)?;
+        let data = if load {
+            fs.read_at(file, page_no * PAGE_SIZE as u64, PAGE_SIZE)?
+        } else {
+            vec![0u8; PAGE_SIZE]
+        };
+        inner.frames[idx] = Frame {
+            file: Arc::clone(file),
+            page_no,
+            data,
+            dirty: false,
+            referenced: false,
+            occupied: true,
+        };
+        inner.map.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Pick a frame to (re)use: a free one if any, else sweep the clock
+    /// hand, giving referenced frames a second chance, and evict the
+    /// first unreferenced frame (writing it back if dirty).
+    fn victim(&self, inner: &mut PoolInner, fs: &dyn StorageFs) -> Result<usize, StorageError> {
+        if let Some(idx) = inner.frames.iter().position(|f| !f.occupied) {
+            return Ok(idx);
+        }
+        // Two full sweeps always find a victim: the first clears every
+        // reference bit, the second takes the first frame.
+        for _ in 0..2 * self.capacity {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % self.capacity;
+            if inner.frames[idx].referenced {
+                inner.frames[idx].referenced = false;
+                continue;
+            }
+            let frame = &mut inner.frames[idx];
+            if frame.dirty {
+                fs.write_at(&frame.file, frame.page_no * PAGE_SIZE as u64, &frame.data)?;
+            }
+            let key = (Arc::clone(&frame.file), frame.page_no);
+            inner.map.remove(&key);
+            inner.frames[idx] = Frame::empty();
+            self.counters.evictions.inc();
+            return Ok(idx);
+        }
+        Err(StorageError::corrupt(
+            "clock sweep found no victim in a full pool".to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn write_read_hit_miss_accounting() {
+        let fs = MemFs::new();
+        let pool = BufferPool::new(4, PoolCounters::detached());
+        let file: Arc<str> = Arc::from("data.1.pages");
+        pool.write_page(&fs, &file, 0, &page_of(0xaa)).unwrap();
+        // First write is a miss (frame not resident), read after is a hit.
+        assert_eq!(pool.counters().misses.get(), 1);
+        let first = pool.with_page(&fs, &file, 0, |bytes| bytes[0]).unwrap();
+        assert_eq!(first, 0xaa);
+        assert_eq!(pool.counters().hits.get(), 1);
+        // Flush then re-read through a cold pool: bytes reached the fs.
+        pool.flush(&fs).unwrap();
+        fs.sync("data.1.pages").unwrap();
+        let cold = BufferPool::new(4, PoolCounters::detached());
+        let got = cold.with_page(&fs, &file, 0, |bytes| bytes[0]).unwrap();
+        assert_eq!(got, 0xaa);
+        assert_eq!(cold.counters().misses.get(), 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_frames() {
+        let fs = MemFs::new();
+        let pool = BufferPool::new(2, PoolCounters::detached());
+        let file: Arc<str> = Arc::from("f");
+        for page_no in 0..5u64 {
+            pool.write_page(&fs, &file, page_no, &page_of(page_no as u8))
+                .unwrap();
+        }
+        assert!(pool.counters().evictions.get() >= 3);
+        assert_eq!(pool.resident(), 2);
+        pool.flush(&fs).unwrap();
+        // Every page must be readable back with its own byte pattern,
+        // whether it was evicted (written back) or flushed.
+        for page_no in 0..5u64 {
+            let b = pool
+                .with_page(&fs, &file, page_no, |bytes| bytes[100])
+                .unwrap();
+            assert_eq!(b, page_no as u8, "page {page_no} lost on eviction");
+        }
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let fs = MemFs::new();
+        let pool = BufferPool::new(3, PoolCounters::detached());
+        let file: Arc<str> = Arc::from("f");
+        for page_no in 0..3u64 {
+            pool.write_page(&fs, &file, page_no, &page_of(page_no as u8))
+                .unwrap();
+        }
+        // Faulting page 3 sweeps every reference bit clear and evicts one
+        // frame. Then touch page 1: its fresh reference bit must save it
+        // from the next eviction, which takes an untouched frame instead.
+        pool.write_page(&fs, &file, 3, &page_of(3)).unwrap();
+        pool.with_page(&fs, &file, 1, |_| ()).unwrap();
+        pool.write_page(&fs, &file, 4, &page_of(4)).unwrap();
+        let hits_before = pool.counters().hits.get();
+        pool.with_page(&fs, &file, 1, |_| ()).unwrap();
+        assert_eq!(
+            pool.counters().hits.get(),
+            hits_before + 1,
+            "page 1 evicted despite its reference bit"
+        );
+    }
+
+    #[test]
+    fn discard_file_forgets_without_write_back() {
+        let fs = MemFs::new();
+        let pool = BufferPool::new(4, PoolCounters::detached());
+        let file: Arc<str> = Arc::from("old");
+        pool.write_page(&fs, &file, 0, &page_of(1)).unwrap();
+        pool.discard_file("old");
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(fs.len("old").unwrap(), 0, "discard must not write back");
+    }
+
+    #[test]
+    fn rejects_short_page_writes() {
+        let fs = MemFs::new();
+        let pool = BufferPool::new(1, PoolCounters::detached());
+        let file: Arc<str> = Arc::from("f");
+        assert!(pool.write_page(&fs, &file, 0, &[1, 2, 3]).is_err());
+    }
+}

@@ -1,15 +1,28 @@
-//! Paged access simulation.
+//! The costing view of page-level storage.
 //!
 //! The original PASCAL/R system read disk-resident relations
-//! "one-element-at-a-time" (Section 4.1, citing the paper's reference 15).
-//! We do not have the
-//! 1978 hardware, so the reproduction simulates secondary-storage access with
-//! a simple page model: a relation of `n` elements occupies
-//! `ceil(n / tuples_per_page)` pages, a full scan reads all of them, and a
-//! point access through a selected variable or index probe reads one page.
-//! This is sufficient for the paper's cost arguments, which are about *how
-//! often* relations are read and how large intermediate structures become,
-//! not about absolute I/O latencies.
+//! "one-element-at-a-time" (Section 4.1, citing the paper's reference 15),
+//! and the paper's cost arguments are about *how often* relations are read
+//! and how large intermediate structures become — not absolute I/O
+//! latencies. [`PageModel`] captures exactly that: a relation of `n`
+//! elements occupies `ceil(n / tuples_per_page)` pages, a full scan reads
+//! all of them, and a point access through a selected variable or index
+//! probe reads one page.
+//!
+//! Since the slotted-heap backend landed (see [`crate::backend`]), this is
+//! no longer a simulation of a hypothetical disk: `tuples_per_page` is the
+//! **blocking factor**, and the engine has one source of truth for it.
+//! When a database is opened on the persistent backend, the backend's
+//! *measured* records-per-page figure (real [`PAGE_SIZE`] slotted pages
+//! packed at the last checkpoint, see
+//! [`StorageBackend::tuples_per_page`]) is installed into the catalog's
+//! `PageModel`, and `Catalog::pages_of` delegates to the backend's real
+//! per-relation page counts. The in-memory default keeps the historical
+//! `tuples_per_page = 32` so cost numbers stay comparable with earlier
+//! experiments.
+//!
+//! [`PAGE_SIZE`]: crate::slotted::PAGE_SIZE
+//! [`StorageBackend::tuples_per_page`]: crate::backend::StorageBackend::tuples_per_page
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,288 @@
+//! Slotted heap pages: the on-disk tuple layout of the persistent backend.
+//!
+//! A page is a fixed [`PAGE_SIZE`] byte block with a 4-byte header
+//! (record count, free-space offset), a slot directory growing forward
+//! from the header, and record payloads growing backward from the end:
+//!
+//! ```text
+//! +--------+-------------------+------------------->   <---------------+
+//! | header | slot 0 | slot 1 … |     free space     … | rec 1 | rec 0 |
+//! +--------+-------------------+------------------->   <---------------+
+//! ```
+//!
+//! Each slot is `(offset: u16, len: u16)`. Records are opaque byte
+//! payloads — the catalog's tuple codec decides what is inside them. The
+//! backend packs pages append-only at checkpoint time (no in-page deletes;
+//! deleted tuples are tombstone records so `RowId`s survive a reopen), so
+//! the layout needs no compaction path.
+
+use crate::error::StorageError;
+
+/// Size of one heap page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of the fixed page header: record count (`u16`) + free-space
+/// offset (`u16`).
+pub const PAGE_HEADER: usize = 4;
+
+/// Bytes of one slot-directory entry: payload offset (`u16`) + length
+/// (`u16`).
+pub const SLOT_BYTES: usize = 4;
+
+/// Largest single record payload a fresh page can accept (one slot plus
+/// the payload must fit beside the header).
+pub const MAX_RECORD: usize = PAGE_SIZE - PAGE_HEADER - SLOT_BYTES;
+
+/// One slotted page, always exactly [`PAGE_SIZE`] bytes.
+#[derive(Debug, Clone)]
+pub struct SlottedPage {
+    data: Vec<u8>,
+}
+
+impl Default for SlottedPage {
+    fn default() -> Self {
+        SlottedPage::new()
+    }
+}
+
+impl SlottedPage {
+    /// An empty page: zero records, all space free.
+    pub fn new() -> SlottedPage {
+        let mut data = vec![0u8; PAGE_SIZE];
+        // The free offset of an empty page is PAGE_SIZE (4096), which
+        // fits a u16 because PAGE_SIZE < 65536.
+        write_u16(&mut data, 2, PAGE_SIZE as u16);
+        SlottedPage { data }
+    }
+
+    /// Reinterpret `bytes` (exactly [`PAGE_SIZE`] of them) as a page,
+    /// validating the header and every slot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SlottedPage, StorageError> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::corrupt(format!(
+                "page is {} byte(s), expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        let page = SlottedPage {
+            data: bytes.to_vec(),
+        };
+        let count = page.record_count();
+        let free = page.free_offset();
+        if free > PAGE_SIZE || PAGE_HEADER + count * SLOT_BYTES > free {
+            return Err(StorageError::corrupt(format!(
+                "page header claims {count} record(s) with free offset {free}"
+            )));
+        }
+        for i in 0..count {
+            let (off, len) = page.slot(i);
+            if off < free || off + len > PAGE_SIZE {
+                return Err(StorageError::corrupt(format!(
+                    "slot {i} points at {off}..{} outside the payload area",
+                    off + len
+                )));
+            }
+        }
+        Ok(page)
+    }
+
+    /// The raw page bytes (always [`PAGE_SIZE`] long).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of records stored on this page.
+    pub fn record_count(&self) -> usize {
+        read_u16(&self.data, 0) as usize
+    }
+
+    /// Bytes still available for one more record (slot entry included).
+    pub fn free_space(&self) -> usize {
+        let used_front = PAGE_HEADER + self.record_count() * SLOT_BYTES;
+        self.free_offset()
+            .saturating_sub(used_front)
+            .saturating_sub(SLOT_BYTES)
+    }
+
+    /// Append a record. Returns `false` when the page is too full (the
+    /// caller starts a new page) and an error when the record can never
+    /// fit on any page.
+    pub fn try_push(&mut self, record: &[u8]) -> Result<bool, StorageError> {
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                bytes: record.len(),
+                capacity: MAX_RECORD,
+            });
+        }
+        let count = self.record_count();
+        let slot_end = PAGE_HEADER + (count + 1) * SLOT_BYTES;
+        let free = self.free_offset();
+        if free < slot_end || free - slot_end < record.len() {
+            return Ok(false);
+        }
+        let off = free - record.len();
+        self.data[off..free].copy_from_slice(record);
+        let slot_at = PAGE_HEADER + count * SLOT_BYTES;
+        write_u16(&mut self.data, slot_at, off as u16);
+        write_u16(&mut self.data, slot_at + 2, record.len() as u16);
+        write_u16(&mut self.data, 0, (count + 1) as u16);
+        write_u16(&mut self.data, 2, off as u16);
+        Ok(true)
+    }
+
+    /// The `i`-th record payload, in insertion order.
+    pub fn record(&self, i: usize) -> Result<&[u8], StorageError> {
+        if i >= self.record_count() {
+            return Err(StorageError::corrupt(format!(
+                "record index {i} out of range ({} on page)",
+                self.record_count()
+            )));
+        }
+        let (off, len) = self.slot(i);
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Iterate all record payloads in insertion order.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.record_count()).map(move |i| {
+            let (off, len) = self.slot(i);
+            &self.data[off..off + len]
+        })
+    }
+
+    fn free_offset(&self) -> usize {
+        read_u16(&self.data, 2) as usize
+    }
+
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let at = PAGE_HEADER + i * SLOT_BYTES;
+        (
+            read_u16(&self.data, at) as usize,
+            read_u16(&self.data, at + 2) as usize,
+        )
+    }
+}
+
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn write_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Pack an ordered record stream into as few pages as possible,
+/// append-only. Returns the packed pages (at least one, even for an empty
+/// stream, so every relation owns a page range).
+pub fn pack_records<'a>(
+    records: impl IntoIterator<Item = &'a [u8]>,
+) -> Result<Vec<SlottedPage>, StorageError> {
+    let mut pages = vec![SlottedPage::new()];
+    for record in records {
+        let fit = pages
+            .last_mut()
+            .map(|page| page.try_push(record))
+            .transpose()?
+            .unwrap_or(false);
+        if !fit {
+            let mut page = SlottedPage::new();
+            if !page.try_push(record)? {
+                return Err(StorageError::RecordTooLarge {
+                    bytes: record.len(),
+                    capacity: MAX_RECORD,
+                });
+            }
+            pages.push(page);
+        }
+    }
+    Ok(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back_in_order() {
+        let mut page = SlottedPage::new();
+        assert_eq!(page.record_count(), 0);
+        assert!(page.try_push(b"alpha").unwrap());
+        assert!(page.try_push(b"").unwrap());
+        assert!(page.try_push(b"gamma!").unwrap());
+        assert_eq!(page.record_count(), 3);
+        let got: Vec<&[u8]> = page.records().collect();
+        assert_eq!(got, vec![&b"alpha"[..], &b""[..], &b"gamma!"[..]]);
+        assert_eq!(page.record(2).unwrap(), b"gamma!");
+        assert!(page.record(3).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let mut page = SlottedPage::new();
+        for i in 0..100u32 {
+            assert!(page.try_push(&i.to_le_bytes()).unwrap());
+        }
+        let restored = SlottedPage::from_bytes(page.as_bytes()).unwrap();
+        assert_eq!(restored.record_count(), 100);
+        assert_eq!(restored.record(41).unwrap(), 41u32.to_le_bytes());
+    }
+
+    #[test]
+    fn fills_up_then_reports_full() {
+        let mut page = SlottedPage::new();
+        let record = [7u8; 100];
+        let mut pushed = 0;
+        while page.try_push(&record).unwrap() {
+            pushed += 1;
+        }
+        // 100 payload + 4 slot bytes per record within 4092 usable bytes.
+        assert_eq!(pushed, (PAGE_SIZE - PAGE_HEADER) / (100 + SLOT_BYTES));
+        assert!(page.free_space() < 100 + SLOT_BYTES);
+        // Still readable after filling.
+        assert_eq!(page.record(pushed - 1).unwrap(), record);
+    }
+
+    #[test]
+    fn oversized_record_is_an_error_not_full() {
+        let mut page = SlottedPage::new();
+        let huge = vec![0u8; MAX_RECORD + 1];
+        assert!(matches!(
+            page.try_push(&huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        let exact = vec![1u8; MAX_RECORD];
+        assert!(page.try_push(&exact).unwrap());
+        assert_eq!(page.record(0).unwrap().len(), MAX_RECORD);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(SlottedPage::from_bytes(&[0u8; 10]).is_err());
+        let mut bad = vec![0u8; PAGE_SIZE];
+        bad[0] = 0xff; // claims 255 records
+        bad[1] = 0xff;
+        assert!(SlottedPage::from_bytes(&bad).is_err());
+        let mut page = SlottedPage::new();
+        page.try_push(b"ok").unwrap();
+        let mut bytes = page.as_bytes().to_vec();
+        // Point slot 0 into the free area.
+        bytes[PAGE_HEADER] = 0x10;
+        bytes[PAGE_HEADER + 1] = 0x00;
+        assert!(SlottedPage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn pack_records_splits_across_pages() {
+        let records: Vec<Vec<u8>> = (0..200).map(|i| vec![i as u8; 100]).collect();
+        let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        let pages = pack_records(refs.iter().copied()).unwrap();
+        assert!(pages.len() > 1);
+        let unpacked: Vec<Vec<u8>> = pages
+            .iter()
+            .flat_map(|p| p.records().map(<[u8]>::to_vec))
+            .collect();
+        assert_eq!(unpacked, records);
+        // Empty stream still yields one page.
+        assert_eq!(pack_records(std::iter::empty()).unwrap().len(), 1);
+    }
+}

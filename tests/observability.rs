@@ -379,3 +379,69 @@ fn lifecycle_counters_tick_and_forks_get_fresh_registries() {
         1
     );
 }
+
+/// Satellite (storage engine): the durability counters — buffer pool,
+/// WAL, recovery, checkpoints — are registered on every database and
+/// round-trip through both exposition formats with the values the
+/// storage backend actually ticked.
+#[test]
+fn storage_counters_round_trip_through_both_expositions() {
+    use pascalr::{FsyncPolicy, HeapOptions, MemFs};
+
+    // In-memory databases register the families too (at zero).
+    let mem = sample_db();
+    let page = mem.render_prometheus();
+    let exposition = expo::parse(&page).expect("valid exposition");
+    let zero = exposition
+        .family("pascalr_wal_appends_total")
+        .expect("storage family registered on in-memory databases");
+    assert_eq!(zero.kind, "counter");
+    assert_eq!(zero.samples[0].value, 0.0);
+
+    // A persistent database ticks them for real.
+    let fs = MemFs::new();
+    let db = pascalr::Database::open_on(
+        pascalr_sync::Arc::new(fs.clone()),
+        HeapOptions {
+            pool_pages: 4,
+            fsync: FsyncPolicy::EveryCommit,
+        },
+    )
+    .expect("open on MemFs");
+    db.mutate(|c| *c = figure1_sample_database().expect("sample database"));
+    db.analyze().expect("analyze");
+    drop(db);
+    let db = pascalr::Database::open_on(pascalr_sync::Arc::new(fs), HeapOptions::default())
+        .expect("reopen");
+
+    let page = db.render_prometheus();
+    let exposition =
+        expo::parse(&page).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{page}"));
+    let registry = db.metrics_registry();
+    for family in [
+        "pascalr_buffer_pool_hits_total",
+        "pascalr_buffer_pool_misses_total",
+        "pascalr_buffer_pool_evictions_total",
+        "pascalr_wal_appends_total",
+        "pascalr_wal_bytes_total",
+        "pascalr_wal_fsyncs_total",
+        "pascalr_recovery_replays_total",
+        "pascalr_checkpoints_total",
+    ] {
+        let parsed = exposition
+            .family(family)
+            .unwrap_or_else(|| panic!("{family} missing from the exposition"));
+        assert_eq!(parsed.kind, "counter", "{family}");
+        let expected = registry.counter_total(family) as f64;
+        assert_eq!(parsed.samples[0].value, expected, "{family}");
+        assert!(
+            db.metrics_json().contains(&format!("\"{family}\"")),
+            "{family} missing from the JSON rendering"
+        );
+    }
+    // The reopen replayed the logged ANALYZE and re-read the checkpointed
+    // pages through the pool.
+    assert!(registry.counter_total("pascalr_recovery_replays_total") >= 1);
+    assert!(registry.counter_total("pascalr_buffer_pool_misses_total") > 0);
+    assert!(registry.counter_total("pascalr_checkpoints_total") >= 1);
+}

@@ -1,6 +1,6 @@
 //! Repo-level lint gates over the workspace's library source code.
 //!
-//! Three gates, all scanning non-test library code only (test modules,
+//! Four gates, all scanning non-test library code only (test modules,
 //! `tests/`, benches and examples are exempt):
 //!
 //! 1. **No panicking or printing library code** — anywhere in the
@@ -17,6 +17,10 @@
 //! 3. **No direct `std::time::Instant`** — wall-clock reads come from
 //!    `pascalr_obs::clock` (the only crate allowed to touch `Instant`),
 //!    which is mockable in tests and inert under `--cfg loom`.
+//! 4. **No direct `std::fs`** — all file I/O goes through the
+//!    [`pascalr_storage::StorageFs`] seam (the only crate allowed to
+//!    touch the real filesystem), so crash tests can swap in `MemFs`
+//!    fault injection and every durability path stays testable.
 //!
 //! Both gates are self-testing: a seeded violation file must be flagged,
 //! which proves the scanner bites before we trust a clean report.
@@ -35,6 +39,10 @@ const BANNED_SYNC: [&str; 2] = ["std::sync", "parking_lot"];
 /// `pascalr_obs::clock` so tests can freeze/advance it and `--cfg loom`
 /// builds stay deterministic.
 const BANNED_TIME: [&str; 1] = ["std::time::Instant"];
+
+/// Tokens banned outside `crates/storage`: file I/O goes through the
+/// `StorageFs` seam so durability code is crash-testable on `MemFs`.
+const BANNED_FS: [&str; 1] = ["std::fs"];
 
 /// Crates whose `src/` trees are scanned (every workspace library crate;
 /// `src` is the root facade crate).
@@ -226,6 +234,49 @@ fn all_wall_clock_reads_go_through_the_obs_clock() {
         &gated,
         &BANNED_TIME,
         "read the clock via pascalr_obs::clock (mockable, inert under --cfg loom)",
+    );
+}
+
+#[test]
+fn all_file_io_goes_through_the_storage_fs_seam() {
+    let gated: Vec<&str> = LIB_CRATES
+        .iter()
+        .copied()
+        .filter(|krate| *krate != "crates/storage")
+        .collect();
+    run_gate(
+        &gated,
+        &BANNED_FS,
+        "do file I/O through the pascalr_storage StorageFs seam (crash-testable via MemFs)",
+    );
+}
+
+#[test]
+fn the_fs_gate_catches_violations() {
+    // Self-check: a live import and a fully qualified call are flagged;
+    // comments, test modules and the storage seam's own types are not.
+    let sample = r#"
+use std::fs::File;
+use pascalr_storage::StorageFs;
+
+fn live(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+// std::fs::write in a comment does not count
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        let _ = std::fs::read("x");
+    }
+}
+"#;
+    let mut violations = Vec::new();
+    scan_source(Path::new("io.rs"), sample, &BANNED_FS, &mut violations);
+    let flagged: Vec<usize> = violations.iter().map(|v| v.line).collect();
+    assert_eq!(
+        flagged,
+        [2, 6],
+        "exactly the import and the live read are flagged"
     );
 }
 
